@@ -1,0 +1,78 @@
+//! Criterion micro-benchmarks for the federated-learning plumbing:
+//! state-dict aggregation, ROC AUC, and one client training step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use rte_fed::params::weighted_average;
+use rte_fed::{ClientSet, LocalTrainer};
+use rte_metrics::roc_auc;
+use rte_nn::models::{FlNet, FlNetConfig};
+use rte_nn::state_dict;
+use rte_tensor::rng::Xoshiro256;
+use rte_tensor::Tensor;
+
+fn model(seed: u64) -> FlNet {
+    let mut rng = Xoshiro256::seed_from(seed);
+    FlNet::new(
+        FlNetConfig {
+            in_channels: 6,
+            hidden: 16,
+            kernel: 9,
+            depth: 2,
+        },
+        &mut rng,
+    )
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    // Nine clients' FLNet state dicts, weighted like Table 2.
+    let dicts: Vec<_> = (0..9).map(|k| state_dict(&mut model(k))).collect();
+    let weights = [
+        462.0, 231.0, 231.0, 812.0, 812.0, 697.0, 656.0, 742.0, 175.0,
+    ];
+    c.bench_function("weighted_average_9_clients", |b| {
+        b.iter(|| {
+            let refs: Vec<_> = dicts
+                .iter()
+                .zip(weights.iter())
+                .map(|(d, &w)| (d, w))
+                .collect();
+            weighted_average(black_box(&refs)).unwrap()
+        })
+    });
+}
+
+fn bench_roc_auc(c: &mut Criterion) {
+    let mut rng = Xoshiro256::seed_from(1);
+    let n = 16 * 16 * 64; // one client's test tiles at scaled counts
+    let scores: Vec<f32> = (0..n).map(|_| rng.uniform()).collect();
+    let labels: Vec<bool> = (0..n).map(|_| rng.bernoulli(0.15)).collect();
+    c.bench_function("roc_auc_16k_tiles", |b| {
+        b.iter(|| roc_auc(black_box(&scores), black_box(&labels)).unwrap())
+    });
+}
+
+fn bench_local_step(c: &mut Criterion) {
+    let mut rng = Xoshiro256::seed_from(2);
+    let x = Tensor::from_fn(&[8, 6, 16, 16], |_| rng.uniform());
+    let y = Tensor::from_fn(
+        &[8, 1, 16, 16],
+        |_| if rng.bernoulli(0.15) { 1.0 } else { 0.0 },
+    );
+    let data = ClientSet::new(x, y).unwrap();
+    let trainer = LocalTrainer::new(2e-3, 1e-5, 1e-4, 4);
+    c.bench_function("local_train_step_flnet", |b| {
+        let mut net = model(3);
+        let reference = state_dict(&mut net);
+        let mut step_rng = Xoshiro256::seed_from(4);
+        b.iter(|| {
+            trainer
+                .train(&mut net, &data, Some(&reference), 1, &mut step_rng)
+                .unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_aggregation, bench_roc_auc, bench_local_step);
+criterion_main!(benches);

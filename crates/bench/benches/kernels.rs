@@ -1,0 +1,61 @@
+//! Criterion micro-benchmarks for the tensor kernels that dominate
+//! training time (conv2d forward/backward on FLNet-shaped workloads,
+//! matmul, pixel shuffle).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use rte_tensor::conv::{conv2d, conv2d_backward, pixel_shuffle, Conv2dSpec};
+use rte_tensor::linalg::matmul;
+use rte_tensor::rng::Xoshiro256;
+use rte_tensor::Tensor;
+
+fn rand_tensor(dims: &[usize], seed: u64) -> Tensor {
+    let mut rng = Xoshiro256::seed_from(seed);
+    Tensor::from_fn(dims, |_| rng.normal())
+}
+
+fn bench_conv2d(c: &mut Criterion) {
+    // FLNet's input conv at scaled capacity: 6→16 channels, 9×9, 16×16.
+    let x = rand_tensor(&[4, 6, 16, 16], 1);
+    let w = rand_tensor(&[16, 6, 9, 9], 2);
+    let b = rand_tensor(&[16], 3);
+    let spec = Conv2dSpec::same(9);
+    c.bench_function("conv2d_forward_flnet_input", |bench| {
+        bench.iter(|| conv2d(black_box(&x), black_box(&w), Some(&b), spec).unwrap())
+    });
+    let y = conv2d(&x, &w, Some(&b), spec).unwrap();
+    c.bench_function("conv2d_backward_flnet_input", |bench| {
+        bench.iter(|| conv2d_backward(black_box(&x), black_box(&w), black_box(&y), spec).unwrap())
+    });
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    // im2col-shaped product: (16 × 486) · (486 × 256).
+    let a = rand_tensor(&[16 * 486], 4);
+    let b = rand_tensor(&[486 * 256], 5);
+    let mut out = vec![0.0f32; 16 * 256];
+    c.bench_function("matmul_16x486x256", |bench| {
+        bench.iter(|| {
+            matmul(
+                black_box(a.data()),
+                black_box(b.data()),
+                16,
+                486,
+                256,
+                &mut out,
+            );
+            black_box(out[0])
+        })
+    });
+}
+
+fn bench_pixel_shuffle(c: &mut Criterion) {
+    let x = rand_tensor(&[4, 32, 8, 8], 6);
+    c.bench_function("pixel_shuffle_r2", |bench| {
+        bench.iter(|| pixel_shuffle(black_box(&x), 2).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_conv2d, bench_matmul, bench_pixel_shuffle);
+criterion_main!(benches);

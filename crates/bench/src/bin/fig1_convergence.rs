@@ -1,0 +1,56 @@
+//! **Figure 1 counterpart**: the paper's Fig. 1 is a schematic of the
+//! decentralized round structure; its measurable content is the behaviour
+//! of the round loop itself. This binary runs that loop with per-round
+//! evaluation and prints the convergence series of the global model's
+//! average ROC AUC — for FedProx (μ = 1e-4) and FedAvg (μ = 0) — showing
+//! the proximal term's stabilizing effect on heterogeneous clients.
+
+use rte_bench::BenchArgs;
+use rte_core::{build_clients, model_factory};
+use rte_eda::corpus::generate_corpus;
+use rte_fed::methods::fedprox_rounds;
+use rte_fed::MethodOutcome;
+use rte_nn::models::ModelKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = BenchArgs::parse();
+    let mut config = args.experiment_config();
+    config.fed.eval_every = 1;
+
+    eprintln!("generating corpus …");
+    let corpus = generate_corpus(&config.corpus)?;
+    let clients = build_clients(&corpus)?;
+    let factory = model_factory(ModelKind::FlNet, config.model_scale);
+
+    println!("Figure 1 counterpart: per-round average ROC AUC of the aggregated model (FLNet)");
+    println!(
+        "rounds R = {}, local steps S = {}, K = {} clients\n",
+        config.fed.rounds,
+        config.fed.local_steps,
+        clients.len()
+    );
+
+    for (name, mu) in [
+        ("FedProx (mu=1e-4)", config.fed.mu),
+        ("FedAvg  (mu=0)", 0.0),
+    ] {
+        let mut fed = config.fed.clone();
+        fed.mu = mu;
+        let (_, history) = fedprox_rounds(&clients, &factory, &fed)?;
+        let outcome = MethodOutcome {
+            method: rte_fed::Method::FedProx,
+            per_client_auc: history
+                .last()
+                .map(|r| r.per_client_auc.clone())
+                .unwrap_or_default(),
+            average_auc: history.last().map(|r| r.average_auc).unwrap_or(0.0),
+            history,
+        };
+        println!("{}", rte_core::report::render_history(name, &outcome));
+    }
+    println!(
+        "Expected shape: both curves rise over rounds; FedProx's curve is at least as\n\
+         stable as FedAvg's under the heterogeneous Table 2 clients (§4.1)."
+    );
+    Ok(())
+}

@@ -1,0 +1,264 @@
+//! Shared support for the benchmark harness binaries.
+//!
+//! Each paper table/figure has a dedicated binary under `src/bin/`; this
+//! library provides their common pieces: a tiny CLI parser, the paper's
+//! published numbers (so every run prints *paper vs measured* side by
+//! side), and comparison rendering.
+//!
+//! Run e.g.:
+//!
+//! ```text
+//! cargo run -p rte-bench --release --bin table3_flnet
+//! cargo run -p rte-bench --release --bin table3_flnet -- --paper-scale
+//! cargo run -p rte-bench --release --bin fig1_convergence -- --rounds 20
+//! ```
+
+pub mod reference;
+
+use rte_core::ExperimentConfig;
+use rte_fed::MethodOutcome;
+
+/// Command-line options shared by the harness binaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchArgs {
+    /// Use the paper's full hyper-parameters and data counts (hours of
+    /// CPU) instead of the CPU-scaled defaults.
+    pub paper_scale: bool,
+    /// Override the experiment seed.
+    pub seed: Option<u64>,
+    /// Override the number of federated rounds.
+    pub rounds: Option<usize>,
+    /// Override the placement-count scale factor.
+    pub data_scale: Option<f64>,
+    /// Extra-fast smoke-test settings (used by integration tests).
+    pub quick: bool,
+}
+
+impl BenchArgs {
+    /// Parses from an explicit iterator (testable).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unknown flags or malformed values, so a typo
+    /// cannot silently run the wrong experiment.
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut out = BenchArgs {
+            paper_scale: false,
+            seed: None,
+            rounds: None,
+            data_scale: None,
+            quick: false,
+        };
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--paper-scale" => out.paper_scale = true,
+                "--quick" => out.quick = true,
+                "--seed" => {
+                    let v = it.next().ok_or("--seed needs a value")?;
+                    out.seed = Some(v.parse().map_err(|_| format!("bad seed {v}"))?);
+                }
+                "--rounds" => {
+                    let v = it.next().ok_or("--rounds needs a value")?;
+                    out.rounds = Some(v.parse().map_err(|_| format!("bad rounds {v}"))?);
+                }
+                "--data-scale" => {
+                    let v = it.next().ok_or("--data-scale needs a value")?;
+                    out.data_scale = Some(v.parse().map_err(|_| format!("bad data scale {v}"))?);
+                }
+                other => return Err(format!("unknown flag {other}")),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parses the process arguments, exiting with usage on error.
+    pub fn parse() -> Self {
+        match Self::parse_from(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!(
+                    "usage: [--paper-scale] [--quick] [--seed N] [--rounds N] [--data-scale F]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Builds the experiment configuration these options select.
+    pub fn experiment_config(&self) -> ExperimentConfig {
+        let mut config = if self.paper_scale {
+            ExperimentConfig::paper()
+        } else {
+            ExperimentConfig::scaled()
+        };
+        if self.quick {
+            config.corpus.placement_scale = 0.0; // one placement per design
+            config.fed.rounds = 2;
+            config.fed.local_steps = 4;
+            config.fed.finetune_steps = 8;
+        }
+        if let Some(seed) = self.seed {
+            config.corpus.seed = seed;
+            config.fed.seed = seed ^ 0xFED5;
+        }
+        if let Some(rounds) = self.rounds {
+            config.fed.rounds = rounds;
+        }
+        if let Some(scale) = self.data_scale {
+            config.corpus.placement_scale = scale;
+        }
+        config
+    }
+}
+
+/// Renders a *paper vs measured* comparison for one table.
+pub fn render_comparison(measured: &[MethodOutcome], paper: &reference::PaperTable) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{}\n", paper.caption));
+    out.push_str(&format!(
+        "{:<34} {:>7} {:>9} {:>7}\n",
+        "Method", "paper", "measured", "delta"
+    ));
+    out.push_str(&"-".repeat(62));
+    out.push('\n');
+    for row in measured {
+        let label = row.method.label();
+        match paper.row(label) {
+            Some(p) => {
+                let delta = row.average_auc - p.average;
+                out.push_str(&format!(
+                    "{label:<34} {:>7.2} {:>9.2} {:>+7.2}\n",
+                    p.average, row.average_auc, delta
+                ));
+            }
+            None => {
+                out.push_str(&format!(
+                    "{label:<34} {:>7} {:>9.2}\n",
+                    "n/a", row.average_auc
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Checks the qualitative orderings a table must reproduce; returns a list
+/// of human-readable verdicts (`true` = the ordering holds in the
+/// measured data). Each check is `(higher_label, lower_label, why)`.
+pub fn ordering_checks(
+    measured: &[MethodOutcome],
+    checks: &[(&str, &str, &str)],
+) -> Vec<(String, bool)> {
+    use rte_fed::Method;
+    let find = |label: &str| -> Option<f64> {
+        Method::ALL
+            .iter()
+            .find(|m| m.label() == label)
+            .and_then(|m| measured.iter().find(|r| r.method == *m))
+            .map(|r| r.average_auc)
+    };
+    checks
+        .iter()
+        .filter_map(|(hi, lo, why)| {
+            let a = find(hi)?;
+            let b = find(lo)?;
+            Some((format!("{why}: {hi} ({a:.2}) > {lo} ({b:.2})"), a > b))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Result<BenchArgs, String> {
+        BenchArgs::parse_from(list.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parse_defaults() {
+        let a = args(&[]).unwrap();
+        assert!(!a.paper_scale);
+        assert!(!a.quick);
+        assert_eq!(a.seed, None);
+    }
+
+    #[test]
+    fn parse_all_flags() {
+        let a = args(&[
+            "--paper-scale",
+            "--quick",
+            "--seed",
+            "42",
+            "--rounds",
+            "7",
+            "--data-scale",
+            "0.25",
+        ])
+        .unwrap();
+        assert!(a.paper_scale);
+        assert!(a.quick);
+        assert_eq!(a.seed, Some(42));
+        assert_eq!(a.rounds, Some(7));
+        assert_eq!(a.data_scale, Some(0.25));
+    }
+
+    #[test]
+    fn parse_rejects_unknown_and_malformed() {
+        assert!(args(&["--frobnicate"]).is_err());
+        assert!(args(&["--seed"]).is_err());
+        assert!(args(&["--seed", "abc"]).is_err());
+    }
+
+    #[test]
+    fn config_overrides_apply() {
+        let a = args(&["--quick", "--rounds", "3", "--seed", "9"]).unwrap();
+        let c = a.experiment_config();
+        assert_eq!(c.fed.rounds, 3);
+        assert_eq!(c.corpus.seed, 9);
+        assert_eq!(c.corpus.placement_scale, 0.0);
+    }
+
+    #[test]
+    fn paper_scale_selects_paper_config() {
+        let a = args(&["--paper-scale"]).unwrap();
+        let c = a.experiment_config();
+        assert_eq!(c.fed.rounds, 50);
+        assert_eq!(c.corpus.placement_scale, 1.0);
+    }
+}
+
+/// Full main body for a table binary: parse args, run the experiment
+/// matrix for `kind`, print the measured table, the paper comparison and
+/// the qualitative ordering checks.
+///
+/// # Errors
+///
+/// Propagates experiment failures.
+pub fn table_main(
+    kind: rte_nn::models::ModelKind,
+    paper: &reference::PaperTable,
+    checks: &[(&str, &str, &str)],
+) -> Result<(), Box<dyn std::error::Error>> {
+    let args = BenchArgs::parse();
+    let config = args.experiment_config();
+    eprintln!(
+        "running {} experiment matrix ({} methods, {} rounds, scale {:.3}) …",
+        kind,
+        config.methods.len(),
+        config.fed.rounds,
+        config.corpus.placement_scale
+    );
+    let start = std::time::Instant::now();
+    let table = rte_core::run_table(kind, &config)?;
+    println!("{}", rte_core::report::render_table(&table));
+    println!("{}", render_comparison(&table.rows, paper));
+    println!("Qualitative ordering checks (shape of the paper's result):");
+    for (desc, holds) in ordering_checks(&table.rows, checks) {
+        println!("  [{}] {desc}", if holds { "ok" } else { "MISS" });
+    }
+    eprintln!("elapsed: {:.1?}", start.elapsed());
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! Error type for experiment orchestration.
+
+use std::error::Error;
+use std::fmt;
+
+use rte_eda::EdaError;
+use rte_fed::FedError;
+
+/// Error produced while orchestrating an experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Data generation failed.
+    Eda(EdaError),
+    /// Federated training or evaluation failed.
+    Fed(FedError),
+    /// An experiment configuration was invalid.
+    InvalidConfig {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Eda(e) => write!(f, "data generation error: {e}"),
+            CoreError::Fed(e) => write!(f, "federated training error: {e}"),
+            CoreError::InvalidConfig { reason } => write!(f, "invalid config: {reason}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Eda(e) => Some(e),
+            CoreError::Fed(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EdaError> for CoreError {
+    fn from(e: EdaError) -> Self {
+        CoreError::Eda(e)
+    }
+}
+
+impl From<FedError> for CoreError {
+    fn from(e: FedError) -> Self {
+        CoreError::Fed(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e: CoreError = EdaError::InvalidConfig { reason: "x".into() }.into();
+        assert!(e.to_string().contains("data generation"));
+        assert!(Error::source(&e).is_some());
+        let e = CoreError::InvalidConfig {
+            reason: "no methods".into(),
+        };
+        assert!(Error::source(&e).is_none());
+    }
+}

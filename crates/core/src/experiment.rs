@@ -1,0 +1,199 @@
+//! Experiment configuration and the corpus → clients → methods pipeline.
+
+use rte_eda::corpus::{generate_corpus, Corpus, CorpusConfig};
+use rte_eda::features::FEATURE_CHANNELS;
+use rte_fed::{methods, Client, ClientSet, FedConfig, Method, MethodOutcome, ModelFactory};
+use rte_nn::models::{build_model, ModelKind, ModelScale};
+use rte_tensor::rng::Xoshiro256;
+
+use crate::CoreError;
+
+/// Everything one experiment needs: data generation settings, federated
+/// hyper-parameters, model capacity scale and the method list.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Table 2 corpus generation settings.
+    pub corpus: CorpusConfig,
+    /// Federated training hyper-parameters (§5.1).
+    pub fed: FedConfig,
+    /// Model capacity (paper filter counts vs CPU-scaled).
+    pub model_scale: ModelScale,
+    /// Training methods to run, in table row order.
+    pub methods: Vec<Method>,
+}
+
+impl ExperimentConfig {
+    /// The paper's full settings (hours of CPU time).
+    pub fn paper() -> Self {
+        ExperimentConfig {
+            corpus: CorpusConfig::paper(),
+            fed: FedConfig::paper(),
+            model_scale: ModelScale::Paper,
+            methods: Method::ALL.to_vec(),
+        }
+    }
+
+    /// CPU-scale settings preserving the experiment structure (default for
+    /// the benchmark binaries).
+    pub fn scaled() -> Self {
+        ExperimentConfig {
+            corpus: CorpusConfig::scaled(),
+            fed: FedConfig::scaled(),
+            model_scale: ModelScale::Scaled,
+            methods: Method::ALL.to_vec(),
+        }
+    }
+
+    /// Minimal settings for tests.
+    pub fn tiny() -> Self {
+        let mut fed = FedConfig::tiny();
+        // The tiny FedConfig targets 2 synthetic clients; the Table 2
+        // corpus always has 9, so use the paper's cluster structure.
+        fed.clusters = 4;
+        fed.assigned_clusters = FedConfig::paper_assignment();
+        ExperimentConfig {
+            corpus: CorpusConfig::tiny(),
+            fed,
+            model_scale: ModelScale::Scaled,
+            methods: vec![Method::LocalOnly, Method::FedProx],
+        }
+    }
+}
+
+/// Result of one table (one model kind × all requested methods).
+#[derive(Debug, Clone)]
+pub struct TableResult {
+    /// Which estimator this table evaluates.
+    pub model: ModelKind,
+    /// One outcome per requested method, in order.
+    pub rows: Vec<MethodOutcome>,
+    /// Number of clients (columns before the average).
+    pub n_clients: usize,
+}
+
+impl TableResult {
+    /// The outcome of a specific method, if it was run.
+    pub fn row(&self, method: Method) -> Option<&MethodOutcome> {
+        self.rows.iter().find(|r| r.method == method)
+    }
+}
+
+/// Converts a generated corpus into federated clients (features/labels
+/// become private per-client tensors).
+///
+/// # Errors
+///
+/// Propagates batching errors (e.g. an empty split).
+pub fn build_clients(corpus: &Corpus) -> Result<Vec<Client>, CoreError> {
+    corpus
+        .clients
+        .iter()
+        .map(|c| {
+            let (train_x, train_y) = c.train.full_batch()?;
+            let (test_x, test_y) = c.test.full_batch()?;
+            Ok(Client::new(
+                c.spec.index,
+                ClientSet::new(train_x, train_y).map_err(CoreError::Fed)?,
+                ClientSet::new(test_x, test_y).map_err(CoreError::Fed)?,
+            ))
+        })
+        .collect()
+}
+
+/// Builds a deterministic [`ModelFactory`] for the given estimator.
+pub fn model_factory(kind: ModelKind, scale: ModelScale) -> ModelFactory {
+    Box::new(move |seed| {
+        let mut rng = Xoshiro256::seed_from(seed);
+        build_model(kind, FEATURE_CHANNELS, scale, &mut rng)
+    })
+}
+
+/// Runs one method against pre-built clients (used by the benches that
+/// sweep methods without regenerating data).
+///
+/// # Errors
+///
+/// Propagates federated training failures.
+pub fn run_method_on_clients(
+    method: Method,
+    clients: &[Client],
+    kind: ModelKind,
+    config: &ExperimentConfig,
+) -> Result<MethodOutcome, CoreError> {
+    let factory = model_factory(kind, config.model_scale);
+    Ok(methods::run_method(method, clients, &factory, &config.fed)?)
+}
+
+/// Generates the corpus and runs every requested method for one estimator
+/// — i.e. regenerates one of the paper's Tables 3-5.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] on generation or training failures, or when
+/// `config.methods` is empty.
+pub fn run_table(kind: ModelKind, config: &ExperimentConfig) -> Result<TableResult, CoreError> {
+    if config.methods.is_empty() {
+        return Err(CoreError::InvalidConfig {
+            reason: "no methods requested".into(),
+        });
+    }
+    let corpus = generate_corpus(&config.corpus)?;
+    let clients = build_clients(&corpus)?;
+    let rows = config
+        .methods
+        .iter()
+        .map(|&m| run_method_on_clients(m, &clients, kind, config))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(TableResult {
+        model: kind,
+        rows,
+        n_clients: clients.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_clients_reflects_table2() {
+        let corpus = generate_corpus(&CorpusConfig::tiny()).unwrap();
+        let clients = build_clients(&corpus).unwrap();
+        assert_eq!(clients.len(), 9);
+        assert_eq!(clients[0].id, 1);
+        assert_eq!(clients[0].weight(), 4); // 4 train designs × 1 placement
+        assert_eq!(clients[8].weight(), 9);
+    }
+
+    #[test]
+    fn factory_is_deterministic() {
+        let f = model_factory(ModelKind::FlNet, ModelScale::Scaled);
+        let mut a = f(3);
+        let mut b = f(3);
+        assert_eq!(
+            rte_nn::state_dict(a.as_mut()),
+            rte_nn::state_dict(b.as_mut())
+        );
+    }
+
+    #[test]
+    fn tiny_table_runs_end_to_end() {
+        let config = ExperimentConfig::tiny();
+        let table = run_table(ModelKind::FlNet, &config).unwrap();
+        assert_eq!(table.rows.len(), 2);
+        assert_eq!(table.n_clients, 9);
+        assert!(table.row(Method::FedProx).is_some());
+        assert!(table.row(Method::Ifca).is_none());
+        for row in &table.rows {
+            assert_eq!(row.per_client_auc.len(), 9);
+            assert!(row.per_client_auc.iter().all(|a| a.is_finite()));
+        }
+    }
+
+    #[test]
+    fn empty_method_list_rejected() {
+        let mut config = ExperimentConfig::tiny();
+        config.methods.clear();
+        assert!(run_table(ModelKind::FlNet, &config).is_err());
+    }
+}

@@ -1,0 +1,29 @@
+//! High-level experiment orchestration for the decentralized routability
+//! estimation reproduction (DAC 2022).
+//!
+//! Glues the workspace together: generates the Table 2 corpus
+//! (`rte-eda`), converts it into federated clients (`rte-fed`), builds the
+//! requested estimator (`rte-nn`), runs any subset of the paper's eight
+//! training methods, and renders the per-client ROC AUC tables in the
+//! paper's layout.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use rte_core::{ExperimentConfig, run_table};
+//! use rte_nn::models::ModelKind;
+//!
+//! let config = ExperimentConfig::scaled();
+//! let table = run_table(ModelKind::FlNet, &config)?;
+//! println!("{}", rte_core::report::render_table(&table));
+//! # Ok::<(), rte_core::CoreError>(())
+//! ```
+
+mod error;
+mod experiment;
+pub mod report;
+
+pub use error::CoreError;
+pub use experiment::{
+    build_clients, model_factory, run_method_on_clients, run_table, ExperimentConfig, TableResult,
+};

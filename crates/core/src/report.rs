@@ -1,0 +1,116 @@
+//! Report rendering in the paper's table layout.
+//!
+//! Tables 3-5 are "Testing on Client 1 … Client 9 | Average" with one row
+//! per training method; [`render_table`] reproduces that layout as
+//! monospace text so a bench run can be diffed against the paper at a
+//! glance.
+
+use rte_fed::MethodOutcome;
+
+use crate::TableResult;
+
+/// Renders one table in the paper's layout.
+pub fn render_table(table: &TableResult) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Testing Accuracy Comparison (ROC AUC) on Routability Prediction with {}\n",
+        table.model
+    ));
+    let mut header = format!("{:<34}", "Method");
+    for k in 1..=table.n_clients {
+        header.push_str(&format!("  C{k:<4}"));
+    }
+    header.push_str("  Average");
+    out.push_str(&header);
+    out.push('\n');
+    out.push_str(&"-".repeat(header.len()));
+    out.push('\n');
+    for row in &table.rows {
+        out.push_str(&render_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders one method row: label, per-client AUCs, average.
+pub fn render_row(outcome: &MethodOutcome) -> String {
+    let mut line = format!("{:<34}", outcome.method.label());
+    for auc in &outcome.per_client_auc {
+        line.push_str(&format!("  {auc:<5.2}"));
+    }
+    line.push_str(&format!("  {:<7.2}", outcome.average_auc));
+    line
+}
+
+/// Renders a per-round convergence series (round, average AUC) as an
+/// ASCII table — the measurable counterpart of the paper's Fig. 1/2
+/// schematics.
+pub fn render_history(label: &str, outcome: &MethodOutcome) -> String {
+    let mut out = format!("{label}: per-round average ROC AUC\n");
+    if outcome.history.is_empty() {
+        out.push_str("  (no per-round history recorded; set eval_every > 0)\n");
+        return out;
+    }
+    for rec in &outcome.history {
+        let bar_len = (rec.average_auc.clamp(0.0, 1.0) * 40.0).round() as usize;
+        out.push_str(&format!(
+            "  round {:>3}  auc {:.3}  {}\n",
+            rec.round,
+            rec.average_auc,
+            "#".repeat(bar_len)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rte_fed::{Method, RoundRecord};
+    use rte_nn::models::ModelKind;
+
+    fn outcome() -> MethodOutcome {
+        MethodOutcome {
+            method: Method::FedProx,
+            per_client_auc: vec![0.82, 0.78],
+            average_auc: 0.80,
+            history: vec![RoundRecord {
+                round: 1,
+                per_client_auc: vec![0.6, 0.6],
+                average_auc: 0.6,
+            }],
+        }
+    }
+
+    #[test]
+    fn table_contains_all_parts() {
+        let table = TableResult {
+            model: ModelKind::FlNet,
+            rows: vec![outcome()],
+            n_clients: 2,
+        };
+        let text = render_table(&table);
+        assert!(text.contains("FLNet"));
+        assert!(text.contains("C1"));
+        assert!(text.contains("Average"));
+        assert!(text.contains("FedProx"));
+        assert!(text.contains("0.82"));
+        assert!(text.contains("0.80"));
+    }
+
+    #[test]
+    fn history_renders_bars() {
+        let text = render_history("FedProx", &outcome());
+        assert!(text.contains("round   1"));
+        assert!(text.contains("auc 0.600"));
+        assert!(text.contains("####"));
+    }
+
+    #[test]
+    fn empty_history_is_flagged() {
+        let mut o = outcome();
+        o.history.clear();
+        let text = render_history("x", &o);
+        assert!(text.contains("no per-round history"));
+    }
+}

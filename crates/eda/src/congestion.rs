@@ -1,0 +1,404 @@
+//! Probabilistic global-routing demand and RUDY.
+//!
+//! Two complementary wire-demand models:
+//!
+//! - [`route_demand`]: star-decomposes each net around its pin median and
+//!   accumulates both L-shaped routes of every two-pin connection at half
+//!   weight each, split into horizontal and vertical track demand — a
+//!   standard probabilistic global-router surrogate.
+//! - [`rudy`]: Rectangular Uniform wire DensitY (Spindler & Johannes),
+//!   the feature the paper's §4.4 names explicitly: each net spreads
+//!   `HPWL / area` uniformly over its bounding box.
+//!
+//! [`route_demand`] drives the DRC oracle (labels); [`rudy`] and the
+//! directional demand maps are model inputs (features). Labels therefore
+//! correlate with — but are not identical to — the features, leaving the
+//! CNN a learnable but non-trivial mapping.
+
+use crate::netlist::Netlist;
+use crate::placement::Placement;
+
+/// Directional routing demand per gcell (row-major `height × width`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DemandMap {
+    /// Gcell columns.
+    pub width: usize,
+    /// Gcell rows.
+    pub height: usize,
+    /// Horizontal track demand.
+    pub horizontal: Vec<f64>,
+    /// Vertical track demand.
+    pub vertical: Vec<f64>,
+}
+
+impl DemandMap {
+    /// Combined demand (`horizontal + vertical`) per gcell.
+    pub fn combined(&self) -> Vec<f64> {
+        self.horizontal
+            .iter()
+            .zip(self.vertical.iter())
+            .map(|(&h, &v)| h + v)
+            .collect()
+    }
+
+    /// Mean combined demand per gcell.
+    pub fn mean_combined(&self) -> f64 {
+        let total: f64 = self.horizontal.iter().sum::<f64>() + self.vertical.iter().sum::<f64>();
+        total / (self.width * self.height).max(1) as f64
+    }
+}
+
+/// Net-degree wirelength correction (Chu's FLUTE-style q-factor, linear
+/// approximation): multi-pin nets need more wire than their star
+/// decomposition suggests.
+fn degree_weight(degree: usize) -> f64 {
+    if degree <= 3 {
+        1.0
+    } else {
+        1.0 + 0.08 * (degree as f64 - 3.0)
+    }
+}
+
+/// Computes directional routing demand via probabilistic L-routing of the
+/// star decomposition of every net.
+///
+/// # Panics
+///
+/// Panics (debug builds) if the placement does not cover the netlist.
+pub fn route_demand(netlist: &Netlist, placement: &Placement) -> DemandMap {
+    let (w, h) = (placement.grid.width, placement.grid.height);
+    let mut horizontal = vec![0.0f64; w * h];
+    let mut vertical = vec![0.0f64; w * h];
+    for net in &netlist.nets {
+        let deg = net.degree();
+        let weight = degree_weight(deg);
+        // Median pin location = star center.
+        let mut xs: Vec<usize> = net
+            .cells
+            .iter()
+            .map(|c| placement.x[c.0 as usize] as usize)
+            .collect();
+        let mut ys: Vec<usize> = net
+            .cells
+            .iter()
+            .map(|c| placement.y[c.0 as usize] as usize)
+            .collect();
+        xs.sort_unstable();
+        ys.sort_unstable();
+        let (cx, cy) = (xs[deg / 2], ys[deg / 2]);
+        for pin in &net.cells {
+            let px = placement.x[pin.0 as usize] as usize;
+            let py = placement.y[pin.0 as usize] as usize;
+            if px == cx && py == cy {
+                continue;
+            }
+            // L-shape 1: horizontal at py, then vertical at cx (half weight).
+            // L-shape 2: vertical at px, then horizontal at cy (half weight).
+            let half = 0.5 * weight;
+            add_h_segment(&mut horizontal, w, py, px, cx, half);
+            add_v_segment(&mut vertical, w, cx, py, cy, half);
+            add_v_segment(&mut vertical, w, px, py, cy, half);
+            add_h_segment(&mut horizontal, w, cy, px, cx, half);
+        }
+    }
+    DemandMap {
+        width: w,
+        height: h,
+        horizontal,
+        vertical,
+    }
+}
+
+fn add_h_segment(map: &mut [f64], w: usize, row: usize, x0: usize, x1: usize, weight: f64) {
+    let (lo, hi) = if x0 <= x1 { (x0, x1) } else { (x1, x0) };
+    for x in lo..=hi {
+        map[row * w + x] += weight;
+    }
+}
+
+fn add_v_segment(map: &mut [f64], w: usize, col: usize, y0: usize, y1: usize, weight: f64) {
+    let (lo, hi) = if y0 <= y1 { (y0, y1) } else { (y1, y0) };
+    for y in lo..=hi {
+        map[y * w + col] += weight;
+    }
+}
+
+/// Directional RUDY: the horizontal and vertical wire-density components,
+/// each spread uniformly over the net bounding box. A net of bbox
+/// `bw × bh` contributes `(bw−1)/area` horizontal and `(bh−1)/area`
+/// vertical demand — the classic fly-line estimate of which routing
+/// direction a net will load.
+///
+/// These are *features* (§4.4's fly-lines): deliberately weaker than the
+/// L-routed demand the DRC oracle uses for labels, leaving the estimator
+/// a real mapping to learn.
+pub fn rudy_directional(netlist: &Netlist, placement: &Placement) -> (Vec<f64>, Vec<f64>) {
+    let (w, h) = (placement.grid.width, placement.grid.height);
+    let mut hmap = vec![0.0f64; w * h];
+    let mut vmap = vec![0.0f64; w * h];
+    for net in &netlist.nets {
+        let mut x0 = usize::MAX;
+        let mut x1 = 0usize;
+        let mut y0 = usize::MAX;
+        let mut y1 = 0usize;
+        for c in &net.cells {
+            let px = placement.x[c.0 as usize] as usize;
+            let py = placement.y[c.0 as usize] as usize;
+            x0 = x0.min(px);
+            x1 = x1.max(px);
+            y0 = y0.min(py);
+            y1 = y1.max(py);
+        }
+        let bw = (x1 - x0 + 1) as f64;
+        let bh = (y1 - y0 + 1) as f64;
+        let area = bw * bh;
+        let weight = degree_weight(net.degree());
+        let hd = weight * (bw - 1.0) / area;
+        let vd = weight * (bh - 1.0) / area;
+        if hd <= 0.0 && vd <= 0.0 {
+            continue;
+        }
+        for y in y0..=y1 {
+            for x in x0..=x1 {
+                hmap[y * w + x] += hd;
+                vmap[y * w + x] += vd;
+            }
+        }
+    }
+    (hmap, vmap)
+}
+
+/// RUDY wire-density map: each net adds `HPWL / bbox_area` uniformly over
+/// its bounding box (row-major `height × width`).
+pub fn rudy(netlist: &Netlist, placement: &Placement) -> Vec<f64> {
+    let (w, h) = (placement.grid.width, placement.grid.height);
+    let mut map = vec![0.0f64; w * h];
+    for net in &netlist.nets {
+        let mut x0 = usize::MAX;
+        let mut x1 = 0usize;
+        let mut y0 = usize::MAX;
+        let mut y1 = 0usize;
+        for c in &net.cells {
+            let px = placement.x[c.0 as usize] as usize;
+            let py = placement.y[c.0 as usize] as usize;
+            x0 = x0.min(px);
+            x1 = x1.max(px);
+            y0 = y0.min(py);
+            y1 = y1.max(py);
+        }
+        let bw = (x1 - x0 + 1) as f64;
+        let bh = (y1 - y0 + 1) as f64;
+        let hpwl = (bw - 1.0) + (bh - 1.0);
+        if hpwl <= 0.0 {
+            continue; // Single-gcell net: no wire demand.
+        }
+        let density = degree_weight(net.degree()) * hpwl / (bw * bh);
+        for y in y0..=y1 {
+            for x in x0..=x1 {
+                map[y * w + x] += density;
+            }
+        }
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::{generate_netlist, Cell, CellId, Net, NetId};
+    use crate::placement::{place, GridDims, PlacementConfig};
+    use crate::Family;
+
+    /// Hand-built two-cell netlist with one net.
+    fn two_pin_fixture(a: (u16, u16), b: (u16, u16)) -> (Netlist, Placement) {
+        let cells = vec![
+            Cell {
+                id: CellId(0),
+                pins: 2,
+                is_macro: false,
+                cluster: 0,
+            },
+            Cell {
+                id: CellId(1),
+                pins: 2,
+                is_macro: false,
+                cluster: 0,
+            },
+        ];
+        let nets = vec![Net {
+            id: NetId(0),
+            cells: vec![CellId(0), CellId(1)],
+        }];
+        let nl = Netlist {
+            name: "fixture".into(),
+            family: Family::Iscas89,
+            cells,
+            nets,
+            cluster_count: 1,
+        };
+        let pl = Placement {
+            grid: GridDims::new(8, 8),
+            x: vec![a.0, b.0],
+            y: vec![a.1, b.1],
+            macro_rects: vec![],
+        };
+        (nl, pl)
+    }
+
+    #[test]
+    fn straight_net_demand_lies_on_its_row() {
+        let (nl, pl) = two_pin_fixture((1, 3), (5, 3));
+        let d = route_demand(&nl, &pl);
+        // Median of {1,5} = 5 (index 1), {3,3} = 3; only pin (1,3) routes.
+        // Both L options coincide on row 3, columns 1..=5.
+        for x in 1..=5 {
+            assert!(d.horizontal[3 * 8 + x] > 0.0, "col {x}");
+        }
+        // No vertical demand beyond the degenerate segments at the pins.
+        let v_total: f64 = d.vertical.iter().sum();
+        let v_on_path: f64 = d.vertical[3 * 8 + 1] + d.vertical[3 * 8 + 5];
+        assert!((v_total - v_on_path).abs() < 1e-12);
+    }
+
+    #[test]
+    fn l_shapes_split_weight() {
+        let (nl, pl) = two_pin_fixture((0, 0), (4, 4));
+        let d = route_demand(&nl, &pl);
+        // Corner gcells of the two L options get half weight each; demand
+        // is symmetric under swapping the two L's.
+        let h_total: f64 = d.horizontal.iter().sum();
+        let v_total: f64 = d.vertical.iter().sum();
+        assert!(h_total > 0.0 && v_total > 0.0);
+        assert!((h_total - v_total).abs() < 1e-9, "{h_total} vs {v_total}");
+    }
+
+    #[test]
+    fn rudy_uniform_over_bbox() {
+        let (nl, pl) = two_pin_fixture((2, 1), (5, 3));
+        let map = rudy(&nl, &pl);
+        // bbox 4×3, HPWL = 3+2 = 5 → density 5/12 in every bbox gcell.
+        let expect = 5.0 / 12.0;
+        for y in 1..=3 {
+            for x in 2..=5 {
+                assert!((map[y * 8 + x] - expect).abs() < 1e-12);
+            }
+        }
+        assert_eq!(map[0], 0.0);
+    }
+
+    #[test]
+    fn single_gcell_net_adds_nothing() {
+        let (nl, pl) = two_pin_fixture((3, 3), (3, 3));
+        assert!(rudy(&nl, &pl).iter().all(|&v| v == 0.0));
+        let d = route_demand(&nl, &pl);
+        assert_eq!(d.mean_combined(), 0.0);
+    }
+
+    #[test]
+    fn demand_scales_with_design_size() {
+        let small = generate_netlist(Family::Iscas89, 1).unwrap();
+        let large = generate_netlist(Family::Ispd15, 1).unwrap();
+        let cfg = PlacementConfig::new(16, 16, 3);
+        let ps = place(&small, &cfg).unwrap();
+        let pl = place(&large, &cfg).unwrap();
+        let ds = route_demand(&small, &ps).mean_combined();
+        let dl = route_demand(&large, &pl).mean_combined();
+        assert!(
+            dl > ds * 1.5,
+            "ISPD'15 demand {dl} should dwarf ISCAS'89 {ds}"
+        );
+    }
+
+    #[test]
+    fn degree_weight_monotone() {
+        assert_eq!(degree_weight(2), 1.0);
+        assert_eq!(degree_weight(3), 1.0);
+        assert!(degree_weight(8) > degree_weight(4));
+    }
+
+    #[test]
+    fn rudy_correlates_with_routed_demand() {
+        // The feature (RUDY) must be informative about the demand that
+        // drives labels: check positive correlation on a real design.
+        let nl = generate_netlist(Family::Itc99, 9).unwrap();
+        let pl = place(&nl, &PlacementConfig::new(16, 16, 4)).unwrap();
+        let r = rudy(&nl, &pl);
+        let d = route_demand(&nl, &pl).combined();
+        let n = r.len() as f64;
+        let (mr, md) = (r.iter().sum::<f64>() / n, d.iter().sum::<f64>() / n);
+        let mut cov = 0.0;
+        let mut vr = 0.0;
+        let mut vd = 0.0;
+        for i in 0..r.len() {
+            cov += (r[i] - mr) * (d[i] - md);
+            vr += (r[i] - mr) * (r[i] - mr);
+            vd += (d[i] - md) * (d[i] - md);
+        }
+        let corr = cov / (vr.sqrt() * vd.sqrt());
+        assert!(corr > 0.5, "RUDY/demand correlation {corr}");
+    }
+}
+
+#[cfg(test)]
+mod directional_tests {
+    use super::*;
+    use crate::netlist::generate_netlist;
+    use crate::placement::{place, PlacementConfig};
+    use crate::Family;
+
+    #[test]
+    fn directional_components_sum_to_rudy() {
+        let nl = generate_netlist(Family::Itc99, 3).unwrap();
+        let pl = place(&nl, &PlacementConfig::new(16, 16, 3)).unwrap();
+        let total = rudy(&nl, &pl);
+        let (h, v) = rudy_directional(&nl, &pl);
+        for i in 0..total.len() {
+            assert!(
+                (total[i] - (h[i] + v[i])).abs() < 1e-9,
+                "gcell {i}: {} vs {} + {}",
+                total[i],
+                h[i],
+                v[i]
+            );
+        }
+    }
+
+    #[test]
+    fn wide_net_loads_horizontal() {
+        // A 2-pin net spanning columns only must produce zero vertical RUDY.
+        use crate::netlist::{Cell, CellId, Net, NetId, Netlist};
+        use crate::placement::{GridDims, Placement};
+        let nl = Netlist {
+            name: "wide".into(),
+            family: Family::Iscas89,
+            cells: vec![
+                Cell {
+                    id: CellId(0),
+                    pins: 2,
+                    is_macro: false,
+                    cluster: 0,
+                },
+                Cell {
+                    id: CellId(1),
+                    pins: 2,
+                    is_macro: false,
+                    cluster: 0,
+                },
+            ],
+            nets: vec![Net {
+                id: NetId(0),
+                cells: vec![CellId(0), CellId(1)],
+            }],
+            cluster_count: 1,
+        };
+        let pl = Placement {
+            grid: GridDims::new(8, 8),
+            x: vec![1, 6],
+            y: vec![4, 4],
+            macro_rects: vec![],
+        };
+        let (h, v) = rudy_directional(&nl, &pl);
+        assert!(h.iter().sum::<f64>() > 0.0);
+        assert_eq!(v.iter().sum::<f64>(), 0.0);
+    }
+}

@@ -1,0 +1,393 @@
+//! The paper's Table 2 data setup: nine clients, four benchmark families,
+//! disjoint designs, 70/30 train/test splits by design.
+//!
+//! [`PAPER_CLIENTS`] transcribes Table 2 verbatim (design counts and
+//! placement counts). [`CorpusConfig::placement_scale`] shrinks placement
+//! counts proportionally for CPU-scale runs (design counts are always kept
+//! — they are the unit of the train/test and client disjointness
+//! guarantees).
+
+use rte_tensor::rng::Xoshiro256;
+
+use crate::dataset::{generate_sample, Dataset};
+use crate::netlist::generate_netlist;
+use crate::placement::{GridDims, PlacementConfig};
+use crate::{EdaError, Family};
+
+/// One row of the paper's Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientSpec {
+    /// 1-based client index as the paper numbers them.
+    pub index: usize,
+    /// Benchmark family the client's designs come from.
+    pub family: Family,
+    /// Number of training designs.
+    pub train_designs: usize,
+    /// Number of testing designs (disjoint from training designs).
+    pub test_designs: usize,
+    /// Paper's training placement count.
+    pub train_placements: usize,
+    /// Paper's testing placement count.
+    pub test_placements: usize,
+}
+
+impl ClientSpec {
+    /// Placement counts after applying `scale`, with at least one
+    /// placement per design.
+    pub fn scaled_counts(&self, scale: f64) -> (usize, usize) {
+        let train =
+            ((self.train_placements as f64 * scale).round() as usize).max(self.train_designs);
+        let test = ((self.test_placements as f64 * scale).round() as usize).max(self.test_designs);
+        (train, test)
+    }
+}
+
+/// Table 2 of the paper, verbatim.
+pub const PAPER_CLIENTS: [ClientSpec; 9] = [
+    ClientSpec {
+        index: 1,
+        family: Family::Itc99,
+        train_designs: 4,
+        test_designs: 2,
+        train_placements: 462,
+        test_placements: 230,
+    },
+    ClientSpec {
+        index: 2,
+        family: Family::Itc99,
+        train_designs: 2,
+        test_designs: 1,
+        train_placements: 231,
+        test_placements: 114,
+    },
+    ClientSpec {
+        index: 3,
+        family: Family::Itc99,
+        train_designs: 2,
+        test_designs: 2,
+        train_placements: 231,
+        test_placements: 232,
+    },
+    ClientSpec {
+        index: 4,
+        family: Family::Iscas89,
+        train_designs: 7,
+        test_designs: 3,
+        train_placements: 812,
+        test_placements: 348,
+    },
+    ClientSpec {
+        index: 5,
+        family: Family::Iscas89,
+        train_designs: 7,
+        test_designs: 3,
+        train_placements: 812,
+        test_placements: 348,
+    },
+    ClientSpec {
+        index: 6,
+        family: Family::Iscas89,
+        train_designs: 6,
+        test_designs: 3,
+        train_placements: 697,
+        test_placements: 348,
+    },
+    ClientSpec {
+        index: 7,
+        family: Family::Iwls05,
+        train_designs: 6,
+        test_designs: 3,
+        train_placements: 656,
+        test_placements: 280,
+    },
+    ClientSpec {
+        index: 8,
+        family: Family::Iwls05,
+        train_designs: 7,
+        test_designs: 3,
+        train_placements: 742,
+        test_placements: 329,
+    },
+    ClientSpec {
+        index: 9,
+        family: Family::Ispd15,
+        train_designs: 9,
+        test_designs: 4,
+        train_placements: 175,
+        test_placements: 84,
+    },
+];
+
+/// Corpus generation settings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorpusConfig {
+    /// Master seed; every design, placement and label derives from it.
+    pub seed: u64,
+    /// Gcell grid of every die.
+    pub grid: GridDims,
+    /// Multiplier on Table 2 placement counts (1.0 = the paper's 7,131
+    /// placements).
+    pub placement_scale: f64,
+}
+
+impl CorpusConfig {
+    /// Paper-scale counts (7,131 placements) on a 16×16 grid.
+    pub fn paper() -> Self {
+        CorpusConfig {
+            seed: 0xDAC2_2022,
+            grid: GridDims::new(16, 16),
+            placement_scale: 1.0,
+        }
+    }
+
+    /// CPU-friendly default: ~1/12 of the paper's placement counts
+    /// (roughly 600 placements total).
+    pub fn scaled() -> Self {
+        CorpusConfig {
+            placement_scale: 1.0 / 12.0,
+            ..CorpusConfig::paper()
+        }
+    }
+
+    /// Minimal corpus for tests: one placement per design.
+    pub fn tiny() -> Self {
+        CorpusConfig {
+            placement_scale: 0.0,
+            ..CorpusConfig::paper()
+        }
+    }
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig::scaled()
+    }
+}
+
+/// One client's generated data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientData {
+    /// The Table 2 row this client realizes.
+    pub spec: ClientSpec,
+    /// Training split.
+    pub train: Dataset,
+    /// Testing split (designs disjoint from training).
+    pub test: Dataset,
+}
+
+/// The full nine-client corpus.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Corpus {
+    /// Per-client data, ordered by client index.
+    pub clients: Vec<ClientData>,
+    /// The grid every sample uses.
+    pub grid: GridDims,
+}
+
+impl Corpus {
+    /// Total number of training placements across clients.
+    pub fn total_train(&self) -> usize {
+        self.clients.iter().map(|c| c.train.len()).sum()
+    }
+
+    /// Total number of testing placements across clients.
+    pub fn total_test(&self) -> usize {
+        self.clients.iter().map(|c| c.test.len()).sum()
+    }
+}
+
+/// Which split a design belongs to (decides its seed stream).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    Train,
+    Test,
+}
+
+/// Generates one client's data per its Table 2 spec.
+///
+/// # Errors
+///
+/// Propagates placement/labelling errors (e.g. a grid smaller than 4×4).
+pub fn generate_client(spec: &ClientSpec, config: &CorpusConfig) -> Result<ClientData, EdaError> {
+    let (n_train, n_test) = spec.scaled_counts(config.placement_scale);
+    let train = generate_split(spec, config, Role::Train, spec.train_designs, n_train)?;
+    let test = generate_split(spec, config, Role::Test, spec.test_designs, n_test)?;
+    Ok(ClientData {
+        spec: *spec,
+        train,
+        test,
+    })
+}
+
+fn generate_split(
+    spec: &ClientSpec,
+    config: &CorpusConfig,
+    role: Role,
+    n_designs: usize,
+    n_placements: usize,
+) -> Result<Dataset, EdaError> {
+    let root = Xoshiro256::seed_from(config.seed);
+    let client_stream = root.derive(spec.index as u64);
+    let role_stream = client_stream.derive(match role {
+        Role::Train => 0,
+        Role::Test => 1,
+    });
+    let profile = spec.family.profile();
+    let mut dataset = Dataset::new();
+    for d in 0..n_designs {
+        let mut design_stream = role_stream.derive(d as u64);
+        let design_seed = design_stream.next_u64();
+        let netlist = generate_netlist(spec.family, design_seed)?;
+        // Distribute placements round-robin so every design gets
+        // ⌈n/designs⌉ or ⌊n/designs⌋ placements.
+        let share = n_placements / n_designs + usize::from(d < n_placements % n_designs);
+        for p in 0..share {
+            let mut p_stream = design_stream.derive(p as u64 + 1);
+            let placement_seed = p_stream.next_u64();
+            let density = profile.target_density.0
+                + (profile.target_density.1 - profile.target_density.0) * p_stream.uniform();
+            let placement_config = PlacementConfig {
+                grid: config.grid,
+                seed: placement_seed,
+                target_density: density,
+                spread_iterations: 2 + p_stream.range_usize(0, 5),
+            };
+            dataset.push(generate_sample(&netlist, &placement_config)?);
+        }
+    }
+    Ok(dataset)
+}
+
+/// Generates the full nine-client corpus of the paper's Table 2.
+///
+/// # Errors
+///
+/// Propagates per-client generation errors.
+///
+/// # Example
+///
+/// ```
+/// use rte_eda::corpus::{generate_corpus, CorpusConfig};
+///
+/// let corpus = generate_corpus(&CorpusConfig::tiny())?;
+/// assert_eq!(corpus.clients.len(), 9);
+/// // Table 2: client 9 holds ISPD'15 designs.
+/// assert_eq!(corpus.clients[8].spec.family.name(), "ISPD'15");
+/// # Ok::<(), rte_eda::EdaError>(())
+/// ```
+pub fn generate_corpus(config: &CorpusConfig) -> Result<Corpus, EdaError> {
+    let clients = PAPER_CLIENTS
+        .iter()
+        .map(|spec| generate_client(spec, config))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(Corpus {
+        clients,
+        grid: config.grid,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn table2_totals_match_paper() {
+        let train: usize = PAPER_CLIENTS.iter().map(|c| c.train_placements).sum();
+        let test: usize = PAPER_CLIENTS.iter().map(|c| c.test_placements).sum();
+        assert_eq!(train + test, 7131, "paper reports 7,131 placements");
+        let designs: usize = PAPER_CLIENTS
+            .iter()
+            .map(|c| c.train_designs + c.test_designs)
+            .sum();
+        assert_eq!(designs, 74, "paper reports 74 designs");
+    }
+
+    #[test]
+    fn family_assignment_matches_paper() {
+        assert!(PAPER_CLIENTS[..3].iter().all(|c| c.family == Family::Itc99));
+        assert!(PAPER_CLIENTS[3..6]
+            .iter()
+            .all(|c| c.family == Family::Iscas89));
+        assert!(PAPER_CLIENTS[6..8]
+            .iter()
+            .all(|c| c.family == Family::Iwls05));
+        assert_eq!(PAPER_CLIENTS[8].family, Family::Ispd15);
+    }
+
+    #[test]
+    fn scaled_counts_floor_at_design_count() {
+        let c9 = PAPER_CLIENTS[8];
+        let (train, test) = c9.scaled_counts(0.0);
+        assert_eq!(train, c9.train_designs);
+        assert_eq!(test, c9.test_designs);
+        let (train, _) = c9.scaled_counts(1.0);
+        assert_eq!(train, 175);
+    }
+
+    #[test]
+    fn tiny_corpus_generates_all_clients() {
+        let corpus = generate_corpus(&CorpusConfig::tiny()).unwrap();
+        assert_eq!(corpus.clients.len(), 9);
+        for (client, spec) in corpus.clients.iter().zip(PAPER_CLIENTS.iter()) {
+            assert_eq!(client.spec, *spec);
+            assert_eq!(client.train.len(), spec.train_designs);
+            assert_eq!(client.test.len(), spec.test_designs);
+            assert!(client.train.hotspot_rate() > 0.0);
+        }
+    }
+
+    #[test]
+    fn designs_are_disjoint_across_clients_and_splits() {
+        let corpus = generate_corpus(&CorpusConfig::tiny()).unwrap();
+        let mut seen: HashSet<String> = HashSet::new();
+        for client in &corpus.clients {
+            for s in client
+                .train
+                .samples()
+                .iter()
+                .chain(client.test.samples().iter())
+            {
+                // Every design name may repeat within a split (several
+                // placements) but never across splits or clients. In the
+                // tiny corpus each design appears exactly once.
+                assert!(seen.insert(s.design.clone()), "design {} reused", s.design);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = generate_client(&PAPER_CLIENTS[1], &CorpusConfig::tiny()).unwrap();
+        let b = generate_client(&PAPER_CLIENTS[1], &CorpusConfig::tiny()).unwrap();
+        assert_eq!(a, b);
+        let mut other = CorpusConfig::tiny();
+        other.seed ^= 1;
+        let c = generate_client(&PAPER_CLIENTS[1], &other).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn placement_distribution_is_balanced() {
+        let mut config = CorpusConfig::tiny();
+        config.placement_scale = 0.02; // a handful of placements
+        let client = generate_client(&PAPER_CLIENTS[0], &config).unwrap();
+        // 462 × 0.02 ≈ 9 placements over 4 designs → shares of 2 or 3.
+        let mut per_design: std::collections::HashMap<String, usize> =
+            std::collections::HashMap::new();
+        for s in client.train.samples() {
+            *per_design.entry(s.design.clone()).or_insert(0) += 1;
+        }
+        assert_eq!(per_design.len(), 4);
+        let max = per_design.values().max().unwrap();
+        let min = per_design.values().min().unwrap();
+        assert!(max - min <= 1, "unbalanced shares {per_design:?}");
+    }
+
+    #[test]
+    fn corpus_totals_scale() {
+        let corpus = generate_corpus(&CorpusConfig::tiny()).unwrap();
+        assert_eq!(corpus.total_train(), 50); // Σ train designs
+        assert_eq!(corpus.total_test(), 24); // Σ test designs
+    }
+}

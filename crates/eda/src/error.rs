@@ -1,0 +1,62 @@
+//! Error type for the EDA substrate.
+
+use std::error::Error;
+use std::fmt;
+
+use rte_tensor::TensorError;
+
+/// Error produced while generating synthetic EDA data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EdaError {
+    /// A generation configuration was invalid.
+    InvalidConfig {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+}
+
+impl fmt::Display for EdaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EdaError::InvalidConfig { reason } => write!(f, "invalid config: {reason}"),
+            EdaError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl Error for EdaError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EdaError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for EdaError {
+    fn from(e: TensorError) -> Self {
+        EdaError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = EdaError::InvalidConfig {
+            reason: "zero grid".into(),
+        };
+        assert!(e.to_string().contains("zero grid"));
+        assert!(Error::source(&e).is_none());
+        let t: EdaError = TensorError::LengthMismatch {
+            expected: 1,
+            got: 2,
+        }
+        .into();
+        assert!(Error::source(&t).is_some());
+    }
+}

@@ -1,0 +1,250 @@
+//! Benchmark-family generation profiles.
+//!
+//! Each family's profile is tuned to echo the character of the real suite:
+//! ISCAS'89 designs are small flat sequential circuits; ITC'99 are larger
+//! RT-level blocks; IWLS'05 mixes Faraday/OpenCores IP with more macros;
+//! ISPD'15 are large placement-contest designs with fence regions and
+//! routing blockages (modelled as a high macro fraction and tight
+//! capacity). The *absolute* realism of each knob matters less than the
+//! families being distinct — that distinctness is the client-level data
+//! heterogeneity driving the paper's federated-learning results.
+
+/// A benchmark suite from the paper's §5.1 data setup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// ISCAS'89 sequential benchmark circuits.
+    Iscas89,
+    /// ITC'99 RT-level benchmarks.
+    Itc99,
+    /// IWLS'05 (Faraday + OpenCores subset).
+    Iwls05,
+    /// ISPD'15 detailed-routing-driven placement benchmarks.
+    Ispd15,
+}
+
+impl Family {
+    /// All families, in the paper's Table 2 ordering of first appearance.
+    pub const ALL: [Family; 4] = [
+        Family::Itc99,
+        Family::Iscas89,
+        Family::Iwls05,
+        Family::Ispd15,
+    ];
+
+    /// Suite name as the paper spells it.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Family::Iscas89 => "ISCAS'89",
+            Family::Itc99 => "ITC'99",
+            Family::Iwls05 => "IWLS'05",
+            Family::Ispd15 => "ISPD'15",
+        }
+    }
+
+    /// The generation profile of this family.
+    pub fn profile(&self) -> FamilyProfile {
+        match self {
+            // Small, flat, pin-light circuits; generous routing capacity.
+            Family::Iscas89 => FamilyProfile {
+                family: *self,
+                cell_count: (220, 700),
+                nets_per_cell: 1.05,
+                avg_fanout: 2.6,
+                rent_exponent: 0.55,
+                cluster_count: (3, 6),
+                cluster_tightness: 0.55,
+                macro_fraction: 0.0,
+                pins_per_cell: (2, 5),
+                target_density: (0.45, 0.70),
+                route_capacity: 3.1,
+                capacity_jitter: 0.12,
+                hotspot_threshold: 1.42,
+                label_noise: 0.02,
+                h_affinity: 0.72,
+                pin_weight: 0.08,
+            },
+            // Mid-size RTL blocks, higher fanout, some clustering.
+            Family::Itc99 => FamilyProfile {
+                family: *self,
+                cell_count: (500, 1400),
+                nets_per_cell: 1.10,
+                avg_fanout: 3.2,
+                rent_exponent: 0.62,
+                cluster_count: (4, 9),
+                cluster_tightness: 0.65,
+                macro_fraction: 0.02,
+                pins_per_cell: (2, 6),
+                target_density: (0.55, 0.80),
+                route_capacity: 2.8,
+                capacity_jitter: 0.10,
+                hotspot_threshold: 1.48,
+                label_noise: 0.025,
+                h_affinity: 0.55,
+                pin_weight: 0.18,
+            },
+            // IP-style blocks: more macros, heterogeneous pin counts.
+            Family::Iwls05 => FamilyProfile {
+                family: *self,
+                cell_count: (700, 1800),
+                nets_per_cell: 1.15,
+                avg_fanout: 3.6,
+                rent_exponent: 0.66,
+                cluster_count: (5, 11),
+                cluster_tightness: 0.75,
+                macro_fraction: 0.06,
+                pins_per_cell: (3, 8),
+                target_density: (0.60, 0.85),
+                route_capacity: 2.6,
+                capacity_jitter: 0.15,
+                hotspot_threshold: 1.75,
+                label_noise: 0.03,
+                h_affinity: 0.30,
+                pin_weight: 0.35,
+            },
+            // Contest-scale designs with blockages and tight supply.
+            Family::Ispd15 => FamilyProfile {
+                family: *self,
+                cell_count: (1200, 2600),
+                nets_per_cell: 1.20,
+                avg_fanout: 4.0,
+                rent_exponent: 0.70,
+                cluster_count: (6, 14),
+                cluster_tightness: 0.85,
+                macro_fraction: 0.10,
+                pins_per_cell: (3, 9),
+                target_density: (0.65, 0.90),
+                route_capacity: 2.4,
+                capacity_jitter: 0.18,
+                hotspot_threshold: 1.52,
+                label_noise: 0.025,
+                h_affinity: 0.45,
+                pin_weight: 0.12,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for Family {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Statistical knobs of one benchmark family's synthetic generator.
+///
+/// See the module docs for the intent of each family's values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FamilyProfile {
+    /// The family this profile belongs to.
+    pub family: Family,
+    /// Inclusive range of standard-cell counts per design.
+    pub cell_count: (usize, usize),
+    /// Nets generated per cell.
+    pub nets_per_cell: f64,
+    /// Mean net fanout (pins per net beyond the driver).
+    pub avg_fanout: f64,
+    /// Rent-style locality exponent in `[0.5, 1.0)`; higher values produce
+    /// more cross-cluster (global) nets.
+    pub rent_exponent: f64,
+    /// Inclusive range of logical cluster counts per design.
+    pub cluster_count: (usize, usize),
+    /// Probability that a net stays within one cluster.
+    pub cluster_tightness: f64,
+    /// Fraction of the die area covered by macro blockages.
+    pub macro_fraction: f64,
+    /// Inclusive range of pins per cell.
+    pub pins_per_cell: (u8, u8),
+    /// Inclusive range of target placement densities across placement runs.
+    pub target_density: (f32, f32),
+    /// Mean per-gcell routing capacity (tracks per edge, arbitrary units).
+    pub route_capacity: f64,
+    /// Relative std-dev of per-design capacity variation.
+    pub capacity_jitter: f64,
+    /// Demand/capacity ratio above which a gcell becomes a DRC hotspot.
+    pub hotspot_threshold: f64,
+    /// Probability of flipping a label tile (models detailed-routing
+    /// effects the congestion model cannot see).
+    pub label_noise: f64,
+    /// Weight of *horizontal* routing demand in the overflow score (the
+    /// vertical weight is `1 − h_affinity`). Families differ here —
+    /// metal-stack and aspect-ratio conventions make suites
+    /// direction-biased — and this is the knob that makes the
+    /// feature→label *mapping* heterogeneous across clients, not just its
+    /// threshold (AUC is invariant to thresholds but not to mappings).
+    pub h_affinity: f64,
+    /// Weight of pin density in the overflow score (pin-access DRCs).
+    pub pin_weight: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_are_distinct() {
+        // Heterogeneity requirement: no two families share a profile.
+        let profiles: Vec<FamilyProfile> = Family::ALL.iter().map(|f| f.profile()).collect();
+        for i in 0..profiles.len() {
+            for j in i + 1..profiles.len() {
+                assert_ne!(
+                    (profiles[i].cell_count, profiles[i].rent_exponent),
+                    (profiles[j].cell_count, profiles[j].rent_exponent),
+                    "{} vs {}",
+                    profiles[i].family,
+                    profiles[j].family
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn difficulty_ordering() {
+        // ISPD'15 must be the hardest family (tightest capacity), ISCAS'89
+        // the easiest — mirroring suite scale in the real corpora.
+        let caps: Vec<f64> = [
+            Family::Iscas89,
+            Family::Itc99,
+            Family::Iwls05,
+            Family::Ispd15,
+        ]
+        .iter()
+        .map(|f| f.profile().route_capacity)
+        .collect();
+        assert!(caps.windows(2).all(|w| w[0] > w[1]), "{caps:?}");
+    }
+
+    #[test]
+    fn ranges_are_well_formed() {
+        for f in Family::ALL {
+            let p = f.profile();
+            assert!(p.cell_count.0 < p.cell_count.1);
+            assert!(p.cluster_count.0 <= p.cluster_count.1);
+            assert!(p.pins_per_cell.0 <= p.pins_per_cell.1);
+            assert!(p.target_density.0 <= p.target_density.1);
+            assert!((0.0..1.0).contains(&p.macro_fraction));
+            assert!(p.avg_fanout >= 2.0, "net needs driver + sink");
+            assert!((0.5..1.0).contains(&p.rent_exponent));
+            assert!((0.0..=1.0).contains(&p.h_affinity));
+            assert!(p.pin_weight >= 0.0);
+            assert!((0.0..0.2).contains(&p.label_noise));
+        }
+    }
+
+    #[test]
+    fn direction_affinities_span_both_regimes() {
+        // The heterogeneity mechanism: at least one family must be
+        // horizontal-dominant and one vertical-dominant, so a model fit
+        // on one family mis-ranks tiles on another.
+        let affinities: Vec<f64> = Family::ALL.iter().map(|f| f.profile().h_affinity).collect();
+        assert!(affinities.iter().any(|&a| a > 0.6));
+        assert!(affinities.iter().any(|&a| a < 0.4));
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(Family::Iscas89.to_string(), "ISCAS'89");
+        assert_eq!(Family::Itc99.to_string(), "ITC'99");
+        assert_eq!(Family::Iwls05.to_string(), "IWLS'05");
+        assert_eq!(Family::Ispd15.to_string(), "ISPD'15");
+    }
+}

@@ -1,0 +1,54 @@
+//! Synthetic EDA data substrate for the decentralized routability
+//! estimation reproduction.
+//!
+//! The paper trains on 7,131 placements of 74 real designs (ISCAS'89,
+//! ITC'99, IWLS'05, ISPD'15) pushed through Design Compiler + Innovus on
+//! NanGate45. Neither the commercial flow nor the resulting label data is
+//! redistributable, so this crate synthesizes the closest statistical
+//! equivalent end to end:
+//!
+//! 1. [`Family`] — per-benchmark-suite generation profiles with
+//!    deliberately *different* distributions (cell counts, Rent exponent,
+//!    fanout, macro fraction, routing capacity). Inter-family difference is
+//!    the source of the client-level data heterogeneity the paper's
+//!    federated experiments exercise.
+//! 2. [`netlist`] — clustered random netlists honoring the family profile.
+//! 3. [`placement`] — a seeded anchor-plus-spreading placer; different
+//!    [`placement::PlacementConfig`]s yield the "multiple placement
+//!    solutions per design" of the paper's §5.1.
+//! 4. [`congestion`] — probabilistic L-shape global routing demand plus
+//!    RUDY, the supply/demand model behind both features and labels.
+//! 5. [`features`] — the c-channel input tensor (cell density, pin
+//!    density, macro blockage, RUDY, fly-lines), following the feature
+//!    menu of §4.4.
+//! 6. [`drc`] — ground-truth hotspot maps from capacity overflow with
+//!    family-specific capacity and noise.
+//! 7. [`dataset`] / [`corpus`] — per-client datasets reproducing the
+//!    paper's Table 2 design/placement assignment.
+//!
+//! # Example
+//!
+//! ```
+//! use rte_eda::corpus::{CorpusConfig, generate_corpus};
+//!
+//! let mut config = CorpusConfig::tiny(); // minimal counts for tests
+//! config.seed = 7;
+//! let corpus = generate_corpus(&config)?;
+//! assert_eq!(corpus.clients.len(), 9);
+//! # Ok::<(), rte_eda::EdaError>(())
+//! ```
+
+pub mod congestion;
+pub mod corpus;
+pub mod dataset;
+pub mod drc;
+mod error;
+mod family;
+pub mod features;
+pub mod interchange;
+pub mod netlist;
+pub mod placement;
+pub mod stats;
+
+pub use error::EdaError;
+pub use family::{Family, FamilyProfile};

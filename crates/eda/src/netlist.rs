@@ -1,0 +1,322 @@
+//! Synthetic netlist generation.
+//!
+//! Generates clustered random netlists that honor a [`FamilyProfile`]:
+//! cells are partitioned into logical clusters (modules), each net picks a
+//! home cluster and stays inside it with probability `cluster_tightness`,
+//! escaping to the whole design otherwise. Together with the Rent-style
+//! fanout distribution this produces the locality structure placers and
+//! routers see in real designs: mostly short nets plus a heavy tail of
+//! global nets.
+
+use rte_tensor::rng::Xoshiro256;
+
+use crate::{EdaError, Family, FamilyProfile};
+
+/// Index of a cell within its [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellId(pub u32);
+
+/// Index of a net within its [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub u32);
+
+/// A standard cell or macro instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cell {
+    /// This cell's id (its index in [`Netlist::cells`]).
+    pub id: CellId,
+    /// Number of physical pins.
+    pub pins: u8,
+    /// True for macro blocks (placed as rectangular blockages).
+    pub is_macro: bool,
+    /// Logical cluster (module) this cell belongs to.
+    pub cluster: u16,
+}
+
+/// A multi-pin net connecting two or more cells.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Net {
+    /// This net's id (its index in [`Netlist::nets`]).
+    pub id: NetId,
+    /// Connected cells (first entry is the driver). At least two entries,
+    /// all distinct.
+    pub cells: Vec<CellId>,
+}
+
+impl Net {
+    /// Number of pins on the net.
+    pub fn degree(&self) -> usize {
+        self.cells.len()
+    }
+}
+
+/// A synthetic design: cells plus connectivity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Netlist {
+    /// Synthetic design name, unique per (family, seed).
+    pub name: String,
+    /// The benchmark family this design imitates.
+    pub family: Family,
+    /// All cells; `cells[i].id == CellId(i)`.
+    pub cells: Vec<Cell>,
+    /// All nets; `nets[i].id == NetId(i)`.
+    pub nets: Vec<Net>,
+    /// Number of logical clusters.
+    pub cluster_count: usize,
+}
+
+impl Netlist {
+    /// Total pin count over all cells.
+    pub fn total_pins(&self) -> usize {
+        self.cells.iter().map(|c| c.pins as usize).sum()
+    }
+
+    /// Number of macro cells.
+    pub fn macro_count(&self) -> usize {
+        self.cells.iter().filter(|c| c.is_macro).count()
+    }
+
+    /// Mean net degree.
+    pub fn avg_net_degree(&self) -> f64 {
+        if self.nets.is_empty() {
+            return 0.0;
+        }
+        self.nets.iter().map(|n| n.degree()).sum::<usize>() as f64 / self.nets.len() as f64
+    }
+}
+
+/// Generates a netlist for `family` from a design seed.
+///
+/// Distinct seeds give distinct designs; the same `(family, seed)` pair is
+/// bit-reproducible. Seeds therefore play the role of design identity in
+/// the Table 2 corpus (no two clients share a seed).
+///
+/// # Errors
+///
+/// Currently infallible in practice; returns [`EdaError::InvalidConfig`]
+/// if the family profile is degenerate (defensive).
+pub fn generate_netlist(family: Family, design_seed: u64) -> Result<Netlist, EdaError> {
+    let profile = family.profile();
+    validate_profile(&profile)?;
+    let mut rng = Xoshiro256::seed_from(design_seed ^ 0xDE51_6E5E_EDDA_7A00);
+
+    let n_cells = rng.range_usize(profile.cell_count.0, profile.cell_count.1 + 1);
+    let n_clusters = rng.range_usize(profile.cluster_count.0, profile.cluster_count.1 + 1);
+
+    // Cluster sizes via random proportions (Dirichlet-ish through
+    // normalized uniforms) so modules have uneven, realistic sizes.
+    let weights: Vec<f64> = (0..n_clusters).map(|_| 0.2 + rng.uniform_f64()).collect();
+    let total_w: f64 = weights.iter().sum();
+    let mut cluster_of_cell = Vec::with_capacity(n_cells);
+    for (ci, w) in weights.iter().enumerate() {
+        let share = ((w / total_w) * n_cells as f64).round() as usize;
+        for _ in 0..share {
+            cluster_of_cell.push(ci as u16);
+        }
+    }
+    while cluster_of_cell.len() < n_cells {
+        cluster_of_cell.push(rng.range_usize(0, n_clusters) as u16);
+    }
+    cluster_of_cell.truncate(n_cells);
+    rng.shuffle(&mut cluster_of_cell);
+
+    let n_macros = (n_cells as f64 * profile.macro_fraction * 0.02).round() as usize;
+    let mut cells: Vec<Cell> = (0..n_cells)
+        .map(|i| Cell {
+            id: CellId(i as u32),
+            pins: rng.range_usize(
+                profile.pins_per_cell.0 as usize,
+                profile.pins_per_cell.1 as usize + 1,
+            ) as u8,
+            is_macro: false,
+            cluster: cluster_of_cell[i],
+        })
+        .collect();
+    // Promote a few cells to macros (they get many pins).
+    for _ in 0..n_macros {
+        let i = rng.range_usize(0, n_cells);
+        cells[i].is_macro = true;
+        cells[i].pins = cells[i].pins.saturating_mul(4).max(12);
+    }
+
+    // Cells per cluster, for intra-cluster net sampling.
+    let mut members: Vec<Vec<u32>> = vec![Vec::new(); n_clusters];
+    for c in &cells {
+        members[c.cluster as usize].push(c.id.0);
+    }
+
+    let n_nets = (n_cells as f64 * profile.nets_per_cell).round() as usize;
+    let mut nets = Vec::with_capacity(n_nets);
+    for ni in 0..n_nets {
+        // Degree: 2 + Poisson tail shaped by avg_fanout and the Rent
+        // exponent (heavier tail for higher exponents).
+        let extra = rng.poisson((profile.avg_fanout - 2.0).max(0.0));
+        let tail_boost = if rng.uniform_f64() < (profile.rent_exponent - 0.5) {
+            rng.range_usize(0, 6)
+        } else {
+            0
+        };
+        let degree = 2 + extra + tail_boost;
+        let local = rng.uniform_f64() < profile.cluster_tightness;
+        let home = rng.range_usize(0, n_clusters);
+        let pool: &[u32] = if local && members[home].len() >= degree {
+            &members[home]
+        } else {
+            &[]
+        };
+        let mut chosen: Vec<CellId> = Vec::with_capacity(degree);
+        if pool.is_empty() {
+            // Global net: sample from the whole design.
+            for idx in rng.sample_indices(n_cells, degree.min(n_cells)) {
+                chosen.push(CellId(idx as u32));
+            }
+        } else {
+            for idx in rng.sample_indices(pool.len(), degree) {
+                chosen.push(CellId(pool[idx]));
+            }
+        }
+        if chosen.len() >= 2 {
+            nets.push(Net {
+                id: NetId(ni as u32),
+                cells: chosen,
+            });
+        }
+    }
+    // Re-index after any skips so `nets[i].id == NetId(i)` holds.
+    for (i, net) in nets.iter_mut().enumerate() {
+        net.id = NetId(i as u32);
+    }
+
+    Ok(Netlist {
+        name: format!("{}_{design_seed:08x}", family_slug(family)),
+        family,
+        cells,
+        nets,
+        cluster_count: n_clusters,
+    })
+}
+
+fn family_slug(family: Family) -> &'static str {
+    match family {
+        Family::Iscas89 => "s",
+        Family::Itc99 => "b",
+        Family::Iwls05 => "iwls",
+        Family::Ispd15 => "ispd",
+    }
+}
+
+fn validate_profile(p: &FamilyProfile) -> Result<(), EdaError> {
+    if p.cell_count.0 == 0 || p.cell_count.0 > p.cell_count.1 {
+        return Err(EdaError::InvalidConfig {
+            reason: format!("bad cell count range {:?}", p.cell_count),
+        });
+    }
+    if p.cluster_count.0 == 0 {
+        return Err(EdaError::InvalidConfig {
+            reason: "zero clusters".into(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_netlist(Family::Itc99, 42).unwrap();
+        let b = generate_netlist(Family::Itc99, 42).unwrap();
+        assert_eq!(a, b);
+        let c = generate_netlist(Family::Itc99, 43).unwrap();
+        assert_ne!(a.cells.len(), 0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn respects_family_cell_range() {
+        for family in Family::ALL {
+            let p = family.profile();
+            for seed in 0..5 {
+                let nl = generate_netlist(family, seed).unwrap();
+                assert!(
+                    (p.cell_count.0..=p.cell_count.1).contains(&nl.cells.len()),
+                    "{family}: {} cells",
+                    nl.cells.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nets_are_valid() {
+        let nl = generate_netlist(Family::Iwls05, 7).unwrap();
+        for (i, net) in nl.nets.iter().enumerate() {
+            assert_eq!(net.id, NetId(i as u32));
+            assert!(net.degree() >= 2, "net degree {}", net.degree());
+            let distinct: HashSet<_> = net.cells.iter().collect();
+            assert_eq!(distinct.len(), net.degree(), "duplicate pins");
+            for c in &net.cells {
+                assert!((c.0 as usize) < nl.cells.len());
+            }
+        }
+    }
+
+    #[test]
+    fn average_degree_tracks_profile() {
+        for family in Family::ALL {
+            let p = family.profile();
+            let mut total = 0.0;
+            let n = 4;
+            for seed in 0..n {
+                total += generate_netlist(family, seed).unwrap().avg_net_degree();
+            }
+            let avg = total / n as f64;
+            assert!(
+                (avg - p.avg_fanout).abs() < 1.2,
+                "{family}: avg degree {avg} vs profile {}",
+                p.avg_fanout
+            );
+        }
+    }
+
+    #[test]
+    fn clusters_are_used() {
+        let nl = generate_netlist(Family::Ispd15, 3).unwrap();
+        let used: HashSet<u16> = nl.cells.iter().map(|c| c.cluster).collect();
+        assert!(used.len() > 1, "cells should span clusters");
+        assert!(used.len() <= nl.cluster_count);
+    }
+
+    #[test]
+    fn most_nets_are_intra_cluster() {
+        // The locality knob must actually bias connectivity.
+        let nl = generate_netlist(Family::Iscas89, 11).unwrap();
+        let intra = nl
+            .nets
+            .iter()
+            .filter(|n| {
+                let c0 = nl.cells[n.cells[0].0 as usize].cluster;
+                n.cells.iter().all(|c| nl.cells[c.0 as usize].cluster == c0)
+            })
+            .count();
+        let frac = intra as f64 / nl.nets.len() as f64;
+        assert!(frac > 0.3, "intra-cluster fraction {frac}");
+    }
+
+    #[test]
+    fn ispd_family_has_macros() {
+        let nl = generate_netlist(Family::Ispd15, 1).unwrap();
+        assert!(nl.macro_count() > 0);
+        let nl2 = generate_netlist(Family::Iscas89, 1).unwrap();
+        assert_eq!(nl2.macro_count(), 0);
+    }
+
+    #[test]
+    fn names_encode_family_and_seed() {
+        let nl = generate_netlist(Family::Itc99, 0xAB).unwrap();
+        assert!(nl.name.starts_with("b_"));
+        assert!(nl.name.contains("000000ab"));
+    }
+}

@@ -1,0 +1,234 @@
+//! Client-side data containers.
+
+use rte_tensor::rng::Xoshiro256;
+use rte_tensor::Tensor;
+
+use crate::FedError;
+
+/// One data split held privately by a client: features `(N, C, H, W)` and
+/// labels `(N, 1, H, W)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientSet {
+    features: Tensor,
+    labels: Tensor,
+}
+
+impl ClientSet {
+    /// Wraps pre-batched feature/label tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FedError::InvalidConfig`] if ranks, batch sizes or
+    /// spatial extents disagree, or the label tensor is not single-channel.
+    pub fn new(features: Tensor, labels: Tensor) -> Result<Self, FedError> {
+        if features.shape().rank() != 4 || labels.shape().rank() != 4 {
+            return Err(FedError::InvalidConfig {
+                reason: "features and labels must be rank-4 (NCHW)".into(),
+            });
+        }
+        if features.dim(0) != labels.dim(0)
+            || labels.dim(1) != 1
+            || features.dim(2) != labels.dim(2)
+            || features.dim(3) != labels.dim(3)
+        {
+            return Err(FedError::InvalidConfig {
+                reason: format!(
+                    "feature shape {} incompatible with label shape {}",
+                    features.shape(),
+                    labels.shape()
+                ),
+            });
+        }
+        Ok(ClientSet { features, labels })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.features.dim(0)
+    }
+
+    /// True when the split holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The full feature tensor.
+    pub fn features(&self) -> &Tensor {
+        &self.features
+    }
+
+    /// The full label tensor.
+    pub fn labels(&self) -> &Tensor {
+        &self.labels
+    }
+
+    /// Copies the samples at `indices` into a contiguous minibatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds (internal callers sample
+    /// indices from `0..len()`).
+    pub fn minibatch(&self, indices: &[usize]) -> (Tensor, Tensor) {
+        let n = indices.len();
+        let (c, h, w) = (
+            self.features.dim(1),
+            self.features.dim(2),
+            self.features.dim(3),
+        );
+        let xs = c * h * w;
+        let ys = h * w;
+        let mut x = Tensor::zeros(&[n, c, h, w]);
+        let mut y = Tensor::zeros(&[n, 1, h, w]);
+        for (bi, &si) in indices.iter().enumerate() {
+            assert!(si < self.len(), "minibatch index out of bounds");
+            x.data_mut()[bi * xs..(bi + 1) * xs]
+                .copy_from_slice(&self.features.data()[si * xs..(si + 1) * xs]);
+            y.data_mut()[bi * ys..(bi + 1) * ys]
+                .copy_from_slice(&self.labels.data()[si * ys..(si + 1) * ys]);
+        }
+        (x, y)
+    }
+
+    /// Samples a random minibatch of `batch_size` (with replacement when
+    /// `batch_size > len`, without otherwise).
+    pub fn sample_minibatch(&self, batch_size: usize, rng: &mut Xoshiro256) -> (Tensor, Tensor) {
+        let n = self.len();
+        let indices: Vec<usize> = if batch_size >= n {
+            (0..n).collect()
+        } else {
+            rng.sample_indices(n, batch_size)
+        };
+        self.minibatch(&indices)
+    }
+
+    /// Concatenates several splits into one (used by centralized
+    /// training).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FedError::InvalidConfig`] if the splits disagree on
+    /// geometry or the list is empty.
+    pub fn concat(sets: &[&ClientSet]) -> Result<ClientSet, FedError> {
+        let first = sets.first().ok_or_else(|| FedError::InvalidConfig {
+            reason: "concat of zero client sets".into(),
+        })?;
+        let (c, h, w) = (
+            first.features.dim(1),
+            first.features.dim(2),
+            first.features.dim(3),
+        );
+        let total: usize = sets.iter().map(|s| s.len()).sum();
+        let mut x = Vec::with_capacity(total * c * h * w);
+        let mut y = Vec::with_capacity(total * h * w);
+        for s in sets {
+            if s.features.dim(1) != c || s.features.dim(2) != h || s.features.dim(3) != w {
+                return Err(FedError::InvalidConfig {
+                    reason: "client sets disagree on geometry".into(),
+                });
+            }
+            x.extend_from_slice(s.features.data());
+            y.extend_from_slice(s.labels.data());
+        }
+        Ok(ClientSet {
+            features: Tensor::from_vec(x, &[total, c, h, w])?,
+            labels: Tensor::from_vec(y, &[total, 1, h, w])?,
+        })
+    }
+}
+
+/// A federated client: private train/test splits plus its aggregation
+/// weight `n_k` (its training sample count, per the paper's weighted
+/// averaging).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Client {
+    /// 1-based client index, matching the paper's Table 2.
+    pub id: usize,
+    /// Private training split.
+    pub train: ClientSet,
+    /// Private testing split (unseen designs).
+    pub test: ClientSet,
+}
+
+impl Client {
+    /// Creates a client.
+    pub fn new(id: usize, train: ClientSet, test: ClientSet) -> Self {
+        Client { id, train, test }
+    }
+
+    /// Aggregation weight `n_k` — the number of training samples.
+    pub fn weight(&self) -> usize {
+        self.train.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(n: usize, fill: f32) -> ClientSet {
+        ClientSet::new(
+            Tensor::full(&[n, 2, 4, 4], fill),
+            Tensor::zeros(&[n, 1, 4, 4]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn new_validates_shapes() {
+        assert!(ClientSet::new(Tensor::zeros(&[2, 3, 4, 4]), Tensor::zeros(&[2, 1, 4, 4])).is_ok());
+        // batch mismatch
+        assert!(
+            ClientSet::new(Tensor::zeros(&[2, 3, 4, 4]), Tensor::zeros(&[3, 1, 4, 4])).is_err()
+        );
+        // multi-channel labels
+        assert!(
+            ClientSet::new(Tensor::zeros(&[2, 3, 4, 4]), Tensor::zeros(&[2, 2, 4, 4])).is_err()
+        );
+        // rank
+        assert!(ClientSet::new(Tensor::zeros(&[2, 3, 4]), Tensor::zeros(&[2, 1, 4, 4])).is_err());
+    }
+
+    #[test]
+    fn minibatch_copies_rows() {
+        let mut features = Tensor::zeros(&[3, 1, 2, 2]);
+        for i in 0..3 {
+            for j in 0..4 {
+                features.data_mut()[i * 4 + j] = i as f32;
+            }
+        }
+        let set = ClientSet::new(features, Tensor::zeros(&[3, 1, 2, 2])).unwrap();
+        let (x, _) = set.minibatch(&[2, 0]);
+        assert_eq!(x.data()[..4], [2.0; 4]);
+        assert_eq!(x.data()[4..], [0.0; 4]);
+    }
+
+    #[test]
+    fn sample_minibatch_bounds() {
+        let set = set(5, 1.0);
+        let mut rng = Xoshiro256::seed_from(1);
+        let (x, y) = set.sample_minibatch(3, &mut rng);
+        assert_eq!(x.dim(0), 3);
+        assert_eq!(y.dim(0), 3);
+        // Oversized request degrades to the full set.
+        let (x, _) = set.sample_minibatch(10, &mut rng);
+        assert_eq!(x.dim(0), 5);
+    }
+
+    #[test]
+    fn concat_pools_samples() {
+        let a = set(2, 1.0);
+        let b = set(3, 2.0);
+        let all = ClientSet::concat(&[&a, &b]).unwrap();
+        assert_eq!(all.len(), 5);
+        assert_eq!(all.features().data()[0], 1.0);
+        assert_eq!(all.features().data()[2 * 32], 2.0);
+        assert!(ClientSet::concat(&[]).is_err());
+    }
+
+    #[test]
+    fn client_weight_is_train_size() {
+        let c = Client::new(3, set(7, 0.0), set(2, 0.0));
+        assert_eq!(c.weight(), 7);
+        assert_eq!(c.id, 3);
+    }
+}

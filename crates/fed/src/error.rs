@@ -1,0 +1,93 @@
+//! Error type for the federated-learning framework.
+
+use std::error::Error;
+use std::fmt;
+
+use rte_metrics::MetricsError;
+use rte_nn::NnError;
+use rte_tensor::TensorError;
+
+/// Error produced by federated training or evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FedError {
+    /// A model operation failed.
+    Nn(NnError),
+    /// A tensor operation failed.
+    Tensor(TensorError),
+    /// A metric computation failed (e.g. single-class test split).
+    Metrics(MetricsError),
+    /// A federated configuration was invalid.
+    InvalidConfig {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// State dicts to aggregate were structurally incompatible.
+    AggregationMismatch {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for FedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FedError::Nn(e) => write!(f, "model error: {e}"),
+            FedError::Tensor(e) => write!(f, "tensor error: {e}"),
+            FedError::Metrics(e) => write!(f, "metrics error: {e}"),
+            FedError::InvalidConfig { reason } => write!(f, "invalid config: {reason}"),
+            FedError::AggregationMismatch { reason } => {
+                write!(f, "aggregation mismatch: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for FedError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FedError::Nn(e) => Some(e),
+            FedError::Tensor(e) => Some(e),
+            FedError::Metrics(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for FedError {
+    fn from(e: NnError) -> Self {
+        FedError::Nn(e)
+    }
+}
+
+impl From<TensorError> for FedError {
+    fn from(e: TensorError) -> Self {
+        FedError::Tensor(e)
+    }
+}
+
+impl From<MetricsError> for FedError {
+    fn from(e: MetricsError) -> Self {
+        FedError::Metrics(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: FedError = NnError::StateDictMismatch { reason: "x".into() }.into();
+        assert!(e.to_string().contains("model error"));
+        assert!(Error::source(&e).is_some());
+
+        let e: FedError = MetricsError::NanScore.into();
+        assert!(e.to_string().contains("metrics"));
+
+        let e = FedError::InvalidConfig {
+            reason: "rounds = 0".into(),
+        };
+        assert!(e.to_string().contains("rounds = 0"));
+        assert!(Error::source(&e).is_none());
+    }
+}

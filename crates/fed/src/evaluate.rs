@@ -1,0 +1,119 @@
+//! Model evaluation on a client's test split.
+
+use rte_metrics::roc_auc;
+use rte_nn::Layer;
+
+use crate::{ClientSet, FedError};
+
+/// Evaluates a model's ROC AUC on `set`, forwarding in evaluation mode
+/// (BatchNorm running statistics, the paper's deployment condition) in
+/// batches of `batch_size`.
+///
+/// # Errors
+///
+/// Returns [`FedError`] on forward errors, an empty set, or a test split
+/// containing only one class.
+pub fn evaluate_auc(
+    model: &mut dyn Layer,
+    set: &ClientSet,
+    batch_size: usize,
+) -> Result<f64, FedError> {
+    if set.is_empty() {
+        return Err(FedError::InvalidConfig {
+            reason: "evaluation on empty client set".into(),
+        });
+    }
+    let n = set.len();
+    let mut scores = Vec::with_capacity(set.labels().numel());
+    let mut labels = Vec::with_capacity(set.labels().numel());
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + batch_size.max(1)).min(n);
+        let indices: Vec<usize> = (start..end).collect();
+        let (x, y) = set.minibatch(&indices);
+        let pred = model.forward(&x, false)?;
+        scores.extend_from_slice(pred.data());
+        labels.extend(y.data().iter().map(|&v| v > 0.5));
+        start = end;
+    }
+    Ok(roc_auc(&scores, &labels)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rte_nn::{NnError, Param};
+    use rte_tensor::Tensor;
+
+    /// A fake "model" that echoes one input channel as its score map —
+    /// lets us hand-construct AUC outcomes.
+    struct EchoChannel(usize);
+
+    impl Layer for EchoChannel {
+        fn forward(&mut self, x: &Tensor, _training: bool) -> Result<Tensor, NnError> {
+            let (n, _, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+            let mut y = Tensor::zeros(&[n, 1, h, w]);
+            let cs = h * w;
+            let c_total = x.dim(1);
+            for ni in 0..n {
+                let src = &x.data()[(ni * c_total + self.0) * cs..(ni * c_total + self.0 + 1) * cs];
+                y.data_mut()[ni * cs..(ni + 1) * cs].copy_from_slice(src);
+            }
+            Ok(y)
+        }
+
+        fn backward(&mut self, dy: &Tensor) -> Result<Tensor, NnError> {
+            Ok(dy.clone())
+        }
+
+        fn visit_params(&mut self, _p: &str, _f: &mut dyn FnMut(String, &mut Param)) {}
+    }
+
+    fn set_with_labels_equal_to_channel0() -> ClientSet {
+        // Channel 0 is exactly the label → perfect AUC.
+        let mut x = Tensor::zeros(&[2, 2, 2, 2]);
+        let mut y = Tensor::zeros(&[2, 1, 2, 2]);
+        for i in 0..8 {
+            let v = if i % 3 == 0 { 1.0 } else { 0.0 };
+            x.data_mut()[(i / 4) * 8 + (i % 4)] = v;
+            y.data_mut()[i] = v;
+        }
+        ClientSet::new(x, y).unwrap()
+    }
+
+    #[test]
+    fn perfect_predictor_scores_one() {
+        let set = set_with_labels_equal_to_channel0();
+        let mut model = EchoChannel(0);
+        let auc = evaluate_auc(&mut model, &set, 1).unwrap();
+        assert_eq!(auc, 1.0);
+    }
+
+    #[test]
+    fn uninformative_predictor_scores_half() {
+        let set = set_with_labels_equal_to_channel0();
+        // Channel 1 is all zeros → constant score → AUC 0.5 via midranks.
+        let mut model = EchoChannel(1);
+        let auc = evaluate_auc(&mut model, &set, 4).unwrap();
+        assert_eq!(auc, 0.5);
+    }
+
+    #[test]
+    fn batch_size_does_not_change_result() {
+        let set = set_with_labels_equal_to_channel0();
+        let a = evaluate_auc(&mut EchoChannel(0), &set, 1).unwrap();
+        let b = evaluate_auc(&mut EchoChannel(0), &set, 64).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_class_split_is_error() {
+        let x = Tensor::zeros(&[1, 1, 2, 2]);
+        let y = Tensor::zeros(&[1, 1, 2, 2]);
+        let set = ClientSet::new(x, y).unwrap();
+        assert!(matches!(
+            evaluate_auc(&mut EchoChannel(0), &set, 2),
+            Err(FedError::Metrics(_))
+        ));
+    }
+}

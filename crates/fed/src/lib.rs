@@ -1,0 +1,66 @@
+//! Federated-learning framework for the decentralized routability
+//! estimation reproduction.
+//!
+//! Implements the paper's §4 training machinery on top of `rte-nn`:
+//!
+//! - [`params`] — weighted state-dict aggregation (the developer's
+//!   server-side step in Fig. 1) plus the partition/arithmetic helpers the
+//!   personalization methods need,
+//! - [`LocalTrainer`] — client-side minibatch Adam with the FedProx
+//!   proximal term of Eq. 1,
+//! - [`evaluate_auc`] — per-client ROC AUC evaluation,
+//! - [`methods`] — the eight training methods of Tables 3-5:
+//!   local baselines, centralized training, FedProx, FedProx-LG, IFCA,
+//!   FedProx + fine-tuning, assigned clustering and α-portion sync.
+//!
+//! The simulation is single-process: clients are [`Client`] values holding
+//! private train/test tensors, and "communication" is the movement of
+//! [`rte_nn::StateDict`]s — mirroring the restriction that only model
+//! parameters, never data, leave a client.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use rte_fed::{methods, Client, ClientSet, FedConfig, Method, ModelFactory};
+//! use rte_nn::models::{build_model, ModelKind, ModelScale};
+//! use rte_tensor::rng::Xoshiro256;
+//!
+//! # fn clients() -> Vec<Client> { Vec::new() }
+//! let factory: ModelFactory = Box::new(|seed| {
+//!     let mut rng = Xoshiro256::seed_from(seed);
+//!     build_model(ModelKind::FlNet, 6, ModelScale::Scaled, &mut rng)
+//! });
+//! let mut clients = clients();
+//! let outcome = methods::run_method(
+//!     Method::FedProx,
+//!     &mut clients,
+//!     &factory,
+//!     &FedConfig::scaled(),
+//! )?;
+//! println!("average AUC {:.2}", outcome.average_auc);
+//! # Ok::<(), rte_fed::FedError>(())
+//! ```
+
+mod client;
+mod config;
+pub mod cost;
+mod error;
+mod evaluate;
+pub mod methods;
+pub mod params;
+mod trainer;
+
+pub use client::{Client, ClientSet};
+pub use config::{FedConfig, Method};
+pub use error::FedError;
+pub use evaluate::evaluate_auc;
+pub use methods::{MethodOutcome, RoundRecord};
+pub use trainer::LocalTrainer;
+
+use rte_nn::Layer;
+
+/// Deterministic model constructor: maps a seed to a freshly initialized
+/// model. All training methods build their models through one of these so
+/// every client (and every cluster in IFCA) starts from an agreed
+/// initialization.
+pub type ModelFactory = Box<dyn Fn(u64) -> Box<dyn Layer>>;

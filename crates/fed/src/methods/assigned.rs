@@ -1,0 +1,99 @@
+//! Assigned clustering (§4.3): like IFCA but with the cluster of each
+//! client fixed up front from prior knowledge of client similarity — in
+//! the paper, the benchmark-suite grouping {1-3}, {4-6}, {7-8}, {9}.
+//! Within a cluster this is plain FedProx.
+
+use rte_nn::StateDict;
+
+use crate::methods::{Harness, MethodOutcome};
+use crate::params::weighted_average;
+use crate::{Client, FedConfig, FedError, Method, ModelFactory};
+
+pub(crate) fn run(
+    clients: &[Client],
+    factory: &ModelFactory,
+    config: &FedConfig,
+) -> Result<MethodOutcome, FedError> {
+    config.validate_assignment(clients.len())?;
+    let mut harness = Harness::new(clients, factory, config)?;
+    let groups = &config.assigned_clusters;
+    // All clusters share one initialization (unlike IFCA there is no
+    // symmetry to break — membership is fixed).
+    let init = harness.initial_state();
+    let mut cluster_models: Vec<StateDict> = vec![init; groups.len()];
+    // client -> cluster lookup.
+    let mut cluster_of = vec![0usize; clients.len()];
+    for (c, group) in groups.iter().enumerate() {
+        for &k in group {
+            cluster_of[k] = c;
+        }
+    }
+    let mut history = Vec::new();
+
+    for round in 1..=config.rounds {
+        let mut updates: Vec<Vec<(StateDict, f64)>> = vec![Vec::new(); groups.len()];
+        for k in 0..clients.len() {
+            let c = cluster_of[k];
+            let trained = harness.train_client_from(
+                &cluster_models[c],
+                Some(&cluster_models[c]),
+                k,
+                round,
+                config.local_steps,
+            )?;
+            updates[c].push((trained, clients[k].weight() as f64));
+        }
+        for (c, cluster_updates) in updates.iter().enumerate() {
+            if cluster_updates.is_empty() {
+                continue;
+            }
+            let refs: Vec<(&StateDict, f64)> =
+                cluster_updates.iter().map(|(sd, w)| (sd, *w)).collect();
+            cluster_models[c] = weighted_average(&refs)?;
+        }
+        if harness.should_record(round) {
+            let per_client: Vec<StateDict> = cluster_of
+                .iter()
+                .map(|&c| cluster_models[c].clone())
+                .collect();
+            let aucs = harness.eval_personalized(&per_client)?;
+            history.push(Harness::record(round, aucs));
+        }
+    }
+
+    let per_client_models: Vec<StateDict> = cluster_of
+        .iter()
+        .map(|&c| cluster_models[c].clone())
+        .collect();
+    let per_client_auc = harness.eval_personalized(&per_client_models)?;
+    Ok(MethodOutcome::new(
+        Method::AssignedClustering,
+        per_client_auc,
+        history,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::test_support::{clients, factory};
+
+    #[test]
+    fn respects_fixed_assignment() {
+        let clients = clients(3);
+        let factory = factory();
+        let mut config = FedConfig::tiny();
+        config.assigned_clusters = vec![vec![0, 2], vec![1]];
+        let outcome = run(&clients, &factory, &config).unwrap();
+        assert_eq!(outcome.per_client_auc.len(), 3);
+    }
+
+    #[test]
+    fn invalid_assignment_is_rejected() {
+        let clients = clients(2);
+        let factory = factory();
+        let mut config = FedConfig::tiny();
+        config.assigned_clusters = vec![vec![0]]; // client 1 missing
+        assert!(run(&clients, &factory, &config).is_err());
+    }
+}

@@ -1,0 +1,57 @@
+//! Centralized training: all clients' data pooled on one machine. The
+//! paper treats its accuracy as the empirical upper limit a decentralized
+//! method should aim for (no privacy, no heterogeneity penalty).
+
+use crate::methods::{Harness, MethodOutcome};
+use crate::{Client, ClientSet, FedConfig, FedError, Method, ModelFactory};
+
+pub(crate) fn run(
+    clients: &[Client],
+    factory: &ModelFactory,
+    config: &FedConfig,
+) -> Result<MethodOutcome, FedError> {
+    let mut harness = Harness::new(clients, factory, config)?;
+    harness.trainer.mu = 0.0; // centralized training has no proximal term
+    let pooled_sets: Vec<&ClientSet> = clients.iter().map(|c| &c.train).collect();
+    let pooled = ClientSet::concat(&pooled_sets)?;
+    let init = harness.initial_state();
+    let total_steps = config.rounds * config.local_steps;
+
+    // Train directly on the pooled set using the scratch model.
+    rte_nn::load_state_dict(harness.scratch.as_mut(), &init)?;
+    let mut rng = harness.round_rng(0, usize::MAX - 1);
+    harness.trainer.train(
+        harness.scratch.as_mut(),
+        &pooled,
+        None,
+        total_steps,
+        &mut rng,
+    )?;
+    let trained = rte_nn::state_dict(harness.scratch.as_mut());
+
+    let per_client = harness.eval_global(&trained)?;
+    Ok(MethodOutcome::new(
+        Method::Centralized,
+        per_client,
+        Vec::new(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::test_support::{clients, factory};
+
+    #[test]
+    fn centralized_beats_chance_on_all_clients() {
+        let clients = clients(3);
+        let factory = factory();
+        let mut config = FedConfig::tiny();
+        config.rounds = 4;
+        config.local_steps = 10;
+        let outcome = run(&clients, &factory, &config).unwrap();
+        for (k, auc) in outcome.per_client_auc.iter().enumerate() {
+            assert!(*auc > 0.55, "client {k}: AUC {auc}");
+        }
+    }
+}

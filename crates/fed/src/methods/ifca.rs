@@ -1,0 +1,120 @@
+//! Iterative Federated Clustering Algorithm (§4.3, after Ghosh et al.):
+//! `C` cluster models, each client picks the cluster whose model has the
+//! lowest loss on its training data, trains it, and the developer
+//! aggregates per cluster. The clustering is re-derived every round.
+
+use rte_nn::{load_state_dict, StateDict};
+
+use crate::methods::{Harness, MethodOutcome};
+use crate::params::weighted_average;
+use crate::{Client, FedConfig, FedError, Method, ModelFactory};
+
+pub(crate) fn run(
+    clients: &[Client],
+    factory: &ModelFactory,
+    config: &FedConfig,
+) -> Result<MethodOutcome, FedError> {
+    config.validate_clusters(clients.len())?;
+    let mut harness = Harness::new(clients, factory, config)?;
+    // One model per cluster, each with its own initialization (IFCA needs
+    // distinct starting points for the clustering to break symmetry).
+    let mut cluster_models: Vec<StateDict> = (0..config.clusters)
+        .map(|c| {
+            let mut model = factory(config.seed.wrapping_add(1 + c as u64));
+            rte_nn::state_dict(model.as_mut())
+        })
+        .collect();
+    let mut choice = vec![0usize; clients.len()];
+    let mut history = Vec::new();
+
+    for round in 1..=config.rounds {
+        // 1. Cluster selection by training loss.
+        for k in 0..clients.len() {
+            choice[k] = pick_cluster(&mut harness, &cluster_models, k)?;
+        }
+        // 2. Local training of the chosen cluster model.
+        let mut updates: Vec<Vec<(StateDict, f64)>> = vec![Vec::new(); config.clusters];
+        for k in 0..clients.len() {
+            let c = choice[k];
+            let trained = harness.train_client_from(
+                &cluster_models[c],
+                Some(&cluster_models[c]),
+                k,
+                round,
+                config.local_steps,
+            )?;
+            updates[c].push((trained, clients[k].weight() as f64));
+        }
+        // 3. Per-cluster aggregation; empty clusters keep their model.
+        for (c, cluster_updates) in updates.iter().enumerate() {
+            if cluster_updates.is_empty() {
+                continue;
+            }
+            let refs: Vec<(&StateDict, f64)> =
+                cluster_updates.iter().map(|(sd, w)| (sd, *w)).collect();
+            cluster_models[c] = weighted_average(&refs)?;
+        }
+        if harness.should_record(round) {
+            let per_client: Vec<StateDict> =
+                choice.iter().map(|&c| cluster_models[c].clone()).collect();
+            let aucs = harness.eval_personalized(&per_client)?;
+            history.push(Harness::record(round, aucs));
+        }
+    }
+
+    // Deploy: each client re-picks its best cluster, then evaluates.
+    let mut per_client_auc = Vec::with_capacity(clients.len());
+    for k in 0..clients.len() {
+        let c = pick_cluster(&mut harness, &cluster_models, k)?;
+        per_client_auc.push(harness.eval_state_on_client(&cluster_models[c], k)?);
+    }
+    Ok(MethodOutcome::new(Method::Ifca, per_client_auc, history))
+}
+
+/// Chooses `argmin_c L_k(W_c)` over the cluster models for client `k`.
+fn pick_cluster(
+    harness: &mut Harness<'_>,
+    cluster_models: &[StateDict],
+    k: usize,
+) -> Result<usize, FedError> {
+    let mut best = 0usize;
+    let mut best_loss = f32::INFINITY;
+    for (c, sd) in cluster_models.iter().enumerate() {
+        load_state_dict(harness.scratch.as_mut(), sd)?;
+        let loss = harness
+            .trainer
+            .eval_loss(harness.scratch.as_mut(), &harness.clients[k].train)?;
+        if loss < best_loss {
+            best_loss = loss;
+            best = c;
+        }
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::test_support::{clients, factory};
+
+    #[test]
+    fn runs_with_more_clusters_than_needed() {
+        let clients = clients(3);
+        let factory = factory();
+        let mut config = FedConfig::tiny();
+        config.clusters = 3;
+        let outcome = run(&clients, &factory, &config).unwrap();
+        assert_eq!(outcome.per_client_auc.len(), 3);
+        assert_eq!(outcome.method, Method::Ifca);
+    }
+
+    #[test]
+    fn single_cluster_degenerates_to_fedprox_like_training() {
+        let clients = clients(2);
+        let factory = factory();
+        let mut config = FedConfig::tiny();
+        config.clusters = 1;
+        let outcome = run(&clients, &factory, &config).unwrap();
+        assert!(outcome.per_client_auc.iter().all(|a| a.is_finite()));
+    }
+}

@@ -1,0 +1,325 @@
+//! The eight training methods of the paper's Tables 3-5.
+//!
+//! Every method consumes the same ingredients — a client list, a
+//! deterministic [`ModelFactory`] and a [`FedConfig`] — and produces a
+//! [`MethodOutcome`] with one ROC AUC per client plus an optional
+//! per-round history (used to regenerate the Fig. 1/2 convergence series).
+
+mod alpha_sync;
+mod assigned;
+mod centralized;
+mod fedprox;
+mod finetune;
+mod ifca;
+mod lg;
+mod local;
+
+pub use fedprox::fedprox_rounds;
+
+use rte_nn::{load_state_dict, state_dict, Layer, StateDict};
+use rte_tensor::rng::Xoshiro256;
+
+use crate::{Client, FedConfig, FedError, LocalTrainer, Method, ModelFactory};
+
+/// Evaluation batch size (evaluation is forward-only, so bigger batches
+/// are safe and faster).
+pub(crate) const EVAL_BATCH: usize = 16;
+
+/// One recorded evaluation during training.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundRecord {
+    /// Communication round (1-based; 0 = before training).
+    pub round: usize,
+    /// ROC AUC per client, in client order.
+    pub per_client_auc: Vec<f64>,
+    /// Mean of `per_client_auc`.
+    pub average_auc: f64,
+}
+
+/// Final result of one training method.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodOutcome {
+    /// The method that produced this outcome.
+    pub method: Method,
+    /// Final ROC AUC per client, in client order (one table cell each).
+    pub per_client_auc: Vec<f64>,
+    /// Mean over clients (the table's "Average" column).
+    pub average_auc: f64,
+    /// Per-round evaluations (non-empty when `FedConfig::eval_every > 0`
+    /// and the method is round-based).
+    pub history: Vec<RoundRecord>,
+}
+
+impl MethodOutcome {
+    pub(crate) fn new(method: Method, per_client_auc: Vec<f64>, history: Vec<RoundRecord>) -> Self {
+        let average_auc = if per_client_auc.is_empty() {
+            0.0
+        } else {
+            per_client_auc.iter().sum::<f64>() / per_client_auc.len() as f64
+        };
+        MethodOutcome {
+            method,
+            per_client_auc,
+            average_auc,
+            history,
+        }
+    }
+}
+
+/// Shared machinery for the method implementations: a scratch model for
+/// state-dict loading/evaluation, the local trainer, and derived RNG
+/// streams.
+pub(crate) struct Harness<'a> {
+    pub clients: &'a [Client],
+    pub config: &'a FedConfig,
+    pub trainer: LocalTrainer,
+    pub scratch: Box<dyn Layer>,
+    root_rng: Xoshiro256,
+}
+
+impl<'a> Harness<'a> {
+    pub fn new(
+        clients: &'a [Client],
+        factory: &'a ModelFactory,
+        config: &'a FedConfig,
+    ) -> Result<Self, FedError> {
+        if clients.is_empty() {
+            return Err(FedError::InvalidConfig {
+                reason: "no clients".into(),
+            });
+        }
+        config.validate_core()?;
+        let trainer =
+            LocalTrainer::new(config.lr, config.weight_decay, config.mu, config.batch_size);
+        Ok(Harness {
+            clients,
+            config,
+            trainer,
+            scratch: factory(config.seed),
+            root_rng: Xoshiro256::seed_from(config.seed ^ 0x5EED_0F0C),
+        })
+    }
+
+    /// The initial state dict every client starts from.
+    pub fn initial_state(&mut self) -> StateDict {
+        state_dict(self.scratch.as_mut())
+    }
+
+    /// Deterministic RNG for (round, client) training batches.
+    pub fn round_rng(&self, round: usize, client: usize) -> Xoshiro256 {
+        self.root_rng
+            .derive(round as u64 + 1)
+            .derive(client as u64 + 1)
+    }
+
+    /// The clients participating in `round` under
+    /// [`FedConfig::participation`]: all of them at 1.0, otherwise a
+    /// deterministic per-round sample of
+    /// `ceil(participation · K)` clients (at least one).
+    pub fn participants(&self, round: usize) -> Vec<usize> {
+        let k = self.clients.len();
+        if self.config.participation >= 1.0 {
+            return (0..k).collect();
+        }
+        let take = ((self.config.participation as f64 * k as f64).ceil() as usize)
+            .clamp(1, k);
+        let mut rng = self.root_rng.derive(0x9A37).derive(round as u64);
+        let mut sample = rng.sample_indices(k, take);
+        sample.sort_unstable();
+        sample
+    }
+
+    /// Loads `sd` into the scratch model and evaluates AUC on client `k`'s
+    /// test split.
+    pub fn eval_state_on_client(&mut self, sd: &StateDict, k: usize) -> Result<f64, FedError> {
+        load_state_dict(self.scratch.as_mut(), sd)?;
+        crate::evaluate_auc(self.scratch.as_mut(), &self.clients[k].test, EVAL_BATCH)
+    }
+
+    /// Evaluates one state dict per client (personalized deployment).
+    pub fn eval_personalized(&mut self, sds: &[StateDict]) -> Result<Vec<f64>, FedError> {
+        debug_assert_eq!(sds.len(), self.clients.len());
+        (0..self.clients.len())
+            .map(|k| self.eval_state_on_client(&sds[k], k))
+            .collect()
+    }
+
+    /// Evaluates one shared state dict on every client (generalized
+    /// deployment).
+    pub fn eval_global(&mut self, sd: &StateDict) -> Result<Vec<f64>, FedError> {
+        (0..self.clients.len())
+            .map(|k| self.eval_state_on_client(sd, k))
+            .collect()
+    }
+
+    /// True when round `r` (1-based) should be recorded in the history.
+    pub fn should_record(&self, round: usize) -> bool {
+        self.config.eval_every > 0
+            && (round % self.config.eval_every == 0 || round == self.config.rounds)
+    }
+
+    /// Builds a [`RoundRecord`] from per-client AUCs.
+    pub fn record(round: usize, per_client_auc: Vec<f64>) -> RoundRecord {
+        let average_auc = per_client_auc.iter().sum::<f64>() / per_client_auc.len() as f64;
+        RoundRecord {
+            round,
+            per_client_auc,
+            average_auc,
+        }
+    }
+
+    /// Trains the scratch model from `start` on client `k`'s data with the
+    /// proximal reference `reference`, returning the resulting state dict.
+    pub fn train_client_from(
+        &mut self,
+        start: &StateDict,
+        reference: Option<&StateDict>,
+        k: usize,
+        round: usize,
+        steps: usize,
+    ) -> Result<StateDict, FedError> {
+        load_state_dict(self.scratch.as_mut(), start)?;
+        let mut rng = self.round_rng(round, k);
+        self.trainer.train(
+            self.scratch.as_mut(),
+            &self.clients[k].train,
+            reference,
+            steps,
+            &mut rng,
+        )?;
+        Ok(state_dict(self.scratch.as_mut()))
+    }
+}
+
+/// Runs one training method end to end.
+///
+/// # Errors
+///
+/// Returns [`FedError`] for invalid configurations or model failures.
+pub fn run_method(
+    method: Method,
+    clients: &[Client],
+    factory: &ModelFactory,
+    config: &FedConfig,
+) -> Result<MethodOutcome, FedError> {
+    match method {
+        Method::LocalOnly => local::run(clients, factory, config),
+        Method::Centralized => centralized::run(clients, factory, config),
+        Method::FedProx => fedprox::run(clients, factory, config),
+        Method::FedProxLg => lg::run(clients, factory, config),
+        Method::Ifca => ifca::run(clients, factory, config),
+        Method::FedProxFinetune => finetune::run(clients, factory, config),
+        Method::AssignedClustering => assigned::run(clients, factory, config),
+        Method::AlphaSync => alpha_sync::run(clients, factory, config),
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+    use crate::ClientSet;
+    use rte_nn::models::{FlNet, FlNetConfig};
+    use rte_tensor::Tensor;
+
+    /// Builds a tiny synthetic client whose labels depend on channel 0,
+    /// with a per-client distribution shift on the threshold (client-level
+    /// heterogeneity in miniature).
+    pub fn synthetic_client(id: usize, n_train: usize, n_test: usize, seed: u64) -> Client {
+        let threshold = 0.45 + 0.1 * (id as f32 % 3.0) / 3.0;
+        let make = |n: usize, salt: u64| -> ClientSet {
+            let mut rng = Xoshiro256::seed_from(seed ^ salt);
+            let mut x = Tensor::from_fn(&[n, 2, 8, 8], |_| rng.uniform());
+            let mut y = Tensor::zeros(&[n, 1, 8, 8]);
+            for ni in 0..n {
+                for i in 0..64 {
+                    let v = x.data()[ni * 128 + i];
+                    y.data_mut()[ni * 64 + i] = if v > threshold { 1.0 } else { 0.0 };
+                }
+                for i in 0..64 {
+                    x.data_mut()[ni * 128 + 64 + i] = rng.uniform();
+                }
+            }
+            ClientSet::new(x, y).unwrap()
+        };
+        Client::new(id, make(n_train, 0xAAAA), make(n_test, 0xBBBB))
+    }
+
+    pub fn clients(n: usize) -> Vec<Client> {
+        (0..n)
+            .map(|k| synthetic_client(k + 1, 6, 3, 100 + k as u64))
+            .collect()
+    }
+
+    pub fn factory() -> ModelFactory {
+        Box::new(|seed| {
+            let mut rng = Xoshiro256::seed_from(seed);
+            Box::new(FlNet::new(
+                FlNetConfig {
+                    in_channels: 2,
+                    hidden: 6,
+                    kernel: 3,
+                    depth: 2,
+                },
+                &mut rng,
+            ))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::{clients, factory};
+    use super::*;
+
+    #[test]
+    fn all_methods_produce_per_client_aucs() {
+        let clients = clients(2);
+        let factory = factory();
+        let config = FedConfig::tiny();
+        for method in Method::ALL {
+            let outcome = run_method(method, &clients, &factory, &config).unwrap();
+            assert_eq!(outcome.per_client_auc.len(), 2, "{method}");
+            assert!(
+                outcome
+                    .per_client_auc
+                    .iter()
+                    .all(|a| (0.0..=1.0).contains(a)),
+                "{method}: {:?}",
+                outcome.per_client_auc
+            );
+            let mean = outcome.per_client_auc.iter().sum::<f64>() / 2.0;
+            assert!((outcome.average_auc - mean).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn methods_are_deterministic() {
+        let clients = clients(2);
+        let factory = factory();
+        let config = FedConfig::tiny();
+        let a = run_method(Method::FedProx, &clients, &factory, &config).unwrap();
+        let b = run_method(Method::FedProx, &clients, &factory, &config).unwrap();
+        assert_eq!(a.per_client_auc, b.per_client_auc);
+    }
+
+    #[test]
+    fn history_recorded_when_requested() {
+        let clients = clients(2);
+        let factory = factory();
+        let mut config = FedConfig::tiny();
+        config.eval_every = 1;
+        let outcome = run_method(Method::FedProx, &clients, &factory, &config).unwrap();
+        assert_eq!(outcome.history.len(), config.rounds);
+        for (i, rec) in outcome.history.iter().enumerate() {
+            assert_eq!(rec.round, i + 1);
+            assert_eq!(rec.per_client_auc.len(), 2);
+        }
+    }
+
+    #[test]
+    fn empty_clients_rejected() {
+        let factory = factory();
+        let config = FedConfig::tiny();
+        assert!(run_method(Method::FedProx, &[], &factory, &config).is_err());
+    }
+}

@@ -1,0 +1,247 @@
+//! State-dict arithmetic: the server side of federated learning.
+//!
+//! The developer in the paper's Fig. 1 computes
+//! `W^{r+1} = Σ_k (n_k / n) · w_k^r`; [`weighted_average`] implements
+//! exactly that over [`StateDict`]s. The personalization methods build on
+//! the same primitives: [`partition`] splits a dict into global/local
+//! parts for FedProx-LG, and [`blend`] mixes a client's own parameters
+//! with the rest-of-fleet average for α-portion sync.
+
+use rte_nn::StateDict;
+use rte_tensor::Tensor;
+
+use crate::FedError;
+
+fn check_compatible(a: &StateDict, b: &StateDict) -> Result<(), FedError> {
+    if a.len() != b.len() {
+        return Err(FedError::AggregationMismatch {
+            reason: format!("entry counts {} vs {}", a.len(), b.len()),
+        });
+    }
+    for ((na, ta), (nb, tb)) in a.iter().zip(b.iter()) {
+        if na != nb {
+            return Err(FedError::AggregationMismatch {
+                reason: format!("entry names {na} vs {nb}"),
+            });
+        }
+        if ta.shape() != tb.shape() {
+            return Err(FedError::AggregationMismatch {
+                reason: format!("{na}: shapes {} vs {}", ta.shape(), tb.shape()),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Weighted average of state dicts: `Σ_i weights[i] · dicts[i]` with the
+/// weights normalized to sum to 1.
+///
+/// # Errors
+///
+/// Returns [`FedError::AggregationMismatch`] if the dicts disagree
+/// structurally, or [`FedError::InvalidConfig`] for empty input or
+/// non-positive total weight.
+///
+/// # Example
+///
+/// ```
+/// use rte_fed::params::weighted_average;
+/// use rte_tensor::Tensor;
+///
+/// let a = vec![("w".to_string(), Tensor::full(&[2], 0.0))];
+/// let b = vec![("w".to_string(), Tensor::full(&[2], 1.0))];
+/// let avg = weighted_average(&[(&a, 1.0), (&b, 3.0)])?;
+/// assert_eq!(avg[0].1.data(), &[0.75, 0.75]);
+/// # Ok::<(), rte_fed::FedError>(())
+/// ```
+pub fn weighted_average(entries: &[(&StateDict, f64)]) -> Result<StateDict, FedError> {
+    let first = entries.first().ok_or_else(|| FedError::InvalidConfig {
+        reason: "weighted_average of zero dicts".into(),
+    })?;
+    let total: f64 = entries.iter().map(|(_, w)| w).sum();
+    if total <= 0.0 {
+        return Err(FedError::InvalidConfig {
+            reason: format!("non-positive total weight {total}"),
+        });
+    }
+    for (dict, _) in entries.iter().skip(1) {
+        check_compatible(first.0, dict)?;
+    }
+    let mut out: StateDict = first
+        .0
+        .iter()
+        .map(|(name, t)| (name.clone(), Tensor::zeros(t.shape().dims())))
+        .collect();
+    for (dict, weight) in entries {
+        let alpha = (*weight / total) as f32;
+        for (acc, (_, t)) in out.iter_mut().zip(dict.iter()) {
+            acc.1.axpy(alpha, t)?;
+        }
+    }
+    Ok(out)
+}
+
+/// Splits a state dict into `(matching, rest)` by a name predicate.
+///
+/// FedProx-LG uses this with `is_local = |name| name.starts_with("output_conv")`
+/// to keep the output layer private per client.
+pub fn partition(dict: &StateDict, is_local: impl Fn(&str) -> bool) -> (StateDict, StateDict) {
+    let mut local = StateDict::new();
+    let mut global = StateDict::new();
+    for (name, t) in dict {
+        if is_local(name) {
+            local.push((name.clone(), t.clone()));
+        } else {
+            global.push((name.clone(), t.clone()));
+        }
+    }
+    (local, global)
+}
+
+/// Overwrites the entries of `dict` whose names appear in `updates`.
+///
+/// # Errors
+///
+/// Returns [`FedError::AggregationMismatch`] if an update name is missing
+/// from `dict` or shapes disagree.
+pub fn apply_updates(dict: &mut StateDict, updates: &StateDict) -> Result<(), FedError> {
+    for (name, t) in updates {
+        let slot = dict.iter_mut().find(|(n, _)| n == name).ok_or_else(|| {
+            FedError::AggregationMismatch {
+                reason: format!("no entry named {name}"),
+            }
+        })?;
+        if slot.1.shape() != t.shape() {
+            return Err(FedError::AggregationMismatch {
+                reason: format!("{name}: shapes {} vs {}", slot.1.shape(), t.shape()),
+            });
+        }
+        slot.1 = t.clone();
+    }
+    Ok(())
+}
+
+/// Convex blend `alpha · a + (1 − alpha) · b`, the α-portion sync update.
+///
+/// # Errors
+///
+/// Returns [`FedError::AggregationMismatch`] if the dicts disagree, or
+/// [`FedError::InvalidConfig`] if `alpha` is outside `[0, 1]`.
+pub fn blend(a: &StateDict, b: &StateDict, alpha: f32) -> Result<StateDict, FedError> {
+    if !(0.0..=1.0).contains(&alpha) {
+        return Err(FedError::InvalidConfig {
+            reason: format!("alpha {alpha} outside [0, 1]"),
+        });
+    }
+    check_compatible(a, b)?;
+    Ok(a.iter()
+        .zip(b.iter())
+        .map(|((name, ta), (_, tb))| {
+            (
+                name.clone(),
+                ta.zip_with(tb, |x, y| alpha * x + (1.0 - alpha) * y),
+            )
+        })
+        .collect())
+}
+
+/// Squared L2 distance between two state dicts (the FedProx proximal
+/// radius `‖W^r − w_k‖²`).
+///
+/// # Errors
+///
+/// Returns [`FedError::AggregationMismatch`] if the dicts disagree.
+pub fn l2_distance_sq(a: &StateDict, b: &StateDict) -> Result<f64, FedError> {
+    check_compatible(a, b)?;
+    let mut total = 0.0f64;
+    for ((_, ta), (_, tb)) in a.iter().zip(b.iter()) {
+        for (&x, &y) in ta.data().iter().zip(tb.data().iter()) {
+            let d = (x - y) as f64;
+            total += d * d;
+        }
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dict(v: f32) -> StateDict {
+        vec![
+            ("a/weight".into(), Tensor::full(&[2, 2], v)),
+            ("output_conv/weight".into(), Tensor::full(&[3], v * 2.0)),
+        ]
+    }
+
+    #[test]
+    fn weighted_average_normalizes() {
+        let d1 = dict(0.0);
+        let d2 = dict(4.0);
+        let avg = weighted_average(&[(&d1, 3.0), (&d2, 1.0)]).unwrap();
+        assert_eq!(avg[0].1.data(), &[1.0; 4]);
+        assert_eq!(avg[1].1.data(), &[2.0; 3]);
+    }
+
+    #[test]
+    fn weighted_average_single_is_identity() {
+        let d = dict(2.5);
+        let avg = weighted_average(&[(&d, 7.0)]).unwrap();
+        assert_eq!(avg, d);
+    }
+
+    #[test]
+    fn weighted_average_rejects_mismatch() {
+        let d1 = dict(1.0);
+        let mut d2 = dict(1.0);
+        d2[0].0 = "renamed".into();
+        assert!(weighted_average(&[(&d1, 1.0), (&d2, 1.0)]).is_err());
+        let mut d3 = dict(1.0);
+        d3[0].1 = Tensor::zeros(&[5]);
+        assert!(weighted_average(&[(&d1, 1.0), (&d3, 1.0)]).is_err());
+        assert!(weighted_average(&[]).is_err());
+        assert!(weighted_average(&[(&d1, 0.0)]).is_err());
+    }
+
+    #[test]
+    fn partition_splits_by_name() {
+        let d = dict(1.0);
+        let (local, global) = partition(&d, |n| n.starts_with("output_conv"));
+        assert_eq!(local.len(), 1);
+        assert_eq!(global.len(), 1);
+        assert_eq!(local[0].0, "output_conv/weight");
+        assert_eq!(global[0].0, "a/weight");
+    }
+
+    #[test]
+    fn apply_updates_overwrites_named_entries() {
+        let mut d = dict(1.0);
+        let updates = vec![("a/weight".to_string(), Tensor::full(&[2, 2], 9.0))];
+        apply_updates(&mut d, &updates).unwrap();
+        assert_eq!(d[0].1.data(), &[9.0; 4]);
+        assert_eq!(d[1].1.data()[0], 2.0, "untouched entry");
+
+        let bad = vec![("missing".to_string(), Tensor::zeros(&[1]))];
+        assert!(apply_updates(&mut d, &bad).is_err());
+    }
+
+    #[test]
+    fn blend_is_convex() {
+        let a = dict(1.0);
+        let b = dict(3.0);
+        let mixed = blend(&a, &b, 0.25).unwrap();
+        assert!((mixed[0].1.data()[0] - 2.5).abs() < 1e-6);
+        assert!(blend(&a, &b, 1.5).is_err());
+        assert_eq!(blend(&a, &b, 1.0).unwrap(), a);
+        assert_eq!(blend(&a, &b, 0.0).unwrap(), b);
+    }
+
+    #[test]
+    fn l2_distance() {
+        let a = dict(0.0);
+        let b = dict(1.0);
+        // First entry: 4 elements of diff 1; second: 3 elements of diff 2.
+        assert_eq!(l2_distance_sq(&a, &b).unwrap(), 4.0 + 12.0);
+        assert_eq!(l2_distance_sq(&a, &a).unwrap(), 0.0);
+    }
+}

@@ -1,0 +1,271 @@
+//! Client-side local training (the per-round inner loop of Eq. 1).
+
+use std::collections::HashMap;
+
+use rte_nn::loss::mse;
+use rte_nn::optim::{Adam, Optimizer};
+use rte_nn::{Layer, StateDict};
+use rte_tensor::rng::Xoshiro256;
+
+use crate::{ClientSet, FedError};
+
+/// Runs minibatch Adam on one client's data, optionally with the FedProx
+/// proximal term `μ‖W^r − w_k‖²` pulling towards a reference (global)
+/// state dict.
+///
+/// A fresh optimizer is constructed per call: each round's local training
+/// starts from freshly deployed global parameters, so stale Adam moments
+/// must not leak across rounds.
+#[derive(Debug, Clone)]
+pub struct LocalTrainer {
+    /// Learning rate.
+    pub lr: f32,
+    /// L2 regularization strength.
+    pub weight_decay: f32,
+    /// FedProx proximal strength μ (0 recovers FedAvg-style local SGD).
+    pub mu: f32,
+    /// Minibatch size.
+    pub batch_size: usize,
+}
+
+impl LocalTrainer {
+    /// Creates a trainer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` or `batch_size` is not positive.
+    pub fn new(lr: f32, weight_decay: f32, mu: f32, batch_size: usize) -> Self {
+        assert!(lr > 0.0, "LocalTrainer: non-positive lr");
+        assert!(batch_size > 0, "LocalTrainer: zero batch size");
+        LocalTrainer {
+            lr,
+            weight_decay,
+            mu,
+            batch_size,
+        }
+    }
+
+    /// Trains `model` for `steps` minibatch updates on `data`, returning
+    /// the mean training loss over the steps.
+    ///
+    /// When `reference` is `Some`, each parameter gradient receives the
+    /// FedProx term `2μ(w − W^r)` before the optimizer step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FedError`] on forward/backward failures or when the data
+    /// set is empty.
+    pub fn train(
+        &self,
+        model: &mut dyn Layer,
+        data: &ClientSet,
+        reference: Option<&StateDict>,
+        steps: usize,
+        rng: &mut Xoshiro256,
+    ) -> Result<f32, FedError> {
+        if data.is_empty() {
+            return Err(FedError::InvalidConfig {
+                reason: "training on empty client set".into(),
+            });
+        }
+        let reference_map: Option<HashMap<&str, &rte_tensor::Tensor>> =
+            reference.map(|sd| sd.iter().map(|(n, t)| (n.as_str(), t)).collect());
+        let mut optimizer = Adam::new(self.lr, self.weight_decay);
+        let mut total_loss = 0.0f64;
+        for _ in 0..steps {
+            let (x, y) = data.sample_minibatch(self.batch_size, rng);
+            let pred = model.forward(&x, true)?;
+            let loss = mse(&pred, &y)?;
+            total_loss += loss.value as f64;
+            model.zero_grad();
+            model.backward(&loss.grad)?;
+            if let (Some(map), true) = (&reference_map, self.mu > 0.0) {
+                let mu = self.mu;
+                let mut prox_error: Option<FedError> = None;
+                model.visit_params("", &mut |name, p| {
+                    if prox_error.is_some() {
+                        return;
+                    }
+                    match map.get(name.as_str()) {
+                        Some(global) => {
+                            // d/dw μ‖w − W‖² = 2μ(w − W)
+                            for i in 0..p.grad.numel() {
+                                p.grad.data_mut()[i] +=
+                                    2.0 * mu * (p.value.data()[i] - global.data()[i]);
+                            }
+                        }
+                        None => {
+                            prox_error = Some(FedError::AggregationMismatch {
+                                reason: format!("reference dict lacks {name}"),
+                            });
+                        }
+                    }
+                });
+                if let Some(e) = prox_error {
+                    return Err(e);
+                }
+            }
+            optimizer.step(model);
+        }
+        Ok((total_loss / steps.max(1) as f64) as f32)
+    }
+
+    /// Mean MSE of `model` on a full pass over `data` without updating
+    /// parameters (used by IFCA's cluster selection).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FedError`] on forward failures or empty data.
+    pub fn eval_loss(&self, model: &mut dyn Layer, data: &ClientSet) -> Result<f32, FedError> {
+        if data.is_empty() {
+            return Err(FedError::InvalidConfig {
+                reason: "loss evaluation on empty client set".into(),
+            });
+        }
+        let n = data.len();
+        let mut total = 0.0f64;
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + self.batch_size).min(n);
+            let indices: Vec<usize> = (start..end).collect();
+            let (x, y) = data.minibatch(&indices);
+            let pred = model.forward(&x, false)?;
+            total += mse(&pred, &y)?.value as f64 * (end - start) as f64;
+            start = end;
+        }
+        Ok((total / n as f64) as f32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rte_nn::models::{FlNet, FlNetConfig};
+    use rte_nn::state_dict;
+    use rte_tensor::Tensor;
+
+    fn toy_data(seed: u64, n: usize) -> ClientSet {
+        // Labels correlate with channel 0: learnable task.
+        let mut rng = Xoshiro256::seed_from(seed);
+        let mut x = Tensor::from_fn(&[n, 2, 8, 8], |_| rng.uniform());
+        let mut y = Tensor::zeros(&[n, 1, 8, 8]);
+        for ni in 0..n {
+            for i in 0..64 {
+                let v = x.data()[ni * 128 + i];
+                y.data_mut()[ni * 64 + i] = if v > 0.6 { 1.0 } else { 0.0 };
+            }
+        }
+        // Add mild noise to the other channel so it is uninformative.
+        for ni in 0..n {
+            for i in 0..64 {
+                x.data_mut()[ni * 128 + 64 + i] = rng.uniform();
+            }
+        }
+        ClientSet::new(x, y).unwrap()
+    }
+
+    fn small_model(seed: u64) -> FlNet {
+        let mut rng = Xoshiro256::seed_from(seed);
+        FlNet::new(
+            FlNetConfig {
+                in_channels: 2,
+                hidden: 6,
+                kernel: 3,
+                depth: 2,
+            },
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let data = toy_data(1, 8);
+        let mut model = small_model(2);
+        let trainer = LocalTrainer::new(5e-3, 0.0, 0.0, 4);
+        let mut rng = Xoshiro256::seed_from(3);
+        let first = trainer.train(&mut model, &data, None, 5, &mut rng).unwrap();
+        let later = trainer
+            .train(&mut model, &data, None, 60, &mut rng)
+            .unwrap();
+        assert!(later < first, "loss {first} -> {later}");
+    }
+
+    #[test]
+    fn proximal_term_limits_drift() {
+        let data = toy_data(4, 8);
+        let trainer_free = LocalTrainer::new(5e-3, 0.0, 0.0, 4);
+        let trainer_prox = LocalTrainer::new(5e-3, 0.0, 0.5, 4);
+        let mut m_free = small_model(5);
+        let mut m_prox = small_model(5);
+        let reference = state_dict(&mut m_free);
+        let mut rng1 = Xoshiro256::seed_from(6);
+        let mut rng2 = Xoshiro256::seed_from(6);
+        trainer_free
+            .train(&mut m_free, &data, Some(&reference), 40, &mut rng1)
+            .unwrap();
+        trainer_prox
+            .train(&mut m_prox, &data, Some(&reference), 40, &mut rng2)
+            .unwrap();
+        let drift_free =
+            crate::params::l2_distance_sq(&state_dict(&mut m_free), &reference).unwrap();
+        let drift_prox =
+            crate::params::l2_distance_sq(&state_dict(&mut m_prox), &reference).unwrap();
+        assert!(
+            drift_prox < drift_free,
+            "prox drift {drift_prox} !< free drift {drift_free}"
+        );
+    }
+
+    #[test]
+    fn missing_reference_entry_is_error() {
+        let data = toy_data(7, 4);
+        let mut model = small_model(8);
+        let trainer = LocalTrainer::new(1e-3, 0.0, 0.1, 2);
+        let bad_reference = vec![("nonexistent".to_string(), Tensor::zeros(&[1]))];
+        let mut rng = Xoshiro256::seed_from(9);
+        assert!(trainer
+            .train(&mut model, &data, Some(&bad_reference), 1, &mut rng)
+            .is_err());
+    }
+
+    #[test]
+    fn empty_data_is_error() {
+        let x = Tensor::zeros(&[0, 2, 8, 8]);
+        let y = Tensor::zeros(&[0, 1, 8, 8]);
+        let empty = ClientSet::new(x, y).unwrap();
+        let mut model = small_model(1);
+        let trainer = LocalTrainer::new(1e-3, 0.0, 0.0, 2);
+        let mut rng = Xoshiro256::seed_from(1);
+        assert!(trainer
+            .train(&mut model, &empty, None, 1, &mut rng)
+            .is_err());
+        assert!(trainer.eval_loss(&mut model, &empty).is_err());
+    }
+
+    #[test]
+    fn eval_loss_is_batch_invariant() {
+        let data = toy_data(10, 6);
+        let mut model = small_model(11);
+        let t1 = LocalTrainer::new(1e-3, 0.0, 0.0, 1);
+        let t6 = LocalTrainer::new(1e-3, 0.0, 0.0, 6);
+        let a = t1.eval_loss(&mut model, &data).unwrap();
+        let b = t6.eval_loss(&mut model, &data).unwrap();
+        assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let data = toy_data(12, 6);
+        let trainer = LocalTrainer::new(2e-3, 1e-5, 1e-4, 3);
+        let run = || {
+            let mut model = small_model(13);
+            let reference = state_dict(&mut model);
+            let mut rng = Xoshiro256::seed_from(14);
+            trainer
+                .train(&mut model, &data, Some(&reference), 10, &mut rng)
+                .unwrap();
+            state_dict(&mut model)
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,145 @@
+//! Average precision (area under the precision-recall curve).
+//!
+//! DRC hotspot maps are heavily imbalanced (hotspots are a minority of
+//! tiles), where ROC AUC can look flattering; average precision weights
+//! performance by the positive class and is the standard companion
+//! metric. Not reported in the paper's tables, but exposed for downstream
+//! users evaluating their own deployments.
+
+use crate::MetricsError;
+
+/// Average precision with the step-wise interpolation scikit-learn uses:
+/// `AP = Σ (R_i − R_{i−1}) · P_i` sweeping the threshold from high to low.
+///
+/// Ties are handled as one group (all samples at a threshold enter
+/// together).
+///
+/// # Errors
+///
+/// Returns [`MetricsError`] for length mismatches, NaN scores, or a
+/// label vector without any positives.
+///
+/// # Example
+///
+/// ```
+/// use rte_metrics::average_precision;
+///
+/// // Perfect ranking: AP = 1.
+/// let ap = average_precision(&[0.9, 0.8, 0.1], &[true, true, false])?;
+/// assert!((ap - 1.0).abs() < 1e-12);
+/// # Ok::<(), rte_metrics::MetricsError>(())
+/// ```
+pub fn average_precision(scores: &[f32], labels: &[bool]) -> Result<f64, MetricsError> {
+    if scores.len() != labels.len() {
+        return Err(MetricsError::LengthMismatch {
+            scores: scores.len(),
+            labels: labels.len(),
+        });
+    }
+    if scores.iter().any(|s| s.is_nan()) {
+        return Err(MetricsError::NanScore);
+    }
+    let positives = labels.iter().filter(|&&l| l).count();
+    if positives == 0 {
+        return Err(MetricsError::SingleClass {
+            positives: 0,
+            negatives: labels.len(),
+        });
+    }
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("no NaN"));
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut prev_recall = 0.0f64;
+    let mut ap = 0.0f64;
+    let mut i = 0usize;
+    while i < idx.len() {
+        let threshold = scores[idx[i]];
+        while i < idx.len() && scores[idx[i]] == threshold {
+            if labels[idx[i]] {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            i += 1;
+        }
+        let recall = tp as f64 / positives as f64;
+        let precision = tp as f64 / (tp + fp) as f64;
+        ap += (recall - prev_recall) * precision;
+        prev_recall = recall;
+    }
+    Ok(ap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_is_one() {
+        let ap = average_precision(&[0.9, 0.8, 0.3, 0.2], &[true, true, false, false]).unwrap();
+        assert!((ap - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worst_ranking_equals_tail_precision() {
+        // Positives ranked last: AP = Σ over positives of precision at
+        // their positions = (1/3 + 2/4)/2 for one pos at rank 3 of 4…
+        let ap = average_precision(&[0.9, 0.8, 0.3], &[false, false, true]).unwrap();
+        assert!((ap - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hand_computed_interleaved() {
+        // ranking: pos, neg, pos, neg
+        // after 1st (pos): R=0.5, P=1.0 → +0.5·1.0
+        // after 3rd (pos): R=1.0, P=2/3 → +0.5·(2/3)
+        let ap = average_precision(&[0.9, 0.7, 0.5, 0.3], &[true, false, true, false]).unwrap();
+        assert!((ap - (0.5 + 0.5 * 2.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_tied_scores_give_base_rate() {
+        // One threshold group containing everything: AP = prevalence.
+        let ap = average_precision(&[0.5; 4], &[true, false, false, false]).unwrap();
+        assert!((ap - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_scores_near_prevalence() {
+        use rand_like::*;
+        mod rand_like {
+            pub struct Lcg(pub u64);
+            impl Lcg {
+                pub fn next_f32(&mut self) -> f32 {
+                    self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    ((self.0 >> 33) as f32) / (u32::MAX >> 1) as f32
+                }
+            }
+        }
+        let mut rng = Lcg(42);
+        let n = 5000;
+        let scores: Vec<f32> = (0..n).map(|_| rng.next_f32()).collect();
+        let labels: Vec<bool> = (0..n).map(|_| rng.next_f32() < 0.2).collect();
+        let prevalence = labels.iter().filter(|&&l| l).count() as f64 / n as f64;
+        let ap = average_precision(&scores, &labels).unwrap();
+        assert!(
+            (ap - prevalence).abs() < 0.05,
+            "AP {ap} vs prevalence {prevalence}"
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(average_precision(&[0.5], &[]).is_err());
+        assert!(average_precision(&[f32::NAN], &[true]).is_err());
+        assert!(average_precision(&[0.5, 0.4], &[false, false]).is_err());
+    }
+
+    #[test]
+    fn no_negatives_is_fine() {
+        // Unlike ROC AUC, AP is defined with zero negatives (always 1).
+        let ap = average_precision(&[0.5, 0.4], &[true, true]).unwrap();
+        assert!((ap - 1.0).abs() < 1e-12);
+    }
+}

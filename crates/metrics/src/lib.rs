@@ -1,0 +1,71 @@
+//! Evaluation metrics for the decentralized routability estimation
+//! reproduction.
+//!
+//! The paper reports ROC AUC per client (Tables 3-5); [`roc_auc`]
+//! implements the exact rank-based estimator with tie handling, and
+//! [`ConfusionMatrix`] provides the thresholded counts the ROC curve is
+//! built from.
+//!
+//! # Example
+//!
+//! ```
+//! use rte_metrics::roc_auc;
+//!
+//! let scores = [0.9, 0.8, 0.3, 0.1];
+//! let labels = [true, false, true, false];
+//! let auc = roc_auc(&scores, &labels)?;
+//! assert!((auc - 0.75).abs() < 1e-9);
+//! # Ok::<(), rte_metrics::MetricsError>(())
+//! ```
+
+mod average_precision;
+mod confusion;
+mod roc;
+
+pub use average_precision::average_precision;
+pub use confusion::ConfusionMatrix;
+pub use roc::{roc_auc, roc_curve, RocPoint};
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by metric computations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricsError {
+    /// Scores and labels had different lengths.
+    LengthMismatch {
+        /// Number of scores provided.
+        scores: usize,
+        /// Number of labels provided.
+        labels: usize,
+    },
+    /// AUC is undefined: the labels contain only one class.
+    SingleClass {
+        /// Number of positive labels observed.
+        positives: usize,
+        /// Number of negative labels observed.
+        negatives: usize,
+    },
+    /// A score was NaN.
+    NanScore,
+}
+
+impl fmt::Display for MetricsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricsError::LengthMismatch { scores, labels } => {
+                write!(f, "length mismatch: {scores} scores vs {labels} labels")
+            }
+            MetricsError::SingleClass {
+                positives,
+                negatives,
+            } => write!(
+                f,
+                "AUC undefined with {positives} positives and {negatives} negatives"
+            ),
+            MetricsError::NanScore => write!(f, "scores contain NaN"),
+        }
+    }
+}
+
+impl Error for MetricsError {}

@@ -1,0 +1,218 @@
+//! ROC curve and AUC.
+
+use crate::MetricsError;
+
+/// One operating point of a ROC curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RocPoint {
+    /// False-positive rate at this threshold.
+    pub fpr: f64,
+    /// True-positive rate at this threshold.
+    pub tpr: f64,
+    /// Score threshold producing this point (predictions with
+    /// `score >= threshold` count as positive).
+    pub threshold: f64,
+}
+
+fn validate(scores: &[f32], labels: &[bool]) -> Result<(usize, usize), MetricsError> {
+    if scores.len() != labels.len() {
+        return Err(MetricsError::LengthMismatch {
+            scores: scores.len(),
+            labels: labels.len(),
+        });
+    }
+    if scores.iter().any(|s| s.is_nan()) {
+        return Err(MetricsError::NanScore);
+    }
+    let positives = labels.iter().filter(|&&l| l).count();
+    let negatives = labels.len() - positives;
+    if positives == 0 || negatives == 0 {
+        return Err(MetricsError::SingleClass {
+            positives,
+            negatives,
+        });
+    }
+    Ok((positives, negatives))
+}
+
+/// Area under the ROC curve via the rank-sum (Mann-Whitney U) estimator
+/// with midrank tie handling — exactly what scikit-learn computes.
+///
+/// `labels[i]` is `true` for a positive (hotspot) sample.
+///
+/// # Errors
+///
+/// Returns [`MetricsError`] when lengths differ, scores contain NaN, or
+/// only one class is present.
+///
+/// # Example
+///
+/// ```
+/// use rte_metrics::roc_auc;
+///
+/// // Perfect ranking → AUC 1; inverted ranking → AUC 0.
+/// assert_eq!(roc_auc(&[0.9, 0.1], &[true, false])?, 1.0);
+/// assert_eq!(roc_auc(&[0.1, 0.9], &[true, false])?, 0.0);
+/// # Ok::<(), rte_metrics::MetricsError>(())
+/// ```
+pub fn roc_auc(scores: &[f32], labels: &[bool]) -> Result<f64, MetricsError> {
+    let (positives, negatives) = validate(scores, labels)?;
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("no NaN"));
+    // Assign midranks over tied groups and sum ranks of positives.
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0usize;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && scores[idx[j + 1]] == scores[idx[i]] {
+            j += 1;
+        }
+        // Ranks are 1-based: group spans ranks i+1 ..= j+1.
+        let midrank = (i + 1 + j + 1) as f64 / 2.0;
+        for &k in &idx[i..=j] {
+            if labels[k] {
+                rank_sum_pos += midrank;
+            }
+        }
+        i = j + 1;
+    }
+    let p = positives as f64;
+    let n = negatives as f64;
+    let u = rank_sum_pos - p * (p + 1.0) / 2.0;
+    Ok(u / (p * n))
+}
+
+/// Full ROC curve: one [`RocPoint`] per distinct threshold, ordered by
+/// increasing FPR, with the trivial `(0,0)` and `(1,1)` endpoints included.
+///
+/// # Errors
+///
+/// Same conditions as [`roc_auc`].
+pub fn roc_curve(scores: &[f32], labels: &[bool]) -> Result<Vec<RocPoint>, MetricsError> {
+    let (positives, negatives) = validate(scores, labels)?;
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    // Descending by score: sweep the threshold down.
+    idx.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("no NaN"));
+    let mut points = vec![RocPoint {
+        fpr: 0.0,
+        tpr: 0.0,
+        threshold: f64::INFINITY,
+    }];
+    let (mut tp, mut fp) = (0usize, 0usize);
+    let mut i = 0usize;
+    while i < idx.len() {
+        let threshold = scores[idx[i]];
+        // Consume the whole tied group before emitting a point.
+        while i < idx.len() && scores[idx[i]] == threshold {
+            if labels[idx[i]] {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            i += 1;
+        }
+        points.push(RocPoint {
+            fpr: fp as f64 / negatives as f64,
+            tpr: tp as f64 / positives as f64,
+            threshold: threshold as f64,
+        });
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_and_inverted() {
+        let s = [0.9f32, 0.8, 0.2, 0.1];
+        let l = [true, true, false, false];
+        assert_eq!(roc_auc(&s, &l).unwrap(), 1.0);
+        let l_inv = [false, false, true, true];
+        assert_eq!(roc_auc(&s, &l_inv).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn balanced_mixture_is_half() {
+        // Positives {0.1, 0.4}, negatives {0.2, 0.3}: of the four
+        // pos/neg pairs exactly two are correctly ordered → AUC 0.5.
+        let s = [0.1f32, 0.2, 0.3, 0.4];
+        let l = [true, false, false, true];
+        assert_eq!(roc_auc(&s, &l).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn ties_get_midrank_credit() {
+        // All scores equal → AUC must be exactly 0.5 regardless of labels.
+        let s = [0.5f32; 6];
+        let l = [true, false, true, false, false, true];
+        assert_eq!(roc_auc(&s, &l).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn hand_computed_case() {
+        // scores: pos {0.8, 0.3}, neg {0.9, 0.1}
+        // pairs: (0.8 > 0.9)? no. (0.8 > 0.1) yes. (0.3>0.9) no. (0.3>0.1) yes.
+        // U = 2 of 4 → AUC 0.5.
+        let s = [0.8f32, 0.3, 0.9, 0.1];
+        let l = [true, true, false, false];
+        assert_eq!(roc_auc(&s, &l).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(matches!(
+            roc_auc(&[0.1, 0.2], &[true]),
+            Err(MetricsError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            roc_auc(&[0.1, 0.2], &[true, true]),
+            Err(MetricsError::SingleClass { .. })
+        ));
+        assert!(matches!(
+            roc_auc(&[f32::NAN, 0.2], &[true, false]),
+            Err(MetricsError::NanScore)
+        ));
+    }
+
+    #[test]
+    fn curve_endpoints_and_monotonicity() {
+        let s = [0.9f32, 0.7, 0.7, 0.4, 0.2, 0.1];
+        let l = [true, false, true, true, false, false];
+        let curve = roc_curve(&s, &l).unwrap();
+        assert_eq!(curve.first().unwrap().fpr, 0.0);
+        assert_eq!(curve.first().unwrap().tpr, 0.0);
+        assert_eq!(curve.last().unwrap().fpr, 1.0);
+        assert_eq!(curve.last().unwrap().tpr, 1.0);
+        for w in curve.windows(2) {
+            assert!(w[1].fpr >= w[0].fpr);
+            assert!(w[1].tpr >= w[0].tpr);
+            assert!(w[1].threshold <= w[0].threshold);
+        }
+    }
+
+    #[test]
+    fn curve_trapezoid_matches_rank_auc() {
+        let s = [0.95f32, 0.8, 0.7, 0.65, 0.5, 0.4, 0.3, 0.2];
+        let l = [true, true, false, true, false, true, false, false];
+        let auc = roc_auc(&s, &l).unwrap();
+        let curve = roc_curve(&s, &l).unwrap();
+        let mut area = 0.0;
+        for w in curve.windows(2) {
+            area += (w[1].fpr - w[0].fpr) * (w[1].tpr + w[0].tpr) / 2.0;
+        }
+        assert!((area - auc).abs() < 1e-12, "{area} vs {auc}");
+    }
+
+    #[test]
+    fn auc_is_threshold_free() {
+        // Any strictly monotone transform of scores leaves AUC unchanged.
+        let s = [0.9f32, 0.8, 0.3, 0.1, 0.05];
+        let l = [true, false, true, false, true];
+        let a1 = roc_auc(&s, &l).unwrap();
+        let s2: Vec<f32> = s.iter().map(|&x| x * x * 10.0).collect();
+        let a2 = roc_auc(&s2, &l).unwrap();
+        assert_eq!(a1, a2);
+    }
+}

@@ -1,0 +1,145 @@
+//! Dropout regularization.
+//!
+//! Not part of the three replicated estimators' published configurations,
+//! but a standard extension point for downstream users fine-tuning on
+//! small private datasets (exactly the paper's personalization setting,
+//! where local fine-tuning on 2-9 designs can overfit).
+
+use rte_tensor::rng::Xoshiro256;
+use rte_tensor::Tensor;
+
+use crate::{Layer, NnError, Param};
+
+/// Inverted dropout: during training each activation is zeroed with
+/// probability `p` and survivors are scaled by `1/(1-p)`, so evaluation
+/// mode is a no-op.
+///
+/// The mask RNG is owned by the layer and seeded explicitly, keeping
+/// training runs reproducible like every other stochastic component of
+/// the workspace.
+#[derive(Debug, Clone)]
+pub struct Dropout {
+    p: f32,
+    rng: Xoshiro256,
+    mask: Option<Vec<f32>>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1)`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "Dropout: p must be in [0, 1)");
+        Dropout {
+            p,
+            rng: Xoshiro256::seed_from(seed ^ 0xD80_0D80),
+            mask: None,
+        }
+    }
+
+    /// The drop probability.
+    pub fn probability(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, x: &Tensor, training: bool) -> Result<Tensor, NnError> {
+        if !training || self.p == 0.0 {
+            self.mask = Some(vec![1.0; x.numel()]);
+            return Ok(x.clone());
+        }
+        let keep_scale = 1.0 / (1.0 - self.p);
+        let mask: Vec<f32> = (0..x.numel())
+            .map(|_| {
+                if self.rng.bernoulli(self.p as f64) {
+                    0.0
+                } else {
+                    keep_scale
+                }
+            })
+            .collect();
+        let mut y = x.clone();
+        for (v, &m) in y.data_mut().iter_mut().zip(mask.iter()) {
+            *v *= m;
+        }
+        self.mask = Some(mask);
+        Ok(y)
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Result<Tensor, NnError> {
+        let mask = self
+            .mask
+            .as_ref()
+            .ok_or_else(|| NnError::BackwardBeforeForward {
+                layer: "Dropout".into(),
+            })?;
+        if mask.len() != dy.numel() {
+            return Err(NnError::Tensor(rte_tensor::TensorError::InvalidShape {
+                reason: format!("Dropout backward: dy has {} elements", dy.numel()),
+            }));
+        }
+        let mut dx = dy.clone();
+        for (v, &m) in dx.data_mut().iter_mut().zip(mask.iter()) {
+            *v *= m;
+        }
+        Ok(dx)
+    }
+
+    fn visit_params(&mut self, _prefix: &str, _f: &mut dyn FnMut(String, &mut Param)) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut d = Dropout::new(0.5, 1);
+        let x = Tensor::from_fn(&[64], |i| i as f32);
+        let y = d.forward(&x, false).unwrap();
+        assert_eq!(y, x);
+        let dx = d.backward(&Tensor::ones(&[64])).unwrap();
+        assert_eq!(dx, Tensor::ones(&[64]));
+    }
+
+    #[test]
+    fn training_zeroes_about_p_and_rescales() {
+        let mut d = Dropout::new(0.25, 2);
+        let x = Tensor::ones(&[10_000]);
+        let y = d.forward(&x, true).unwrap();
+        let zeros = y.data().iter().filter(|&&v| v == 0.0).count();
+        let rate = zeros as f64 / 10_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "drop rate {rate}");
+        // Survivors are scaled to preserve the expectation.
+        let survivor = y.data().iter().find(|&&v| v != 0.0).unwrap();
+        assert!((survivor - 1.0 / 0.75).abs() < 1e-6);
+        assert!((y.mean() - 1.0).abs() < 0.03, "mean {}", y.mean());
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut d = Dropout::new(0.5, 3);
+        let x = Tensor::ones(&[100]);
+        let y = d.forward(&x, true).unwrap();
+        let dx = d.backward(&Tensor::ones(&[100])).unwrap();
+        for (a, b) in y.data().iter().zip(dx.data().iter()) {
+            assert_eq!(a, b, "gradient must pass exactly where forward did");
+        }
+    }
+
+    #[test]
+    fn zero_probability_is_identity_even_in_training() {
+        let mut d = Dropout::new(0.0, 4);
+        let x = Tensor::from_fn(&[16], |i| i as f32);
+        assert_eq!(d.forward(&x, true).unwrap(), x);
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut d = Dropout::new(0.3, 5);
+        assert!(d.backward(&Tensor::zeros(&[4])).is_err());
+    }
+}

@@ -1,0 +1,80 @@
+//! Error type for the neural-network framework.
+
+use std::error::Error;
+use std::fmt;
+
+use rte_tensor::TensorError;
+
+/// Error produced by layer, loss, optimizer or state-dict operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NnError {
+    /// An underlying tensor operation failed (shape mismatch etc.).
+    Tensor(TensorError),
+    /// `backward` was called before `forward` cached its activations.
+    BackwardBeforeForward {
+        /// The layer that was misused.
+        layer: String,
+    },
+    /// A state dict did not match the model it was loaded into.
+    StateDictMismatch {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::BackwardBeforeForward { layer } => {
+                write!(f, "backward called before forward on layer {layer}")
+            }
+            NnError::StateDictMismatch { reason } => {
+                write!(f, "state dict mismatch: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for NnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = NnError::BackwardBeforeForward {
+            layer: "conv1".into(),
+        };
+        assert!(e.to_string().contains("conv1"));
+        let e = NnError::StateDictMismatch {
+            reason: "missing key".into(),
+        };
+        assert!(e.to_string().contains("missing key"));
+    }
+
+    #[test]
+    fn tensor_error_converts_and_sources() {
+        let te = TensorError::LengthMismatch {
+            expected: 4,
+            got: 2,
+        };
+        let e: NnError = te.clone().into();
+        assert_eq!(e, NnError::Tensor(te));
+        assert!(Error::source(&e).is_some());
+    }
+}

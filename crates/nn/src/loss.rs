@@ -1,0 +1,167 @@
+//! Loss functions.
+//!
+//! The paper's local objective (Eq. 1) is a squared loss on the model
+//! output plus a FedProx proximal term; the data term lives here
+//! ([`mse`]) and the proximal term is applied by `rte-fed` directly on
+//! parameter gradients.
+
+use rte_tensor::{Tensor, TensorError};
+
+use crate::NnError;
+
+/// Value and gradient of a loss: `grad` is dL/d(pred), shaped like the
+/// prediction.
+#[derive(Debug, Clone)]
+pub struct LossOutput {
+    /// Scalar loss value.
+    pub value: f32,
+    /// Gradient with respect to the prediction.
+    pub grad: Tensor,
+}
+
+fn check_shapes(pred: &Tensor, target: &Tensor) -> Result<(), NnError> {
+    if pred.shape() != target.shape() {
+        return Err(NnError::Tensor(TensorError::ShapeMismatch {
+            left: pred.shape().clone(),
+            right: target.shape().clone(),
+        }));
+    }
+    Ok(())
+}
+
+/// Mean squared error: `L = mean((pred − target)²)` — the data term of the
+/// paper's Eq. 1.
+///
+/// # Errors
+///
+/// Returns a shape error if `pred` and `target` differ in shape.
+///
+/// # Example
+///
+/// ```
+/// use rte_nn::loss::mse;
+/// use rte_tensor::Tensor;
+///
+/// let pred = Tensor::from_vec(vec![0.0, 1.0], &[2])?;
+/// let target = Tensor::from_vec(vec![0.0, 0.0], &[2])?;
+/// let out = mse(&pred, &target)?;
+/// assert_eq!(out.value, 0.5);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn mse(pred: &Tensor, target: &Tensor) -> Result<LossOutput, NnError> {
+    check_shapes(pred, target)?;
+    let n = pred.numel().max(1) as f32;
+    let diff = pred.zip_with(target, |p, t| p - t);
+    let value = diff.norm_sq() / n;
+    let grad = diff.scale(2.0 / n);
+    Ok(LossOutput { value, grad })
+}
+
+/// Binary cross entropy on probabilities in `(0, 1)`, with optional
+/// positive-class weighting to counter the extreme class imbalance of DRC
+/// hotspot maps (hotspots are typically a few percent of tiles).
+///
+/// `pos_weight = 1.0` is the unweighted BCE.
+///
+/// # Errors
+///
+/// Returns a shape error if `pred` and `target` differ in shape.
+pub fn bce(pred: &Tensor, target: &Tensor, pos_weight: f32) -> Result<LossOutput, NnError> {
+    check_shapes(pred, target)?;
+    const EPS: f32 = 1e-7;
+    let n = pred.numel().max(1) as f32;
+    let mut value = 0.0f64;
+    let mut grad = Tensor::zeros(pred.shape().dims());
+    for i in 0..pred.numel() {
+        let p = pred.data()[i].clamp(EPS, 1.0 - EPS);
+        let t = target.data()[i];
+        let w = if t > 0.5 { pos_weight } else { 1.0 };
+        value += -(w * t * p.ln() + (1.0 - t) * (1.0 - p).ln()) as f64;
+        grad.data_mut()[i] = (w * (p - t) * t + (p - t) * (1.0 - t)) / (p * (1.0 - p)) / n;
+    }
+    Ok(LossOutput {
+        value: (value / n as f64) as f32,
+        grad,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rte_tensor::rng::Xoshiro256;
+
+    #[test]
+    fn mse_zero_at_perfect_prediction() {
+        let t = Tensor::from_vec(vec![0.2, 0.8, 0.5], &[3]).unwrap();
+        let out = mse(&t, &t).unwrap();
+        assert_eq!(out.value, 0.0);
+        assert!(out.grad.data().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn mse_value_and_grad() {
+        let p = Tensor::from_vec(vec![1.0, 0.0], &[2]).unwrap();
+        let t = Tensor::from_vec(vec![0.0, 0.0], &[2]).unwrap();
+        let out = mse(&p, &t).unwrap();
+        assert_eq!(out.value, 0.5);
+        assert_eq!(out.grad.data(), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn mse_gradient_check() {
+        let mut rng = Xoshiro256::seed_from(1);
+        let p = Tensor::from_fn(&[6], |_| rng.uniform());
+        let t = Tensor::from_fn(&[6], |_| rng.uniform());
+        let out = mse(&p, &t).unwrap();
+        let eps = 1e-3f32;
+        for i in 0..6 {
+            let mut pp = p.clone();
+            pp.data_mut()[i] += eps;
+            let mut pm = p.clone();
+            pm.data_mut()[i] -= eps;
+            let numeric = (mse(&pp, &t).unwrap().value - mse(&pm, &t).unwrap().value) / (2.0 * eps);
+            assert!((numeric - out.grad.data()[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn bce_gradient_check() {
+        let mut rng = Xoshiro256::seed_from(2);
+        let p = Tensor::from_fn(&[6], |_| 0.1 + 0.8 * rng.uniform());
+        let t = Tensor::from_fn(&[6], |i| if i % 2 == 0 { 1.0 } else { 0.0 });
+        for pw in [1.0f32, 3.0] {
+            let out = bce(&p, &t, pw).unwrap();
+            let eps = 1e-3f32;
+            for i in 0..6 {
+                let mut pp = p.clone();
+                pp.data_mut()[i] += eps;
+                let mut pm = p.clone();
+                pm.data_mut()[i] -= eps;
+                let numeric = (bce(&pp, &t, pw).unwrap().value - bce(&pm, &t, pw).unwrap().value)
+                    / (2.0 * eps);
+                assert!(
+                    (numeric - out.grad.data()[i]).abs() < 2e-3,
+                    "pw {pw} i {i}: {numeric} vs {}",
+                    out.grad.data()[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bce_pos_weight_raises_positive_loss() {
+        let p = Tensor::from_vec(vec![0.3], &[1]).unwrap();
+        let t = Tensor::from_vec(vec![1.0], &[1]).unwrap();
+        let l1 = bce(&p, &t, 1.0).unwrap().value;
+        let l3 = bce(&p, &t, 3.0).unwrap().value;
+        assert!(l3 > l1 * 2.9);
+    }
+
+    #[test]
+    fn shape_mismatch_is_error() {
+        let p = Tensor::zeros(&[2]);
+        let t = Tensor::zeros(&[3]);
+        assert!(mse(&p, &t).is_err());
+        assert!(bce(&p, &t, 1.0).is_err());
+    }
+}

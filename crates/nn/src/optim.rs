@@ -1,0 +1,287 @@
+//! Optimizers.
+//!
+//! The paper trains with Adam (lr 2e-4) plus an L2 regularization strength
+//! of 1e-5; both Adam and plain SGD (with momentum) are provided. Optimizer
+//! state is keyed by parameter path so it survives parameter re-loading
+//! during federated rounds.
+
+use std::collections::HashMap;
+
+use rte_tensor::Tensor;
+
+use crate::{Layer, Param};
+
+/// A gradient-descent parameter update rule.
+pub trait Optimizer {
+    /// Applies one update step to every parameter of `model` using the
+    /// gradients accumulated in [`Param::grad`]. Does not zero gradients.
+    fn step(&mut self, model: &mut dyn Layer);
+
+    /// Learning rate currently in effect.
+    fn learning_rate(&self) -> f32;
+
+    /// Overrides the learning rate (used by fine-tuning schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with optional momentum and decoupled L2
+/// weight decay.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: HashMap<String, Tensor>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive or `momentum` is not in `[0, 1)`.
+    pub fn new(lr: f32, momentum: f32, weight_decay: f32) -> Self {
+        assert!(lr > 0.0, "Sgd: non-positive learning rate");
+        assert!((0.0..1.0).contains(&momentum), "Sgd: momentum out of range");
+        Sgd {
+            lr,
+            momentum,
+            weight_decay,
+            velocity: HashMap::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, model: &mut dyn Layer) {
+        let lr = self.lr;
+        let momentum = self.momentum;
+        let wd = self.weight_decay;
+        let velocity = &mut self.velocity;
+        model.visit_params("", &mut |name, p: &mut Param| {
+            let mut g = p.grad.clone();
+            if wd > 0.0 {
+                g.axpy(wd, &p.value).expect("grad/value shapes match");
+            }
+            if momentum > 0.0 {
+                let v = velocity
+                    .entry(name)
+                    .or_insert_with(|| Tensor::zeros(g.shape().dims()));
+                v.scale_in_place(momentum);
+                v.add_assign(&g).expect("velocity shape");
+                g = v.clone();
+            }
+            p.value.axpy(-lr, &g).expect("param shape");
+        });
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam optimizer with L2 regularization folded into the gradient
+/// (classic Adam + weight decay, matching the paper's setup).
+///
+/// # Example
+///
+/// ```
+/// use rte_nn::optim::{Adam, Optimizer};
+/// use rte_nn::{Conv2d, Layer};
+/// use rte_tensor::conv::Conv2dSpec;
+/// use rte_tensor::rng::Xoshiro256;
+/// use rte_tensor::Tensor;
+///
+/// let mut rng = Xoshiro256::seed_from(1);
+/// let mut conv = Conv2d::new(1, 1, 3, Conv2dSpec::same(3), &mut rng);
+/// let mut opt = Adam::new(2e-4, 1e-5);
+/// let y = conv.forward(&Tensor::ones(&[1, 1, 4, 4]), true)?;
+/// conv.backward(&y)?; // pretend dL/dy = y
+/// opt.step(&mut conv);
+/// conv.zero_grad();
+/// # Ok::<(), rte_nn::NnError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: u64,
+    first: HashMap<String, Tensor>,
+    second: HashMap<String, Tensor>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the paper's defaults
+    /// (`beta1 = 0.9`, `beta2 = 0.999`, `eps = 1e-8`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive.
+    pub fn new(lr: f32, weight_decay: f32) -> Self {
+        assert!(lr > 0.0, "Adam: non-positive learning rate");
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay,
+            t: 0,
+            first: HashMap::new(),
+            second: HashMap::new(),
+        }
+    }
+
+    /// Resets the step counter and moment estimates (used when a client
+    /// restarts training from freshly deployed global parameters).
+    pub fn reset_state(&mut self) {
+        self.t = 0;
+        self.first.clear();
+        self.second.clear();
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, model: &mut dyn Layer) {
+        self.t += 1;
+        let (b1, b2) = (self.beta1, self.beta2);
+        let bias1 = 1.0 - b1.powi(self.t as i32);
+        let bias2 = 1.0 - b2.powi(self.t as i32);
+        let lr = self.lr;
+        let eps = self.eps;
+        let wd = self.weight_decay;
+        let first = &mut self.first;
+        let second = &mut self.second;
+        model.visit_params("", &mut |name, p: &mut Param| {
+            let mut g = p.grad.clone();
+            if wd > 0.0 {
+                g.axpy(wd, &p.value).expect("grad/value shapes match");
+            }
+            let m = first
+                .entry(name.clone())
+                .or_insert_with(|| Tensor::zeros(g.shape().dims()));
+            let v = second
+                .entry(name)
+                .or_insert_with(|| Tensor::zeros(g.shape().dims()));
+            for i in 0..g.numel() {
+                let gi = g.data()[i];
+                let mi = b1 * m.data()[i] + (1.0 - b1) * gi;
+                let vi = b2 * v.data()[i] + (1.0 - b2) * gi * gi;
+                m.data_mut()[i] = mi;
+                v.data_mut()[i] = vi;
+                let m_hat = mi / bias1;
+                let v_hat = vi / bias2;
+                p.value.data_mut()[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+            }
+        });
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::mse;
+    use crate::{Conv2d, Sequential, Sigmoid};
+    use rte_tensor::conv::Conv2dSpec;
+    use rte_tensor::rng::Xoshiro256;
+
+    fn tiny_model(seed: u64) -> Sequential {
+        let mut rng = Xoshiro256::seed_from(seed);
+        let mut net = Sequential::new();
+        net.push("conv", Conv2d::new(1, 1, 3, Conv2dSpec::same(3), &mut rng));
+        net.push("sig", Sigmoid::new());
+        net
+    }
+
+    fn train_step(net: &mut Sequential, opt: &mut dyn Optimizer, x: &Tensor, t: &Tensor) -> f32 {
+        let y = net.forward(x, true).unwrap();
+        let out = mse(&y, t).unwrap();
+        net.zero_grad();
+        net.backward(&out.grad).unwrap();
+        opt.step(net);
+        out.value
+    }
+
+    #[test]
+    fn sgd_reduces_loss() {
+        let mut net = tiny_model(1);
+        let mut opt = Sgd::new(0.5, 0.9, 0.0);
+        let mut rng = Xoshiro256::seed_from(2);
+        let x = Tensor::from_fn(&[4, 1, 5, 5], |_| rng.normal());
+        let t = x.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+        let first = train_step(&mut net, &mut opt, &x, &t);
+        let mut last = first;
+        for _ in 0..50 {
+            last = train_step(&mut net, &mut opt, &x, &t);
+        }
+        assert!(last < first * 0.6, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn adam_reduces_loss_faster_than_plain_sgd_small_lr() {
+        let mut rng = Xoshiro256::seed_from(3);
+        let x = Tensor::from_fn(&[4, 1, 5, 5], |_| rng.normal());
+        let t = x.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+
+        let mut net_adam = tiny_model(7);
+        let mut adam = Adam::new(0.01, 0.0);
+        let mut net_sgd = tiny_model(7);
+        let mut sgd = Sgd::new(0.01, 0.0, 0.0);
+        let mut l_adam = 0.0;
+        let mut l_sgd = 0.0;
+        for _ in 0..60 {
+            l_adam = train_step(&mut net_adam, &mut adam, &x, &t);
+            l_sgd = train_step(&mut net_sgd, &mut sgd, &x, &t);
+        }
+        assert!(l_adam < l_sgd, "adam {l_adam} vs sgd {l_sgd}");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let mut net = tiny_model(5);
+        // Zero gradient + pure decay should shrink the norm.
+        let mut before = 0.0;
+        net.visit_params("", &mut |_, p| before += p.value.norm_sq());
+        let mut opt = Sgd::new(0.1, 0.0, 0.5);
+        net.zero_grad();
+        opt.step(&mut net);
+        let mut after = 0.0;
+        net.visit_params("", &mut |_, p| after += p.value.norm_sq());
+        assert!(after < before, "{after} !< {before}");
+    }
+
+    #[test]
+    fn adam_reset_state_clears_moments() {
+        let mut net = tiny_model(9);
+        let mut opt = Adam::new(0.01, 0.0);
+        let x = Tensor::ones(&[1, 1, 4, 4]);
+        let t = Tensor::zeros(&[1, 1, 4, 4]);
+        train_step(&mut net, &mut opt, &x, &t);
+        assert!(!opt.first.is_empty());
+        opt.reset_state();
+        assert!(opt.first.is_empty());
+        assert_eq!(opt.t, 0);
+    }
+
+    #[test]
+    fn learning_rate_accessors() {
+        let mut opt = Adam::new(2e-4, 1e-5);
+        assert_eq!(opt.learning_rate(), 2e-4);
+        opt.set_learning_rate(1e-3);
+        assert_eq!(opt.learning_rate(), 1e-3);
+    }
+}

@@ -1,0 +1,208 @@
+//! State-dict persistence.
+//!
+//! A minimal, dependency-free binary format for saving trained models
+//! (e.g. the FedProx global model a developer would ship to clients) and
+//! loading them back. Little-endian, versioned:
+//!
+//! ```text
+//! magic  b"RTESD1\0\0"           (8 bytes)
+//! count  u64                     number of entries
+//! entry: name_len u64, name utf-8 bytes,
+//!        rank u64, dims u64 × rank,
+//!        data f32-le × numel
+//! ```
+
+use std::io::{self, Read, Write};
+
+use rte_tensor::Tensor;
+
+use crate::{NnError, StateDict};
+
+const MAGIC: &[u8; 8] = b"RTESD1\0\0";
+
+/// Writes a state dict to `writer` (pass `&mut file` — any `io::Write`
+/// works by value or by mutable reference).
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn write_state_dict<W: Write>(mut writer: W, sd: &StateDict) -> io::Result<()> {
+    writer.write_all(MAGIC)?;
+    writer.write_all(&(sd.len() as u64).to_le_bytes())?;
+    for (name, tensor) in sd {
+        let name_bytes = name.as_bytes();
+        writer.write_all(&(name_bytes.len() as u64).to_le_bytes())?;
+        writer.write_all(name_bytes)?;
+        let dims = tensor.shape().dims();
+        writer.write_all(&(dims.len() as u64).to_le_bytes())?;
+        for &d in dims {
+            writer.write_all(&(d as u64).to_le_bytes())?;
+        }
+        for &v in tensor.data() {
+            writer.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+fn read_u64<R: Read>(reader: &mut R) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    reader.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+/// Reads a state dict written by [`write_state_dict`] (pass `&mut file` —
+/// any `io::Read` works by value or by mutable reference).
+///
+/// # Errors
+///
+/// Returns [`NnError::StateDictMismatch`] for format violations, wrapped
+/// I/O errors as `io::Error` via the `Result`'s error conversion at the
+/// call site is not possible here, so I/O problems are reported as
+/// `StateDictMismatch` with the underlying message.
+pub fn read_state_dict<R: Read>(mut reader: R) -> Result<StateDict, NnError> {
+    let fail = |reason: String| NnError::StateDictMismatch { reason };
+    let mut magic = [0u8; 8];
+    reader
+        .read_exact(&mut magic)
+        .map_err(|e| fail(format!("reading magic: {e}")))?;
+    if &magic != MAGIC {
+        return Err(fail("bad magic: not an RTESD1 state dict".into()));
+    }
+    let count = read_u64(&mut reader).map_err(|e| fail(format!("reading count: {e}")))?;
+    // Defensive cap: no model in this workspace has more than a few
+    // hundred entries; a corrupt count must not trigger a huge allocation.
+    if count > 1 << 20 {
+        return Err(fail(format!("implausible entry count {count}")));
+    }
+    let mut sd = StateDict::with_capacity(count as usize);
+    for i in 0..count {
+        let name_len =
+            read_u64(&mut reader).map_err(|e| fail(format!("entry {i} name len: {e}")))? as usize;
+        if name_len > 1 << 16 {
+            return Err(fail(format!(
+                "entry {i}: implausible name length {name_len}"
+            )));
+        }
+        let mut name_bytes = vec![0u8; name_len];
+        reader
+            .read_exact(&mut name_bytes)
+            .map_err(|e| fail(format!("entry {i} name: {e}")))?;
+        let name = String::from_utf8(name_bytes)
+            .map_err(|e| fail(format!("entry {i} name not utf-8: {e}")))?;
+        let rank =
+            read_u64(&mut reader).map_err(|e| fail(format!("entry {i} rank: {e}")))? as usize;
+        if rank > 8 {
+            return Err(fail(format!("entry {i}: implausible rank {rank}")));
+        }
+        let mut dims = Vec::with_capacity(rank);
+        for d in 0..rank {
+            let dim = read_u64(&mut reader).map_err(|e| fail(format!("entry {i} dim {d}: {e}")))?
+                as usize;
+            dims.push(dim);
+        }
+        let numel: usize = dims.iter().product();
+        if numel > 1 << 28 {
+            return Err(fail(format!(
+                "entry {i}: implausible element count {numel}"
+            )));
+        }
+        let mut data = Vec::with_capacity(numel);
+        let mut buf = [0u8; 4];
+        for _ in 0..numel {
+            reader
+                .read_exact(&mut buf)
+                .map_err(|e| fail(format!("entry {i} data: {e}")))?;
+            data.push(f32::from_le_bytes(buf));
+        }
+        let tensor = Tensor::from_vec(data, &dims).map_err(NnError::Tensor)?;
+        sd.push((name, tensor));
+    }
+    Ok(sd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{FlNet, FlNetConfig};
+    use crate::state_dict;
+    use rte_tensor::rng::Xoshiro256;
+
+    fn sample_dict() -> StateDict {
+        let mut rng = Xoshiro256::seed_from(1);
+        let mut model = FlNet::new(
+            FlNetConfig {
+                in_channels: 2,
+                hidden: 4,
+                kernel: 3,
+                depth: 2,
+            },
+            &mut rng,
+        );
+        state_dict(&mut model)
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let sd = sample_dict();
+        let mut buf = Vec::new();
+        write_state_dict(&mut buf, &sd).unwrap();
+        let loaded = read_state_dict(buf.as_slice()).unwrap();
+        assert_eq!(sd, loaded);
+    }
+
+    #[test]
+    fn empty_dict_round_trips() {
+        let sd = StateDict::new();
+        let mut buf = Vec::new();
+        write_state_dict(&mut buf, &sd).unwrap();
+        assert_eq!(read_state_dict(buf.as_slice()).unwrap(), sd);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = read_state_dict(&b"NOTMAGIC\0\0\0\0\0\0\0\0"[..]).unwrap_err();
+        assert!(err.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let sd = sample_dict();
+        let mut buf = Vec::new();
+        write_state_dict(&mut buf, &sd).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_state_dict(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn corrupt_count_rejected_without_huge_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert!(read_state_dict(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn loaded_dict_drives_identical_model() {
+        let mut rng = Xoshiro256::seed_from(2);
+        let cfg = FlNetConfig {
+            in_channels: 2,
+            hidden: 4,
+            kernel: 3,
+            depth: 2,
+        };
+        let mut trained = FlNet::new(cfg, &mut rng);
+        let sd = state_dict(&mut trained);
+        let mut buf = Vec::new();
+        write_state_dict(&mut buf, &sd).unwrap();
+        let loaded = read_state_dict(buf.as_slice()).unwrap();
+        let mut fresh = FlNet::new(cfg, &mut Xoshiro256::seed_from(99));
+        crate::load_state_dict(&mut fresh, &loaded).unwrap();
+        use crate::Layer;
+        let x = rte_tensor::Tensor::ones(&[1, 2, 6, 6]);
+        assert_eq!(
+            trained.forward(&x, false).unwrap(),
+            fresh.forward(&x, false).unwrap()
+        );
+    }
+}

@@ -1,0 +1,161 @@
+//! Named parameter snapshots (state dicts).
+//!
+//! A [`StateDict`] is the unit of communication in the federated-learning
+//! simulation: clients extract one after local training, the developer
+//! aggregates them, and the aggregate is loaded back into every client's
+//! model. It contains learnable parameters **and** buffers (BatchNorm
+//! running statistics), matching what real FL frameworks ship.
+
+use rte_tensor::Tensor;
+
+use crate::{Layer, NnError};
+
+/// An ordered list of `(path, tensor)` pairs capturing a model's full
+/// state (parameters then buffers, in visit order).
+pub type StateDict = Vec<(String, Tensor)>;
+
+/// Extracts the full state of a model.
+///
+/// # Example
+///
+/// ```
+/// use rte_nn::{state_dict, Conv2d, Layer};
+/// use rte_tensor::conv::Conv2dSpec;
+/// use rte_tensor::rng::Xoshiro256;
+///
+/// let mut rng = Xoshiro256::seed_from(0);
+/// let mut conv = Conv2d::new(1, 2, 3, Conv2dSpec::same(3), &mut rng);
+/// let sd = state_dict(&mut conv);
+/// assert_eq!(sd.len(), 2); // weight + bias
+/// ```
+pub fn state_dict(model: &mut dyn Layer) -> StateDict {
+    let mut out = StateDict::new();
+    model.visit_params("", &mut |name, p| out.push((name, p.value.clone())));
+    model.visit_buffers("", &mut |name, b| out.push((name, b.clone())));
+    out
+}
+
+/// Loads a state dict produced by [`state_dict`] on a structurally
+/// identical model.
+///
+/// # Errors
+///
+/// Returns [`NnError::StateDictMismatch`] if any entry is missing, extra,
+/// misnamed or mis-shaped.
+pub fn load_state_dict(model: &mut dyn Layer, sd: &StateDict) -> Result<(), NnError> {
+    let mut idx = 0usize;
+    let mut error: Option<NnError> = None;
+    {
+        let mut apply = |name: String, tensor: &mut Tensor| {
+            if error.is_some() {
+                return;
+            }
+            match sd.get(idx) {
+                None => {
+                    error = Some(NnError::StateDictMismatch {
+                        reason: format!("missing entry for {name}"),
+                    });
+                }
+                Some((sd_name, sd_tensor)) => {
+                    if *sd_name != name {
+                        error = Some(NnError::StateDictMismatch {
+                            reason: format!("expected {name}, state dict has {sd_name}"),
+                        });
+                    } else if sd_tensor.shape() != tensor.shape() {
+                        error = Some(NnError::StateDictMismatch {
+                            reason: format!(
+                                "{name}: shape {} != {}",
+                                sd_tensor.shape(),
+                                tensor.shape()
+                            ),
+                        });
+                    } else {
+                        *tensor = sd_tensor.clone();
+                    }
+                }
+            }
+            idx += 1;
+        };
+        model.visit_params("", &mut |name, p| apply(name, &mut p.value));
+        model.visit_buffers("", &mut |name, b| apply(name, b));
+    }
+    if let Some(e) = error {
+        return Err(e);
+    }
+    if idx != sd.len() {
+        return Err(NnError::StateDictMismatch {
+            reason: format!("state dict has {} entries, model expects {idx}", sd.len()),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BatchNorm2d, Conv2d, Sequential};
+    use rte_tensor::conv::Conv2dSpec;
+    use rte_tensor::rng::Xoshiro256;
+
+    fn model(seed: u64) -> Sequential {
+        let mut rng = Xoshiro256::seed_from(seed);
+        let mut net = Sequential::new();
+        net.push("conv", Conv2d::new(2, 4, 3, Conv2dSpec::same(3), &mut rng));
+        net.push("bn", BatchNorm2d::new(4));
+        net
+    }
+
+    #[test]
+    fn round_trip_restores_parameters() {
+        let mut a = model(1);
+        let mut b = model(2);
+        let sd = state_dict(&mut a);
+        load_state_dict(&mut b, &sd).unwrap();
+        assert_eq!(state_dict(&mut b), sd);
+    }
+
+    #[test]
+    fn includes_buffers() {
+        let mut m = model(3);
+        let sd = state_dict(&mut m);
+        let names: Vec<&str> = sd.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(names.contains(&"bn/running_mean"));
+        assert!(names.contains(&"bn/running_var"));
+        assert_eq!(sd.len(), 6); // conv w+b, bn gamma+beta, 2 buffers
+    }
+
+    #[test]
+    fn rejects_truncated_dict() {
+        let mut a = model(1);
+        let mut sd = state_dict(&mut a);
+        sd.pop();
+        assert!(matches!(
+            load_state_dict(&mut a, &sd),
+            Err(NnError::StateDictMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_extra_entries() {
+        let mut a = model(1);
+        let mut sd = state_dict(&mut a);
+        sd.push(("extra".into(), Tensor::zeros(&[1])));
+        assert!(load_state_dict(&mut a, &sd).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_shape() {
+        let mut a = model(1);
+        let mut sd = state_dict(&mut a);
+        sd[0].1 = Tensor::zeros(&[1, 1, 1, 1]);
+        assert!(load_state_dict(&mut a, &sd).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_name() {
+        let mut a = model(1);
+        let mut sd = state_dict(&mut a);
+        sd[0].0 = "renamed".into();
+        assert!(load_state_dict(&mut a, &sd).is_err());
+    }
+}

@@ -1,0 +1,209 @@
+//! Integration tests: every model in the zoo must actually *learn* — the
+//! forward/backward plumbing through conv, trans-conv, BatchNorm, pooling,
+//! residuals and pixel shuffle has to produce usable gradients end to end.
+
+use rte_nn::loss::mse;
+use rte_nn::models::{FlNet, FlNetConfig, Pros, ProsConfig, RouteNet, RouteNetConfig};
+use rte_nn::optim::{Adam, Optimizer};
+use rte_nn::Layer;
+use rte_tensor::rng::Xoshiro256;
+use rte_tensor::Tensor;
+
+/// A learnable synthetic task: the label is a threshold of input channel
+/// 0 smoothed over a neighborhood — local but not pointwise, so the model
+/// needs its receptive field.
+fn task(n: usize, seed: u64) -> (Tensor, Tensor) {
+    let mut rng = Xoshiro256::seed_from(seed);
+    let x = Tensor::from_fn(&[n, 3, 8, 8], |_| rng.uniform());
+    let mut y = Tensor::zeros(&[n, 1, 8, 8]);
+    for ni in 0..n {
+        for i in 0..8 {
+            for j in 0..8 {
+                // 3×3 mean of channel 0.
+                let mut acc = 0.0;
+                let mut cnt = 0.0;
+                for di in -1i32..=1 {
+                    for dj in -1i32..=1 {
+                        let (ii, jj) = (i as i32 + di, j as i32 + dj);
+                        if (0..8).contains(&ii) && (0..8).contains(&jj) {
+                            acc += x.at(&[ni, 0, ii as usize, jj as usize]);
+                            cnt += 1.0;
+                        }
+                    }
+                }
+                y.set(&[ni, 0, i, j], if acc / cnt > 0.5 { 1.0 } else { 0.0 });
+            }
+        }
+    }
+    (x, y)
+}
+
+fn train_and_measure(model: &mut dyn Layer, steps: usize) -> (f32, f32) {
+    let (x, y) = task(6, 11);
+    let mut opt = Adam::new(5e-3, 0.0);
+    let mut first = 0.0;
+    let mut last = 0.0;
+    for step in 0..steps {
+        let pred = model.forward(&x, true).unwrap();
+        let loss = mse(&pred, &y).unwrap();
+        if step == 0 {
+            first = loss.value;
+        }
+        last = loss.value;
+        model.zero_grad();
+        model.backward(&loss.grad).unwrap();
+        opt.step(model);
+    }
+    (first, last)
+}
+
+#[test]
+fn flnet_learns() {
+    let mut rng = Xoshiro256::seed_from(1);
+    let mut model = FlNet::new(
+        FlNetConfig {
+            in_channels: 3,
+            hidden: 8,
+            kernel: 5,
+            depth: 2,
+        },
+        &mut rng,
+    );
+    let (first, last) = train_and_measure(&mut model, 40);
+    assert!(last < first * 0.7, "FLNet loss {first} -> {last}");
+}
+
+#[test]
+fn routenet_learns() {
+    let mut rng = Xoshiro256::seed_from(2);
+    let mut model = RouteNet::new(
+        RouteNetConfig {
+            in_channels: 3,
+            base: 6,
+            mid: 8,
+            batchnorm: true,
+        },
+        &mut rng,
+    );
+    let (first, last) = train_and_measure(&mut model, 40);
+    assert!(last < first * 0.8, "RouteNet loss {first} -> {last}");
+}
+
+#[test]
+fn pros_learns() {
+    let mut rng = Xoshiro256::seed_from(3);
+    let mut model = Pros::new(
+        ProsConfig {
+            in_channels: 3,
+            base: 4,
+            dilations: vec![1, 2],
+            refinements: 1,
+            batchnorm: true,
+        },
+        &mut rng,
+    );
+    let (first, last) = train_and_measure(&mut model, 40);
+    assert!(last < first * 0.8, "PROS loss {first} -> {last}");
+}
+
+#[test]
+fn gradients_flow_to_every_parameter() {
+    // After one backward pass, no parameter's gradient may be identically
+    // zero (that would mean a dead branch in the wiring).
+    let (x, y) = task(2, 21);
+    let mut rng = Xoshiro256::seed_from(4);
+    let mut models: Vec<(&str, Box<dyn Layer>)> = vec![
+        (
+            "FLNet",
+            Box::new(FlNet::new(
+                FlNetConfig {
+                    in_channels: 3,
+                    hidden: 4,
+                    kernel: 3,
+                    depth: 2,
+                },
+                &mut rng,
+            )),
+        ),
+        (
+            "RouteNet",
+            Box::new(RouteNet::new(
+                RouteNetConfig {
+                    in_channels: 3,
+                    base: 4,
+                    mid: 6,
+                    batchnorm: true,
+                },
+                &mut rng,
+            )),
+        ),
+        (
+            "PROS",
+            Box::new(Pros::new(
+                ProsConfig {
+                    in_channels: 3,
+                    base: 4,
+                    dilations: vec![1, 2],
+                    refinements: 1,
+                    batchnorm: true,
+                },
+                &mut rng,
+            )),
+        ),
+    ];
+    for (name, model) in &mut models {
+        let pred = model.forward(&x, true).unwrap();
+        let loss = mse(&pred, &y).unwrap();
+        model.zero_grad();
+        model.backward(&loss.grad).unwrap();
+        model.visit_params("", &mut |pname, p| {
+            let norm = p.grad.norm();
+            assert!(
+                norm > 0.0,
+                "{name}: parameter {pname} received zero gradient"
+            );
+        });
+    }
+}
+
+#[test]
+fn eval_mode_is_deterministic_wrt_batch_composition() {
+    // In eval mode (running BN stats), predicting a sample alone or in a
+    // batch must give identical scores — required for per-client AUC to
+    // be well-defined.
+    let mut rng = Xoshiro256::seed_from(5);
+    let mut model = RouteNet::new(
+        RouteNetConfig {
+            in_channels: 3,
+            base: 4,
+            mid: 6,
+            batchnorm: true,
+        },
+        &mut rng,
+    );
+    let (x, y) = task(4, 31);
+    // Train briefly so BN stats move off their init.
+    let mut opt = Adam::new(1e-3, 0.0);
+    for _ in 0..5 {
+        let pred = model.forward(&x, true).unwrap();
+        let loss = mse(&pred, &y).unwrap();
+        model.zero_grad();
+        model.backward(&loss.grad).unwrap();
+        opt.step(&mut model);
+    }
+    let full = model.forward(&x, false).unwrap();
+    // Single-sample forward of sample 2.
+    let mut single = Tensor::zeros(&[1, 3, 8, 8]);
+    single
+        .data_mut()
+        .copy_from_slice(&x.data()[2 * 3 * 64..3 * 3 * 64]);
+    let alone = model.forward(&single, false).unwrap();
+    for i in 0..64 {
+        let batched = full.data()[2 * 64 + i];
+        let solo = alone.data()[i];
+        assert!(
+            (batched - solo).abs() < 1e-5,
+            "eval output depends on batch composition: {batched} vs {solo}"
+        );
+    }
+}

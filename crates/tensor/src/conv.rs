@@ -1,0 +1,942 @@
+//! 2-D convolution, transposed convolution, pooling and pixel-shuffle
+//! kernels in NCHW layout, with exact backward passes.
+//!
+//! Convolutions lower to [`crate::linalg`] matrix products via im2col /
+//! col2im. These are the primitives that the `rte-nn` layer types wrap with
+//! parameter storage; they are exposed here as free functions so they can be
+//! benchmarked and property-tested in isolation.
+
+use crate::linalg::{matmul, matmul_nt_acc, matmul_tn};
+use crate::{Tensor, TensorError};
+
+/// Geometry of a 2-D convolution: stride, zero padding and dilation
+/// (identical in both spatial dimensions, as used by all three paper
+/// models).
+///
+/// # Example
+///
+/// ```
+/// use rte_tensor::conv::Conv2dSpec;
+///
+/// // The paper's FLNet uses 9×9 kernels with "same" padding at stride 1.
+/// let spec = Conv2dSpec::same(9);
+/// assert_eq!(spec.out_extent(32, 9), 32);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Conv2dSpec {
+    /// Spatial stride (≥ 1).
+    pub stride: usize,
+    /// Symmetric zero padding.
+    pub padding: usize,
+    /// Kernel dilation (1 = dense kernel).
+    pub dilation: usize,
+}
+
+impl Default for Conv2dSpec {
+    fn default() -> Self {
+        Conv2dSpec {
+            stride: 1,
+            padding: 0,
+            dilation: 1,
+        }
+    }
+}
+
+impl Conv2dSpec {
+    /// Stride-1, dilation-1 spec with the padding that preserves spatial
+    /// size for an odd kernel (`padding = k / 2`).
+    pub fn same(kernel: usize) -> Self {
+        Conv2dSpec {
+            stride: 1,
+            padding: kernel / 2,
+            dilation: 1,
+        }
+    }
+
+    /// "Same"-size spec for a dilated odd kernel: the effective kernel is
+    /// `d*(k-1)+1`, so padding `d*(k-1)/2` preserves the extent at stride 1.
+    pub fn same_dilated(kernel: usize, dilation: usize) -> Self {
+        Conv2dSpec {
+            stride: 1,
+            padding: dilation * (kernel - 1) / 2,
+            dilation,
+        }
+    }
+
+    /// Effective kernel extent once dilation is applied.
+    pub fn effective_kernel(&self, kernel: usize) -> usize {
+        self.dilation * (kernel - 1) + 1
+    }
+
+    /// Output extent of a convolution over `input` positions with kernel
+    /// size `kernel`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration yields no valid output positions.
+    pub fn out_extent(&self, input: usize, kernel: usize) -> usize {
+        let eff = self.effective_kernel(kernel);
+        let padded = input + 2 * self.padding;
+        assert!(
+            padded >= eff,
+            "conv output would be empty: input {input}, kernel {kernel}, spec {self:?}"
+        );
+        (padded - eff) / self.stride + 1
+    }
+
+    /// Output extent of a *transposed* convolution over `input` positions.
+    pub fn transpose_out_extent(&self, input: usize, kernel: usize) -> usize {
+        (input - 1) * self.stride + self.effective_kernel(kernel) - 2 * self.padding
+    }
+}
+
+/// Unfolds one image (`c × h × w`) into a column matrix
+/// (`c*kh*kw × oh*ow`) for the given convolution spec.
+///
+/// # Panics
+///
+/// Panics if `col` does not have exactly `c*kh*kw*oh*ow` elements.
+pub fn im2col(
+    img: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    spec: Conv2dSpec,
+    col: &mut [f32],
+) {
+    let oh = spec.out_extent(h, kh);
+    let ow = spec.out_extent(w, kw);
+    assert_eq!(col.len(), c * kh * kw * oh * ow, "im2col: col buffer size");
+    let mut row = 0usize;
+    for ci in 0..c {
+        let img_c = &img[ci * h * w..(ci + 1) * h * w];
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let base = row * oh * ow;
+                row += 1;
+                for oi in 0..oh {
+                    let ii =
+                        (oi * spec.stride + ki * spec.dilation) as isize - spec.padding as isize;
+                    let out_base = base + oi * ow;
+                    if ii < 0 || ii >= h as isize {
+                        col[out_base..out_base + ow]
+                            .iter_mut()
+                            .for_each(|x| *x = 0.0);
+                        continue;
+                    }
+                    let ii = ii as usize;
+                    for oj in 0..ow {
+                        let jj = (oj * spec.stride + kj * spec.dilation) as isize
+                            - spec.padding as isize;
+                        col[out_base + oj] = if jj < 0 || jj >= w as isize {
+                            0.0
+                        } else {
+                            img_c[ii * w + jj as usize]
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Folds a column matrix back into an image, accumulating overlapping
+/// contributions (the adjoint of [`im2col`]).
+///
+/// `img` is zeroed before accumulation.
+///
+/// # Panics
+///
+/// Panics if buffer sizes are inconsistent with the given geometry.
+pub fn col2im(
+    col: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    spec: Conv2dSpec,
+    img: &mut [f32],
+) {
+    let oh = spec.out_extent(h, kh);
+    let ow = spec.out_extent(w, kw);
+    assert_eq!(col.len(), c * kh * kw * oh * ow, "col2im: col buffer size");
+    assert_eq!(img.len(), c * h * w, "col2im: img buffer size");
+    img.iter_mut().for_each(|x| *x = 0.0);
+    let mut row = 0usize;
+    for ci in 0..c {
+        let img_c = &mut img[ci * h * w..(ci + 1) * h * w];
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let base = row * oh * ow;
+                row += 1;
+                for oi in 0..oh {
+                    let ii =
+                        (oi * spec.stride + ki * spec.dilation) as isize - spec.padding as isize;
+                    if ii < 0 || ii >= h as isize {
+                        continue;
+                    }
+                    let ii = ii as usize;
+                    for oj in 0..ow {
+                        let jj = (oj * spec.stride + kj * spec.dilation) as isize
+                            - spec.padding as isize;
+                        if jj < 0 || jj >= w as isize {
+                            continue;
+                        }
+                        img_c[ii * w + jj as usize] += col[base + oi * ow + oj];
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn expect_rank4(t: &Tensor, what: &str) -> Result<(), TensorError> {
+    if t.shape().rank() != 4 {
+        return Err(TensorError::InvalidShape {
+            reason: format!("{what} must be rank-4 (NCHW), got {}", t.shape()),
+        });
+    }
+    Ok(())
+}
+
+/// 2-D convolution forward pass.
+///
+/// * `x`: input `(N, C_in, H, W)`
+/// * `w`: kernels `(C_out, C_in, KH, KW)`
+/// * `bias`: optional `(C_out)` bias
+///
+/// Returns `(N, C_out, OH, OW)`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidShape`] when ranks or channel counts are
+/// inconsistent.
+pub fn conv2d(
+    x: &Tensor,
+    w: &Tensor,
+    bias: Option<&Tensor>,
+    spec: Conv2dSpec,
+) -> Result<Tensor, TensorError> {
+    expect_rank4(x, "conv2d input")?;
+    expect_rank4(w, "conv2d weight")?;
+    let (n, c_in, h, w_in) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+    let (c_out, wc_in, kh, kw) = (w.dim(0), w.dim(1), w.dim(2), w.dim(3));
+    if c_in != wc_in {
+        return Err(TensorError::InvalidShape {
+            reason: format!("conv2d: input has {c_in} channels but weight expects {wc_in}"),
+        });
+    }
+    if let Some(b) = bias {
+        if b.shape().dims() != [c_out] {
+            return Err(TensorError::InvalidShape {
+                reason: format!("conv2d: bias shape {} != [{c_out}]", b.shape()),
+            });
+        }
+    }
+    let oh = spec.out_extent(h, kh);
+    let ow = spec.out_extent(w_in, kw);
+    let ckk = c_in * kh * kw;
+    let ohw = oh * ow;
+    let mut y = Tensor::zeros(&[n, c_out, oh, ow]);
+    let mut col = vec![0.0f32; ckk * ohw];
+    let x_data = x.data();
+    let w_data = w.data();
+    let y_data = y.data_mut();
+    for ni in 0..n {
+        let x_n = &x_data[ni * c_in * h * w_in..(ni + 1) * c_in * h * w_in];
+        im2col(x_n, c_in, h, w_in, kh, kw, spec, &mut col);
+        let y_n = &mut y_data[ni * c_out * ohw..(ni + 1) * c_out * ohw];
+        matmul(w_data, &col, c_out, ckk, ohw, y_n);
+        if let Some(b) = bias {
+            for co in 0..c_out {
+                let bv = b.data()[co];
+                for v in &mut y_n[co * ohw..(co + 1) * ohw] {
+                    *v += bv;
+                }
+            }
+        }
+    }
+    Ok(y)
+}
+
+/// Gradients of [`conv2d`] with respect to input, weight and bias.
+#[derive(Debug, Clone)]
+pub struct Conv2dGrads {
+    /// Gradient w.r.t. the input, shaped like `x`.
+    pub dx: Tensor,
+    /// Gradient w.r.t. the weight, shaped like `w`.
+    pub dw: Tensor,
+    /// Gradient w.r.t. the bias, shape `(C_out)`.
+    pub db: Tensor,
+}
+
+/// 2-D convolution backward pass.
+///
+/// `dy` must be shaped `(N, C_out, OH, OW)` as produced by [`conv2d`] on
+/// `x`/`w` with the same `spec`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidShape`] when shapes are inconsistent.
+pub fn conv2d_backward(
+    x: &Tensor,
+    w: &Tensor,
+    dy: &Tensor,
+    spec: Conv2dSpec,
+) -> Result<Conv2dGrads, TensorError> {
+    expect_rank4(x, "conv2d input")?;
+    expect_rank4(w, "conv2d weight")?;
+    expect_rank4(dy, "conv2d output grad")?;
+    let (n, c_in, h, w_in) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+    let (c_out, _, kh, kw) = (w.dim(0), w.dim(1), w.dim(2), w.dim(3));
+    let oh = spec.out_extent(h, kh);
+    let ow = spec.out_extent(w_in, kw);
+    if dy.shape().dims() != [n, c_out, oh, ow] {
+        return Err(TensorError::InvalidShape {
+            reason: format!(
+                "conv2d_backward: dy shape {} != [{n}, {c_out}, {oh}, {ow}]",
+                dy.shape()
+            ),
+        });
+    }
+    let ckk = c_in * kh * kw;
+    let ohw = oh * ow;
+    let mut dx = Tensor::zeros(&[n, c_in, h, w_in]);
+    let mut dw = Tensor::zeros(&[c_out, c_in, kh, kw]);
+    let mut db = Tensor::zeros(&[c_out]);
+    let mut col = vec![0.0f32; ckk * ohw];
+    let mut dcol = vec![0.0f32; ckk * ohw];
+    let x_data = x.data();
+    let w_data = w.data();
+    let dy_data = dy.data();
+    for ni in 0..n {
+        let x_n = &x_data[ni * c_in * h * w_in..(ni + 1) * c_in * h * w_in];
+        let dy_n = &dy_data[ni * c_out * ohw..(ni + 1) * c_out * ohw];
+        // Weight gradient: dW += dY_n · colᵀ.
+        im2col(x_n, c_in, h, w_in, kh, kw, spec, &mut col);
+        matmul_nt_acc(dy_n, &col, c_out, ohw, ckk, dw.data_mut());
+        // Input gradient: dX_n = col2im(Wᵀ · dY_n).
+        matmul_tn(w_data, dy_n, ckk, c_out, ohw, &mut dcol);
+        let dx_n = &mut dx.data_mut()[ni * c_in * h * w_in..(ni + 1) * c_in * h * w_in];
+        col2im(&dcol, c_in, h, w_in, kh, kw, spec, dx_n);
+        // Bias gradient: sum over spatial positions.
+        for co in 0..c_out {
+            let s: f32 = dy_n[co * ohw..(co + 1) * ohw].iter().sum();
+            db.data_mut()[co] += s;
+        }
+    }
+    // matmul_nt_acc needs dw flattened as (c_out, ckk); the tensor is stored
+    // exactly in that layout, so nothing further to do.
+    Ok(Conv2dGrads { dx, dw, db })
+}
+
+/// Transposed 2-D convolution (a.k.a. deconvolution) forward pass.
+///
+/// * `x`: input `(N, C_in, H, W)`
+/// * `w`: kernels `(C_in, C_out, KH, KW)` (PyTorch `ConvTranspose2d` layout)
+/// * `bias`: optional `(C_out)`
+///
+/// Returns `(N, C_out, OH, OW)` with
+/// `OH = (H-1)*stride + dilation*(KH-1) + 1 - 2*padding`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidShape`] when shapes are inconsistent.
+pub fn conv_transpose2d(
+    x: &Tensor,
+    w: &Tensor,
+    bias: Option<&Tensor>,
+    spec: Conv2dSpec,
+) -> Result<Tensor, TensorError> {
+    expect_rank4(x, "conv_transpose2d input")?;
+    expect_rank4(w, "conv_transpose2d weight")?;
+    let (n, c_in, h, w_in) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+    let (wc_in, c_out, kh, kw) = (w.dim(0), w.dim(1), w.dim(2), w.dim(3));
+    if c_in != wc_in {
+        return Err(TensorError::InvalidShape {
+            reason: format!(
+                "conv_transpose2d: input has {c_in} channels but weight expects {wc_in}"
+            ),
+        });
+    }
+    let oh = spec.transpose_out_extent(h, kh);
+    let ow = spec.transpose_out_extent(w_in, kw);
+    // Sanity: a conv over (oh, ow) with this spec must produce (h, w).
+    debug_assert_eq!(spec.out_extent(oh, kh), h);
+    debug_assert_eq!(spec.out_extent(ow, kw), w_in);
+    let ckk = c_out * kh * kw;
+    let hw = h * w_in;
+    let mut y = Tensor::zeros(&[n, c_out, oh, ow]);
+    let mut col = vec![0.0f32; ckk * hw];
+    for ni in 0..n {
+        let x_n = &x.data()[ni * c_in * hw..(ni + 1) * c_in * hw];
+        // col = Wᵀ_flat · x_n, where W_flat is (C_in, C_out*KH*KW).
+        matmul_tn(w.data(), x_n, ckk, c_in, hw, &mut col);
+        let y_n = &mut y.data_mut()[ni * c_out * oh * ow..(ni + 1) * c_out * oh * ow];
+        col2im(&col, c_out, oh, ow, kh, kw, spec, y_n);
+        if let Some(b) = bias {
+            if b.shape().dims() != [c_out] {
+                return Err(TensorError::InvalidShape {
+                    reason: format!("conv_transpose2d: bias shape {} != [{c_out}]", b.shape()),
+                });
+            }
+            for co in 0..c_out {
+                let bv = b.data()[co];
+                for v in &mut y_n[co * oh * ow..(co + 1) * oh * ow] {
+                    *v += bv;
+                }
+            }
+        }
+    }
+    Ok(y)
+}
+
+/// Transposed-convolution backward pass; field meanings mirror
+/// [`Conv2dGrads`] with `dw` shaped `(C_in, C_out, KH, KW)`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidShape`] when shapes are inconsistent.
+pub fn conv_transpose2d_backward(
+    x: &Tensor,
+    w: &Tensor,
+    dy: &Tensor,
+    spec: Conv2dSpec,
+) -> Result<Conv2dGrads, TensorError> {
+    expect_rank4(x, "conv_transpose2d input")?;
+    expect_rank4(w, "conv_transpose2d weight")?;
+    expect_rank4(dy, "conv_transpose2d output grad")?;
+    let (n, c_in, h, w_in) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+    let (_, c_out, kh, kw) = (w.dim(0), w.dim(1), w.dim(2), w.dim(3));
+    let oh = spec.transpose_out_extent(h, kh);
+    let ow = spec.transpose_out_extent(w_in, kw);
+    if dy.shape().dims() != [n, c_out, oh, ow] {
+        return Err(TensorError::InvalidShape {
+            reason: format!(
+                "conv_transpose2d_backward: dy shape {} != [{n}, {c_out}, {oh}, {ow}]",
+                dy.shape()
+            ),
+        });
+    }
+    let ckk = c_out * kh * kw;
+    let hw = h * w_in;
+    let mut dx = Tensor::zeros(&[n, c_in, h, w_in]);
+    let mut dw = Tensor::zeros(&[c_in, c_out, kh, kw]);
+    let mut db = Tensor::zeros(&[c_out]);
+    let mut col = vec![0.0f32; ckk * hw];
+    for ni in 0..n {
+        let x_n = &x.data()[ni * c_in * hw..(ni + 1) * c_in * hw];
+        let dy_n = &dy.data()[ni * c_out * oh * ow..(ni + 1) * c_out * oh * ow];
+        // The forward was y = col2im(Wᵀ x); its adjoint is im2col.
+        im2col(dy_n, c_out, oh, ow, kh, kw, spec, &mut col);
+        // dX_n = W_flat · col  (C_in × ckk)·(ckk × hw).
+        let dx_n = &mut dx.data_mut()[ni * c_in * hw..(ni + 1) * c_in * hw];
+        matmul(w.data(), &col, c_in, ckk, hw, dx_n);
+        // dW += x_n · colᵀ  (C_in × hw)·(hw × ckk).
+        matmul_nt_acc(x_n, &col, c_in, hw, ckk, dw.data_mut());
+        for co in 0..c_out {
+            let s: f32 = dy_n[co * oh * ow..(co + 1) * oh * ow].iter().sum();
+            db.data_mut()[co] += s;
+        }
+    }
+    Ok(Conv2dGrads { dx, dw, db })
+}
+
+/// Output of [`max_pool2d`]: pooled tensor plus flat argmax indices used by
+/// [`max_pool2d_backward`].
+#[derive(Debug, Clone)]
+pub struct MaxPoolOutput {
+    /// Pooled tensor `(N, C, OH, OW)`.
+    pub y: Tensor,
+    /// For each pooled element, the flat `h*W + w` offset (within its
+    /// `(n, c)` image) of the selected maximum.
+    pub argmax: Vec<u32>,
+}
+
+/// Max pooling with square window `kernel` and stride `stride`, no padding.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidShape`] if `x` is not rank-4 or smaller
+/// than the window.
+pub fn max_pool2d(x: &Tensor, kernel: usize, stride: usize) -> Result<MaxPoolOutput, TensorError> {
+    expect_rank4(x, "max_pool2d input")?;
+    let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+    if h < kernel || w < kernel {
+        return Err(TensorError::InvalidShape {
+            reason: format!("max_pool2d: input {h}×{w} smaller than window {kernel}"),
+        });
+    }
+    let oh = (h - kernel) / stride + 1;
+    let ow = (w - kernel) / stride + 1;
+    let mut y = Tensor::zeros(&[n, c, oh, ow]);
+    let mut argmax = vec![0u32; n * c * oh * ow];
+    let x_data = x.data();
+    let y_data = y.data_mut();
+    for nc in 0..n * c {
+        let img = &x_data[nc * h * w..(nc + 1) * h * w];
+        let out = &mut y_data[nc * oh * ow..(nc + 1) * oh * ow];
+        let arg = &mut argmax[nc * oh * ow..(nc + 1) * oh * ow];
+        for oi in 0..oh {
+            for oj in 0..ow {
+                let mut best = f32::NEG_INFINITY;
+                let mut best_idx = 0u32;
+                for ki in 0..kernel {
+                    for kj in 0..kernel {
+                        let ii = oi * stride + ki;
+                        let jj = oj * stride + kj;
+                        let v = img[ii * w + jj];
+                        if v > best {
+                            best = v;
+                            best_idx = (ii * w + jj) as u32;
+                        }
+                    }
+                }
+                out[oi * ow + oj] = best;
+                arg[oi * ow + oj] = best_idx;
+            }
+        }
+    }
+    Ok(MaxPoolOutput { y, argmax })
+}
+
+/// Backward pass of [`max_pool2d`]: routes each output gradient to the
+/// input location that won the max.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidShape`] if `dy` does not match the pooled
+/// geometry.
+pub fn max_pool2d_backward(
+    input_dims: &[usize],
+    pooled: &MaxPoolOutput,
+    dy: &Tensor,
+) -> Result<Tensor, TensorError> {
+    if dy.shape() != pooled.y.shape() {
+        return Err(TensorError::ShapeMismatch {
+            left: dy.shape().clone(),
+            right: pooled.y.shape().clone(),
+        });
+    }
+    let (n, c, h, w) = (input_dims[0], input_dims[1], input_dims[2], input_dims[3]);
+    let (oh, ow) = (pooled.y.dim(2), pooled.y.dim(3));
+    let mut dx = Tensor::zeros(&[n, c, h, w]);
+    let dx_data = dx.data_mut();
+    let dy_data = dy.data();
+    for nc in 0..n * c {
+        let g_in = &mut dx_data[nc * h * w..(nc + 1) * h * w];
+        let g_out = &dy_data[nc * oh * ow..(nc + 1) * oh * ow];
+        let arg = &pooled.argmax[nc * oh * ow..(nc + 1) * oh * ow];
+        for (&g, &idx) in g_out.iter().zip(arg.iter()) {
+            g_in[idx as usize] += g;
+        }
+    }
+    Ok(dx)
+}
+
+/// Pixel shuffle (sub-pixel upsampling, depth-to-space): rearranges
+/// `(N, C*r², H, W)` into `(N, C, H*r, W*r)` as used by the PROS model's
+/// upsampling blocks.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidShape`] if the channel count is not a
+/// multiple of `r²`.
+pub fn pixel_shuffle(x: &Tensor, r: usize) -> Result<Tensor, TensorError> {
+    expect_rank4(x, "pixel_shuffle input")?;
+    let (n, c_in, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+    if r == 0 || c_in % (r * r) != 0 {
+        return Err(TensorError::InvalidShape {
+            reason: format!(
+                "pixel_shuffle: {c_in} channels not divisible by r²={}",
+                r * r
+            ),
+        });
+    }
+    let c_out = c_in / (r * r);
+    let mut y = Tensor::zeros(&[n, c_out, h * r, w * r]);
+    let x_data = x.data();
+    let y_data = y.data_mut();
+    let (ohw, ih_w) = ((h * r) * (w * r), h * w);
+    for ni in 0..n {
+        for co in 0..c_out {
+            for di in 0..r {
+                for dj in 0..r {
+                    let ci = co * r * r + di * r + dj;
+                    let src = &x_data[(ni * c_in + ci) * ih_w..(ni * c_in + ci + 1) * ih_w];
+                    let dst = &mut y_data[(ni * c_out + co) * ohw..(ni * c_out + co + 1) * ohw];
+                    for i in 0..h {
+                        for j in 0..w {
+                            dst[(i * r + di) * (w * r) + (j * r + dj)] = src[i * w + j];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(y)
+}
+
+/// Inverse of [`pixel_shuffle`] (space-to-depth); also its exact backward
+/// pass since pixel shuffle is a permutation.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidShape`] if spatial extents are not
+/// multiples of `r`.
+pub fn pixel_unshuffle(y: &Tensor, r: usize) -> Result<Tensor, TensorError> {
+    expect_rank4(y, "pixel_unshuffle input")?;
+    let (n, c_out, oh, ow) = (y.dim(0), y.dim(1), y.dim(2), y.dim(3));
+    if r == 0 || oh % r != 0 || ow % r != 0 {
+        return Err(TensorError::InvalidShape {
+            reason: format!("pixel_unshuffle: {oh}×{ow} not divisible by r={r}"),
+        });
+    }
+    let (h, w) = (oh / r, ow / r);
+    let c_in = c_out * r * r;
+    let mut x = Tensor::zeros(&[n, c_in, h, w]);
+    let y_data = y.data();
+    let x_data = x.data_mut();
+    let (ohw, ih_w) = (oh * ow, h * w);
+    for ni in 0..n {
+        for co in 0..c_out {
+            for di in 0..r {
+                for dj in 0..r {
+                    let ci = co * r * r + di * r + dj;
+                    let src = &y_data[(ni * c_out + co) * ohw..(ni * c_out + co + 1) * ohw];
+                    let dst = &mut x_data[(ni * c_in + ci) * ih_w..(ni * c_in + ci + 1) * ih_w];
+                    for i in 0..h {
+                        for j in 0..w {
+                            dst[i * w + j] = src[(i * r + di) * ow + (j * r + dj)];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256;
+
+    fn rand_tensor(dims: &[usize], seed: u64) -> Tensor {
+        let mut rng = Xoshiro256::seed_from(seed);
+        Tensor::from_fn(dims, |_| rng.normal())
+    }
+
+    #[test]
+    fn out_extent_formulas() {
+        let same9 = Conv2dSpec::same(9);
+        assert_eq!(same9.padding, 4);
+        assert_eq!(same9.out_extent(24, 9), 24);
+        let strided = Conv2dSpec {
+            stride: 2,
+            padding: 1,
+            dilation: 1,
+        };
+        assert_eq!(strided.out_extent(8, 3), 4);
+        let dil = Conv2dSpec::same_dilated(3, 2);
+        assert_eq!(dil.padding, 2);
+        assert_eq!(dil.out_extent(10, 3), 10);
+        assert_eq!(dil.effective_kernel(3), 5);
+    }
+
+    #[test]
+    fn transpose_extent_inverts_conv_extent() {
+        let spec = Conv2dSpec {
+            stride: 2,
+            padding: 1,
+            dilation: 1,
+        };
+        // conv: 8 -> 4; transpose must map 4 -> back to something conv maps to 4.
+        let up = spec.transpose_out_extent(4, 3);
+        assert_eq!(spec.out_extent(up, 3), 4);
+    }
+
+    #[test]
+    fn conv2d_identity_kernel() {
+        // 1×1 kernel with unit weight reproduces the input.
+        let x = rand_tensor(&[2, 3, 5, 5], 1);
+        let mut w = Tensor::zeros(&[3, 3, 1, 1]);
+        for c in 0..3 {
+            w.set(&[c, c, 0, 0], 1.0);
+        }
+        let y = conv2d(&x, &w, None, Conv2dSpec::default()).unwrap();
+        assert_eq!(y.shape(), x.shape());
+        for (a, b) in x.data().iter().zip(y.data().iter()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn conv2d_known_values() {
+        // 1×1×3×3 input, 3×3 sum kernel, valid padding → scalar sum.
+        let x = Tensor::from_vec((1..=9).map(|v| v as f32).collect(), &[1, 1, 3, 3]).unwrap();
+        let w = Tensor::ones(&[1, 1, 3, 3]);
+        let y = conv2d(&x, &w, None, Conv2dSpec::default()).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 1, 1, 1]);
+        assert_eq!(y.data()[0], 45.0);
+    }
+
+    #[test]
+    fn conv2d_bias_added_per_channel() {
+        let x = Tensor::zeros(&[1, 1, 2, 2]);
+        let w = Tensor::zeros(&[2, 1, 1, 1]);
+        let b = Tensor::from_vec(vec![1.5, -2.0], &[2]).unwrap();
+        let y = conv2d(&x, &w, Some(&b), Conv2dSpec::default()).unwrap();
+        assert!(y.data()[..4].iter().all(|&v| v == 1.5));
+        assert!(y.data()[4..].iter().all(|&v| v == -2.0));
+    }
+
+    #[test]
+    fn conv2d_rejects_channel_mismatch() {
+        let x = Tensor::zeros(&[1, 2, 4, 4]);
+        let w = Tensor::zeros(&[1, 3, 3, 3]);
+        assert!(conv2d(&x, &w, None, Conv2dSpec::same(3)).is_err());
+    }
+
+    /// Finite-difference gradient check for a scalar loss L = Σ y∘g.
+    fn check_conv2d_grads(spec: Conv2dSpec, xd: &[usize], wd: &[usize]) {
+        let x = rand_tensor(xd, 11);
+        let w = rand_tensor(wd, 12).scale(0.5);
+        let b = rand_tensor(&[wd[0]], 13);
+        let y = conv2d(&x, &w, Some(&b), spec).unwrap();
+        let g = rand_tensor(y.shape().dims(), 14);
+        let grads = conv2d_backward(&x, &w, &g, spec).unwrap();
+        let eps = 1e-2f32;
+        let loss = |x: &Tensor, w: &Tensor, b: &Tensor| -> f64 {
+            let y = conv2d(x, w, Some(b), spec).unwrap();
+            y.data()
+                .iter()
+                .zip(g.data().iter())
+                .map(|(&a, &b)| a as f64 * b as f64)
+                .sum()
+        };
+        // Check a scattering of coordinates in each gradient.
+        for (analytic, param, which) in [
+            (&grads.dx, &x, "dx"),
+            (&grads.dw, &w, "dw"),
+            (&grads.db, &b, "db"),
+        ] {
+            let stride = (param.numel() / 7).max(1);
+            for i in (0..param.numel()).step_by(stride) {
+                let mut plus = param.clone();
+                plus.data_mut()[i] += eps;
+                let mut minus = param.clone();
+                minus.data_mut()[i] -= eps;
+                let (lp, lm) = match which {
+                    "dx" => (loss(&plus, &w, &b), loss(&minus, &w, &b)),
+                    "dw" => (loss(&x, &plus, &b), loss(&x, &minus, &b)),
+                    _ => (loss(&x, &w, &plus), loss(&x, &w, &minus)),
+                };
+                let numeric = ((lp - lm) / (2.0 * eps as f64)) as f32;
+                let got = analytic.data()[i];
+                assert!(
+                    (numeric - got).abs() < 2e-2 * (1.0 + numeric.abs().max(got.abs())),
+                    "{which}[{i}]: numeric {numeric} vs analytic {got}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn conv2d_gradients_match_finite_differences() {
+        check_conv2d_grads(Conv2dSpec::same(3), &[2, 2, 5, 5], &[3, 2, 3, 3]);
+    }
+
+    #[test]
+    fn conv2d_strided_dilated_gradients() {
+        let spec = Conv2dSpec {
+            stride: 2,
+            padding: 2,
+            dilation: 2,
+        };
+        check_conv2d_grads(spec, &[1, 2, 7, 7], &[2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn conv_transpose_matches_conv_adjoint() {
+        // <conv(x), y> must equal <x, conv_transpose(y)> when the transpose
+        // uses the same weights with swapped channel axes.
+        let spec = Conv2dSpec {
+            stride: 2,
+            padding: 1,
+            dilation: 1,
+        };
+        // Size chosen so (h + 2p - k) % s == 0, making the conv geometry
+        // exactly invertible (otherwise PyTorch would need output_padding).
+        let x = rand_tensor(&[1, 2, 5, 5], 21);
+        let w = rand_tensor(&[3, 2, 3, 3], 22); // conv weight (Cout=3, Cin=2)
+        let y = conv2d(&x, &w, None, spec).unwrap();
+        let z = rand_tensor(y.shape().dims(), 23);
+        // Build the transpose weight (Cin=3 → Cout=2) by permuting axes.
+        let mut wt = Tensor::zeros(&[3, 2, 3, 3]);
+        for co in 0..3 {
+            for ci in 0..2 {
+                for a in 0..3 {
+                    for b in 0..3 {
+                        wt.set(&[co, ci, a, b], w.at(&[co, ci, a, b]));
+                    }
+                }
+            }
+        }
+        let xt = conv_transpose2d(&z, &wt, None, spec).unwrap();
+        assert_eq!(xt.shape(), x.shape());
+        let lhs: f64 = y
+            .data()
+            .iter()
+            .zip(z.data().iter())
+            .map(|(&a, &b)| a as f64 * b as f64)
+            .sum();
+        let rhs: f64 = x
+            .data()
+            .iter()
+            .zip(xt.data().iter())
+            .map(|(&a, &b)| a as f64 * b as f64)
+            .sum();
+        assert!(
+            (lhs - rhs).abs() < 1e-3 * (1.0 + lhs.abs()),
+            "{lhs} vs {rhs}"
+        );
+    }
+
+    #[test]
+    fn conv_transpose_upsamples() {
+        let spec = Conv2dSpec {
+            stride: 2,
+            padding: 0,
+            dilation: 1,
+        };
+        let x = rand_tensor(&[1, 4, 5, 5], 31);
+        let w = rand_tensor(&[4, 2, 2, 2], 32);
+        let y = conv_transpose2d(&x, &w, None, spec).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 2, 10, 10]);
+    }
+
+    #[test]
+    fn conv_transpose_gradients_match_finite_differences() {
+        let spec = Conv2dSpec {
+            stride: 2,
+            padding: 1,
+            dilation: 1,
+        };
+        let x = rand_tensor(&[1, 3, 4, 4], 41);
+        let w = rand_tensor(&[3, 2, 3, 3], 42).scale(0.5);
+        let y = conv_transpose2d(&x, &w, None, spec).unwrap();
+        let g = rand_tensor(y.shape().dims(), 43);
+        let grads = conv_transpose2d_backward(&x, &w, &g, spec).unwrap();
+        let eps = 1e-2f32;
+        let loss = |x: &Tensor, w: &Tensor| -> f64 {
+            let y = conv_transpose2d(x, w, None, spec).unwrap();
+            y.data()
+                .iter()
+                .zip(g.data().iter())
+                .map(|(&a, &b)| a as f64 * b as f64)
+                .sum()
+        };
+        for i in (0..x.numel()).step_by(x.numel() / 6) {
+            let mut p = x.clone();
+            p.data_mut()[i] += eps;
+            let mut m = x.clone();
+            m.data_mut()[i] -= eps;
+            let numeric = ((loss(&p, &w) - loss(&m, &w)) / (2.0 * eps as f64)) as f32;
+            let got = grads.dx.data()[i];
+            assert!(
+                (numeric - got).abs() < 2e-2 * (1.0 + numeric.abs()),
+                "dx[{i}]"
+            );
+        }
+        for i in (0..w.numel()).step_by(w.numel() / 6) {
+            let mut p = w.clone();
+            p.data_mut()[i] += eps;
+            let mut m = w.clone();
+            m.data_mut()[i] -= eps;
+            let numeric = ((loss(&x, &p) - loss(&x, &m)) / (2.0 * eps as f64)) as f32;
+            let got = grads.dw.data()[i];
+            assert!(
+                (numeric - got).abs() < 2e-2 * (1.0 + numeric.abs()),
+                "dw[{i}]"
+            );
+        }
+    }
+
+    #[test]
+    fn max_pool_forward_and_backward() {
+        let x = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 5.0, 4.0, //
+                3.0, 0.0, 1.0, 2.0, //
+                7.0, 1.0, 0.0, 1.0, //
+                2.0, 8.0, 3.0, 4.0,
+            ],
+            &[1, 1, 4, 4],
+        )
+        .unwrap();
+        let out = max_pool2d(&x, 2, 2).unwrap();
+        assert_eq!(out.y.data(), &[3.0, 5.0, 8.0, 4.0]);
+        let dy = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
+        let dx = max_pool2d_backward(&[1, 1, 4, 4], &out, &dy).unwrap();
+        assert_eq!(dx.at(&[0, 0, 1, 0]), 1.0); // 3.0 won
+        assert_eq!(dx.at(&[0, 0, 0, 2]), 2.0); // 5.0 won
+        assert_eq!(dx.at(&[0, 0, 3, 1]), 3.0); // 8.0 won
+        assert_eq!(dx.at(&[0, 0, 3, 3]), 4.0); // 4.0 won
+        assert_eq!(dx.sum(), 10.0);
+    }
+
+    #[test]
+    fn pixel_shuffle_round_trip() {
+        let x = rand_tensor(&[2, 8, 3, 3], 51);
+        let y = pixel_shuffle(&x, 2).unwrap();
+        assert_eq!(y.shape().dims(), &[2, 2, 6, 6]);
+        let back = pixel_unshuffle(&y, 2).unwrap();
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn pixel_shuffle_layout() {
+        // One output 2×2 block comes from the r² channels at one spatial site.
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 4, 1, 1]).unwrap();
+        let y = pixel_shuffle(&x, 2).unwrap();
+        assert_eq!(y.data(), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(y.shape().dims(), &[1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn pixel_shuffle_rejects_bad_channels() {
+        let x = Tensor::zeros(&[1, 3, 2, 2]);
+        assert!(pixel_shuffle(&x, 2).is_err());
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint() {
+        // <im2col(x), c> == <x, col2im(c)> — adjointness of unfold/fold.
+        let spec = Conv2dSpec::same(3);
+        let (c, h, w) = (2, 5, 5);
+        let oh = spec.out_extent(h, 3);
+        let ow = spec.out_extent(w, 3);
+        let x = rand_tensor(&[c, h, w], 61);
+        let cvec = rand_tensor(&[c * 9 * oh * ow], 62);
+        let mut col = vec![0.0f32; c * 9 * oh * ow];
+        im2col(x.data(), c, h, w, 3, 3, spec, &mut col);
+        let mut img = vec![0.0f32; c * h * w];
+        col2im(cvec.data(), c, h, w, 3, 3, spec, &mut img);
+        let lhs: f64 = col
+            .iter()
+            .zip(cvec.data().iter())
+            .map(|(&a, &b)| a as f64 * b as f64)
+            .sum();
+        let rhs: f64 = x
+            .data()
+            .iter()
+            .zip(img.iter())
+            .map(|(&a, &b)| a as f64 * b as f64)
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+}

@@ -1,0 +1,143 @@
+//! Dense matrix multiplication primitives.
+//!
+//! The convolution kernels in [`crate::conv`] lower to these routines via
+//! im2col. All routines operate on row-major slices so they can run on
+//! scratch buffers without allocating.
+
+/// `out = A @ B` where `A` is `m×k`, `B` is `k×n`, `out` is `m×n`.
+///
+/// Accumulates in `f32` with a k-inner loop ordered for cache locality
+/// (i-k-j), which also lets the compiler vectorize the innermost loop.
+///
+/// # Panics
+///
+/// Panics if any slice length is inconsistent with the given dimensions.
+pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "matmul: lhs length");
+    assert_eq!(b.len(), k * n, "matmul: rhs length");
+    assert_eq!(out.len(), m * n, "matmul: out length");
+    out.iter_mut().for_each(|x| *x = 0.0);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (o, &b_pj) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += a_ip * b_pj;
+            }
+        }
+    }
+}
+
+/// `out = Aᵀ @ B` where `A` is `k×m` (so `Aᵀ` is `m×k`), `B` is `k×n`.
+///
+/// # Panics
+///
+/// Panics if any slice length is inconsistent with the given dimensions.
+pub fn matmul_tn(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    assert_eq!(a.len(), k * m, "matmul_tn: lhs length");
+    assert_eq!(b.len(), k * n, "matmul_tn: rhs length");
+    assert_eq!(out.len(), m * n, "matmul_tn: out length");
+    out.iter_mut().for_each(|x| *x = 0.0);
+    for p in 0..k {
+        let a_row = &a[p * m..(p + 1) * m];
+        let b_row = &b[p * n..(p + 1) * n];
+        for (i, &a_pi) in a_row.iter().enumerate() {
+            if a_pi == 0.0 {
+                continue;
+            }
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (o, &b_pj) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += a_pi * b_pj;
+            }
+        }
+    }
+}
+
+/// `out += A @ Bᵀ` where `A` is `m×k`, `B` is `n×k` (so `Bᵀ` is `k×n`).
+///
+/// Accumulating (`+=`) because the convolution weight gradient sums over the
+/// batch; zero `out` first when a plain product is needed.
+///
+/// # Panics
+///
+/// Panics if any slice length is inconsistent with the given dimensions.
+pub fn matmul_nt_acc(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "matmul_nt_acc: lhs length");
+    assert_eq!(b.len(), n * k, "matmul_nt_acc: rhs length");
+    assert_eq!(out.len(), m * n, "matmul_nt_acc: out length");
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (j, o) in out_row.iter_mut().enumerate() {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&x, &y) in a_row.iter().zip(b_row.iter()) {
+                acc += x * y;
+            }
+            *o += acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small() {
+        // [1 2; 3 4] @ [5 6; 7 8] = [19 22; 43 50]
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [5.0, 6.0, 7.0, 8.0];
+        let mut out = [0.0; 4];
+        matmul(&a, &b, 2, 2, 2, &mut out);
+        assert_eq!(out, [19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        // (1x3) @ (3x2)
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.0, 0.0, 0.0, 1.0, 1.0, 1.0];
+        let mut out = [0.0; 2];
+        matmul(&a, &b, 1, 3, 2, &mut out);
+        assert_eq!(out, [4.0, 5.0]);
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        // A is k×m = 3×2; compute Aᵀ@B with B k×n = 3×2.
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]; // rows: [1 2],[3 4],[5 6]
+        let b = [7.0, 8.0, 9.0, 10.0, 11.0, 12.0];
+        let mut got = [0.0; 4];
+        matmul_tn(&a, &b, 2, 3, 2, &mut got);
+        // Aᵀ = [1 3 5; 2 4 6]
+        let at = [1.0, 3.0, 5.0, 2.0, 4.0, 6.0];
+        let mut want = [0.0; 4];
+        matmul(&at, &b, 2, 3, 2, &mut want);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn matmul_nt_acc_matches_and_accumulates() {
+        // A m×k = 2×3, B n×k = 2×3 → A@Bᵀ is 2×2.
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let b = [1.0, 1.0, 1.0, 0.0, 1.0, 0.0];
+        let mut out = [10.0, 0.0, 0.0, 0.0];
+        matmul_nt_acc(&a, &b, 2, 3, 2, &mut out);
+        // A@Bᵀ = [[6, 2], [15, 5]]; first entry accumulates onto 10.
+        assert_eq!(out, [16.0, 2.0, 15.0, 5.0]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = [3.0, -1.0, 0.5, 2.0];
+        let eye = [1.0, 0.0, 0.0, 1.0];
+        let mut out = [0.0; 4];
+        matmul(&a, &eye, 2, 2, 2, &mut out);
+        assert_eq!(out, a);
+    }
+}

@@ -1,0 +1,162 @@
+//! Property-based tests of the tensor kernels: the algebraic identities
+//! that make backpropagation correct must hold for arbitrary geometries,
+//! not just the hand-picked unit-test shapes.
+
+use proptest::prelude::*;
+
+use rte_tensor::conv::{
+    col2im, conv2d, conv2d_backward, im2col, max_pool2d, max_pool2d_backward, Conv2dSpec,
+};
+use rte_tensor::rng::Xoshiro256;
+use rte_tensor::Tensor;
+
+fn rand_tensor(dims: &[usize], seed: u64) -> Tensor {
+    let mut rng = Xoshiro256::seed_from(seed);
+    Tensor::from_fn(dims, |_| rng.normal())
+}
+
+fn inner(a: &Tensor, b: &Tensor) -> f64 {
+    a.data()
+        .iter()
+        .zip(b.data().iter())
+        .map(|(&x, &y)| x as f64 * y as f64)
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The backward input gradient is the adjoint of the forward map:
+    /// <conv(x), g> == <x, dx(g)> for any spec and geometry.
+    #[test]
+    fn conv_backward_is_adjoint(
+        seed in 0u64..10_000,
+        c_in in 1usize..4,
+        c_out in 1usize..4,
+        h in 5usize..12,
+        k in 1usize..4,
+        stride in 1usize..3,
+        padding in 0usize..2,
+        dilation in 1usize..3,
+    ) {
+        let spec = Conv2dSpec { stride, padding, dilation };
+        let eff = spec.effective_kernel(k);
+        prop_assume!(h + 2 * padding >= eff);
+        let x = rand_tensor(&[1, c_in, h, h], seed);
+        let w = rand_tensor(&[c_out, c_in, k, k], seed ^ 1);
+        let y = conv2d(&x, &w, None, spec).unwrap();
+        let g = rand_tensor(y.shape().dims(), seed ^ 2);
+        let grads = conv2d_backward(&x, &w, &g, spec).unwrap();
+        let lhs = inner(&y, &g);
+        let rhs = inner(&x, &grads.dx);
+        prop_assert!(
+            (lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()),
+            "adjoint mismatch: {lhs} vs {rhs}"
+        );
+    }
+
+    /// Weight gradient adjointness: <conv_w(x), g> is linear in w, so
+    /// <y, g> == <w, dw> for bias-free convolution.
+    #[test]
+    fn conv_weight_gradient_is_adjoint(
+        seed in 0u64..10_000,
+        c_in in 1usize..3,
+        c_out in 1usize..3,
+        h in 5usize..10,
+        k in 1usize..4,
+    ) {
+        let spec = Conv2dSpec::same(k);
+        let x = rand_tensor(&[2, c_in, h, h], seed);
+        let w = rand_tensor(&[c_out, c_in, k, k], seed ^ 3);
+        let y = conv2d(&x, &w, None, spec).unwrap();
+        let g = rand_tensor(y.shape().dims(), seed ^ 4);
+        let grads = conv2d_backward(&x, &w, &g, spec).unwrap();
+        let lhs = inner(&y, &g);
+        let rhs = inner(&w, &grads.dw);
+        prop_assert!(
+            (lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()),
+            "weight adjoint mismatch: {lhs} vs {rhs}"
+        );
+    }
+
+    /// im2col and col2im are adjoint for arbitrary geometry.
+    #[test]
+    fn unfold_fold_adjoint(
+        seed in 0u64..10_000,
+        c in 1usize..4,
+        h in 4usize..10,
+        w in 4usize..10,
+        k in 1usize..4,
+        stride in 1usize..3,
+        padding in 0usize..2,
+    ) {
+        let spec = Conv2dSpec { stride, padding, dilation: 1 };
+        prop_assume!(h + 2 * padding >= k && w + 2 * padding >= k);
+        let oh = spec.out_extent(h, k);
+        let ow = spec.out_extent(w, k);
+        let x = rand_tensor(&[c, h, w], seed);
+        let cvec = rand_tensor(&[c * k * k * oh * ow], seed ^ 5);
+        let mut col = vec![0.0f32; c * k * k * oh * ow];
+        im2col(x.data(), c, h, w, k, k, spec, &mut col);
+        let mut img = vec![0.0f32; c * h * w];
+        col2im(cvec.data(), c, h, w, k, k, spec, &mut img);
+        let lhs: f64 = col.iter().zip(cvec.data()).map(|(&a, &b)| a as f64 * b as f64).sum();
+        let rhs: f64 = x.data().iter().zip(img.iter()).map(|(&a, &b)| a as f64 * b as f64).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()));
+    }
+
+    /// Max pooling: every output is an element of its window, is >= all
+    /// elements of the window, and the backward pass conserves gradient
+    /// mass for non-overlapping windows.
+    #[test]
+    fn max_pool_properties(
+        seed in 0u64..10_000,
+        c in 1usize..4,
+        h in 4usize..12,
+    ) {
+        let x = rand_tensor(&[1, c, h, h], seed);
+        let out = max_pool2d(&x, 2, 2).unwrap();
+        let oh = (h - 2) / 2 + 1;
+        for ci in 0..c {
+            for oi in 0..oh {
+                for oj in 0..oh {
+                    let m = out.y.at(&[0, ci, oi, oj]);
+                    let mut found = false;
+                    for di in 0..2 {
+                        for dj in 0..2 {
+                            let v = x.at(&[0, ci, oi * 2 + di, oj * 2 + dj]);
+                            prop_assert!(m >= v);
+                            if m == v {
+                                found = true;
+                            }
+                        }
+                    }
+                    prop_assert!(found, "max must come from the window");
+                }
+            }
+        }
+        let dy = rand_tensor(out.y.shape().dims(), seed ^ 6);
+        let dx = max_pool2d_backward(&[1, c, h, h], &out, &dy).unwrap();
+        prop_assert!((dx.sum() - dy.sum()).abs() < 1e-3 * (1.0 + dy.sum().abs()));
+    }
+
+    /// Derived RNG streams do not collide for distinct labels.
+    #[test]
+    fn rng_streams_are_distinct(seed in 0u64..10_000, l1 in 0u64..1000, l2 in 0u64..1000) {
+        prop_assume!(l1 != l2);
+        let parent = Xoshiro256::seed_from(seed);
+        let mut a = parent.derive(l1);
+        let mut b = parent.derive(l2);
+        let xs: Vec<u64> = (0..4).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..4).map(|_| b.next_u64()).collect();
+        prop_assert_ne!(xs, ys);
+    }
+
+    /// Tensor reshape round-trips preserve data for any compatible split.
+    #[test]
+    fn reshape_round_trip(len in 1usize..64, seed in 0u64..10_000) {
+        let t = rand_tensor(&[len], seed);
+        let reshaped = t.clone().reshape(&[1, len]).unwrap().reshape(&[len]).unwrap();
+        prop_assert_eq!(t, reshaped);
+    }
+}

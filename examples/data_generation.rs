@@ -1,0 +1,84 @@
+//! A tour of the EDA data substrate: synthesize a design, place it, route
+//! it probabilistically, extract the §4.4 features and the DRC hotspot
+//! labels, and render them as ASCII heat maps.
+//!
+//! ```text
+//! cargo run --release --example data_generation
+//! ```
+
+use decentralized_routability::eda::congestion::route_demand;
+use decentralized_routability::eda::dataset::generate_sample;
+use decentralized_routability::eda::netlist::generate_netlist;
+use decentralized_routability::eda::placement::{place, PlacementConfig};
+use decentralized_routability::eda::Family;
+
+const SHADES: &[char] = &[' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+
+fn heatmap(values: &[f32], w: usize, h: usize) -> String {
+    let max = values.iter().copied().fold(f32::MIN, f32::max).max(1e-9);
+    let mut out = String::new();
+    for y in 0..h {
+        for x in 0..w {
+            let v = values[y * w + x] / max;
+            let idx = ((v * (SHADES.len() - 1) as f32).round() as usize).min(SHADES.len() - 1);
+            out.push(SHADES[idx]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Synthesize an IWLS'05-style design.
+    let netlist = generate_netlist(Family::Iwls05, 2024)?;
+    println!(
+        "design {}: {} cells ({} macros), {} nets, avg degree {:.2}, {} clusters",
+        netlist.name,
+        netlist.cells.len(),
+        netlist.macro_count(),
+        netlist.nets.len(),
+        netlist.avg_net_degree(),
+        netlist.cluster_count
+    );
+
+    // 2. Place it on a 16×16 gcell grid.
+    let config = PlacementConfig::new(16, 16, 1);
+    let placement = place(&netlist, &config)?;
+    println!("\ncell density (16×16 gcells):");
+    let density: Vec<f32> = placement
+        .cell_density(&netlist)
+        .into_iter()
+        .map(|v| v as f32)
+        .collect();
+    println!("{}", heatmap(&density, 16, 16));
+
+    // 3. Probabilistic global routing demand.
+    let demand = route_demand(&netlist, &placement);
+    let combined: Vec<f32> = demand.combined().into_iter().map(|v| v as f32).collect();
+    println!("routing demand (horizontal + vertical):");
+    println!("{}", heatmap(&combined, 16, 16));
+
+    // 4. Full sample: features + DRC hotspot labels.
+    let sample = generate_sample(&netlist, &config)?;
+    println!(
+        "feature tensor {} / label tensor {}",
+        sample.features.shape(),
+        sample.label.shape()
+    );
+    println!("DRC hotspot ground truth ('#' = hotspot):");
+    let mut label_map = String::new();
+    for y in 0..16 {
+        for x in 0..16 {
+            label_map.push(if sample.label.at(&[0, y, x]) > 0.5 {
+                '#'
+            } else {
+                '.'
+            });
+        }
+        label_map.push('\n');
+    }
+    println!("{label_map}");
+    let rate = sample.label.data().iter().filter(|&&v| v > 0.5).count() as f64 / 256.0;
+    println!("hotspot rate: {:.1}%", rate * 100.0);
+    Ok(())
+}

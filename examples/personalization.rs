@@ -1,0 +1,65 @@
+//! Personalization: starting from a FedProx-trained generalized model,
+//! each client fine-tunes on its own private data — the paper's best
+//! personalization technique (Table 3: 0.78 → 0.80 average).
+//!
+//! ```text
+//! cargo run --release --example personalization
+//! ```
+
+use decentralized_routability::core::{build_clients, run_method_on_clients, ExperimentConfig};
+use decentralized_routability::eda::corpus::generate_corpus;
+use decentralized_routability::fed::Method;
+use decentralized_routability::nn::models::ModelKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut config = ExperimentConfig::scaled();
+    config.corpus.placement_scale = 0.03;
+    config.fed.rounds = 5;
+    config.fed.local_steps = 10;
+    config.fed.finetune_steps = 60;
+
+    println!("generating corpus and running FedProx vs FedProx + fine-tuning …");
+    let corpus = generate_corpus(&config.corpus)?;
+    let clients = build_clients(&corpus)?;
+
+    let generalized = run_method_on_clients(Method::FedProx, &clients, ModelKind::FlNet, &config)?;
+    let personalized =
+        run_method_on_clients(Method::FedProxFinetune, &clients, ModelKind::FlNet, &config)?;
+
+    println!("\nper-client ROC AUC:");
+    println!(
+        "{:<10} {:>10} {:>12} {:>8}",
+        "client", "FedProx", "+fine-tune", "gain"
+    );
+    let mut improved = 0;
+    for k in 0..clients.len() {
+        let a = generalized.per_client_auc[k];
+        let b = personalized.per_client_auc[k];
+        if b > a {
+            improved += 1;
+        }
+        println!(
+            "{:<10} {:>10.3} {:>12.3} {:>+8.3}",
+            format!("client {}", k + 1),
+            a,
+            b,
+            b - a
+        );
+    }
+    println!(
+        "{:<10} {:>10.3} {:>12.3} {:>+8.3}",
+        "average",
+        generalized.average_auc,
+        personalized.average_auc,
+        personalized.average_auc - generalized.average_auc
+    );
+    println!(
+        "\n{improved}/{} clients improved by fine-tuning.",
+        clients.len()
+    );
+    println!(
+        "Paper (Table 3): fine-tuning lifts the average from 0.78 to 0.80,\n\
+         trading model generality for local accuracy at a small training cost."
+    );
+    Ok(())
+}

@@ -1,0 +1,28 @@
+//! Decentralized routability estimation — umbrella crate.
+//!
+//! Re-exports the workspace crates that reproduce *"Towards Collaborative
+//! Intelligence: Routability Estimation based on Decentralized Private
+//! Data"* (DAC 2022). See the `README.md` for a tour and `DESIGN.md` for
+//! the system inventory.
+//!
+//! # Example
+//!
+//! ```
+//! use decentralized_routability::nn::models::ModelKind;
+//! use decentralized_routability::nn::Layer;
+//!
+//! // Build the paper's FLNet and check it is the smallest model.
+//! use decentralized_routability::nn::models::{build_model, ModelScale};
+//! use decentralized_routability::tensor::rng::Xoshiro256;
+//!
+//! let mut rng = Xoshiro256::seed_from(0);
+//! let mut flnet = build_model(ModelKind::FlNet, 6, ModelScale::Scaled, &mut rng);
+//! assert!(flnet.param_count() > 0);
+//! ```
+
+pub use rte_core as core;
+pub use rte_eda as eda;
+pub use rte_fed as fed;
+pub use rte_metrics as metrics;
+pub use rte_nn as nn;
+pub use rte_tensor as tensor;

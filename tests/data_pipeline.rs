@@ -1,0 +1,129 @@
+//! Integration tests of the EDA substrate as a *learning problem*: the
+//! generated features must be predictive of the generated labels, and the
+//! families must be genuinely heterogeneous — the two properties the
+//! paper's experiments rest on.
+
+use decentralized_routability::eda::corpus::{generate_client, CorpusConfig, PAPER_CLIENTS};
+use decentralized_routability::eda::dataset::generate_sample;
+use decentralized_routability::eda::features::FEATURE_CHANNELS;
+use decentralized_routability::eda::netlist::generate_netlist;
+use decentralized_routability::eda::placement::PlacementConfig;
+use decentralized_routability::eda::Family;
+use decentralized_routability::metrics::roc_auc;
+
+/// ROC AUC of a single raw feature channel against the labels — a
+/// model-free measure of how learnable the task is.
+fn channel_auc(family: Family, channel: usize, seeds: std::ops::Range<u64>) -> f64 {
+    let mut scores = Vec::new();
+    let mut labels = Vec::new();
+    for seed in seeds {
+        let nl = generate_netlist(family, seed).unwrap();
+        let sample = generate_sample(&nl, &PlacementConfig::new(16, 16, seed ^ 0xC0)).unwrap();
+        let hw = 16 * 16;
+        scores.extend_from_slice(&sample.features.data()[channel * hw..(channel + 1) * hw]);
+        labels.extend(sample.label.data().iter().map(|&v| v > 0.5));
+    }
+    roc_auc(&scores, &labels).unwrap()
+}
+
+#[test]
+fn rudy_feature_is_predictive_of_drc_hotspots() {
+    // Channel 3 is RUDY; on its own it should be a decent predictor —
+    // well above chance but below perfect (the label also depends on the
+    // L-routed demand, pins, macros and noise).
+    for family in Family::ALL {
+        let auc = channel_auc(family, 3, 0..6);
+        assert!(
+            auc > 0.62,
+            "{family}: RUDY alone should beat chance, got {auc:.3}"
+        );
+        assert!(
+            auc < 0.999,
+            "{family}: labels must not be a trivial function of RUDY, got {auc:.3}"
+        );
+    }
+}
+
+#[test]
+fn blockage_channel_alone_is_weak() {
+    // The macro blockage mask should carry far less signal than RUDY.
+    let rudy = channel_auc(Family::Ispd15, 3, 0..6);
+    let blockage = channel_auc(Family::Ispd15, 2, 0..6);
+    assert!(
+        rudy > blockage,
+        "RUDY ({rudy:.3}) should out-predict blockage ({blockage:.3})"
+    );
+}
+
+#[test]
+fn clients_of_one_family_are_more_similar_than_cross_family() {
+    // Heterogeneity check at the dataset level: mean per-channel feature
+    // vectors of two ITC'99 clients should be closer to each other than
+    // to the ISPD'15 client.
+    let config = CorpusConfig::tiny();
+    let mean_features = |idx: usize| -> Vec<f64> {
+        let client = generate_client(&PAPER_CLIENTS[idx], &config).unwrap();
+        let mut sums = vec![0.0f64; FEATURE_CHANNELS];
+        let mut count = 0usize;
+        for s in client.train.samples() {
+            let hw = 16 * 16;
+            for c in 0..FEATURE_CHANNELS {
+                sums[c] += s.features.data()[c * hw..(c + 1) * hw]
+                    .iter()
+                    .map(|&v| v as f64)
+                    .sum::<f64>();
+            }
+            count += hw;
+        }
+        sums.iter().map(|s| s / count as f64).collect()
+    };
+    let dist = |a: &[f64], b: &[f64]| -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt()
+    };
+    let c1 = mean_features(0); // ITC'99
+    let c2 = mean_features(1); // ITC'99
+    let c9 = mean_features(8); // ISPD'15
+    let intra = dist(&c1, &c2);
+    let cross = dist(&c1, &c9);
+    assert!(
+        cross > intra,
+        "cross-family distance {cross:.4} must exceed intra-family {intra:.4}"
+    );
+}
+
+#[test]
+fn feature_tensors_are_normalized_and_finite() {
+    for family in Family::ALL {
+        let nl = generate_netlist(family, 1).unwrap();
+        let sample = generate_sample(&nl, &PlacementConfig::new(16, 16, 1)).unwrap();
+        assert!(sample.features.is_finite());
+        assert!(sample
+            .features
+            .data()
+            .iter()
+            .all(|&v| (0.0..1.0).contains(&v)));
+        assert!(sample.label.data().iter().all(|&v| v == 0.0 || v == 1.0));
+    }
+}
+
+#[test]
+fn hotspot_rates_are_in_the_trainable_band_per_client() {
+    // Every client's labels must have both classes at a workable ratio —
+    // otherwise AUC is undefined and training is degenerate.
+    let config = CorpusConfig::tiny();
+    for spec in &PAPER_CLIENTS {
+        let client = generate_client(spec, &config).unwrap();
+        for (name, ds) in [("train", &client.train), ("test", &client.test)] {
+            let rate = ds.hotspot_rate();
+            assert!(
+                (0.005..0.60).contains(&rate),
+                "client {} {name}: hotspot rate {rate:.3}",
+                spec.index
+            );
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Cross-crate integration tests: the full corpus → clients → federated
+//! training → evaluation pipeline at miniature scale.
+
+use decentralized_routability::core::{
+    build_clients, run_method_on_clients, run_table, ExperimentConfig,
+};
+use decentralized_routability::eda::corpus::{generate_corpus, CorpusConfig};
+use decentralized_routability::fed::Method;
+use decentralized_routability::nn::models::ModelKind;
+
+fn fast_config() -> ExperimentConfig {
+    let mut config = ExperimentConfig::tiny();
+    config.fed.rounds = 2;
+    config.fed.local_steps = 4;
+    config.fed.finetune_steps = 6;
+    config
+}
+
+#[test]
+fn full_pipeline_runs_for_every_method() {
+    let config = fast_config();
+    let corpus = generate_corpus(&config.corpus).expect("corpus");
+    let clients = build_clients(&corpus).expect("clients");
+    assert_eq!(clients.len(), 9);
+    for method in Method::ALL {
+        let outcome = run_method_on_clients(method, &clients, ModelKind::FlNet, &config)
+            .unwrap_or_else(|e| panic!("{method}: {e}"));
+        assert_eq!(outcome.per_client_auc.len(), 9, "{method}");
+        for (k, auc) in outcome.per_client_auc.iter().enumerate() {
+            assert!(
+                auc.is_finite() && (0.0..=1.0).contains(auc),
+                "{method} client {k}: AUC {auc}"
+            );
+        }
+    }
+}
+
+#[test]
+fn pipeline_is_bit_reproducible() {
+    let config = fast_config();
+    let run = || {
+        let corpus = generate_corpus(&config.corpus).unwrap();
+        let clients = build_clients(&corpus).unwrap();
+        run_method_on_clients(Method::FedProx, &clients, ModelKind::FlNet, &config)
+            .unwrap()
+            .per_client_auc
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn different_seeds_give_different_results() {
+    let mut a = fast_config();
+    let mut b = fast_config();
+    b.corpus.seed ^= 0xFFFF;
+    let run = |config: &ExperimentConfig| {
+        let corpus = generate_corpus(&config.corpus).unwrap();
+        let clients = build_clients(&corpus).unwrap();
+        run_method_on_clients(Method::FedProx, &clients, ModelKind::FlNet, config)
+            .unwrap()
+            .per_client_auc
+    };
+    assert_ne!(run(&mut a), run(&mut b));
+}
+
+#[test]
+fn run_table_renders_every_requested_row() {
+    let mut config = fast_config();
+    config.methods = vec![Method::LocalOnly, Method::FedProx];
+    let table = run_table(ModelKind::FlNet, &config).expect("table");
+    let text = decentralized_routability::core::report::render_table(&table);
+    assert!(text.contains("FLNet"));
+    assert!(text.contains("Local Average"));
+    assert!(text.contains("FedProx"));
+    assert!(text.contains("C9"));
+}
+
+#[test]
+fn all_three_models_train_on_real_features() {
+    // One round of FedProx for each zoo model over the generated corpus
+    // exercises conv, trans-conv, BN, pooling and pixel shuffle on real
+    // feature tensors.
+    let mut config = fast_config();
+    config.fed.rounds = 1;
+    config.fed.local_steps = 2;
+    let corpus = generate_corpus(&config.corpus).unwrap();
+    let clients = build_clients(&corpus).unwrap();
+    for kind in ModelKind::ALL {
+        let outcome = run_method_on_clients(Method::FedProx, &clients, kind, &config)
+            .unwrap_or_else(|e| panic!("{kind}: {e}"));
+        assert!(outcome.average_auc.is_finite(), "{kind}");
+    }
+}
+
+#[test]
+fn corpus_scaling_grows_client_data() {
+    let tiny = generate_corpus(&CorpusConfig::tiny()).unwrap();
+    let mut larger_config = CorpusConfig::tiny();
+    larger_config.placement_scale = 0.03;
+    let larger = generate_corpus(&larger_config).unwrap();
+    assert!(larger.total_train() > tiny.total_train());
+    // Both respect the 70/30-by-design structure: train > test everywhere.
+    for c in &larger.clients {
+        assert!(c.train.len() >= c.test.len(), "client {}", c.spec.index);
+    }
+}

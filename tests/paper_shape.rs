@@ -1,0 +1,80 @@
+//! Regression tests on the *shape* of the paper's headline result for
+//! FLNet: collaboration must beat isolated local training on the
+//! heterogeneous Table 2 corpus.
+//!
+//! These run a real (small) federated experiment, so they are ignored in
+//! debug builds; run them with `cargo test --release -- --include-ignored`
+//! or rely on the default `cargo test --release`.
+
+use decentralized_routability::core::{
+    build_clients, run_method_on_clients, ExperimentConfig,
+};
+use decentralized_routability::eda::corpus::generate_corpus;
+use decentralized_routability::fed::Method;
+use decentralized_routability::nn::models::ModelKind;
+
+fn shape_config() -> ExperimentConfig {
+    let mut config = ExperimentConfig::scaled();
+    config.corpus.placement_scale = 0.03;
+    config.fed.rounds = 5;
+    config.fed.local_steps = 10;
+    config.fed.finetune_steps = 60;
+    config
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "runs a real experiment; release only")]
+fn collaboration_beats_local_training_for_flnet() {
+    let config = shape_config();
+    let corpus = generate_corpus(&config.corpus).expect("corpus");
+    let clients = build_clients(&corpus).expect("clients");
+    let local = run_method_on_clients(Method::LocalOnly, &clients, ModelKind::FlNet, &config)
+        .expect("local");
+    let fedprox = run_method_on_clients(Method::FedProx, &clients, ModelKind::FlNet, &config)
+        .expect("fedprox");
+    assert!(
+        fedprox.average_auc > local.average_auc,
+        "paper shape violated: FedProx {:.3} !> local {:.3}",
+        fedprox.average_auc,
+        local.average_auc
+    );
+    // Both must be in the meaningful band: far above chance, below the
+    // noise ceiling.
+    for (name, outcome) in [("local", &local), ("fedprox", &fedprox)] {
+        assert!(
+            (0.6..0.99).contains(&outcome.average_auc),
+            "{name}: average AUC {:.3} outside plausible band",
+            outcome.average_auc
+        );
+    }
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "runs a real experiment; release only")]
+fn task_is_not_saturated() {
+    // Guard against the failure mode where the synthetic task becomes so
+    // easy that every method lands at the label-noise ceiling and the
+    // experiments cannot differentiate anything: per-client AUCs of a
+    // briefly trained local model must show real spread.
+    let config = shape_config();
+    let corpus = generate_corpus(&config.corpus).expect("corpus");
+    let clients = build_clients(&corpus).expect("clients");
+    let local = run_method_on_clients(Method::LocalOnly, &clients, ModelKind::FlNet, &config)
+        .expect("local");
+    let min = local
+        .per_client_auc
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
+    let max = local
+        .per_client_auc
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max);
+    assert!(
+        max - min > 0.03,
+        "per-client spread {:.3} too small — task saturated? {:?}",
+        max - min,
+        local.per_client_auc
+    );
+}

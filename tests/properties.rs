@@ -1,0 +1,160 @@
+//! Property-based tests (proptest) on the workspace's core invariants:
+//! tensor algebra, convolution geometry, aggregation convexity and ROC
+//! AUC semantics.
+
+use proptest::prelude::*;
+
+use decentralized_routability::fed::params::{blend, l2_distance_sq, weighted_average};
+use decentralized_routability::metrics::roc_auc;
+use decentralized_routability::nn::StateDict;
+use decentralized_routability::tensor::conv::{conv2d, Conv2dSpec};
+use decentralized_routability::tensor::rng::Xoshiro256;
+use decentralized_routability::tensor::Tensor;
+
+fn tensor_strategy(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-10.0f32..10.0, len)
+}
+
+fn dict_from(values: &[f32]) -> StateDict {
+    vec![(
+        "w".to_string(),
+        Tensor::from_vec(values.to_vec(), &[values.len()]).unwrap(),
+    )]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Aggregation is convex: every coordinate of the average lies within
+    /// the [min, max] envelope of the inputs.
+    #[test]
+    fn weighted_average_is_convex(
+        a in tensor_strategy(16),
+        b in tensor_strategy(16),
+        c in tensor_strategy(16),
+        wa in 0.1f64..10.0,
+        wb in 0.1f64..10.0,
+        wc in 0.1f64..10.0,
+    ) {
+        let (da, db, dc) = (dict_from(&a), dict_from(&b), dict_from(&c));
+        let avg = weighted_average(&[(&da, wa), (&db, wb), (&dc, wc)]).unwrap();
+        for i in 0..16 {
+            let lo = a[i].min(b[i]).min(c[i]);
+            let hi = a[i].max(b[i]).max(c[i]);
+            let v = avg[0].1.data()[i];
+            prop_assert!(v >= lo - 1e-4 && v <= hi + 1e-4, "coord {i}: {v} outside [{lo}, {hi}]");
+        }
+    }
+
+    /// Averaging identical dicts is the identity regardless of weights.
+    #[test]
+    fn weighted_average_identity(
+        a in tensor_strategy(8),
+        w1 in 0.1f64..5.0,
+        w2 in 0.1f64..5.0,
+    ) {
+        let d = dict_from(&a);
+        let avg = weighted_average(&[(&d, w1), (&d, w2)]).unwrap();
+        for i in 0..8 {
+            prop_assert!((avg[0].1.data()[i] - a[i]).abs() < 1e-4);
+        }
+    }
+
+    /// Blend endpoints: α=1 returns the first dict, α=0 the second, and
+    /// the L2 distance to either endpoint is monotone in α.
+    #[test]
+    fn blend_endpoints_and_monotonicity(
+        a in tensor_strategy(8),
+        b in tensor_strategy(8),
+    ) {
+        let (da, db) = (dict_from(&a), dict_from(&b));
+        prop_assert_eq!(blend(&da, &db, 1.0).unwrap(), da.clone());
+        prop_assert_eq!(blend(&da, &db, 0.0).unwrap(), db.clone());
+        let quarter = blend(&da, &db, 0.25).unwrap();
+        let half = blend(&da, &db, 0.5).unwrap();
+        let d_q = l2_distance_sq(&quarter, &da).unwrap();
+        let d_h = l2_distance_sq(&half, &da).unwrap();
+        prop_assert!(d_h <= d_q + 1e-6, "closer to a as alpha grows: {d_h} vs {d_q}");
+    }
+
+    /// ROC AUC is invariant under adding a constant to all scores and is
+    /// complemented by label inversion: AUC(s, y) + AUC(s, ¬y) == 1.
+    #[test]
+    fn roc_auc_shift_invariance_and_complement(
+        scores in proptest::collection::vec(0.0f32..1.0, 12),
+        labels in proptest::collection::vec(any::<bool>(), 12),
+        shift in -5.0f32..5.0,
+    ) {
+        let positives = labels.iter().filter(|&&l| l).count();
+        prop_assume!(positives > 0 && positives < labels.len());
+        let auc = roc_auc(&scores, &labels).unwrap();
+        let shifted: Vec<f32> = scores.iter().map(|&s| s + shift).collect();
+        let auc_shifted = roc_auc(&shifted, &labels).unwrap();
+        prop_assert!((auc - auc_shifted).abs() < 1e-9);
+        let inverted: Vec<bool> = labels.iter().map(|&l| !l).collect();
+        let auc_inv = roc_auc(&scores, &inverted).unwrap();
+        prop_assert!((auc + auc_inv - 1.0).abs() < 1e-9, "{auc} + {auc_inv}");
+    }
+
+    /// Convolution is linear in the input: conv(x1 + x2) == conv(x1) +
+    /// conv(x2) for bias-free kernels.
+    #[test]
+    fn conv2d_is_linear(
+        seed in 0u64..1000,
+    ) {
+        let mut rng = Xoshiro256::seed_from(seed);
+        let x1 = Tensor::from_fn(&[1, 2, 6, 6], |_| rng.normal());
+        let x2 = Tensor::from_fn(&[1, 2, 6, 6], |_| rng.normal());
+        let w = Tensor::from_fn(&[3, 2, 3, 3], |_| rng.normal());
+        let spec = Conv2dSpec::same(3);
+        let y_sum = conv2d(&x1.add(&x2).unwrap(), &w, None, spec).unwrap();
+        let y1 = conv2d(&x1, &w, None, spec).unwrap();
+        let y2 = conv2d(&x2, &w, None, spec).unwrap();
+        let expected = y1.add(&y2).unwrap();
+        for (a, b) in y_sum.data().iter().zip(expected.data().iter()) {
+            prop_assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    /// Conv output geometry matches the closed-form extent for arbitrary
+    /// strides/paddings/dilations that admit at least one output site.
+    #[test]
+    fn conv2d_geometry(
+        h in 6usize..20,
+        w in 6usize..20,
+        k in 1usize..4,
+        stride in 1usize..3,
+        padding in 0usize..3,
+        dilation in 1usize..3,
+    ) {
+        let spec = Conv2dSpec { stride, padding, dilation };
+        let eff = spec.effective_kernel(k);
+        prop_assume!(h + 2 * padding >= eff && w + 2 * padding >= eff);
+        let x = Tensor::zeros(&[1, 1, h, w]);
+        let kw = Tensor::zeros(&[1, 1, k, k]);
+        let y = conv2d(&x, &kw, None, spec).unwrap();
+        prop_assert_eq!(y.dim(2), (h + 2 * padding - eff) / stride + 1);
+        prop_assert_eq!(y.dim(3), (w + 2 * padding - eff) / stride + 1);
+    }
+
+    /// Tensor algebra: (a + b) - b == a elementwise (exact for these
+    /// magnitudes), and scale distributes over add.
+    #[test]
+    fn tensor_add_sub_roundtrip(
+        a in tensor_strategy(24),
+        b in tensor_strategy(24),
+        alpha in -3.0f32..3.0,
+    ) {
+        let ta = Tensor::from_vec(a.clone(), &[24]).unwrap();
+        let tb = Tensor::from_vec(b, &[24]).unwrap();
+        let roundtrip = ta.add(&tb).unwrap().sub(&tb).unwrap();
+        for (x, y) in roundtrip.data().iter().zip(a.iter()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+        let lhs = ta.add(&tb).unwrap().scale(alpha);
+        let rhs = ta.scale(alpha).add(&tb.scale(alpha)).unwrap();
+        for (x, y) in lhs.data().iter().zip(rhs.data().iter()) {
+            prop_assert!((x - y).abs() < 1e-2);
+        }
+    }
+}

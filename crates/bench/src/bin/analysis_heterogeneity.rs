@@ -33,7 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!(" {:>9}", "hotspot%");
     for client in &corpus.clients {
-        let mut sums = vec![0.0f64; FEATURE_CHANNELS];
+        let mut sums = [0.0f64; FEATURE_CHANNELS];
         let mut tiles = 0usize;
         for s in client.train.samples() {
             let hw = s.features.dim(1) * s.features.dim(2);

@@ -169,6 +169,39 @@ pub fn ordering_checks(
         .collect()
 }
 
+/// Full main body for a table binary: parse args, run the experiment
+/// matrix for `kind`, print the measured table, the paper comparison and
+/// the qualitative ordering checks.
+///
+/// # Errors
+///
+/// Propagates experiment failures.
+pub fn table_main(
+    kind: rte_nn::models::ModelKind,
+    paper: &reference::PaperTable,
+    checks: &[(&str, &str, &str)],
+) -> Result<(), Box<dyn std::error::Error>> {
+    let args = BenchArgs::parse();
+    let config = args.experiment_config();
+    eprintln!(
+        "running {} experiment matrix ({} methods, {} rounds, scale {:.3}) …",
+        kind,
+        config.methods.len(),
+        config.fed.rounds,
+        config.corpus.placement_scale
+    );
+    let start = std::time::Instant::now();
+    let table = rte_core::run_table(kind, &config)?;
+    println!("{}", rte_core::report::render_table(&table));
+    println!("{}", render_comparison(&table.rows, paper));
+    println!("Qualitative ordering checks (shape of the paper's result):");
+    for (desc, holds) in ordering_checks(&table.rows, checks) {
+        println!("  [{}] {desc}", if holds { "ok" } else { "MISS" });
+    }
+    eprintln!("elapsed: {:.1?}", start.elapsed());
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,37 +261,4 @@ mod tests {
         assert_eq!(c.fed.rounds, 50);
         assert_eq!(c.corpus.placement_scale, 1.0);
     }
-}
-
-/// Full main body for a table binary: parse args, run the experiment
-/// matrix for `kind`, print the measured table, the paper comparison and
-/// the qualitative ordering checks.
-///
-/// # Errors
-///
-/// Propagates experiment failures.
-pub fn table_main(
-    kind: rte_nn::models::ModelKind,
-    paper: &reference::PaperTable,
-    checks: &[(&str, &str, &str)],
-) -> Result<(), Box<dyn std::error::Error>> {
-    let args = BenchArgs::parse();
-    let config = args.experiment_config();
-    eprintln!(
-        "running {} experiment matrix ({} methods, {} rounds, scale {:.3}) …",
-        kind,
-        config.methods.len(),
-        config.fed.rounds,
-        config.corpus.placement_scale
-    );
-    let start = std::time::Instant::now();
-    let table = rte_core::run_table(kind, &config)?;
-    println!("{}", rte_core::report::render_table(&table));
-    println!("{}", render_comparison(&table.rows, paper));
-    println!("Qualitative ordering checks (shape of the paper's result):");
-    for (desc, holds) in ordering_checks(&table.rows, checks) {
-        println!("  [{}] {desc}", if holds { "ok" } else { "MISS" });
-    }
-    eprintln!("elapsed: {:.1?}", start.elapsed());
-    Ok(())
 }

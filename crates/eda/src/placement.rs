@@ -265,14 +265,14 @@ pub fn place(netlist: &Netlist, config: &PlacementConfig) -> Result<Placement, E
         while blocked[yi * grid.width + xi] && guard < grid.width + grid.height {
             if xi * 2 < grid.width {
                 xi += 1;
-            } else if xi > 0 {
-                xi -= 1;
+            } else {
+                xi = xi.saturating_sub(1);
             }
             if blocked[yi * grid.width + xi] {
                 if yi * 2 < grid.height {
                     yi += 1;
-                } else if yi > 0 {
-                    yi -= 1;
+                } else {
+                    yi = yi.saturating_sub(1);
                 }
             }
             guard += 1;

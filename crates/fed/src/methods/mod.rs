@@ -121,8 +121,7 @@ impl<'a> Harness<'a> {
         if self.config.participation >= 1.0 {
             return (0..k).collect();
         }
-        let take = ((self.config.participation as f64 * k as f64).ceil() as usize)
-            .clamp(1, k);
+        let take = ((self.config.participation as f64 * k as f64).ceil() as usize).clamp(1, k);
         let mut rng = self.root_rng.derive(0x9A37).derive(round as u64);
         let mut sample = rng.sample_indices(k, take);
         sample.sort_unstable();

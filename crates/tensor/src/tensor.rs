@@ -113,12 +113,12 @@ impl Tensor {
     }
 
     /// Creates a tensor by evaluating `f` at each flat row-major index.
-    pub fn from_fn(dims: &[usize], mut f: impl FnMut(usize) -> f32) -> Self {
+    pub fn from_fn(dims: &[usize], f: impl FnMut(usize) -> f32) -> Self {
         let shape = Shape::new(dims);
         let n = shape.numel();
         Tensor {
             shape,
-            data: (0..n).map(|i| f(i)).collect(),
+            data: (0..n).map(f).collect(),
         }
     }
 

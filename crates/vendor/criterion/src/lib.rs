@@ -1,0 +1,130 @@
+//! Offline stand-in for the crates.io `criterion` crate.
+//!
+//! The build environment cannot reach crates.io, so this crate implements
+//! the subset of criterion's API the workspace benches use:
+//! [`Criterion::bench_function`], [`Bencher::iter`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros (for `harness = false`
+//! bench targets).
+//!
+//! Measurement is deliberately simple: each benchmark is warmed up for a
+//! fixed number of iterations, then timed over batches until a time budget
+//! is spent, and the per-iteration mean / best batch are printed. There is
+//! no statistical analysis, HTML report, or baseline comparison — swap in
+//! the real crate via `[workspace.dependencies]` when the registry is
+//! reachable; the benches compile unchanged.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP_ITERS: u64 = 3;
+const TARGET_TIME: Duration = Duration::from_millis(800);
+const MAX_BATCHES: u32 = 50;
+
+/// Benchmark registry and runner handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Run `f` as the benchmark named `id`, printing per-iteration timing.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            iters: WARMUP_ITERS,
+            elapsed: Duration::ZERO,
+        };
+        // Warm-up: also lets the closure's setup (captured state) settle.
+        f(&mut bencher);
+
+        // Calibrate the batch size towards ~TARGET_TIME/10 per batch.
+        let per_iter = bencher.elapsed.as_secs_f64() / WARMUP_ITERS as f64;
+        let per_batch = TARGET_TIME.as_secs_f64() / 10.0;
+        let batch = ((per_batch / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        let mut total = Duration::ZERO;
+        let mut total_iters: u64 = 0;
+        let mut best = Duration::MAX;
+        let started = Instant::now();
+        let mut batches = 0;
+        while started.elapsed() < TARGET_TIME && batches < MAX_BATCHES {
+            bencher.iters = batch;
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            let per = bencher.elapsed / batch as u32;
+            if per < best {
+                best = per;
+            }
+            total += bencher.elapsed;
+            total_iters += batch;
+            batches += 1;
+        }
+        let mean = total.as_secs_f64() / total_iters.max(1) as f64;
+        println!(
+            "bench: {id:<40} mean {:>12}  best {:>12}  ({total_iters} iters)",
+            format_duration(mean),
+            format_duration(best.as_secs_f64()),
+        );
+        self
+    }
+}
+
+fn format_duration(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} us", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Timing handle passed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over the batch size chosen by the runner.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Group benchmark functions under one name (the group name is unused by
+/// this stand-in beyond registration).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point for `harness = false` bench targets.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench`/`cargo test` pass harness flags (e.g.
+            // `--bench`); this stand-in has no CLI and ignores them.
+            $($group();)+
+        }
+    };
+}

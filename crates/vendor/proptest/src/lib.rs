@@ -1,0 +1,449 @@
+//! Offline stand-in for the crates.io `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so this crate
+//! implements the (small) subset of proptest's API the workspace's
+//! property tests use, with the same surface syntax:
+//!
+//! - the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header,
+//! - range strategies (`0u64..10_000`, `-3.0f32..3.0`, …),
+//! - [`collection::vec`] and [`any`],
+//! - `prop_assume!`, `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`.
+//!
+//! Semantics differ from real proptest in two deliberate ways: sampling is
+//! fully deterministic (seeded per test from the test's name, so runs are
+//! bit-reproducible with no persistence files), and failing cases are not
+//! shrunk — the failing input values are printed instead. As in real
+//! proptest, a `prop_assume!` rejection resamples the case (up to
+//! [`MAX_REJECTS_PER_CASE`] attempts) rather than consuming case budget.
+//! Swap this crate
+//! for the real one in `[workspace.dependencies]` if the registry becomes
+//! reachable; the tests compile unchanged.
+
+use std::ops::Range;
+
+/// Runner configuration. Only `cases` is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to execute per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run each property `cases` times.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assume!` filtered the inputs; the case is skipped, not failed.
+    Reject(String),
+    /// A `prop_assert*!` failed.
+    Fail(String),
+}
+
+/// Result type threaded through generated property bodies.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic SplitMix64 generator used for strategy sampling.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed a sampling stream. Each property derives its seed from the
+    /// property name and case index, so ordering of tests never matters.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Next raw 64-bit value (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A source of values for one property argument.
+///
+/// Unlike real proptest there is no value tree / shrinking: `sample`
+/// produces the final value directly.
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value: std::fmt::Debug;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+signed_range_strategy!(i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                // Interpolate in f64 and reject draws that round up to the
+                // excluded upper bound after narrowing (a `u` within ~6e-8
+                // of 1.0 can land exactly on `end` in f32), so the range
+                // stays genuinely half-open. Terminates almost surely:
+                // small `u` always produces a value below `end`.
+                loop {
+                    let u = rng.unit_f64();
+                    let span = self.end as f64 - self.start as f64;
+                    let v = (self.start as f64 + u * span) as $t;
+                    if v < self.end {
+                        return v;
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+/// Strategy wrapper produced by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Types with a canonical "arbitrary value" strategy.
+pub trait Arbitrary: Sized + std::fmt::Debug {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> u32 {
+        rng.next_u64() as u32
+    }
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The strategy of all values of `T` (proptest's `any::<T>()`).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `Vec<S::Value>` with a fixed or ranged length.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        min_len: usize,
+        max_len: usize,
+    }
+
+    /// Length specification: a fixed `usize` or a `Range<usize>`.
+    pub trait IntoSizeRange {
+        /// Convert into inclusive `(min, max)` bounds.
+        fn bounds(self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(self) -> (usize, usize) {
+            (self, self)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::Range<usize> {
+        fn bounds(self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    /// `vec(element, len)`: a vector whose elements are drawn from
+    /// `element` and whose length is described by `len`.
+    pub fn vec<S: Strategy>(element: S, len: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min_len, max_len) = len.bounds();
+        VecStrategy {
+            element,
+            min_len,
+            max_len,
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.min_len == self.max_len {
+                self.min_len
+            } else {
+                let span = (self.max_len - self.min_len + 1) as u64;
+                self.min_len + (rng.next_u64() % span) as usize
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything the `proptest!` macro and its callers need in scope.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        ProptestConfig, Strategy, TestCaseError, TestCaseResult, TestRng,
+    };
+}
+
+/// How many times one case re-draws its inputs after a `prop_assume!`
+/// rejection before the case is abandoned (mirrors real proptest's
+/// rejection cap, so assumes filter draws without eating case budget).
+pub const MAX_REJECTS_PER_CASE: u32 = 64;
+
+/// FNV-1a hash of the property name: the per-test seed base, so sampling
+/// is stable across runs and independent of test execution order.
+pub fn seed_for(name: &str, case: u32, attempt: u32) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h ^ ((case as u64) << 32 | (attempt as u64))
+}
+
+/// Reject the current case (skip without failing) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(
+                ::std::stringify!($cond).to_string(),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(
+                ::std::format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!("assertion failed: {}", ::std::stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fail the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        if !(lhs == rhs) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(::std::format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                ::std::stringify!($lhs),
+                ::std::stringify!($rhs),
+                lhs,
+                rhs
+            )));
+        }
+    }};
+}
+
+/// Fail the current case unless the two expressions are unequal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        if !(lhs != rhs) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(::std::format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                ::std::stringify!($lhs),
+                ::std::stringify!($rhs),
+                lhs
+            )));
+        }
+    }};
+}
+
+/// Define property tests. See the crate docs for supported syntax.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $crate::proptest! {
+                @one ($config)
+                $(#[$meta])*
+                fn $name($($arg in $strategy),+) $body
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $crate::proptest! {
+                @one ($crate::ProptestConfig::default())
+                $(#[$meta])*
+                fn $name($($arg in $strategy),+) $body
+            }
+        )*
+    };
+    (
+        @one ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+) $body:block
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            use $crate::Strategy as _;
+            let config: $crate::ProptestConfig = $config;
+            let mut abandoned: u32 = 0;
+            for case in 0..config.cases {
+                // Rejected draws (prop_assume!) are resampled with a fresh
+                // seed rather than consuming the case budget, like real
+                // proptest; a case is abandoned only after the cap.
+                let mut ran = false;
+                'attempts: for attempt in 0..$crate::MAX_REJECTS_PER_CASE {
+                    let mut rng = $crate::TestRng::new($crate::seed_for(
+                        ::std::stringify!($name),
+                        case,
+                        attempt,
+                    ));
+                    $(let $arg = ($strategy).sample(&mut rng);)+
+                    let input_desc = ::std::format!(
+                        ::std::concat!($("\n  ", ::std::stringify!($arg), " = {:?}"),+),
+                        $(&$arg),+
+                    );
+                    let outcome = (|| -> $crate::TestCaseResult {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => {
+                            ran = true;
+                            break 'attempts;
+                        }
+                        ::std::result::Result::Err($crate::TestCaseError::Reject(_)) => {}
+                        ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            ::std::panic!(
+                                "property {} failed at case {}:\n{}\ninputs:{}",
+                                ::std::stringify!($name),
+                                case,
+                                msg,
+                                input_desc
+                            );
+                        }
+                    }
+                }
+                if !ran {
+                    abandoned += 1;
+                }
+            }
+            ::std::assert!(
+                abandoned < config.cases,
+                "property {}: every case exhausted its {} assume-rejection \
+                 attempts — the prop_assume! filter is too strict",
+                ::std::stringify!($name),
+                $crate::MAX_REJECTS_PER_CASE
+            );
+        }
+    };
+}

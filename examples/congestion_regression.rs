@@ -32,37 +32,38 @@ fn regression_client(
     let spec = PAPER_CLIENTS[spec_index - 1];
     let corpus_seed = CorpusConfig::scaled().seed ^ TASK_SALT;
     let root = Xoshiro256::seed_from(corpus_seed).derive(spec_index as u64);
-    let build_split = |role: u64, designs: usize| -> Result<ClientSet, Box<dyn std::error::Error>> {
-        let mut xs = Vec::new();
-        let mut ys = Vec::new();
-        let mut n = 0usize;
-        let role_stream = root.derive(role);
-        for d in 0..designs {
-            let mut ds = role_stream.derive(d as u64);
-            let netlist = generate_netlist(spec.family, ds.next_u64())?;
-            for p in 0..placements_per_design {
-                let mut ps = ds.derive(p as u64 + 1);
-                let config = PlacementConfig::new(16, 16, ps.next_u64());
-                let placement = place(&netlist, &config)?;
-                let features = extract_features(&netlist, &placement)?;
-                // Continuous label: combined demand squashed to [0, 1).
-                let demand = route_demand(&netlist, &placement);
-                let combined = demand.combined();
-                let mean = combined.iter().sum::<f64>() / combined.len() as f64;
-                let label: Vec<f32> = combined
-                    .iter()
-                    .map(|&v| (v / (v + 2.0 * mean.max(1e-9))) as f32)
-                    .collect();
-                xs.extend_from_slice(features.data());
-                ys.extend_from_slice(&label);
-                n += 1;
+    let build_split =
+        |role: u64, designs: usize| -> Result<ClientSet, Box<dyn std::error::Error>> {
+            let mut xs = Vec::new();
+            let mut ys = Vec::new();
+            let mut n = 0usize;
+            let role_stream = root.derive(role);
+            for d in 0..designs {
+                let mut ds = role_stream.derive(d as u64);
+                let netlist = generate_netlist(spec.family, ds.next_u64())?;
+                for p in 0..placements_per_design {
+                    let mut ps = ds.derive(p as u64 + 1);
+                    let config = PlacementConfig::new(16, 16, ps.next_u64());
+                    let placement = place(&netlist, &config)?;
+                    let features = extract_features(&netlist, &placement)?;
+                    // Continuous label: combined demand squashed to [0, 1).
+                    let demand = route_demand(&netlist, &placement);
+                    let combined = demand.combined();
+                    let mean = combined.iter().sum::<f64>() / combined.len() as f64;
+                    let label: Vec<f32> = combined
+                        .iter()
+                        .map(|&v| (v / (v + 2.0 * mean.max(1e-9))) as f32)
+                        .collect();
+                    xs.extend_from_slice(features.data());
+                    ys.extend_from_slice(&label);
+                    n += 1;
+                }
             }
-        }
-        Ok(ClientSet::new(
-            Tensor::from_vec(xs, &[n, FEATURE_CHANNELS, 16, 16])?,
-            Tensor::from_vec(ys, &[n, 1, 16, 16])?,
-        )?)
-    };
+            Ok(ClientSet::new(
+                Tensor::from_vec(xs, &[n, FEATURE_CHANNELS, 16, 16])?,
+                Tensor::from_vec(ys, &[n, 1, 16, 16])?,
+            )?)
+        };
     let train = build_split(0, n_designs)?;
     let test = build_split(1, test_designs)?;
     Ok(Client::new(spec_index, train, test))
@@ -93,7 +94,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut fed = FedConfig::scaled();
     fed.rounds = 4;
     fed.local_steps = 10;
-    println!("running FedProx for {} rounds on the regression task …", fed.rounds);
+    println!(
+        "running FedProx for {} rounds on the regression task …",
+        fed.rounds
+    );
     let (global, _) = fedprox_rounds(&clients, &factory, &fed)?;
 
     // Evaluate RMSE per client (regression metric, not AUC).

@@ -63,7 +63,7 @@ fn clients_of_one_family_are_more_similar_than_cross_family() {
     let config = CorpusConfig::tiny();
     let mean_features = |idx: usize| -> Vec<f64> {
         let client = generate_client(&PAPER_CLIENTS[idx], &config).unwrap();
-        let mut sums = vec![0.0f64; FEATURE_CHANNELS];
+        let mut sums = [0.0f64; FEATURE_CHANNELS];
         let mut count = 0usize;
         for s in client.train.samples() {
             let hw = 16 * 16;

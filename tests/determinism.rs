@@ -1,0 +1,70 @@
+//! Reproducibility guard: the whole corpus → clients → training →
+//! evaluation pipeline is seeded through `Xoshiro256` stream derivation,
+//! so two runs of the same experiment must agree *bit for bit* — not just
+//! approximately. This is the contract every paper-table binary and every
+//! regression test in the workspace leans on.
+
+use decentralized_routability::core::{build_clients, run_method_on_clients, ExperimentConfig};
+use decentralized_routability::eda::corpus::generate_corpus;
+use decentralized_routability::fed::{Method, MethodOutcome};
+use decentralized_routability::nn::models::ModelKind;
+
+/// The smallest experiment that still exercises data generation, local
+/// training and AUC evaluation for all 9 Table 2 clients.
+fn minimal_config() -> ExperimentConfig {
+    let mut config = ExperimentConfig::tiny();
+    config.fed.rounds = 1;
+    config.fed.local_steps = 1;
+    config.fed.finetune_steps = 1;
+    config
+}
+
+fn run_local_only(config: &ExperimentConfig) -> MethodOutcome {
+    let corpus = generate_corpus(&config.corpus).expect("corpus");
+    let clients = build_clients(&corpus).expect("clients");
+    run_method_on_clients(Method::LocalOnly, &clients, ModelKind::FlNet, config)
+        .expect("local-only run")
+}
+
+#[test]
+fn same_seed_gives_bit_identical_auc() {
+    let config = minimal_config();
+    let a = run_local_only(&config);
+    let b = run_local_only(&config);
+    assert_eq!(
+        a.average_auc.to_bits(),
+        b.average_auc.to_bits(),
+        "average AUC drifted between identical runs: {} vs {}",
+        a.average_auc,
+        b.average_auc
+    );
+    assert_eq!(a.per_client_auc.len(), b.per_client_auc.len());
+    for (k, (x, y)) in a
+        .per_client_auc
+        .iter()
+        .zip(b.per_client_auc.iter())
+        .enumerate()
+    {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "client {k} AUC drifted between identical runs: {x} vs {y}"
+        );
+    }
+}
+
+#[test]
+fn corpus_generation_is_bit_identical() {
+    // The data half of the pipeline alone: identical seeds must produce
+    // identical feature/label tensors, client by client.
+    let config = minimal_config();
+    let a = generate_corpus(&config.corpus).expect("corpus a");
+    let b = generate_corpus(&config.corpus).expect("corpus b");
+    assert_eq!(a.clients.len(), b.clients.len());
+    for (ca, cb) in a.clients.iter().zip(b.clients.iter()) {
+        let (xa, ya) = ca.train.full_batch().expect("batch a");
+        let (xb, yb) = cb.train.full_batch().expect("batch b");
+        assert_eq!(xa, xb, "client {} train features drifted", ca.spec.index);
+        assert_eq!(ya, yb, "client {} train labels drifted", ca.spec.index);
+    }
+}

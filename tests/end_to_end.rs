@@ -17,6 +17,10 @@ fn fast_config() -> ExperimentConfig {
 }
 
 #[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "sweeps all 8 methods (~2 min unoptimized); release only"
+)]
 fn full_pipeline_runs_for_every_method() {
     let config = fast_config();
     let corpus = generate_corpus(&config.corpus).expect("corpus");

@@ -1,0 +1,55 @@
+//! Fast smoke test: every estimator in the zoo must construct and run one
+//! forward pass at both capacity scales on feature-shaped input. This is
+//! the cheap always-on guard that keeps the model zoo wired while the
+//! real experiment tests stay release-only.
+
+use decentralized_routability::eda::features::FEATURE_CHANNELS;
+use decentralized_routability::nn::models::{build_model, ModelKind, ModelScale};
+use decentralized_routability::tensor::rng::Xoshiro256;
+use decentralized_routability::tensor::Tensor;
+
+#[test]
+fn every_model_kind_builds_and_runs_forward() {
+    for kind in ModelKind::ALL {
+        let mut rng = Xoshiro256::seed_from(0xDAC2022);
+        let mut model = build_model(kind, FEATURE_CHANNELS, ModelScale::Scaled, &mut rng);
+        assert!(model.param_count() > 0, "{kind}: no parameters");
+        let x = Tensor::from_fn(&[2, FEATURE_CHANNELS, 16, 16], |_| rng.uniform());
+        let y = model
+            .forward(&x, false)
+            .unwrap_or_else(|e| panic!("{kind}: forward failed: {e}"));
+        assert_eq!(
+            y.shape().dims(),
+            &[2, 1, 16, 16],
+            "{kind}: hotspot map shape"
+        );
+        assert!(
+            y.data().iter().all(|v| v.is_finite()),
+            "{kind}: non-finite output"
+        );
+        // Sigmoid head: outputs are probabilities.
+        assert!(
+            y.data().iter().all(|&v| (0.0..=1.0).contains(&v)),
+            "{kind}: output outside [0, 1]"
+        );
+    }
+}
+
+#[test]
+fn training_mode_forward_backward_smoke() {
+    // One training-mode forward + backward per model: the gradient
+    // plumbing must at least run on feature-shaped input.
+    for kind in ModelKind::ALL {
+        let mut rng = Xoshiro256::seed_from(99);
+        let mut model = build_model(kind, FEATURE_CHANNELS, ModelScale::Scaled, &mut rng);
+        let x = Tensor::from_fn(&[2, FEATURE_CHANNELS, 8, 8], |_| rng.uniform());
+        let y = model
+            .forward(&x, true)
+            .unwrap_or_else(|e| panic!("{kind}: train forward failed: {e}"));
+        let g = Tensor::full(y.shape().dims(), 0.5);
+        model
+            .backward(&g)
+            .unwrap_or_else(|e| panic!("{kind}: backward failed: {e}"));
+        model.zero_grad();
+    }
+}

@@ -6,9 +6,7 @@
 //! debug builds; run them with `cargo test --release -- --include-ignored`
 //! or rely on the default `cargo test --release`.
 
-use decentralized_routability::core::{
-    build_clients, run_method_on_clients, ExperimentConfig,
-};
+use decentralized_routability::core::{build_clients, run_method_on_clients, ExperimentConfig};
 use decentralized_routability::eda::corpus::generate_corpus;
 use decentralized_routability::fed::Method;
 use decentralized_routability::nn::models::ModelKind;

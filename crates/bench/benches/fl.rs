@@ -1,11 +1,14 @@
 //! Criterion micro-benchmarks for the federated-learning plumbing:
-//! state-dict aggregation, ROC AUC, and one client training step.
+//! state-dict aggregation, ROC AUC, one client training step, and the
+//! parallel round loop (1 thread vs all cores).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use rte_fed::params::weighted_average;
-use rte_fed::{ClientSet, LocalTrainer};
+use rte_fed::{
+    methods, Client, ClientSet, FedConfig, LocalTrainer, Method, ModelFactory, Parallelism,
+};
 use rte_metrics::roc_auc;
 use rte_nn::models::{FlNet, FlNetConfig};
 use rte_nn::state_dict;
@@ -74,5 +77,69 @@ fn bench_local_step(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_aggregation, bench_roc_auc, bench_local_step);
+/// Nine synthetic clients shaped like the Table 2 fleet (8×8 tiles keep
+/// the bench runtime sane while still dominating in conv time).
+fn synthetic_clients(n: usize) -> Vec<Client> {
+    (0..n)
+        .map(|k| {
+            let make = |seed: u64, count: usize| {
+                let mut rng = Xoshiro256::seed_from(seed);
+                let x = Tensor::from_fn(&[count, 6, 8, 8], |_| rng.uniform());
+                let y = Tensor::from_fn(&[count, 1, 8, 8], |_| {
+                    if rng.bernoulli(0.15) {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                });
+                ClientSet::new(x, y).unwrap()
+            };
+            Client::new(k + 1, make(1000 + k as u64, 8), make(2000 + k as u64, 4))
+        })
+        .collect()
+}
+
+fn bench_parallel_rounds(c: &mut Criterion) {
+    // One FedProx experiment (2 rounds × 9 clients × 4 local steps), run
+    // serial vs all-cores. The outcomes are bit-identical; only the
+    // wall-clock differs — this is the headline speedup of the parallel
+    // round loop.
+    let clients = synthetic_clients(9);
+    let factory: ModelFactory = Box::new(|seed| {
+        let mut rng = Xoshiro256::seed_from(seed);
+        Box::new(FlNet::new(
+            FlNetConfig {
+                in_channels: 6,
+                hidden: 8,
+                kernel: 3,
+                depth: 2,
+            },
+            &mut rng,
+        ))
+    });
+    let mut config = FedConfig::scaled();
+    config.rounds = 2;
+    config.local_steps = 4;
+    config.batch_size = 4;
+    for (name, par) in [
+        ("fedprox_2rounds_9clients_1thread", Parallelism::serial()),
+        ("fedprox_2rounds_9clients_all_cores", Parallelism::auto()),
+    ] {
+        config.parallelism = par;
+        let cfg = config.clone();
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                methods::run_method(Method::FedProx, black_box(&clients), &factory, &cfg).unwrap()
+            })
+        });
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_aggregation,
+    bench_roc_auc,
+    bench_local_step,
+    bench_parallel_rounds
+);
 criterion_main!(benches);

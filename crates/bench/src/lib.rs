@@ -32,6 +32,10 @@ pub struct BenchArgs {
     pub data_scale: Option<f64>,
     /// Extra-fast smoke-test settings (used by integration tests).
     pub quick: bool,
+    /// Worker-thread budget for parallel client training and batched
+    /// kernels (`0` = all cores). `None` keeps the `RTE_THREADS`
+    /// environment default. Results are bit-identical for any value.
+    pub threads: Option<usize>,
 }
 
 impl BenchArgs {
@@ -48,6 +52,7 @@ impl BenchArgs {
             rounds: None,
             data_scale: None,
             quick: false,
+            threads: None,
         };
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
@@ -66,6 +71,10 @@ impl BenchArgs {
                     let v = it.next().ok_or("--data-scale needs a value")?;
                     out.data_scale = Some(v.parse().map_err(|_| format!("bad data scale {v}"))?);
                 }
+                "--threads" => {
+                    let v = it.next().ok_or("--threads needs a value")?;
+                    out.threads = Some(v.parse().map_err(|_| format!("bad thread count {v}"))?);
+                }
                 other => return Err(format!("unknown flag {other}")),
             }
         }
@@ -79,7 +88,8 @@ impl BenchArgs {
             Err(e) => {
                 eprintln!("error: {e}");
                 eprintln!(
-                    "usage: [--paper-scale] [--quick] [--seed N] [--rounds N] [--data-scale F]"
+                    "usage: [--paper-scale] [--quick] [--seed N] [--rounds N] [--data-scale F] \
+                     [--threads N]"
                 );
                 std::process::exit(2);
             }
@@ -108,6 +118,13 @@ impl BenchArgs {
         }
         if let Some(scale) = self.data_scale {
             config.corpus.placement_scale = scale;
+        }
+        if let Some(threads) = self.threads {
+            // Parallel client training + the kernel-level process default
+            // (this is binary startup, the sanctioned place to retune the
+            // global); outcomes are bit-identical either way.
+            config = config.with_threads(threads);
+            rte_tensor::parallel::set_global(rte_fed::Parallelism::new(threads));
         }
         config
     }
@@ -229,6 +246,8 @@ mod tests {
             "7",
             "--data-scale",
             "0.25",
+            "--threads",
+            "4",
         ])
         .unwrap();
         assert!(a.paper_scale);
@@ -236,6 +255,19 @@ mod tests {
         assert_eq!(a.seed, Some(42));
         assert_eq!(a.rounds, Some(7));
         assert_eq!(a.data_scale, Some(0.25));
+        assert_eq!(a.threads, Some(4));
+    }
+
+    #[test]
+    fn threads_flag_plumbs_into_fed_config() {
+        let before = rte_tensor::parallel::global();
+        let a = args(&["--quick", "--threads", "3"]).unwrap();
+        let c = a.experiment_config();
+        assert_eq!(c.fed.parallelism, rte_fed::Parallelism::new(3));
+        assert_eq!(rte_tensor::parallel::global(), rte_fed::Parallelism::new(3));
+        rte_tensor::parallel::set_global(before); // don't leak into other tests
+        assert!(args(&["--threads", "x"]).is_err());
+        assert!(args(&["--threads"]).is_err());
     }
 
     #[test]

@@ -2,7 +2,9 @@
 
 use rte_eda::corpus::{generate_corpus, Corpus, CorpusConfig};
 use rte_eda::features::FEATURE_CHANNELS;
-use rte_fed::{methods, Client, ClientSet, FedConfig, Method, MethodOutcome, ModelFactory};
+use rte_fed::{
+    methods, Client, ClientSet, FedConfig, Method, MethodOutcome, ModelFactory, Parallelism,
+};
 use rte_nn::models::{build_model, ModelKind, ModelScale};
 use rte_tensor::rng::Xoshiro256;
 
@@ -42,6 +44,19 @@ impl ExperimentConfig {
             model_scale: ModelScale::Scaled,
             methods: Method::ALL.to_vec(),
         }
+    }
+
+    /// Sets the worker-thread budget for parallel client training within
+    /// each federated round (`0` = all cores). Pure: only this config
+    /// value changes. To also retune the process-global default for the
+    /// batched tensor kernels, call `rte_tensor::parallel::set_global` at
+    /// your entry point (the bench binaries do, via `--threads`).
+    /// Outcomes are bit-identical for every value
+    /// (`tests/determinism.rs`); only wall-clock changes.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.fed.parallelism = Parallelism::new(threads);
+        self
     }
 
     /// Minimal settings for tests.
@@ -188,6 +203,15 @@ mod tests {
             assert_eq!(row.per_client_auc.len(), 9);
             assert!(row.per_client_auc.iter().all(|a| a.is_finite()));
         }
+    }
+
+    #[test]
+    fn with_threads_plumbs_parallelism() {
+        let before = rte_tensor::parallel::global();
+        let config = ExperimentConfig::tiny().with_threads(2);
+        assert_eq!(config.fed.parallelism, Parallelism::new(2));
+        // Pure builder: the process-global kernel default is untouched.
+        assert_eq!(rte_tensor::parallel::global(), before);
     }
 
     #[test]

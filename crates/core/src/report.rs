@@ -54,9 +54,10 @@ pub fn render_history(label: &str, outcome: &MethodOutcome) -> String {
     for rec in &outcome.history {
         let bar_len = (rec.average_auc.clamp(0.0, 1.0) * 40.0).round() as usize;
         out.push_str(&format!(
-            "  round {:>3}  auc {:.3}  {}\n",
+            "  round {:>3}  auc {:.3}  loss {:.4}  {}\n",
             rec.round,
             rec.average_auc,
+            rec.mean_train_loss,
             "#".repeat(bar_len)
         ));
     }
@@ -78,6 +79,7 @@ mod tests {
                 round: 1,
                 per_client_auc: vec![0.6, 0.6],
                 average_auc: 0.6,
+                mean_train_loss: 0.25,
             }],
         }
     }

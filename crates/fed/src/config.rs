@@ -1,5 +1,7 @@
 //! Federated training configuration and method selection.
 
+use rte_tensor::parallel::Parallelism;
+
 use crate::FedError;
 
 /// The training method column of the paper's Tables 3-5.
@@ -90,6 +92,14 @@ pub struct FedConfig {
     /// paper uses full participation (1.0); real FL deployments sample a
     /// subset each round. At least one client always participates.
     pub participation: f32,
+    /// Worker-thread budget for training a round's participants in
+    /// parallel (each client is an independent work unit, exactly as in
+    /// the real decentralized deployment). Outcomes are **bit-identical
+    /// for every setting** — aggregation always happens on the
+    /// coordinator thread in fixed client order — so this knob only
+    /// trades wall-clock for threads. The constructors read the
+    /// `RTE_THREADS` environment variable (unset = all cores).
+    pub parallelism: Parallelism,
     /// Master seed for batch sampling and model initialization.
     pub seed: u64,
 }
@@ -110,6 +120,7 @@ impl FedConfig {
             assigned_clusters: Self::paper_assignment(),
             eval_every: 0,
             participation: 1.0,
+            parallelism: Parallelism::from_env(),
             seed: 0xF3D5_EED5,
         }
     }
@@ -131,6 +142,7 @@ impl FedConfig {
             assigned_clusters: Self::paper_assignment(),
             eval_every: 0,
             participation: 1.0,
+            parallelism: Parallelism::from_env(),
             seed: 0xF3D5_EED5,
         }
     }
@@ -150,6 +162,7 @@ impl FedConfig {
             assigned_clusters: vec![vec![0], vec![1]],
             eval_every: 0,
             participation: 1.0,
+            parallelism: Parallelism::from_env(),
             seed: 7,
         }
     }

@@ -55,6 +55,7 @@ pub use config::{FedConfig, Method};
 pub use error::FedError;
 pub use evaluate::evaluate_auc;
 pub use methods::{MethodOutcome, RoundRecord};
+pub use rte_tensor::parallel::Parallelism;
 pub use trainer::LocalTrainer;
 
 use rte_nn::Layer;
@@ -63,4 +64,8 @@ use rte_nn::Layer;
 /// model. All training methods build their models through one of these so
 /// every client (and every cluster in IFCA) starts from an agreed
 /// initialization.
-pub type ModelFactory = Box<dyn Fn(u64) -> Box<dyn Layer>>;
+///
+/// `Send + Sync` because the round loop invokes the factory from worker
+/// threads (one scratch model per worker) when
+/// [`FedConfig::parallelism`] allows more than one thread.
+pub type ModelFactory = Box<dyn Fn(u64) -> Box<dyn Layer> + Send + Sync>;

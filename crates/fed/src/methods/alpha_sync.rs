@@ -7,7 +7,7 @@
 
 use rte_nn::StateDict;
 
-use crate::methods::{Harness, MethodOutcome};
+use crate::methods::{mean_loss, Harness, MethodOutcome, TrainJob};
 use crate::params::{blend, weighted_average};
 use crate::{Client, FedConfig, FedError, Method, ModelFactory};
 
@@ -22,17 +22,18 @@ pub(crate) fn run(
     let mut history = Vec::new();
 
     for round in 1..=config.rounds {
-        let mut locals: Vec<StateDict> = Vec::with_capacity(clients.len());
-        for k in 0..clients.len() {
-            let trained = harness.train_client_from(
-                &personalized[k],
-                Some(&personalized[k]),
-                k,
-                round,
-                config.local_steps,
-            )?;
-            locals.push(trained);
-        }
+        // Every client trains from its own personalized aggregate; the
+        // per-client blending below stays on the coordinator thread.
+        let jobs: Vec<TrainJob<'_>> = (0..clients.len())
+            .map(|k| TrainJob {
+                client: k,
+                start: &personalized[k],
+                reference: Some(&personalized[k]),
+            })
+            .collect();
+        let updates = harness.train_clients(&jobs, round, config.local_steps)?;
+        let round_loss = mean_loss(&updates);
+        let locals: Vec<StateDict> = updates.into_iter().map(|u| u.state).collect();
         // Personalized aggregation per client.
         let mut next: Vec<StateDict> = Vec::with_capacity(clients.len());
         for k in 0..clients.len() {
@@ -53,7 +54,7 @@ pub(crate) fn run(
         personalized = next;
         if harness.should_record(round) {
             let aucs = harness.eval_personalized(&personalized)?;
-            history.push(Harness::record(round, aucs));
+            history.push(Harness::record(round, aucs, round_loss));
         }
     }
 

@@ -5,7 +5,7 @@
 
 use rte_nn::StateDict;
 
-use crate::methods::{Harness, MethodOutcome};
+use crate::methods::{mean_loss, Harness, MethodOutcome, TrainJob};
 use crate::params::weighted_average;
 use crate::{Client, FedConfig, FedError, Method, ModelFactory};
 
@@ -31,17 +31,21 @@ pub(crate) fn run(
     let mut history = Vec::new();
 
     for round in 1..=config.rounds {
+        // Within-cluster FedProx: all clients train in parallel, the
+        // per-cluster grouping below runs in client order.
+        let jobs: Vec<TrainJob<'_>> = (0..clients.len())
+            .map(|k| TrainJob {
+                client: k,
+                start: &cluster_models[cluster_of[k]],
+                reference: Some(&cluster_models[cluster_of[k]]),
+            })
+            .collect();
+        let trained = harness.train_clients(&jobs, round, config.local_steps)?;
+        let round_loss = mean_loss(&trained);
         let mut updates: Vec<Vec<(StateDict, f64)>> = vec![Vec::new(); groups.len()];
-        for k in 0..clients.len() {
-            let c = cluster_of[k];
-            let trained = harness.train_client_from(
-                &cluster_models[c],
-                Some(&cluster_models[c]),
-                k,
-                round,
-                config.local_steps,
-            )?;
-            updates[c].push((trained, clients[k].weight() as f64));
+        for update in trained {
+            let c = cluster_of[update.client];
+            updates[c].push((update.state, clients[update.client].weight() as f64));
         }
         for (c, cluster_updates) in updates.iter().enumerate() {
             if cluster_updates.is_empty() {
@@ -57,7 +61,7 @@ pub(crate) fn run(
                 .map(|&c| cluster_models[c].clone())
                 .collect();
             let aucs = harness.eval_personalized(&per_client)?;
-            history.push(Harness::record(round, aucs));
+            history.push(Harness::record(round, aucs, round_loss));
         }
     }
 

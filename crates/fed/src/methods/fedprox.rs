@@ -8,7 +8,7 @@
 
 use rte_nn::StateDict;
 
-use crate::methods::{Harness, MethodOutcome, RoundRecord};
+use crate::methods::{mean_loss, Harness, MethodOutcome, RoundRecord, TrainJob};
 use crate::params::weighted_average;
 use crate::{Client, FedConfig, FedError, Method, ModelFactory};
 
@@ -28,18 +28,27 @@ pub fn fedprox_rounds(
     let mut global = harness.initial_state();
     let mut history = Vec::new();
     for round in 1..=config.rounds {
-        let participants = harness.participants(round);
-        let mut updates: Vec<(StateDict, f64)> = Vec::with_capacity(participants.len());
-        for k in participants {
-            let trained =
-                harness.train_client_from(&global, Some(&global), k, round, config.local_steps)?;
-            updates.push((trained, clients[k].weight() as f64));
-        }
-        let refs: Vec<(&StateDict, f64)> = updates.iter().map(|(sd, w)| (sd, *w)).collect();
+        // Participants train concurrently (each from its own deployed copy
+        // of the global parameters); the aggregation below runs on this
+        // thread in fixed participant order.
+        let jobs: Vec<TrainJob<'_>> = harness
+            .participants(round)
+            .into_iter()
+            .map(|k| TrainJob {
+                client: k,
+                start: &global,
+                reference: Some(&global),
+            })
+            .collect();
+        let updates = harness.train_clients(&jobs, round, config.local_steps)?;
+        let refs: Vec<(&StateDict, f64)> = updates
+            .iter()
+            .map(|u| (&u.state, clients[u.client].weight() as f64))
+            .collect();
         global = weighted_average(&refs)?;
         if harness.should_record(round) {
             let aucs = harness.eval_global(&global)?;
-            history.push(Harness::record(round, aucs));
+            history.push(Harness::record(round, aucs, mean_loss(&updates)));
         }
     }
     Ok((global, history))

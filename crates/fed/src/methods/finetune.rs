@@ -4,7 +4,7 @@
 //! paper's best personalization method (Table 3: 0.80 average).
 
 use crate::methods::fedprox::fedprox_rounds;
-use crate::methods::{Harness, MethodOutcome};
+use crate::methods::{Harness, MethodOutcome, TrainJob};
 use crate::{Client, FedConfig, FedError, Method, ModelFactory};
 
 pub(crate) fn run(
@@ -18,17 +18,26 @@ pub(crate) fn run(
     // pull (the paper notes "such finetuning process is no longer under
     // the decentralized setting").
     harness.trainer.mu = 0.0;
-    let mut per_client_auc = Vec::with_capacity(clients.len());
-    for k in 0..clients.len() {
-        let tuned = harness.train_client_from(
-            &global,
-            None,
-            k,
-            config.rounds + 1,
-            config.finetune_steps,
-        )?;
-        per_client_auc.push(harness.eval_state_on_client(&tuned, k)?);
-    }
+    // `S' = 0` degenerates to plain FedProx: skip the training pass
+    // entirely (LocalTrainer rejects zero-step runs) and evaluate the
+    // global model as deployed.
+    let per_client_auc = if config.finetune_steps == 0 {
+        harness.eval_global(&global)?
+    } else {
+        let jobs: Vec<TrainJob<'_>> = (0..clients.len())
+            .map(|k| TrainJob {
+                client: k,
+                start: &global,
+                reference: None,
+            })
+            .collect();
+        let tuned = harness.train_clients(&jobs, config.rounds + 1, config.finetune_steps)?;
+        let mut aucs = Vec::with_capacity(clients.len());
+        for update in &tuned {
+            aucs.push(harness.eval_state_on_client(&update.state, update.client)?);
+        }
+        aucs
+    };
     Ok(MethodOutcome::new(
         Method::FedProxFinetune,
         per_client_auc,

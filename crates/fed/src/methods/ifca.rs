@@ -2,10 +2,12 @@
 //! `C` cluster models, each client picks the cluster whose model has the
 //! lowest loss on its training data, trains it, and the developer
 //! aggregates per cluster. The clustering is re-derived every round.
+//! Both halves of the round — selection and training — run clients on
+//! worker threads.
 
-use rte_nn::{load_state_dict, StateDict};
+use rte_nn::StateDict;
 
-use crate::methods::{Harness, MethodOutcome};
+use crate::methods::{mean_loss, Harness, MethodOutcome, TrainJob};
 use crate::params::weighted_average;
 use crate::{Client, FedConfig, FedError, Method, ModelFactory};
 
@@ -24,26 +26,27 @@ pub(crate) fn run(
             rte_nn::state_dict(model.as_mut())
         })
         .collect();
-    let mut choice = vec![0usize; clients.len()];
     let mut history = Vec::new();
 
     for round in 1..=config.rounds {
-        // 1. Cluster selection by training loss.
-        for k in 0..clients.len() {
-            choice[k] = pick_cluster(&mut harness, &cluster_models, k)?;
-        }
-        // 2. Local training of the chosen cluster model.
+        // 1. Cluster selection by training loss, clients in parallel.
+        let choice = harness.pick_clusters(&cluster_models)?;
+        // 2. Local training of the chosen cluster model, clients in
+        // parallel; per-cluster grouping happens afterwards in client
+        // order so aggregation stays deterministic.
+        let jobs: Vec<TrainJob<'_>> = (0..clients.len())
+            .map(|k| TrainJob {
+                client: k,
+                start: &cluster_models[choice[k]],
+                reference: Some(&cluster_models[choice[k]]),
+            })
+            .collect();
+        let trained = harness.train_clients(&jobs, round, config.local_steps)?;
+        let round_loss = mean_loss(&trained);
         let mut updates: Vec<Vec<(StateDict, f64)>> = vec![Vec::new(); config.clusters];
-        for k in 0..clients.len() {
-            let c = choice[k];
-            let trained = harness.train_client_from(
-                &cluster_models[c],
-                Some(&cluster_models[c]),
-                k,
-                round,
-                config.local_steps,
-            )?;
-            updates[c].push((trained, clients[k].weight() as f64));
+        for update in trained {
+            let c = choice[update.client];
+            updates[c].push((update.state, clients[update.client].weight() as f64));
         }
         // 3. Per-cluster aggregation; empty clusters keep their model.
         for (c, cluster_updates) in updates.iter().enumerate() {
@@ -58,38 +61,17 @@ pub(crate) fn run(
             let per_client: Vec<StateDict> =
                 choice.iter().map(|&c| cluster_models[c].clone()).collect();
             let aucs = harness.eval_personalized(&per_client)?;
-            history.push(Harness::record(round, aucs));
+            history.push(Harness::record(round, aucs, round_loss));
         }
     }
 
     // Deploy: each client re-picks its best cluster, then evaluates.
+    let choice = harness.pick_clusters(&cluster_models)?;
     let mut per_client_auc = Vec::with_capacity(clients.len());
     for k in 0..clients.len() {
-        let c = pick_cluster(&mut harness, &cluster_models, k)?;
-        per_client_auc.push(harness.eval_state_on_client(&cluster_models[c], k)?);
+        per_client_auc.push(harness.eval_state_on_client(&cluster_models[choice[k]], k)?);
     }
     Ok(MethodOutcome::new(Method::Ifca, per_client_auc, history))
-}
-
-/// Chooses `argmin_c L_k(W_c)` over the cluster models for client `k`.
-fn pick_cluster(
-    harness: &mut Harness<'_>,
-    cluster_models: &[StateDict],
-    k: usize,
-) -> Result<usize, FedError> {
-    let mut best = 0usize;
-    let mut best_loss = f32::INFINITY;
-    for (c, sd) in cluster_models.iter().enumerate() {
-        load_state_dict(harness.scratch.as_mut(), sd)?;
-        let loss = harness
-            .trainer
-            .eval_loss(harness.scratch.as_mut(), &harness.clients[k].train)?;
-        if loss < best_loss {
-            best_loss = loss;
-            best = c;
-        }
-    }
-    Ok(best)
 }
 
 #[cfg(test)]

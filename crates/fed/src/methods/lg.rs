@@ -5,7 +5,7 @@
 
 use rte_nn::StateDict;
 
-use crate::methods::{Harness, MethodOutcome};
+use crate::methods::{mean_loss, Harness, MethodOutcome, TrainJob};
 use crate::params::{apply_updates, partition, weighted_average};
 use crate::{Client, FedConfig, FedError, Method, ModelFactory};
 
@@ -28,30 +28,33 @@ pub(crate) fn run(
     let mut history = Vec::new();
 
     for round in 1..=config.rounds {
+        // Compose {G^r, l_k} per client as both the start point and the
+        // proximal reference (matching Fig. 2a's objective), then train
+        // all clients in parallel.
+        let composites = compose_all(&init, &global_part, &local_parts)?;
+        let jobs: Vec<TrainJob<'_>> = composites
+            .iter()
+            .enumerate()
+            .map(|(k, composed)| TrainJob {
+                client: k,
+                start: composed,
+                reference: Some(composed),
+            })
+            .collect();
+        let trained = harness.train_clients(&jobs, round, config.local_steps)?;
+        let round_loss = mean_loss(&trained);
         let mut updates: Vec<(StateDict, f64)> = Vec::with_capacity(clients.len());
-        for k in 0..clients.len() {
-            // Compose {G^r, l_k} as both the start point and the proximal
-            // reference (matching Fig. 2a's objective).
-            let mut composed = init.clone();
-            apply_updates(&mut composed, &global_part)?;
-            apply_updates(&mut composed, &local_parts[k])?;
-            let trained = harness.train_client_from(
-                &composed,
-                Some(&composed),
-                k,
-                round,
-                config.local_steps,
-            )?;
-            let (local, global) = partition(&trained, is_local);
-            local_parts[k] = local;
-            updates.push((global, clients[k].weight() as f64));
+        for update in trained {
+            let (local, global) = partition(&update.state, is_local);
+            local_parts[update.client] = local;
+            updates.push((global, clients[update.client].weight() as f64));
         }
         let refs: Vec<(&StateDict, f64)> = updates.iter().map(|(sd, w)| (sd, *w)).collect();
         global_part = weighted_average(&refs)?;
         if harness.should_record(round) {
             let composites = compose_all(&init, &global_part, &local_parts)?;
             let aucs = harness.eval_personalized(&composites)?;
-            history.push(Harness::record(round, aucs));
+            history.push(Harness::record(round, aucs, round_loss));
         }
     }
 

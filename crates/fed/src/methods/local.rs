@@ -3,7 +3,7 @@
 //! alone, with the same total update budget as a federated run
 //! (`rounds × local_steps`), no proximal term.
 
-use crate::methods::{Harness, MethodOutcome};
+use crate::methods::{Harness, MethodOutcome, TrainJob};
 use crate::{Client, FedConfig, FedError, Method, ModelFactory};
 
 pub(crate) fn run(
@@ -15,10 +15,18 @@ pub(crate) fn run(
     harness.trainer.mu = 0.0; // no proximal term for isolated training
     let init = harness.initial_state();
     let total_steps = config.rounds * config.local_steps;
+    // The baselines are fully independent — the ideal parallel workload.
+    let jobs: Vec<TrainJob<'_>> = (0..clients.len())
+        .map(|k| TrainJob {
+            client: k,
+            start: &init,
+            reference: None,
+        })
+        .collect();
+    let updates = harness.train_clients(&jobs, 0, total_steps)?;
     let mut per_client = Vec::with_capacity(clients.len());
-    for k in 0..clients.len() {
-        let trained = harness.train_client_from(&init, None, k, 0, total_steps)?;
-        per_client.push(harness.eval_state_on_client(&trained, k)?);
+    for update in &updates {
+        per_client.push(harness.eval_state_on_client(&update.state, update.client)?);
     }
     Ok(MethodOutcome::new(
         Method::LocalOnly,

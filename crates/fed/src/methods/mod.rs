@@ -34,6 +34,9 @@ pub struct RoundRecord {
     pub per_client_auc: Vec<f64>,
     /// Mean of `per_client_auc`.
     pub average_auc: f64,
+    /// Mean training loss reported by this round's participants (what
+    /// each client's worker returned alongside its update).
+    pub mean_train_loss: f64,
 }
 
 /// Final result of one training method.
@@ -66,6 +69,36 @@ impl MethodOutcome {
     }
 }
 
+/// One client's training assignment within a round: where it starts and
+/// what it is proximally pulled towards.
+pub(crate) struct TrainJob<'s> {
+    /// Client position in the harness' client list.
+    pub client: usize,
+    /// State dict the client's model is deployed from.
+    pub start: &'s StateDict,
+    /// FedProx proximal reference (`None` = plain local SGD).
+    pub reference: Option<&'s StateDict>,
+}
+
+/// What one client sends back to the coordinator after local training.
+pub(crate) struct ClientUpdate {
+    /// Client position (mirrors [`TrainJob::client`]).
+    pub client: usize,
+    /// The locally trained parameters.
+    pub state: StateDict,
+    /// Mean training loss over the local steps (surfaced through
+    /// [`RoundRecord::mean_train_loss`]).
+    pub loss: f32,
+}
+
+/// Mean of the training losses a round's participants reported.
+pub(crate) fn mean_loss(updates: &[ClientUpdate]) -> f64 {
+    if updates.is_empty() {
+        return 0.0;
+    }
+    updates.iter().map(|u| u.loss as f64).sum::<f64>() / updates.len() as f64
+}
+
 /// Shared machinery for the method implementations: a scratch model for
 /// state-dict loading/evaluation, the local trainer, and derived RNG
 /// streams.
@@ -74,6 +107,7 @@ pub(crate) struct Harness<'a> {
     pub config: &'a FedConfig,
     pub trainer: LocalTrainer,
     pub scratch: Box<dyn Layer>,
+    factory: &'a ModelFactory,
     root_rng: Xoshiro256,
 }
 
@@ -96,6 +130,7 @@ impl<'a> Harness<'a> {
             config,
             trainer,
             scratch: factory(config.seed),
+            factory,
             root_rng: Xoshiro256::seed_from(config.seed ^ 0x5EED_0F0C),
         })
     }
@@ -107,9 +142,7 @@ impl<'a> Harness<'a> {
 
     /// Deterministic RNG for (round, client) training batches.
     pub fn round_rng(&self, round: usize, client: usize) -> Xoshiro256 {
-        self.root_rng
-            .derive(round as u64 + 1)
-            .derive(client as u64 + 1)
+        round_client_rng(&self.root_rng, round, client)
     }
 
     /// The clients participating in `round` under
@@ -157,37 +190,111 @@ impl<'a> Harness<'a> {
             && (round % self.config.eval_every == 0 || round == self.config.rounds)
     }
 
-    /// Builds a [`RoundRecord`] from per-client AUCs.
-    pub fn record(round: usize, per_client_auc: Vec<f64>) -> RoundRecord {
+    /// Builds a [`RoundRecord`] from per-client AUCs and the round's mean
+    /// training loss.
+    pub fn record(round: usize, per_client_auc: Vec<f64>, mean_train_loss: f64) -> RoundRecord {
         let average_auc = per_client_auc.iter().sum::<f64>() / per_client_auc.len() as f64;
         RoundRecord {
             round,
             per_client_auc,
             average_auc,
+            mean_train_loss,
         }
     }
 
-    /// Trains the scratch model from `start` on client `k`'s data with the
-    /// proximal reference `reference`, returning the resulting state dict.
-    pub fn train_client_from(
-        &mut self,
-        start: &StateDict,
-        reference: Option<&StateDict>,
-        k: usize,
+    /// For every client, evaluates `argmin_c L_k(W_c)` over the cluster
+    /// models on worker threads (IFCA's selection step — forward-only,
+    /// read-only per client, and as embarrassingly parallel as the
+    /// training half of the round). Ties break towards the lower cluster
+    /// index, and each worker iterates clusters in order, so the result
+    /// is identical for every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing client's [`FedError`] in client order.
+    pub fn pick_clusters(&self, cluster_models: &[StateDict]) -> Result<Vec<usize>, FedError> {
+        let factory = self.factory;
+        let clients = self.clients;
+        let trainer = &self.trainer;
+        let seed = self.config.seed;
+        let ks: Vec<usize> = (0..clients.len()).collect();
+        let results = rte_tensor::parallel::map_with(
+            self.config.parallelism,
+            &ks,
+            || factory(seed),
+            |model, _, &k| -> Result<usize, FedError> {
+                let mut best = 0usize;
+                let mut best_loss = f32::INFINITY;
+                for (c, sd) in cluster_models.iter().enumerate() {
+                    load_state_dict(model.as_mut(), sd)?;
+                    let loss = trainer.eval_loss(model.as_mut(), &clients[k].train)?;
+                    if loss < best_loss {
+                        best_loss = loss;
+                        best = c;
+                    }
+                }
+                Ok(best)
+            },
+        );
+        results.into_iter().collect()
+    }
+
+    /// Trains one round's participants on worker threads, up to
+    /// [`FedConfig::parallelism`] at a time.
+    ///
+    /// Each worker builds its own model instance from the factory, then
+    /// for every job it claims: deploys `job.start`, derives the
+    /// per-`(round, client)` RNG stream, and runs local training — exactly
+    /// the computation the serial loop performed, on private state. The
+    /// returned updates are **in job order**, and aggregation stays with
+    /// the caller on the coordinator thread, so outcomes are bit-identical
+    /// for every thread count (`tests/determinism.rs` pins this down).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing job's [`FedError`] in job order.
+    pub fn train_clients(
+        &self,
+        jobs: &[TrainJob<'_>],
         round: usize,
         steps: usize,
-    ) -> Result<StateDict, FedError> {
-        load_state_dict(self.scratch.as_mut(), start)?;
-        let mut rng = self.round_rng(round, k);
-        self.trainer.train(
-            self.scratch.as_mut(),
-            &self.clients[k].train,
-            reference,
-            steps,
-            &mut rng,
-        )?;
-        Ok(state_dict(self.scratch.as_mut()))
+    ) -> Result<Vec<ClientUpdate>, FedError> {
+        let factory = self.factory;
+        let clients = self.clients;
+        let trainer = &self.trainer;
+        let root_rng = &self.root_rng;
+        let seed = self.config.seed;
+        let results = rte_tensor::parallel::map_with(
+            self.config.parallelism,
+            jobs,
+            || factory(seed),
+            |model, _, job| -> Result<ClientUpdate, FedError> {
+                load_state_dict(model.as_mut(), job.start)?;
+                let mut rng = round_client_rng(root_rng, round, job.client);
+                let loss = trainer.train(
+                    model.as_mut(),
+                    &clients[job.client].train,
+                    job.reference,
+                    steps,
+                    &mut rng,
+                )?;
+                Ok(ClientUpdate {
+                    client: job.client,
+                    state: state_dict(model.as_mut()),
+                    loss,
+                })
+            },
+        );
+        results.into_iter().collect()
     }
+}
+
+/// The one place the per-`(round, client)` minibatch stream is derived:
+/// both the serial [`Harness::round_rng`] helper and the parallel round
+/// loop's workers must draw from exactly this stream, or serial and
+/// threaded schedules would silently train on different batches.
+fn round_client_rng(root: &Xoshiro256, round: usize, client: usize) -> Xoshiro256 {
+    root.derive(round as u64 + 1).derive(client as u64 + 1)
 }
 
 /// Runs one training method end to end.

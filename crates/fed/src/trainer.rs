@@ -53,8 +53,9 @@ impl LocalTrainer {
     ///
     /// # Errors
     ///
-    /// Returns [`FedError`] on forward/backward failures or when the data
-    /// set is empty.
+    /// Returns [`FedError`] on forward/backward failures, when the data
+    /// set is empty, or when `steps` is zero (which would otherwise
+    /// report a fabricated 0.0 loss without doing any training).
     pub fn train(
         &self,
         model: &mut dyn Layer,
@@ -66,6 +67,11 @@ impl LocalTrainer {
         if data.is_empty() {
             return Err(FedError::InvalidConfig {
                 reason: "training on empty client set".into(),
+            });
+        }
+        if steps == 0 {
+            return Err(FedError::InvalidConfig {
+                reason: "training with zero steps would report a fake 0.0 loss".into(),
             });
         }
         let reference_map: Option<HashMap<&str, &rte_tensor::Tensor>> =
@@ -88,6 +94,16 @@ impl LocalTrainer {
                     }
                     match map.get(name.as_str()) {
                         Some(global) => {
+                            if global.numel() != p.value.numel() {
+                                prox_error = Some(FedError::AggregationMismatch {
+                                    reason: format!(
+                                        "reference {name} has {} elements, parameter has {}",
+                                        global.numel(),
+                                        p.value.numel()
+                                    ),
+                                });
+                                return;
+                            }
                             // d/dw μ‖w − W‖² = 2μ(w − W)
                             for i in 0..p.grad.numel() {
                                 p.grad.data_mut()[i] +=
@@ -107,7 +123,7 @@ impl LocalTrainer {
             }
             optimizer.step(model);
         }
-        Ok((total_loss / steps.max(1) as f64) as f32)
+        Ok((total_loss / steps as f64) as f32)
     }
 
     /// Mean MSE of `model` on a full pass over `data` without updating
@@ -214,6 +230,37 @@ mod tests {
             drift_prox < drift_free,
             "prox drift {drift_prox} !< free drift {drift_free}"
         );
+    }
+
+    #[test]
+    fn zero_steps_is_error_not_fake_loss() {
+        // Regression: `steps == 0` used to return Ok(0.0) via the
+        // `steps.max(1)` divisor — a fabricated perfect loss with no
+        // training performed.
+        let data = toy_data(20, 4);
+        let mut model = small_model(21);
+        let trainer = LocalTrainer::new(1e-3, 0.0, 0.0, 2);
+        let mut rng = Xoshiro256::seed_from(22);
+        let err = trainer
+            .train(&mut model, &data, None, 0, &mut rng)
+            .unwrap_err();
+        assert!(matches!(err, FedError::InvalidConfig { .. }), "{err}");
+    }
+
+    #[test]
+    fn mismatched_reference_shape_is_error_not_panic() {
+        // Regression: a reference entry with the right name but the wrong
+        // shape used to index out of bounds inside the prox loop.
+        let data = toy_data(23, 4);
+        let mut model = small_model(24);
+        let trainer = LocalTrainer::new(1e-3, 0.0, 0.1, 2);
+        let mut reference = state_dict(&mut model);
+        reference[0].1 = Tensor::zeros(&[1]);
+        let mut rng = Xoshiro256::seed_from(25);
+        let err = trainer
+            .train(&mut model, &data, Some(&reference), 1, &mut rng)
+            .unwrap_err();
+        assert!(matches!(err, FedError::AggregationMismatch { .. }), "{err}");
     }
 
     #[test]

@@ -13,6 +13,11 @@ use crate::{Layer, NnError, Param};
 ///
 /// Weight layout `(C_out, C_in, KH, KW)`, Kaiming-uniform initialized.
 ///
+/// Forward and backward lower to the `rte-tensor` batched kernels, which
+/// fan out over the batch dimension under the process-global
+/// [`rte_tensor::parallel`] budget; outputs and gradients are
+/// bit-identical for every thread count.
+///
 /// # Example
 ///
 /// ```
@@ -213,6 +218,31 @@ mod tests {
         assert_eq!(y.shape().dims(), &[1, 4, 12, 12]);
         let dx = up.backward(&Tensor::zeros(&[1, 4, 12, 12])).unwrap();
         assert_eq!(dx.shape().dims(), &[1, 8, 6, 6]);
+    }
+
+    #[test]
+    fn layer_results_are_thread_invariant() {
+        // The layer inherits the tensor crate's global parallelism; the
+        // forward activations and all accumulated gradients must not
+        // change by a single bit when the kernels run multi-threaded.
+        use rte_tensor::parallel::{self, Parallelism};
+        let run = || {
+            let mut rng = Xoshiro256::seed_from(11);
+            let mut conv = Conv2d::new(3, 8, 5, Conv2dSpec::same(5), &mut rng);
+            let x = Tensor::from_fn(&[6, 3, 12, 12], |i| (i % 17) as f32 * 0.1 - 0.8);
+            let y = conv.forward(&x, true).unwrap();
+            let dy = Tensor::from_fn(y.shape().dims(), |i| (i % 13) as f32 * 0.05 - 0.3);
+            let dx = conv.backward(&dy).unwrap();
+            (y, dx, conv.weight().grad.clone())
+        };
+        let before = parallel::global();
+        let serial = run();
+        parallel::set_global(Parallelism::new(4));
+        let threaded = run();
+        parallel::set_global(before);
+        assert_eq!(serial.0, threaded.0, "forward");
+        assert_eq!(serial.1, threaded.1, "dx");
+        assert_eq!(serial.2, threaded.2, "dw");
     }
 
     #[test]

@@ -7,7 +7,23 @@
 //! benchmarked and property-tested in isolation.
 
 use crate::linalg::{matmul, matmul_nt_acc, matmul_tn};
+use crate::parallel::{self, Parallelism};
 use crate::{Tensor, TensorError};
+
+/// Minimum per-batch-item multiply count before the batch loop fans out
+/// to worker threads; below this, thread spawn overhead dominates and the
+/// kernels run inline (results are identical either way).
+const PAR_MIN_ITEM_FLOPS: usize = 1 << 16;
+
+/// Degrades `par` to serial when each batch item is too small to pay for
+/// a thread spawn.
+fn effective_parallelism(par: Parallelism, item_flops: usize) -> Parallelism {
+    if item_flops < PAR_MIN_ITEM_FLOPS {
+        Parallelism::serial()
+    } else {
+        par
+    }
+}
 
 /// Geometry of a 2-D convolution: stride, zero padding and dilation
 /// (identical in both spatial dimensions, as used by all three paper
@@ -45,7 +61,19 @@ impl Default for Conv2dSpec {
 impl Conv2dSpec {
     /// Stride-1, dilation-1 spec with the padding that preserves spatial
     /// size for an odd kernel (`padding = k / 2`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an even (or zero) kernel: `padding = k / 2` would *grow*
+    /// the output by one position per axis instead of preserving it
+    /// (`out = in + 2·(k/2) − k + 1 = in + 1` for even `k`), silently
+    /// desynchronizing layer geometry downstream.
     pub fn same(kernel: usize) -> Self {
+        assert!(
+            kernel % 2 == 1,
+            "Conv2dSpec::same requires an odd kernel (got {kernel}): \
+             even kernels cannot preserve spatial extent symmetrically"
+        );
         Conv2dSpec {
             stride: 1,
             padding: kernel / 2,
@@ -55,7 +83,21 @@ impl Conv2dSpec {
 
     /// "Same"-size spec for a dilated odd kernel: the effective kernel is
     /// `d*(k-1)+1`, so padding `d*(k-1)/2` preserves the extent at stride 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an even (or zero) kernel. For even `k` with odd `d` the
+    /// required padding `d*(k-1)/2` is fractional, so flooring it shrinks
+    /// the output (see [`Conv2dSpec::same`] for the mirror-image bug);
+    /// even `k` with even `d` happens to preserve the extent but off-center
+    /// — the kernel's reach is asymmetric around each output site. Both
+    /// are rejected so "same" always means *centered* same-size.
     pub fn same_dilated(kernel: usize, dilation: usize) -> Self {
+        assert!(
+            kernel % 2 == 1,
+            "Conv2dSpec::same_dilated requires an odd kernel (got {kernel}): \
+             even kernels cannot preserve spatial extent symmetrically"
+        );
         Conv2dSpec {
             stride: 1,
             padding: dilation * (kernel - 1) / 2,
@@ -202,7 +244,8 @@ fn expect_rank4(t: &Tensor, what: &str) -> Result<(), TensorError> {
     Ok(())
 }
 
-/// 2-D convolution forward pass.
+/// 2-D convolution forward pass with the process-global [`Parallelism`]
+/// (see [`crate::parallel::set_global`]); equivalent to [`conv2d_with`].
 ///
 /// * `x`: input `(N, C_in, H, W)`
 /// * `w`: kernels `(C_out, C_in, KH, KW)`
@@ -219,6 +262,25 @@ pub fn conv2d(
     w: &Tensor,
     bias: Option<&Tensor>,
     spec: Conv2dSpec,
+) -> Result<Tensor, TensorError> {
+    conv2d_with(x, w, bias, spec, parallel::global())
+}
+
+/// [`conv2d`] with an explicit thread budget: batch items fan out to
+/// worker threads, each with its own im2col scratch buffer. Results are
+/// bit-identical for every `par` (each item's arithmetic is independent
+/// and written to a disjoint output slice).
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidShape`] when ranks or channel counts are
+/// inconsistent.
+pub fn conv2d_with(
+    x: &Tensor,
+    w: &Tensor,
+    bias: Option<&Tensor>,
+    spec: Conv2dSpec,
+    par: Parallelism,
 ) -> Result<Tensor, TensorError> {
     expect_rank4(x, "conv2d input")?;
     expect_rank4(w, "conv2d weight")?;
@@ -241,24 +303,32 @@ pub fn conv2d(
     let ckk = c_in * kh * kw;
     let ohw = oh * ow;
     let mut y = Tensor::zeros(&[n, c_out, oh, ow]);
-    let mut col = vec![0.0f32; ckk * ohw];
+    if n == 0 || c_out == 0 {
+        return Ok(y);
+    }
     let x_data = x.data();
     let w_data = w.data();
-    let y_data = y.data_mut();
-    for ni in 0..n {
-        let x_n = &x_data[ni * c_in * h * w_in..(ni + 1) * c_in * h * w_in];
-        im2col(x_n, c_in, h, w_in, kh, kw, spec, &mut col);
-        let y_n = &mut y_data[ni * c_out * ohw..(ni + 1) * c_out * ohw];
-        matmul(w_data, &col, c_out, ckk, ohw, y_n);
-        if let Some(b) = bias {
-            for co in 0..c_out {
-                let bv = b.data()[co];
-                for v in &mut y_n[co * ohw..(co + 1) * ohw] {
-                    *v += bv;
+    let b_data = bias.map(|b| b.data());
+    let par = effective_parallelism(par, c_out * ckk * ohw);
+    parallel::for_each_chunk_mut(
+        par,
+        y.data_mut(),
+        c_out * ohw,
+        || vec![0.0f32; ckk * ohw],
+        |col, ni, y_n| {
+            let x_n = &x_data[ni * c_in * h * w_in..(ni + 1) * c_in * h * w_in];
+            im2col(x_n, c_in, h, w_in, kh, kw, spec, col);
+            matmul(w_data, col, c_out, ckk, ohw, y_n);
+            if let Some(b) = b_data {
+                for co in 0..c_out {
+                    let bv = b[co];
+                    for v in &mut y_n[co * ohw..(co + 1) * ohw] {
+                        *v += bv;
+                    }
                 }
             }
-        }
-    }
+        },
+    );
     Ok(y)
 }
 
@@ -273,7 +343,8 @@ pub struct Conv2dGrads {
     pub db: Tensor,
 }
 
-/// 2-D convolution backward pass.
+/// 2-D convolution backward pass with the process-global [`Parallelism`];
+/// equivalent to [`conv2d_backward_with`].
 ///
 /// `dy` must be shaped `(N, C_out, OH, OW)` as produced by [`conv2d`] on
 /// `x`/`w` with the same `spec`.
@@ -286,6 +357,27 @@ pub fn conv2d_backward(
     w: &Tensor,
     dy: &Tensor,
     spec: Conv2dSpec,
+) -> Result<Conv2dGrads, TensorError> {
+    conv2d_backward_with(x, w, dy, spec, parallel::global())
+}
+
+/// [`conv2d_backward`] with an explicit thread budget.
+///
+/// Batch items fan out to workers: `dx` is written to disjoint per-item
+/// slices, while the batch-summed `dw`/`db` are computed as per-item
+/// partials and reduced on the caller's thread *in batch order* — the
+/// summation tree is therefore fixed, and the gradients are bit-identical
+/// for every `par` (including serial).
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidShape`] when shapes are inconsistent.
+pub fn conv2d_backward_with(
+    x: &Tensor,
+    w: &Tensor,
+    dy: &Tensor,
+    spec: Conv2dSpec,
+    par: Parallelism,
 ) -> Result<Conv2dGrads, TensorError> {
     expect_rank4(x, "conv2d input")?;
     expect_rank4(w, "conv2d weight")?;
@@ -307,29 +399,79 @@ pub fn conv2d_backward(
     let mut dx = Tensor::zeros(&[n, c_in, h, w_in]);
     let mut dw = Tensor::zeros(&[c_out, c_in, kh, kw]);
     let mut db = Tensor::zeros(&[c_out]);
-    let mut col = vec![0.0f32; ckk * ohw];
-    let mut dcol = vec![0.0f32; ckk * ohw];
+    if n == 0 || c_out == 0 {
+        return Ok(Conv2dGrads { dx, dw, db });
+    }
     let x_data = x.data();
     let w_data = w.data();
     let dy_data = dy.data();
-    for ni in 0..n {
-        let x_n = &x_data[ni * c_in * h * w_in..(ni + 1) * c_in * h * w_in];
-        let dy_n = &dy_data[ni * c_out * ohw..(ni + 1) * c_out * ohw];
-        // Weight gradient: dW += dY_n · colᵀ.
-        im2col(x_n, c_in, h, w_in, kh, kw, spec, &mut col);
-        matmul_nt_acc(dy_n, &col, c_out, ohw, ckk, dw.data_mut());
-        // Input gradient: dX_n = col2im(Wᵀ · dY_n).
-        matmul_tn(w_data, dy_n, ckk, c_out, ohw, &mut dcol);
-        let dx_n = &mut dx.data_mut()[ni * c_in * h * w_in..(ni + 1) * c_in * h * w_in];
-        col2im(&dcol, c_in, h, w_in, kh, kw, spec, dx_n);
-        // Bias gradient: sum over spatial positions.
-        for co in 0..c_out {
-            let s: f32 = dy_n[co * ohw..(co + 1) * ohw].iter().sum();
-            db.data_mut()[co] += s;
+    let par = effective_parallelism(par, c_out * ckk * ohw);
+
+    // Input gradient: dX_n = col2im(Wᵀ · dY_n), one disjoint slice per
+    // batch item, per-worker dcol scratch. A zero-channel input (dx has
+    // no elements) trivially has no input gradient to compute.
+    if c_in * h * w_in > 0 {
+        parallel::for_each_chunk_mut(
+            par,
+            dx.data_mut(),
+            c_in * h * w_in,
+            || vec![0.0f32; ckk * ohw],
+            |dcol, ni, dx_n| {
+                let dy_n = &dy_data[ni * c_out * ohw..(ni + 1) * c_out * ohw];
+                matmul_tn(w_data, dy_n, ckk, c_out, ohw, dcol);
+                col2im(dcol, c_in, h, w_in, kh, kw, spec, dx_n);
+            },
+        );
+    }
+
+    // Weight/bias gradients sum over the batch. Serially, accumulate in
+    // place in batch order (no extra buffers). In parallel, compute exact
+    // per-item contributions concurrently and reduce them in batch order
+    // on this thread. Both paths add the same per-item accumulators in
+    // the same order, so they are bit-identical — `matmul_nt_acc`
+    // computes each item's contribution into a local `acc` before the
+    // `+=`, whether the target is `dw` directly or a zeroed partial.
+    if par.workers_for(n) <= 1 {
+        let mut col = vec![0.0f32; ckk * ohw];
+        for ni in 0..n {
+            let x_n = &x_data[ni * c_in * h * w_in..(ni + 1) * c_in * h * w_in];
+            let dy_n = &dy_data[ni * c_out * ohw..(ni + 1) * c_out * ohw];
+            // dW += dY_n · colᵀ; matmul_nt_acc needs dw flattened as
+            // (c_out, ckk), which is exactly the tensor's storage layout.
+            im2col(x_n, c_in, h, w_in, kh, kw, spec, &mut col);
+            matmul_nt_acc(dy_n, &col, c_out, ohw, ckk, dw.data_mut());
+            for co in 0..c_out {
+                let s: f32 = dy_n[co * ohw..(co + 1) * ohw].iter().sum();
+                db.data_mut()[co] += s;
+            }
+        }
+    } else {
+        let batch: Vec<usize> = (0..n).collect();
+        let partials = parallel::map_with(
+            par,
+            &batch,
+            || vec![0.0f32; ckk * ohw],
+            |col, _, &ni| {
+                let x_n = &x_data[ni * c_in * h * w_in..(ni + 1) * c_in * h * w_in];
+                let dy_n = &dy_data[ni * c_out * ohw..(ni + 1) * c_out * ohw];
+                im2col(x_n, c_in, h, w_in, kh, kw, spec, col);
+                let mut dw_n = vec![0.0f32; c_out * ckk];
+                matmul_nt_acc(dy_n, col, c_out, ohw, ckk, &mut dw_n);
+                let db_n: Vec<f32> = (0..c_out)
+                    .map(|co| dy_n[co * ohw..(co + 1) * ohw].iter().sum())
+                    .collect();
+                (dw_n, db_n)
+            },
+        );
+        for (dw_n, db_n) in &partials {
+            for (acc, &v) in dw.data_mut().iter_mut().zip(dw_n.iter()) {
+                *acc += v;
+            }
+            for (acc, &v) in db.data_mut().iter_mut().zip(db_n.iter()) {
+                *acc += v;
+            }
         }
     }
-    // matmul_nt_acc needs dw flattened as (c_out, ckk); the tensor is stored
-    // exactly in that layout, so nothing further to do.
     Ok(Conv2dGrads { dx, dw, db })
 }
 
@@ -508,8 +650,13 @@ pub fn max_pool2d(x: &Tensor, kernel: usize, stride: usize) -> Result<MaxPoolOut
 ///
 /// # Errors
 ///
-/// Returns [`TensorError::InvalidShape`] if `dy` does not match the pooled
-/// geometry.
+/// Returns [`TensorError::InvalidShape`] if `input_dims` is not rank-4 or
+/// is inconsistent with the pooled geometry (batch/channel mismatch,
+/// pooled extent larger than the input, argmax length or indices out of
+/// range), and [`TensorError::ShapeMismatch`] if `dy` does not match the
+/// pooled shape. Without these checks a short or wrong `input_dims` slice
+/// would panic out of bounds or silently scatter gradients into the wrong
+/// locations.
 pub fn max_pool2d_backward(
     input_dims: &[usize],
     pooled: &MaxPoolOutput,
@@ -521,8 +668,39 @@ pub fn max_pool2d_backward(
             right: pooled.y.shape().clone(),
         });
     }
+    if input_dims.len() != 4 {
+        return Err(TensorError::InvalidShape {
+            reason: format!(
+                "max_pool2d_backward: input dims must be rank-4 (NCHW), got {input_dims:?}"
+            ),
+        });
+    }
     let (n, c, h, w) = (input_dims[0], input_dims[1], input_dims[2], input_dims[3]);
     let (oh, ow) = (pooled.y.dim(2), pooled.y.dim(3));
+    if pooled.y.dim(0) != n || pooled.y.dim(1) != c || oh > h || ow > w {
+        return Err(TensorError::InvalidShape {
+            reason: format!(
+                "max_pool2d_backward: input dims {input_dims:?} inconsistent with pooled shape {}",
+                pooled.y.shape()
+            ),
+        });
+    }
+    if pooled.argmax.len() != n * c * oh * ow {
+        return Err(TensorError::InvalidShape {
+            reason: format!(
+                "max_pool2d_backward: argmax has {} entries, pooled geometry needs {}",
+                pooled.argmax.len(),
+                n * c * oh * ow
+            ),
+        });
+    }
+    if let Some(&bad) = pooled.argmax.iter().find(|&&idx| idx as usize >= h * w) {
+        return Err(TensorError::InvalidShape {
+            reason: format!(
+                "max_pool2d_backward: argmax index {bad} outside the {h}×{w} input plane"
+            ),
+        });
+    }
     let mut dx = Tensor::zeros(&[n, c, h, w]);
     let dx_data = dx.data_mut();
     let dy_data = dy.data();
@@ -938,5 +1116,121 @@ mod tests {
             .map(|(&a, &b)| a as f64 * b as f64)
             .sum();
         assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    #[should_panic(expected = "odd kernel")]
+    fn same_rejects_even_kernel() {
+        // Regression: padding = k/2 for even k grows the extent by one
+        // (e.g. k=4: 10 + 2·2 − 4 + 1 = 11), so "same" must refuse it.
+        let _ = Conv2dSpec::same(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd kernel")]
+    fn same_dilated_rejects_even_kernel() {
+        let _ = Conv2dSpec::same_dilated(2, 3);
+    }
+
+    #[test]
+    fn odd_same_specs_preserve_extent() {
+        for k in [1, 3, 5, 7, 9] {
+            assert_eq!(Conv2dSpec::same(k).out_extent(17, k), 17, "kernel {k}");
+        }
+        for d in [1, 2, 3] {
+            assert_eq!(
+                Conv2dSpec::same_dilated(3, d).out_extent(17, 3),
+                17,
+                "dilation {d}"
+            );
+        }
+    }
+
+    #[test]
+    fn max_pool_backward_rejects_bad_input_dims() {
+        let x = rand_tensor(&[1, 2, 4, 4], 71);
+        let out = max_pool2d(&x, 2, 2).unwrap();
+        let dy = Tensor::ones(&[1, 2, 2, 2]);
+        // Short slice (rank ≠ 4).
+        assert!(matches!(
+            max_pool2d_backward(&[1, 2, 4], &out, &dy),
+            Err(TensorError::InvalidShape { .. })
+        ));
+        // Batch/channel mismatch with the pooled tensor.
+        assert!(matches!(
+            max_pool2d_backward(&[2, 2, 4, 4], &out, &dy),
+            Err(TensorError::InvalidShape { .. })
+        ));
+        // Input plane smaller than the pooled output.
+        assert!(matches!(
+            max_pool2d_backward(&[1, 2, 1, 1], &out, &dy),
+            Err(TensorError::InvalidShape { .. })
+        ));
+        // Argmax indices outside the claimed (smaller but ≥ pooled) plane.
+        assert!(matches!(
+            max_pool2d_backward(&[1, 2, 3, 3], &out, &dy),
+            Err(TensorError::InvalidShape { .. })
+        ));
+        // Corrupted argmax length.
+        let mut truncated = out.clone();
+        truncated.argmax.pop();
+        assert!(matches!(
+            max_pool2d_backward(&[1, 2, 4, 4], &truncated, &dy),
+            Err(TensorError::InvalidShape { .. })
+        ));
+        // The valid call still works.
+        assert!(max_pool2d_backward(&[1, 2, 4, 4], &out, &dy).is_ok());
+    }
+
+    #[test]
+    fn backward_handles_zero_channel_input() {
+        // Regression: a zero-channel input (dx has zero elements) must
+        // produce empty dx/dw and a well-defined db, not a chunking panic.
+        let x = Tensor::zeros(&[1, 0, 4, 4]);
+        let w = Tensor::zeros(&[2, 0, 3, 3]);
+        let y = conv2d(&x, &w, None, Conv2dSpec::default()).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 2, 2, 2]);
+        let dy = Tensor::ones(&[1, 2, 2, 2]);
+        let grads = conv2d_backward(&x, &w, &dy, Conv2dSpec::default()).unwrap();
+        assert_eq!(grads.dx.numel(), 0);
+        assert_eq!(grads.dw.numel(), 0);
+        assert_eq!(grads.db.data(), &[4.0, 4.0]);
+    }
+
+    #[test]
+    fn parallel_conv2d_is_bit_identical_to_serial() {
+        use crate::parallel::Parallelism;
+        let spec = Conv2dSpec {
+            stride: 2,
+            padding: 2,
+            dilation: 1,
+        };
+        // Large enough that the per-item work clears the spawn threshold,
+        // so the multi-thread runs genuinely take the parallel path.
+        let x = rand_tensor(&[7, 8, 21, 19], 81);
+        let w = rand_tensor(&[16, 8, 5, 5], 82);
+        let b = rand_tensor(&[16], 83);
+        let serial = conv2d_with(&x, &w, Some(&b), spec, Parallelism::serial()).unwrap();
+        for threads in [2, 4, 16] {
+            let par = conv2d_with(&x, &w, Some(&b), spec, Parallelism::new(threads)).unwrap();
+            assert_eq!(par, serial, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn parallel_conv2d_backward_is_bit_identical_to_serial() {
+        use crate::parallel::Parallelism;
+        let spec = Conv2dSpec::same(3);
+        let x = rand_tensor(&[5, 6, 14, 14], 91);
+        let w = rand_tensor(&[8, 6, 3, 3], 92);
+        let y = conv2d(&x, &w, None, spec).unwrap();
+        let g = rand_tensor(y.shape().dims(), 93);
+        let serial = conv2d_backward_with(&x, &w, &g, spec, Parallelism::serial()).unwrap();
+        for threads in [2, 3, 8] {
+            let par = conv2d_backward_with(&x, &w, &g, spec, Parallelism::new(threads)).unwrap();
+            assert_eq!(par.dx, serial.dx, "{threads} threads dx");
+            assert_eq!(par.dw, serial.dw, "{threads} threads dw");
+            assert_eq!(par.db, serial.db, "{threads} threads db");
+        }
     }
 }

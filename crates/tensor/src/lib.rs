@@ -8,7 +8,9 @@
 //! - [`Tensor`]: an owned, row-major, N-dimensional `f32` array,
 //! - [`conv`]: 2-D convolution forward/backward with stride, padding and
 //!   dilation (NCHW layout), transposed convolution and max pooling,
-//! - [`linalg`]: matrix multiplication primitives,
+//! - [`linalg`]: register-blocked matrix multiplication primitives,
+//! - [`parallel`]: a dependency-free scoped thread pool with a
+//!   bit-determinism contract (same results at any thread count),
 //! - [`rng`]: a seedable xoshiro256** PRNG with SplitMix64 stream derivation
 //!   so every experiment in the workspace is bit-reproducible,
 //! - [`init`]: weight initializers (Kaiming/Xavier uniform & normal).
@@ -28,6 +30,7 @@
 pub mod conv;
 pub mod init;
 pub mod linalg;
+pub mod parallel;
 pub mod rng;
 mod shape;
 mod tensor;

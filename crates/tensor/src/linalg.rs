@@ -3,11 +3,40 @@
 //! The convolution kernels in [`crate::conv`] lower to these routines via
 //! im2col. All routines operate on row-major slices so they can run on
 //! scratch buffers without allocating.
+//!
+//! The production kernels are register-blocked: they process `MR` output
+//! rows (or columns) per pass so every loaded element of the shared
+//! operand is reused `MR` times from registers, giving the compiler `MR`
+//! independent accumulation streams to vectorize. Per output element the
+//! accumulation order over `k` is unchanged from the scalar reference
+//! kernels, so results are bit-identical to [`matmul_naive`] — with one
+//! deliberate exception: the old kernels skipped `a == 0.0` terms, which
+//! silently swallowed IEEE `0 × inf = NaN` propagation. The blocked
+//! kernels never skip terms, so non-finite inputs poison the output as
+//! IEEE 754 requires.
+
+/// Rows (columns for [`matmul_nt_acc`]) processed per register block.
+const MR: usize = 4;
+
+/// Splits `rows` (length `MR * n`) into `MR` disjoint row slices.
+fn split_rows(rows: &mut [f32], n: usize) -> [&mut [f32]; MR] {
+    let (r0, rest) = rows.split_at_mut(n);
+    let (r1, rest) = rest.split_at_mut(n);
+    let (r2, r3) = rest.split_at_mut(n);
+    [r0, r1, r2, r3]
+}
+
+/// k-panel depth: a `KC × n` panel of `B` (≤ ~300 KB for conv-shaped `n`)
+/// stays cache-resident while every row block of the output sweeps it.
+const KC: usize = 128;
 
 /// `out = A @ B` where `A` is `m×k`, `B` is `k×n`, `out` is `m×n`.
 ///
 /// Accumulates in `f32` with a k-inner loop ordered for cache locality
-/// (i-k-j), which also lets the compiler vectorize the innermost loop.
+/// (i-k-j), blocked over `MR` output rows and tiled over `KC`-deep
+/// k-panels so `B` is streamed from cache rather than memory. Per output
+/// element the `p` accumulation order is still strictly ascending, so the
+/// result is bit-identical to [`matmul_naive`].
 ///
 /// # Panics
 ///
@@ -17,13 +46,58 @@ pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32
     assert_eq!(b.len(), k * n, "matmul: rhs length");
     assert_eq!(out.len(), m * n, "matmul: out length");
     out.iter_mut().for_each(|x| *x = 0.0);
+    let mut p0 = 0;
+    while p0 < k {
+        let p1 = (p0 + KC).min(k);
+        let mut i = 0;
+        while i + MR <= m {
+            let [r0, r1, r2, r3] = split_rows(&mut out[i * n..(i + MR) * n], n);
+            for p in p0..p1 {
+                let a0 = a[i * k + p];
+                let a1 = a[(i + 1) * k + p];
+                let a2 = a[(i + 2) * k + p];
+                let a3 = a[(i + 3) * k + p];
+                let b_row = &b[p * n..(p + 1) * n];
+                for (j, &bv) in b_row.iter().enumerate() {
+                    r0[j] += a0 * bv;
+                    r1[j] += a1 * bv;
+                    r2[j] += a2 * bv;
+                    r3[j] += a3 * bv;
+                }
+            }
+            i += MR;
+        }
+        for i in i..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for p in p0..p1 {
+                let a_ip = a_row[p];
+                let b_row = &b[p * n..(p + 1) * n];
+                for (o, &b_pj) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a_ip * b_pj;
+                }
+            }
+        }
+        p0 = p1;
+    }
+}
+
+/// Scalar i-k-j reference kernel: the pre-blocking implementation, kept
+/// for correctness cross-checks and as the baseline in the kernel
+/// benchmarks (`cargo bench -p rte-bench --bench kernels`).
+///
+/// # Panics
+///
+/// Panics if any slice length is inconsistent with the given dimensions.
+pub fn matmul_naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "matmul_naive: lhs length");
+    assert_eq!(b.len(), k * n, "matmul_naive: rhs length");
+    assert_eq!(out.len(), m * n, "matmul_naive: out length");
+    out.iter_mut().for_each(|x| *x = 0.0);
     for i in 0..m {
         let a_row = &a[i * k..(i + 1) * k];
         let out_row = &mut out[i * n..(i + 1) * n];
         for (p, &a_ip) in a_row.iter().enumerate() {
-            if a_ip == 0.0 {
-                continue;
-            }
             let b_row = &b[p * n..(p + 1) * n];
             for (o, &b_pj) in out_row.iter_mut().zip(b_row.iter()) {
                 *o += a_ip * b_pj;
@@ -34,6 +108,10 @@ pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32
 
 /// `out = Aᵀ @ B` where `A` is `k×m` (so `Aᵀ` is `m×k`), `B` is `k×n`.
 ///
+/// Blocked over `MR` output rows; the `MR` lhs elements per step are
+/// contiguous in `A`'s row-major storage (`a[p*m + i ..]`), so the block
+/// load is a single cache line.
+///
 /// # Panics
 ///
 /// Panics if any slice length is inconsistent with the given dimensions.
@@ -42,16 +120,31 @@ pub fn matmul_tn(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [
     assert_eq!(b.len(), k * n, "matmul_tn: rhs length");
     assert_eq!(out.len(), m * n, "matmul_tn: out length");
     out.iter_mut().for_each(|x| *x = 0.0);
-    for p in 0..k {
-        let a_row = &a[p * m..(p + 1) * m];
-        let b_row = &b[p * n..(p + 1) * n];
-        for (i, &a_pi) in a_row.iter().enumerate() {
-            if a_pi == 0.0 {
-                continue;
+    let mut i = 0;
+    while i + MR <= m {
+        let [r0, r1, r2, r3] = split_rows(&mut out[i * n..(i + MR) * n], n);
+        for p in 0..k {
+            let ap = &a[p * m + i..p * m + i + MR];
+            let (a0, a1, a2, a3) = (ap[0], ap[1], ap[2], ap[3]);
+            let b_row = &b[p * n..(p + 1) * n];
+            for (j, &bv) in b_row.iter().enumerate() {
+                r0[j] += a0 * bv;
+                r1[j] += a1 * bv;
+                r2[j] += a2 * bv;
+                r3[j] += a3 * bv;
             }
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (o, &b_pj) in out_row.iter_mut().zip(b_row.iter()) {
-                *o += a_pi * b_pj;
+        }
+        i += MR;
+    }
+    if i < m {
+        for p in 0..k {
+            let b_row = &b[p * n..(p + 1) * n];
+            for ii in i..m {
+                let a_pi = a[p * m + ii];
+                let out_row = &mut out[ii * n..(ii + 1) * n];
+                for (o, &b_pj) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a_pi * b_pj;
+                }
             }
         }
     }
@@ -61,6 +154,10 @@ pub fn matmul_tn(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [
 ///
 /// Accumulating (`+=`) because the convolution weight gradient sums over the
 /// batch; zero `out` first when a plain product is needed.
+///
+/// Blocked over `MR` output columns: each pass runs `MR` independent dot
+/// products that share every load of the `A` row, giving the out-of-order
+/// core `MR` parallel accumulation chains.
 ///
 /// # Panics
 ///
@@ -72,13 +169,33 @@ pub fn matmul_nt_acc(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &m
     for i in 0..m {
         let a_row = &a[i * k..(i + 1) * k];
         let out_row = &mut out[i * n..(i + 1) * n];
-        for (j, o) in out_row.iter_mut().enumerate() {
+        let mut j = 0;
+        while j + MR <= n {
+            let b0 = &b[j * k..(j + 1) * k];
+            let b1 = &b[(j + 1) * k..(j + 2) * k];
+            let b2 = &b[(j + 2) * k..(j + 3) * k];
+            let b3 = &b[(j + 3) * k..(j + 4) * k];
+            let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            for p in 0..k {
+                let x = a_row[p];
+                s0 += x * b0[p];
+                s1 += x * b1[p];
+                s2 += x * b2[p];
+                s3 += x * b3[p];
+            }
+            out_row[j] += s0;
+            out_row[j + 1] += s1;
+            out_row[j + 2] += s2;
+            out_row[j + 3] += s3;
+            j += MR;
+        }
+        for j in j..n {
             let b_row = &b[j * k..(j + 1) * k];
             let mut acc = 0.0f32;
             for (&x, &y) in a_row.iter().zip(b_row.iter()) {
                 acc += x * y;
             }
-            *o += acc;
+            out_row[j] += acc;
         }
     }
 }
@@ -86,6 +203,7 @@ pub fn matmul_nt_acc(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &m
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rng::Xoshiro256;
 
     #[test]
     fn matmul_small() {
@@ -139,5 +257,99 @@ mod tests {
         let mut out = [0.0; 4];
         matmul(&a, &eye, 2, 2, 2, &mut out);
         assert_eq!(out, a);
+    }
+
+    fn rand_vec(len: usize, seed: u64) -> Vec<f32> {
+        let mut rng = Xoshiro256::seed_from(seed);
+        (0..len).map(|_| rng.normal()).collect()
+    }
+
+    /// The blocked kernels preserve the per-element accumulation order of
+    /// the scalar reference kernel, so all shapes — including remainder
+    /// rows/columns when the dimension is not a multiple of the block —
+    /// must agree bit for bit.
+    #[test]
+    fn blocked_kernels_match_reference_bitwise() {
+        for (m, k, n) in [
+            (1, 1, 1),
+            (3, 5, 2),
+            (4, 7, 9),
+            (5, 3, 6),
+            (9, 4, 13),
+            (8, 8, 8),
+        ] {
+            let a = rand_vec(m * k, 1000 + (m * k * n) as u64);
+            let b = rand_vec(k * n, 2000 + (m + k + n) as u64);
+            let mut want = vec![0.0f32; m * n];
+            matmul_naive(&a, &b, m, k, n, &mut want);
+            let mut got = vec![0.0f32; m * n];
+            matmul(&a, &b, m, k, n, &mut got);
+            assert_eq!(got, want, "matmul {m}x{k}x{n}");
+
+            // matmul_tn: build Aᵀ explicitly, compare against reference.
+            let at = rand_vec(k * m, 3000 + (m * n) as u64); // stored k×m
+            let mut a_rowmajor = vec![0.0f32; m * k]; // m×k
+            for p in 0..k {
+                for i in 0..m {
+                    a_rowmajor[i * k + p] = at[p * m + i];
+                }
+            }
+            let mut want_tn = vec![0.0f32; m * n];
+            matmul_naive(&a_rowmajor, &b, m, k, n, &mut want_tn);
+            let mut got_tn = vec![0.0f32; m * n];
+            matmul_tn(&at, &b, m, k, n, &mut got_tn);
+            assert_eq!(got_tn, want_tn, "matmul_tn {m}x{k}x{n}");
+
+            // matmul_nt_acc against a transpose-then-reference product.
+            let bt = rand_vec(n * k, 4000 + (k * n) as u64); // stored n×k
+            let mut b_kn = vec![0.0f32; k * n];
+            for j in 0..n {
+                for p in 0..k {
+                    b_kn[p * n + j] = bt[j * k + p];
+                }
+            }
+            let mut want_nt = vec![0.0f32; m * n];
+            matmul_naive(&a, &b_kn, m, k, n, &mut want_nt);
+            let mut got_nt = vec![0.0f32; m * n];
+            matmul_nt_acc(&a, &bt, m, k, n, &mut got_nt);
+            for (g, w) in got_nt.iter().zip(want_nt.iter()) {
+                // Dot-product accumulation differs in rounding from the
+                // i-k-j reference, so compare numerically here.
+                assert!((g - w).abs() <= 1e-4 * (1.0 + w.abs()), "{g} vs {w}");
+            }
+        }
+    }
+
+    /// Regression for the zero-skip bug: `0 × NaN` and `0 × inf` must
+    /// poison the product (IEEE 754), not be silently skipped.
+    #[test]
+    fn zero_times_nonfinite_propagates() {
+        // A = [0 1], B = [[NaN], [2]]: out = 0·NaN + 1·2 = NaN.
+        let a = [0.0f32, 1.0];
+        let b = [f32::NAN, 2.0];
+        let mut out = [0.0f32; 1];
+        matmul(&a, &b, 1, 2, 1, &mut out);
+        assert!(out[0].is_nan(), "matmul swallowed 0×NaN: {}", out[0]);
+
+        // Same structure for Aᵀ: A is k×m = 2×1 with a zero in row 0.
+        let a_t = [0.0f32, 1.0];
+        let b2 = [f32::INFINITY, 2.0];
+        let mut out_tn = [0.0f32; 1];
+        matmul_tn(&a_t, &b2, 1, 2, 1, &mut out_tn);
+        assert!(
+            out_tn[0].is_nan(),
+            "matmul_tn swallowed 0×inf: {}",
+            out_tn[0]
+        );
+
+        // And a blocked-path (m ≥ MR) case: every row sees the NaN column.
+        let m = 5;
+        let a_blk: Vec<f32> = (0..m * 2)
+            .map(|i| if i % 2 == 0 { 0.0 } else { 1.0 })
+            .collect();
+        let b_blk = [f32::NAN, 3.0];
+        let mut out_blk = vec![0.0f32; m];
+        matmul(&a_blk, &b_blk, m, 2, 1, &mut out_blk);
+        assert!(out_blk.iter().all(|v| v.is_nan()), "{out_blk:?}");
     }
 }

@@ -1,0 +1,415 @@
+//! Dependency-free scoped parallel execution.
+//!
+//! The workspace is forbidden from pulling runtime dependencies, so this
+//! module implements the small slice of a data-parallel runtime the
+//! kernels and the federated round loop need on top of
+//! [`std::thread::scope`]: fork worker threads for one bounded batch of
+//! work, join them before returning. There is no persistent pool or work
+//! registry — every call owns its threads for its own lifetime, which
+//! keeps the module trivially correct under nested use. Nested use is
+//! also budget-safe: on worker threads the [`global`] default degrades
+//! to serial, so an outer fan-out (e.g. the federated round loop) never
+//! multiplies into `threads²` kernel workers.
+//!
+//! # Determinism contract
+//!
+//! Every helper here guarantees **bit-identical results for any thread
+//! count**, including 1. The rules that make this hold:
+//!
+//! - work items are independent: item `i` reads shared inputs and writes
+//!   only its own output slot (or disjoint chunk),
+//! - per-item floating-point evaluation is the same code path whether it
+//!   runs inline or on a worker,
+//! - reductions are never performed concurrently — callers combine
+//!   per-item partial results on their own thread, in item order.
+//!
+//! `tests/determinism.rs` and the workspace property tests pin this
+//! contract down for the federated pipeline end to end.
+//!
+//! # Example
+//!
+//! ```
+//! use rte_tensor::parallel::{map_with, Parallelism};
+//!
+//! let squares = map_with(
+//!     Parallelism::new(4),
+//!     &[1, 2, 3, 4, 5],
+//!     || (),              // per-worker scratch state (none here)
+//!     |(), _i, &x| x * x, // runs on a worker thread
+//! );
+//! assert_eq!(squares, vec![1, 4, 9, 16, 25]);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// How many threads a parallel region may use.
+///
+/// `threads == 0` means "ask the OS" ([`std::thread::available_parallelism`]);
+/// any other value is used as-is. The value is a *cap*: regions never spawn
+/// more workers than they have work items.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Parallelism {
+    /// Worker-thread cap. `0` resolves to the machine's available
+    /// parallelism at use time.
+    pub threads: usize,
+}
+
+impl Default for Parallelism {
+    /// Defaults to automatic thread count (`threads == 0`).
+    fn default() -> Self {
+        Parallelism::auto()
+    }
+}
+
+impl Parallelism {
+    /// Exactly `threads` workers (`0` = automatic).
+    pub const fn new(threads: usize) -> Self {
+        Parallelism { threads }
+    }
+
+    /// Single-threaded execution (runs inline, never spawns).
+    pub const fn serial() -> Self {
+        Parallelism { threads: 1 }
+    }
+
+    /// Use all available hardware parallelism.
+    pub const fn auto() -> Self {
+        Parallelism { threads: 0 }
+    }
+
+    /// Reads the `RTE_THREADS` environment variable (the workspace-wide
+    /// thread knob, also honored by CI): unset, empty or unparsable means
+    /// [`Parallelism::auto`].
+    pub fn from_env() -> Self {
+        match std::env::var("RTE_THREADS") {
+            Ok(v) => match v.trim().parse::<usize>() {
+                Ok(n) => Parallelism::new(n),
+                Err(_) => Parallelism::auto(),
+            },
+            Err(_) => Parallelism::auto(),
+        }
+    }
+
+    /// The concrete thread count this configuration resolves to (≥ 1).
+    pub fn resolve(self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
+
+    /// Worker count for `jobs` work items: the resolved thread count,
+    /// never more than the number of jobs, never less than 1.
+    pub fn workers_for(self, jobs: usize) -> usize {
+        self.resolve().min(jobs).max(1)
+    }
+}
+
+/// Process-wide default used by kernels whose public signatures predate
+/// the parallel subsystem (e.g. [`crate::conv::conv2d`]). Stored as the
+/// raw `threads` value; the sentinel means "not yet initialized", in
+/// which case the first [`global`] read resolves it from `RTE_THREADS`
+/// (unset = auto) — so the environment knob governs both the federated
+/// round loop and the kernels, exactly as the README documents.
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(GLOBAL_UNSET);
+
+/// Sentinel for "read `RTE_THREADS` on first use".
+const GLOBAL_UNSET: usize = usize::MAX;
+
+std::thread_local! {
+    /// Worker threads spawned by this module force nested global-default
+    /// regions to serial (see [`global`]): an outer fan-out already owns
+    /// the thread budget, so inner kernels spawning `threads²` workers
+    /// would only add churn. Explicit `_with` calls are unaffected.
+    static NESTED_SERIAL: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Sets the process-wide default [`Parallelism`] for kernels that are not
+/// called through an explicit `_with` variant.
+///
+/// Results are bit-identical for every setting; this knob only trades
+/// wall-clock for threads.
+pub fn set_global(par: Parallelism) {
+    GLOBAL_THREADS.store(par.threads, Ordering::Relaxed);
+}
+
+/// The current default [`Parallelism`] for this thread: serial on worker
+/// threads spawned by this module (no oversubscription from nesting),
+/// otherwise the [`set_global`] process default — initialized from
+/// `RTE_THREADS` (unset = auto) on first use.
+pub fn global() -> Parallelism {
+    if NESTED_SERIAL.with(|flag| flag.get()) {
+        return Parallelism::serial();
+    }
+    let raw = GLOBAL_THREADS.load(Ordering::Relaxed);
+    if raw == GLOBAL_UNSET {
+        let par = Parallelism::from_env();
+        // Benign race: concurrent first readers compute the same value.
+        GLOBAL_THREADS.store(par.threads, Ordering::Relaxed);
+        return par;
+    }
+    Parallelism::new(raw)
+}
+
+/// Maps `f` over `items` on up to `par` worker threads, returning results
+/// **in item order** regardless of scheduling.
+///
+/// `init` builds one scratch state per worker *on that worker's thread*
+/// (so the state type does not need to be `Send`); `f` receives the
+/// worker's state, the item index and the item. Items are handed out
+/// dynamically (atomic cursor), so uneven item costs still balance.
+///
+/// With one worker (or ≤ 1 item) everything runs inline on the caller's
+/// thread — same code path, no spawn.
+///
+/// # Panics
+///
+/// Propagates panics from `f` (the scope joins all workers first).
+pub fn map_with<T, R, S, I, F>(par: Parallelism, items: &[T], init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
+    let workers = par.workers_for(items.len());
+    if workers <= 1 {
+        let mut state = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(&mut state, i, item))
+            .collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (cursor, init, f) = (&cursor, &init, &f);
+            handles.push(scope.spawn(move || {
+                NESTED_SERIAL.with(|flag| flag.set(true));
+                let mut state = init();
+                let mut produced: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    produced.push((i, f(&mut state, i, &items[i])));
+                }
+                produced
+            }));
+        }
+        for handle in handles {
+            match handle.join() {
+                Ok(produced) => {
+                    for (i, r) in produced {
+                        slots[i] = Some(r);
+                    }
+                }
+                // Re-raise the worker's own panic payload so the original
+                // assertion message reaches the caller.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|r| r.expect("every item is claimed exactly once"))
+        .collect()
+}
+
+/// Splits `data` into consecutive `chunk_len` pieces and runs `f` on each,
+/// distributing chunks across up to `par` worker threads.
+///
+/// Chunk `i` covers `data[i*chunk_len .. (i+1)*chunk_len]`; chunks are
+/// disjoint, so workers write concurrently without synchronization. `init`
+/// builds per-worker scratch (e.g. an im2col buffer) on the worker thread.
+/// Assignment is static (round-robin by chunk index), which is ideal for
+/// the uniform per-chunk cost of batched kernels.
+///
+/// # Panics
+///
+/// Panics if `chunk_len` is zero or does not divide `data.len()`;
+/// propagates worker panics.
+pub fn for_each_chunk_mut<T, S, I, F>(
+    par: Parallelism,
+    data: &mut [T],
+    chunk_len: usize,
+    init: I,
+    f: F,
+) where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "for_each_chunk_mut: zero chunk length");
+    assert_eq!(
+        data.len() % chunk_len,
+        0,
+        "for_each_chunk_mut: data length {} not a multiple of chunk length {chunk_len}",
+        data.len()
+    );
+    let n_chunks = data.len() / chunk_len;
+    let workers = par.workers_for(n_chunks);
+    if workers <= 1 {
+        let mut state = init();
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(&mut state, i, chunk);
+        }
+        return;
+    }
+    let mut buckets: Vec<Vec<(usize, &mut [T])>> = Vec::with_capacity(workers);
+    buckets.resize_with(workers, Vec::new);
+    for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+        buckets[i % workers].push((i, chunk));
+    }
+    std::thread::scope(|scope| {
+        for bucket in buckets {
+            let (init, f) = (&init, &f);
+            scope.spawn(move || {
+                NESTED_SERIAL.with(|flag| flag.set(true));
+                let mut state = init();
+                for (i, chunk) in bucket {
+                    f(&mut state, i, chunk);
+                }
+            });
+        }
+        // The scope's implicit joins re-raise worker panics with their
+        // original payloads.
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_and_workers() {
+        assert_eq!(Parallelism::serial().resolve(), 1);
+        assert_eq!(Parallelism::new(3).resolve(), 3);
+        assert!(Parallelism::auto().resolve() >= 1);
+        assert_eq!(Parallelism::new(8).workers_for(3), 3);
+        assert_eq!(Parallelism::new(2).workers_for(100), 2);
+        assert_eq!(Parallelism::new(4).workers_for(0), 1);
+    }
+
+    #[test]
+    fn map_with_preserves_item_order() {
+        let items: Vec<usize> = (0..97).collect();
+        for threads in [1, 2, 4, 7] {
+            let out = map_with(
+                Parallelism::new(threads),
+                &items,
+                || (),
+                |(), i, &x| {
+                    assert_eq!(i, x);
+                    x * 2
+                },
+            );
+            assert_eq!(out, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn map_with_worker_state_is_reused() {
+        // Each worker counts how many items it saw; the counts must sum to
+        // the item count no matter how work was stolen.
+        use std::sync::Mutex;
+        let totals = Mutex::new(Vec::new());
+        let items = [0u8; 50];
+        map_with(
+            Parallelism::new(4),
+            &items,
+            || 0usize,
+            |seen, _, _| {
+                *seen += 1;
+                *seen
+            },
+        )
+        .into_iter()
+        .for_each(|c| totals.lock().unwrap().push(c));
+        // `c` is the per-worker running count at the time each item ran;
+        // the number of items is what must be conserved.
+        assert_eq!(totals.lock().unwrap().len(), 50);
+    }
+
+    #[test]
+    fn chunks_cover_all_data_once() {
+        let mut data = vec![0u32; 60];
+        for threads in [1, 3, 8] {
+            data.iter_mut().for_each(|x| *x = 0);
+            for_each_chunk_mut(
+                Parallelism::new(threads),
+                &mut data,
+                5,
+                || (),
+                |(), i, chunk| {
+                    for v in chunk.iter_mut() {
+                        *v += 1 + i as u32;
+                    }
+                },
+            );
+            for (i, &v) in data.iter().enumerate() {
+                assert_eq!(v, 1 + (i / 5) as u32, "index {i}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn ragged_chunks_rejected() {
+        let mut data = vec![0u32; 7];
+        for_each_chunk_mut(Parallelism::serial(), &mut data, 2, || (), |(), _, _| {});
+    }
+
+    #[test]
+    fn global_default_round_trips() {
+        let before = global();
+        set_global(Parallelism::new(3));
+        assert_eq!(global(), Parallelism::new(3));
+        set_global(before);
+    }
+
+    #[test]
+    fn nested_regions_degrade_to_serial_on_workers() {
+        // On a worker thread the global default must read as serial, so a
+        // kernel called from inside a fan-out cannot oversubscribe.
+        let items = [(); 8];
+        let seen = map_with(
+            Parallelism::new(4),
+            &items,
+            || (),
+            |(), _, _| global().resolve(),
+        );
+        assert!(seen.iter().all(|&t| t == 1), "{seen:?}");
+        // Back on the caller's thread, the nested-serial flag is unset
+        // (other tests mutate the process default concurrently, so only
+        // the flag itself can be asserted race-free).
+        assert!(!NESTED_SERIAL.with(|flag| flag.get()));
+    }
+
+    #[test]
+    fn worker_panics_keep_their_payload() {
+        let items: Vec<usize> = (0..16).collect();
+        let caught = std::panic::catch_unwind(|| {
+            map_with(
+                Parallelism::new(4),
+                &items,
+                || (),
+                |(), _, &x| {
+                    assert!(x < 3, "item {x} out of range");
+                    x
+                },
+            )
+        })
+        .expect_err("must panic");
+        let msg = caught.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("out of range"), "payload lost: {msg:?}");
+    }
+}

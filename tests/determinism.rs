@@ -6,7 +6,7 @@
 
 use decentralized_routability::core::{build_clients, run_method_on_clients, ExperimentConfig};
 use decentralized_routability::eda::corpus::generate_corpus;
-use decentralized_routability::fed::{Method, MethodOutcome};
+use decentralized_routability::fed::{Method, MethodOutcome, Parallelism};
 use decentralized_routability::nn::models::ModelKind;
 
 /// The smallest experiment that still exercises data generation, local
@@ -50,6 +50,45 @@ fn same_seed_gives_bit_identical_auc() {
             y.to_bits(),
             "client {k} AUC drifted between identical runs: {x} vs {y}"
         );
+    }
+}
+
+/// The parallel round loop must not change a single bit: training a
+/// round's clients on 1 vs 4 worker threads is the same computation in a
+/// different schedule, because every client works on private state and
+/// aggregation happens on the coordinator in fixed client order.
+#[test]
+fn thread_count_does_not_change_results() {
+    let mut config = minimal_config();
+    config.fed.rounds = 2; // ≥ 2 rounds so re-deployment is covered
+    let corpus = generate_corpus(&config.corpus).expect("corpus");
+    let clients = build_clients(&corpus).expect("clients");
+    let mut run_with = |threads: usize, method: Method| -> MethodOutcome {
+        config.fed.parallelism = Parallelism::new(threads);
+        run_method_on_clients(method, &clients, ModelKind::FlNet, &config).expect("run")
+    };
+    for method in [Method::FedProx, Method::LocalOnly] {
+        let serial = run_with(1, method);
+        let parallel = run_with(4, method);
+        assert_eq!(
+            serial.average_auc.to_bits(),
+            parallel.average_auc.to_bits(),
+            "{method}: average AUC drifted across thread counts: {} vs {}",
+            serial.average_auc,
+            parallel.average_auc
+        );
+        for (k, (a, b)) in serial
+            .per_client_auc
+            .iter()
+            .zip(parallel.per_client_auc.iter())
+            .enumerate()
+        {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{method}: client {k} AUC drifted across thread counts: {a} vs {b}"
+            );
+        }
     }
 }
 

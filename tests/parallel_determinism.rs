@@ -1,0 +1,136 @@
+//! Property test for the parallel round loop's determinism contract:
+//! for *random* small federated configurations, training a round's
+//! clients on N worker threads must produce a bit-identical
+//! [`MethodOutcome`] to the single-threaded schedule. This is the
+//! load-bearing guarantee that lets `FedConfig::parallelism` be a pure
+//! wall-clock knob.
+//!
+//! A companion unit check covers matmul NaN propagation — the kernel-level
+//! bug (`0 × NaN` silently skipped) that could otherwise mask divergence
+//! between schedules by flushing poisoned values to zero.
+
+use proptest::prelude::*;
+
+use decentralized_routability::fed::{
+    methods, Client, ClientSet, FedConfig, Method, MethodOutcome, ModelFactory, Parallelism,
+};
+use decentralized_routability::nn::models::{FlNet, FlNetConfig};
+use decentralized_routability::tensor::rng::Xoshiro256;
+use decentralized_routability::tensor::Tensor;
+
+/// A small heterogeneous client: labels keyed to channel 0 with a
+/// per-client threshold shift.
+fn synthetic_client(id: usize, n_train: usize, n_test: usize, seed: u64) -> Client {
+    let threshold = 0.4 + 0.15 * (id as f32 % 3.0) / 3.0;
+    let make = |n: usize, salt: u64| -> ClientSet {
+        let mut rng = Xoshiro256::seed_from(seed ^ salt);
+        let mut x = Tensor::from_fn(&[n, 2, 8, 8], |_| rng.uniform());
+        let mut y = Tensor::zeros(&[n, 1, 8, 8]);
+        for ni in 0..n {
+            for i in 0..64 {
+                let v = x.data()[ni * 128 + i];
+                y.data_mut()[ni * 64 + i] = if v > threshold { 1.0 } else { 0.0 };
+            }
+            for i in 0..64 {
+                x.data_mut()[ni * 128 + 64 + i] = rng.uniform();
+            }
+        }
+        ClientSet::new(x, y).unwrap()
+    };
+    Client::new(id, make(n_train, 0xAAAA), make(n_test, 0xBBBB))
+}
+
+fn factory() -> ModelFactory {
+    Box::new(|seed| {
+        let mut rng = Xoshiro256::seed_from(seed);
+        Box::new(FlNet::new(
+            FlNetConfig {
+                in_channels: 2,
+                hidden: 4,
+                kernel: 3,
+                depth: 2,
+            },
+            &mut rng,
+        ))
+    })
+}
+
+fn assert_bitwise_equal(a: &MethodOutcome, b: &MethodOutcome, what: &str) {
+    assert_eq!(a.average_auc.to_bits(), b.average_auc.to_bits(), "{what}");
+    assert_eq!(a.per_client_auc.len(), b.per_client_auc.len(), "{what}");
+    for (k, (x, y)) in a
+        .per_client_auc
+        .iter()
+        .zip(b.per_client_auc.iter())
+        .enumerate()
+    {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: client {k}: {x} vs {y}");
+    }
+    assert_eq!(a.history.len(), b.history.len(), "{what}");
+    for (ra, rb) in a.history.iter().zip(b.history.iter()) {
+        assert_eq!(ra.round, rb.round, "{what}");
+        assert_eq!(
+            ra.mean_train_loss.to_bits(),
+            rb.mean_train_loss.to_bits(),
+            "{what}: round {} training loss",
+            ra.round
+        );
+        for (x, y) in ra.per_client_auc.iter().zip(rb.per_client_auc.iter()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}: round {}", ra.round);
+        }
+    }
+}
+
+proptest! {
+    // Each case runs two full (tiny) federated experiments; keep the case
+    // budget small so the suite stays fast in debug builds.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// N-thread and 1-thread FedProx agree bit for bit on random
+    /// configurations (client counts, schedules, proximal strengths,
+    /// participation fractions and seeds).
+    #[test]
+    fn fedprox_is_bitwise_thread_invariant(
+        n_clients in 1usize..4,
+        rounds in 1usize..3,
+        local_steps in 1usize..4,
+        batch_size in 1usize..3,
+        threads in 2usize..6,
+        mu_scaled in 0u32..3,
+        participation_pct in 1u32..3,
+        eval_every in 0usize..2,
+        seed in 0u64..100_000,
+    ) {
+        let clients: Vec<Client> = (0..n_clients)
+            .map(|k| synthetic_client(k + 1, 4, 2, seed ^ (300 + k as u64)))
+            .collect();
+        let factory = factory();
+        let mut config = FedConfig::tiny();
+        config.rounds = rounds;
+        config.local_steps = local_steps;
+        config.batch_size = batch_size;
+        config.mu = mu_scaled as f32 * 0.05;
+        config.participation = participation_pct as f32 / 2.0; // 0.5 or 1.0
+        config.eval_every = eval_every;
+        config.seed = seed;
+
+        config.parallelism = Parallelism::serial();
+        let serial = methods::run_method(Method::FedProx, &clients, &factory, &config).unwrap();
+        config.parallelism = Parallelism::new(threads);
+        let parallel = methods::run_method(Method::FedProx, &clients, &factory, &config).unwrap();
+        assert_bitwise_equal(&serial, &parallel, "fedprox");
+    }
+}
+
+/// Kernel-level companion: the matmul the round loop bottoms out in must
+/// propagate non-finite values instead of skipping `a == 0` terms.
+#[test]
+fn matmul_propagates_nan_through_zero_lhs() {
+    use decentralized_routability::tensor::linalg::matmul;
+    let a = [0.0f32, 2.0, 0.0, 2.0]; // 2×2 with zeros in column 0
+    let b = [f32::NAN, 1.0, 1.0, 1.0]; // NaN in row 0
+    let mut out = [0.0f32; 4];
+    matmul(&a, &b, 2, 2, 2, &mut out);
+    // out[i][0] = 0·NaN + 2·1 must be NaN, not 2.
+    assert!(out[0].is_nan() && out[2].is_nan(), "{out:?}");
+}

@@ -1,15 +1,18 @@
 //! Criterion micro-benchmarks for the EDA data substrate: netlist
-//! generation, placement, routing demand, RUDY and full sample
-//! generation.
+//! generation, placement, routing demand, RUDY, full sample generation,
+//! and sharded corpus generation (1 thread vs all cores — byte-identical
+//! output, only wall-clock differs).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use rte_eda::congestion::{route_demand, rudy};
+use rte_eda::corpus::{generate_corpus_with, CorpusConfig};
 use rte_eda::dataset::generate_sample;
 use rte_eda::netlist::generate_netlist;
 use rte_eda::placement::{place, PlacementConfig};
 use rte_eda::Family;
+use rte_tensor::parallel::Parallelism;
 
 fn bench_netlist(c: &mut Criterion) {
     c.bench_function("generate_netlist_itc99", |b| {
@@ -61,11 +64,29 @@ fn bench_sample(c: &mut Criterion) {
     });
 }
 
+fn bench_sharded_corpus(c: &mut Criterion) {
+    // A miniature of the paper-scale Table 2 build (~190 placements at
+    // scale 1/38): generation shards over designs and placements, so the
+    // all-cores run shows the corpus-build speedup while producing
+    // byte-identical tensors.
+    let mut config = CorpusConfig::tiny();
+    config.placement_scale = 1.0 / 38.0;
+    for (name, par) in [
+        ("generate_corpus_1thread", Parallelism::serial()),
+        ("generate_corpus_all_cores", Parallelism::auto()),
+    ] {
+        c.bench_function(name, |b| {
+            b.iter(|| generate_corpus_with(black_box(&config), par).unwrap())
+        });
+    }
+}
+
 criterion_group!(
     benches,
     bench_netlist,
     bench_placement,
     bench_routing,
-    bench_sample
+    bench_sample,
+    bench_sharded_corpus
 );
 criterion_main!(benches);

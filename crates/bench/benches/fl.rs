@@ -1,13 +1,16 @@
 //! Criterion micro-benchmarks for the federated-learning plumbing:
-//! state-dict aggregation, ROC AUC, one client training step, and the
-//! parallel round loop (1 thread vs all cores).
+//! state-dict aggregation, ROC AUC, one client training step, the
+//! parallel round loop, and the parallel nine-client evaluator (each
+//! 1 thread vs all cores — outcomes are bit-identical, only wall-clock
+//! differs).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use rte_fed::params::weighted_average;
 use rte_fed::{
-    methods, Client, ClientSet, FedConfig, LocalTrainer, Method, ModelFactory, Parallelism,
+    methods, Client, ClientSet, Evaluator, FedConfig, LocalTrainer, Method, ModelFactory,
+    Parallelism,
 };
 use rte_metrics::roc_auc;
 use rte_nn::models::{FlNet, FlNetConfig};
@@ -135,11 +138,46 @@ fn bench_parallel_rounds(c: &mut Criterion) {
     }
 }
 
+fn bench_parallel_eval(c: &mut Criterion) {
+    // The nine-client generalized evaluation every round records: one
+    // shared state dict scored on every client's private test split.
+    // Per-client work is independent, so this scales with cores while
+    // staying bit-identical.
+    let clients = synthetic_clients(9);
+    let factory: ModelFactory = Box::new(|seed| {
+        let mut rng = Xoshiro256::seed_from(seed);
+        Box::new(FlNet::new(
+            FlNetConfig {
+                in_channels: 6,
+                hidden: 8,
+                kernel: 3,
+                depth: 2,
+            },
+            &mut rng,
+        ))
+    });
+    let global = state_dict(factory(7).as_mut());
+    for (name, par) in [
+        ("eval_9_clients_1thread", Parallelism::serial()),
+        ("eval_9_clients_all_cores", Parallelism::auto()),
+    ] {
+        let evaluator = Evaluator::new(par, 16);
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                evaluator
+                    .eval_global(&factory, 7, black_box(&clients), black_box(&global))
+                    .unwrap()
+            })
+        });
+    }
+}
+
 criterion_group!(
     benches,
     bench_aggregation,
     bench_roc_auc,
     bench_local_step,
-    bench_parallel_rounds
+    bench_parallel_rounds,
+    bench_parallel_eval
 );
 criterion_main!(benches);

@@ -37,15 +37,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut fed = config.fed.clone();
         fed.mu = mu;
         let (_, history) = fedprox_rounds(&clients, &factory, &fed)?;
-        let outcome = MethodOutcome {
-            method: rte_fed::Method::FedProx,
-            per_client_auc: history
+        let outcome = MethodOutcome::new(
+            rte_fed::Method::FedProx,
+            history
                 .last()
-                .map(|r| r.per_client_auc.clone())
+                .map(|r| r.per_client.clone())
                 .unwrap_or_default(),
-            average_auc: history.last().map(|r| r.average_auc).unwrap_or(0.0),
             history,
-        };
+        );
         println!("{}", rte_core::report::render_history(name, &outcome));
     }
     println!(

@@ -210,6 +210,21 @@ pub fn table_main(
     let start = std::time::Instant::now();
     let table = rte_core::run_table(kind, &config)?;
     println!("{}", rte_core::report::render_table(&table));
+    // Companion metrics from the per-client EvalReports (not in the
+    // paper's tables, but what a deployment would actually monitor).
+    println!(
+        "{}",
+        rte_core::report::render_metric_table(&table, "Average precision per client", |r| r
+            .average_precision)
+    );
+    println!(
+        "{}",
+        rte_core::report::render_metric_table(
+            &table,
+            "Accuracy at the 0.5 deployment threshold per client",
+            |r| r.confusion.accuracy()
+        )
+    );
     println!("{}", render_comparison(&table.rows, paper));
     println!("Qualitative ordering checks (shape of the paper's result):");
     for (desc, holds) in ordering_checks(&table.rows, checks) {

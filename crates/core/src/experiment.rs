@@ -1,6 +1,6 @@
 //! Experiment configuration and the corpus → clients → methods pipeline.
 
-use rte_eda::corpus::{generate_corpus, Corpus, CorpusConfig};
+use rte_eda::corpus::{generate_corpus_with, Corpus, CorpusConfig};
 use rte_eda::features::FEATURE_CHANNELS;
 use rte_fed::{
     methods, Client, ClientSet, FedConfig, Method, MethodOutcome, ModelFactory, Parallelism,
@@ -16,6 +16,10 @@ use crate::CoreError;
 pub struct ExperimentConfig {
     /// Table 2 corpus generation settings.
     pub corpus: CorpusConfig,
+    /// Worker-thread budget for sharded corpus generation (`0` = all
+    /// cores; constructors read `RTE_THREADS`). Output is byte-identical
+    /// for every value.
+    pub corpus_parallelism: Parallelism,
     /// Federated training hyper-parameters (§5.1).
     pub fed: FedConfig,
     /// Model capacity (paper filter counts vs CPU-scaled).
@@ -29,6 +33,7 @@ impl ExperimentConfig {
     pub fn paper() -> Self {
         ExperimentConfig {
             corpus: CorpusConfig::paper(),
+            corpus_parallelism: Parallelism::from_env(),
             fed: FedConfig::paper(),
             model_scale: ModelScale::Paper,
             methods: Method::ALL.to_vec(),
@@ -40,21 +45,25 @@ impl ExperimentConfig {
     pub fn scaled() -> Self {
         ExperimentConfig {
             corpus: CorpusConfig::scaled(),
+            corpus_parallelism: Parallelism::from_env(),
             fed: FedConfig::scaled(),
             model_scale: ModelScale::Scaled,
             methods: Method::ALL.to_vec(),
         }
     }
 
-    /// Sets the worker-thread budget for parallel client training within
-    /// each federated round (`0` = all cores). Pure: only this config
-    /// value changes. To also retune the process-global default for the
-    /// batched tensor kernels, call `rte_tensor::parallel::set_global` at
-    /// your entry point (the bench binaries do, via `--threads`).
-    /// Outcomes are bit-identical for every value
-    /// (`tests/determinism.rs`); only wall-clock changes.
+    /// Sets the worker-thread budget for the whole pipeline this config
+    /// drives: sharded corpus generation, parallel client training within
+    /// each federated round, and parallel per-client evaluation (`0` =
+    /// all cores). Pure: only config values change. To also retune the
+    /// process-global default for the batched tensor kernels, call
+    /// `rte_tensor::parallel::set_global` at your entry point (the bench
+    /// binaries do, via `--threads`). Outcomes are bit-identical for
+    /// every value (`tests/determinism.rs`,
+    /// `tests/parallel_determinism.rs`); only wall-clock changes.
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
+        self.corpus_parallelism = Parallelism::new(threads);
         self.fed.parallelism = Parallelism::new(threads);
         self
     }
@@ -68,6 +77,7 @@ impl ExperimentConfig {
         fed.assigned_clusters = FedConfig::paper_assignment();
         ExperimentConfig {
             corpus: CorpusConfig::tiny(),
+            corpus_parallelism: Parallelism::from_env(),
             fed,
             model_scale: ModelScale::Scaled,
             methods: vec![Method::LocalOnly, Method::FedProx],
@@ -152,7 +162,7 @@ pub fn run_table(kind: ModelKind, config: &ExperimentConfig) -> Result<TableResu
             reason: "no methods requested".into(),
         });
     }
-    let corpus = generate_corpus(&config.corpus)?;
+    let corpus = generate_corpus_with(&config.corpus, config.corpus_parallelism)?;
     let clients = build_clients(&corpus)?;
     let rows = config
         .methods
@@ -172,7 +182,7 @@ mod tests {
 
     #[test]
     fn build_clients_reflects_table2() {
-        let corpus = generate_corpus(&CorpusConfig::tiny()).unwrap();
+        let corpus = rte_eda::corpus::generate_corpus(&CorpusConfig::tiny()).unwrap();
         let clients = build_clients(&corpus).unwrap();
         assert_eq!(clients.len(), 9);
         assert_eq!(clients[0].id, 1);
@@ -210,6 +220,7 @@ mod tests {
         let before = rte_tensor::parallel::global();
         let config = ExperimentConfig::tiny().with_threads(2);
         assert_eq!(config.fed.parallelism, Parallelism::new(2));
+        assert_eq!(config.corpus_parallelism, Parallelism::new(2));
         // Pure builder: the process-global kernel default is untouched.
         assert_eq!(rte_tensor::parallel::global(), before);
     }

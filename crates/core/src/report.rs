@@ -3,33 +3,26 @@
 //! Tables 3-5 are "Testing on Client 1 … Client 9 | Average" with one row
 //! per training method; [`render_table`] reproduces that layout as
 //! monospace text so a bench run can be diffed against the paper at a
-//! glance.
+//! glance. Every method outcome now carries a full
+//! [`EvalReport`] per client, so [`render_metric_table`] renders the
+//! same grid for any companion metric (average precision, accuracy or F1
+//! at the paper's 0.5 deployment threshold, …).
 
-use rte_fed::MethodOutcome;
+use rte_fed::{EvalReport, MethodOutcome};
 
 use crate::TableResult;
 
-/// Renders one table in the paper's layout.
+/// Renders one table in the paper's layout: the AUC projection of the
+/// per-client reports.
 pub fn render_table(table: &TableResult) -> String {
-    let mut out = String::new();
-    out.push_str(&format!(
-        "Testing Accuracy Comparison (ROC AUC) on Routability Prediction with {}\n",
-        table.model
-    ));
-    let mut header = format!("{:<34}", "Method");
-    for k in 1..=table.n_clients {
-        header.push_str(&format!("  C{k:<4}"));
-    }
-    header.push_str("  Average");
-    out.push_str(&header);
-    out.push('\n');
-    out.push_str(&"-".repeat(header.len()));
-    out.push('\n');
-    for row in &table.rows {
-        out.push_str(&render_row(row));
-        out.push('\n');
-    }
-    out
+    render_metric_table(
+        table,
+        &format!(
+            "Testing Accuracy Comparison (ROC AUC) on Routability Prediction with {}",
+            table.model
+        ),
+        |r| r.auc,
+    )
 }
 
 /// Renders one method row: label, per-client AUCs, average.
@@ -40,6 +33,47 @@ pub fn render_row(outcome: &MethodOutcome) -> String {
     }
     line.push_str(&format!("  {:<7.2}", outcome.average_auc));
     line
+}
+
+/// Renders the per-client grid of an arbitrary [`EvalReport`] projection
+/// in the paper's table layout — the companion view of [`render_table`]
+/// for the metrics the paper does not print (average precision,
+/// thresholded accuracy, F1, …).
+pub fn render_metric_table(
+    table: &TableResult,
+    title: &str,
+    metric: impl Fn(&EvalReport) -> f64,
+) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let mut header = format!("{:<34}", "Method");
+    for k in 1..=table.n_clients {
+        header.push_str(&format!("  C{k:<4}"));
+    }
+    header.push_str("  Average");
+    out.push_str(&header);
+    out.push('\n');
+    out.push_str(&"-".repeat(header.len()));
+    out.push('\n');
+    for row in &table.rows {
+        let mut line = format!("{:<34}", row.method.label());
+        let mut sum = 0.0f64;
+        for report in &row.per_client {
+            let v = metric(report);
+            sum += v;
+            line.push_str(&format!("  {v:<5.2}"));
+        }
+        let avg = if row.per_client.is_empty() {
+            0.0
+        } else {
+            sum / row.per_client.len() as f64
+        };
+        line.push_str(&format!("  {avg:<7.2}"));
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
 }
 
 /// Renders a per-round convergence series (round, average AUC) as an
@@ -70,18 +104,38 @@ mod tests {
     use rte_fed::{Method, RoundRecord};
     use rte_nn::models::ModelKind;
 
-    fn outcome() -> MethodOutcome {
-        MethodOutcome {
-            method: Method::FedProx,
-            per_client_auc: vec![0.82, 0.78],
-            average_auc: 0.80,
-            history: vec![RoundRecord {
-                round: 1,
-                per_client_auc: vec![0.6, 0.6],
-                average_auc: 0.6,
-                mean_train_loss: 0.25,
-            }],
+    /// An [`EvalReport`] whose AUC lands exactly on `auc` (built from a
+    /// synthetic ranking, so all the companion fields are populated).
+    fn report(auc: f64) -> EvalReport {
+        // `n` correctly ranked pos/neg pairs out of 100: scores are two
+        // blocks with `k` swapped pairs.
+        let k = ((1.0 - auc) * 100.0).round() as usize;
+        let mut scores = vec![0.0f32; 20];
+        let mut labels = vec![false; 20];
+        for (i, (s, l)) in scores.iter_mut().zip(labels.iter_mut()).enumerate() {
+            // 10 positives at high scores, 10 negatives at low scores,
+            // then demote positives pairwise to hit the target AUC.
+            *l = i < 10;
+            *s = if i < 10 { 0.9 } else { 0.1 };
         }
+        for i in 0..k / 10 {
+            scores[i] = 0.05; // each demoted positive loses 10 pairs
+        }
+        let r = EvalReport::from_scores(&scores, &labels).unwrap();
+        assert!(
+            (r.auc - auc).abs() < 0.051,
+            "fixture AUC {} vs {auc}",
+            r.auc
+        );
+        r
+    }
+
+    fn outcome() -> MethodOutcome {
+        MethodOutcome::new(
+            Method::FedProx,
+            vec![report(0.9), report(0.7)],
+            vec![RoundRecord::new(1, vec![report(0.6), report(0.6)], 0.25)],
+        )
     }
 
     #[test]
@@ -96,8 +150,29 @@ mod tests {
         assert!(text.contains("C1"));
         assert!(text.contains("Average"));
         assert!(text.contains("FedProx"));
-        assert!(text.contains("0.82"));
+        assert!(text.contains("0.90"));
         assert!(text.contains("0.80"));
+    }
+
+    #[test]
+    fn metric_table_projects_reports() {
+        let table = TableResult {
+            model: ModelKind::FlNet,
+            rows: vec![outcome()],
+            n_clients: 2,
+        };
+        let text = render_metric_table(&table, "Average precision", |r| r.average_precision);
+        assert!(text.contains("Average precision"));
+        assert!(text.contains("C2"));
+        assert!(text.contains("FedProx"));
+        let acc = render_metric_table(&table, "Accuracy @ 0.5", |r| r.confusion.accuracy());
+        assert!(acc.contains("Accuracy @ 0.5"));
+        // The fixture thresholds cleanly, so accuracies are on [0, 1].
+        for row in &table.rows {
+            for rep in &row.per_client {
+                assert!((0.0..=1.0).contains(&rep.confusion.accuracy()));
+            }
+        }
     }
 
     #[test]

@@ -6,7 +6,21 @@
 //! counts proportionally for CPU-scale runs (design counts are always kept
 //! — they are the unit of the train/test and client disjointness
 //! guarantees).
+//!
+//! # Sharded generation
+//!
+//! Every placement's RNG stream is derived purely from
+//! `(seed, client, split, design, placement)`, so samples are independent
+//! work items: [`generate_corpus`] and [`generate_client`] shard netlist
+//! synthesis over designs and sample generation over *all* placements
+//! (across clients) onto worker threads, then assemble the datasets in
+//! fixed `(client, split, design, placement)` order on the caller's
+//! thread. The output is **byte-identical to the serial path at every
+//! thread count** — the parallelism budget (explicit via the `_with`
+//! variants, otherwise the process-global `rte_tensor::parallel` default)
+//! is a pure wall-clock knob, exactly like training and evaluation.
 
+use rte_tensor::parallel::{self, map_with, Parallelism};
 use rte_tensor::rng::Xoshiro256;
 
 use crate::dataset::{generate_sample, Dataset};
@@ -203,47 +217,113 @@ enum Role {
     Test,
 }
 
-/// Generates one client's data per its Table 2 spec.
-///
-/// # Errors
-///
-/// Propagates placement/labelling errors (e.g. a grid smaller than 4×4).
-pub fn generate_client(spec: &ClientSpec, config: &CorpusConfig) -> Result<ClientData, EdaError> {
-    let (n_train, n_test) = spec.scaled_counts(config.placement_scale);
-    let train = generate_split(spec, config, Role::Train, spec.train_designs, n_train)?;
-    let test = generate_split(spec, config, Role::Test, spec.test_designs, n_test)?;
-    Ok(ClientData {
-        spec: *spec,
-        train,
-        test,
-    })
+/// The RNG stream of one `(client, split, design)` triple — the only
+/// place it is derived. Both netlist synthesis and every placement of
+/// the design replay this derivation, so a placement's randomness is a
+/// pure function of its coordinates and sharding cannot change a byte.
+fn design_stream(
+    config: &CorpusConfig,
+    spec: &ClientSpec,
+    role: Role,
+    design: usize,
+) -> Xoshiro256 {
+    Xoshiro256::seed_from(config.seed)
+        .derive(spec.index as u64)
+        .derive(match role {
+            Role::Train => 0,
+            Role::Test => 1,
+        })
+        .derive(design as u64)
 }
 
-fn generate_split(
-    spec: &ClientSpec,
-    config: &CorpusConfig,
+/// One design to synthesize (phase 1 work item).
+struct DesignJob {
+    spec_i: usize,
     role: Role,
-    n_designs: usize,
-    n_placements: usize,
-) -> Result<Dataset, EdaError> {
-    let root = Xoshiro256::seed_from(config.seed);
-    let client_stream = root.derive(spec.index as u64);
-    let role_stream = client_stream.derive(match role {
-        Role::Train => 0,
-        Role::Test => 1,
-    });
-    let profile = spec.family.profile();
-    let mut dataset = Dataset::new();
-    for d in 0..n_designs {
-        let mut design_stream = role_stream.derive(d as u64);
-        let design_seed = design_stream.next_u64();
-        let netlist = generate_netlist(spec.family, design_seed)?;
-        // Distribute placements round-robin so every design gets
-        // ⌈n/designs⌉ or ⌊n/designs⌋ placements.
-        let share = n_placements / n_designs + usize::from(d < n_placements % n_designs);
-        for p in 0..share {
-            let mut p_stream = design_stream.derive(p as u64 + 1);
+    design: usize,
+}
+
+/// One placement to generate (phase 2 work item).
+struct PlacementJob {
+    spec_i: usize,
+    role: Role,
+    design: usize,
+    /// Index into the phase-1 netlist list.
+    netlist: usize,
+    placement: usize,
+}
+
+/// The sharded generation core: synthesizes every design's netlist
+/// (phase 1, parallel over designs), then every placement sample
+/// (phase 2, parallel over all placements of all clients), and assembles
+/// the per-client datasets in fixed `(client, split, design, placement)`
+/// order on the caller's thread.
+fn generate_clients_sharded(
+    specs: &[ClientSpec],
+    config: &CorpusConfig,
+    par: Parallelism,
+) -> Result<Vec<ClientData>, EdaError> {
+    let mut design_jobs: Vec<DesignJob> = Vec::new();
+    let mut placement_jobs: Vec<PlacementJob> = Vec::new();
+    for (spec_i, spec) in specs.iter().enumerate() {
+        let (n_train, n_test) = spec.scaled_counts(config.placement_scale);
+        for (role, n_designs, n_placements) in [
+            (Role::Train, spec.train_designs, n_train),
+            (Role::Test, spec.test_designs, n_test),
+        ] {
+            for d in 0..n_designs {
+                let netlist = design_jobs.len();
+                design_jobs.push(DesignJob {
+                    spec_i,
+                    role,
+                    design: d,
+                });
+                // Distribute placements round-robin so every design gets
+                // ⌈n/designs⌉ or ⌊n/designs⌋ placements.
+                let share = n_placements / n_designs + usize::from(d < n_placements % n_designs);
+                for p in 0..share {
+                    placement_jobs.push(PlacementJob {
+                        spec_i,
+                        role,
+                        design: d,
+                        netlist,
+                        placement: p,
+                    });
+                }
+            }
+        }
+    }
+    // Phase 1: netlist synthesis, one worker item per design.
+    let netlists = map_with(
+        par,
+        &design_jobs,
+        || (),
+        |(), _, job| {
+            let spec = &specs[job.spec_i];
+            let mut stream = design_stream(config, spec, job.role, job.design);
+            let design_seed = stream.next_u64();
+            generate_netlist(spec.family, design_seed)
+        },
+    )
+    .into_iter()
+    .collect::<Result<Vec<_>, _>>()?;
+    // Phase 2: placement + features + labels, one worker item per
+    // placement across the whole corpus (the dominant cost, and the
+    // best-balanced unit: Table 2 clients differ 5× in placement count).
+    let samples = map_with(
+        par,
+        &placement_jobs,
+        || (),
+        |(), _, job| {
+            let spec = &specs[job.spec_i];
+            let mut stream = design_stream(config, spec, job.role, job.design);
+            // The design seed was consumed by phase 1; drawing (and
+            // discarding) it here keeps the stream state identical to the
+            // serial schedule's at the point placements were derived.
+            let _ = stream.next_u64();
+            let mut p_stream = stream.derive(job.placement as u64 + 1);
             let placement_seed = p_stream.next_u64();
+            let profile = spec.family.profile();
             let density = profile.target_density.0
                 + (profile.target_density.1 - profile.target_density.0) * p_stream.uniform();
             let placement_config = PlacementConfig {
@@ -252,13 +332,61 @@ fn generate_split(
                 target_density: density,
                 spread_iterations: 2 + p_stream.range_usize(0, 5),
             };
-            dataset.push(generate_sample(&netlist, &placement_config)?);
+            generate_sample(&netlists[job.netlist], &placement_config)
+        },
+    )
+    .into_iter()
+    .collect::<Result<Vec<_>, _>>()?;
+    // Reduce: job order is (client, split, design, placement), so a
+    // sequential pass rebuilds every dataset exactly as the serial loop
+    // did.
+    let mut clients: Vec<ClientData> = specs
+        .iter()
+        .map(|spec| ClientData {
+            spec: *spec,
+            train: Dataset::new(),
+            test: Dataset::new(),
+        })
+        .collect();
+    for (job, sample) in placement_jobs.iter().zip(samples) {
+        let client = &mut clients[job.spec_i];
+        match job.role {
+            Role::Train => client.train.push(sample),
+            Role::Test => client.test.push(sample),
         }
     }
-    Ok(dataset)
+    Ok(clients)
 }
 
-/// Generates the full nine-client corpus of the paper's Table 2.
+/// Generates one client's data per its Table 2 spec, sharding placement
+/// generation over the process-global
+/// [`rte_tensor::parallel`] thread budget.
+///
+/// # Errors
+///
+/// Propagates placement/labelling errors (e.g. a grid smaller than 4×4).
+pub fn generate_client(spec: &ClientSpec, config: &CorpusConfig) -> Result<ClientData, EdaError> {
+    generate_client_with(spec, config, parallel::global())
+}
+
+/// [`generate_client`] with an explicit thread budget. Output is
+/// byte-identical for every budget.
+///
+/// # Errors
+///
+/// Same conditions as [`generate_client`].
+pub fn generate_client_with(
+    spec: &ClientSpec,
+    config: &CorpusConfig,
+    par: Parallelism,
+) -> Result<ClientData, EdaError> {
+    let mut clients = generate_clients_sharded(std::slice::from_ref(spec), config, par)?;
+    Ok(clients.pop().expect("one spec in, one client out"))
+}
+
+/// Generates the full nine-client corpus of the paper's Table 2,
+/// sharding generation over designs and placements on the process-global
+/// [`rte_tensor::parallel`] thread budget.
 ///
 /// # Errors
 ///
@@ -276,10 +404,19 @@ fn generate_split(
 /// # Ok::<(), rte_eda::EdaError>(())
 /// ```
 pub fn generate_corpus(config: &CorpusConfig) -> Result<Corpus, EdaError> {
-    let clients = PAPER_CLIENTS
-        .iter()
-        .map(|spec| generate_client(spec, config))
-        .collect::<Result<Vec<_>, _>>()?;
+    generate_corpus_with(config, parallel::global())
+}
+
+/// [`generate_corpus`] with an explicit thread budget. Output is
+/// byte-identical for every budget
+/// (`tests/parallel_determinism.rs` pins corpus tensors between 1 and 4
+/// threads).
+///
+/// # Errors
+///
+/// Same conditions as [`generate_corpus`].
+pub fn generate_corpus_with(config: &CorpusConfig, par: Parallelism) -> Result<Corpus, EdaError> {
+    let clients = generate_clients_sharded(&PAPER_CLIENTS, config, par)?;
     Ok(Corpus {
         clients,
         grid: config.grid,
@@ -382,6 +519,18 @@ mod tests {
         let max = per_design.values().max().unwrap();
         let min = per_design.values().min().unwrap();
         assert!(max - min <= 1, "unbalanced shares {per_design:?}");
+    }
+
+    #[test]
+    fn sharded_generation_is_byte_identical_to_serial() {
+        let mut config = CorpusConfig::tiny();
+        config.placement_scale = 0.02; // several placements per design
+        let spec = &PAPER_CLIENTS[3];
+        let serial = generate_client_with(spec, &config, Parallelism::serial()).unwrap();
+        for threads in [2, 3, 8] {
+            let sharded = generate_client_with(spec, &config, Parallelism::new(threads)).unwrap();
+            assert_eq!(serial, sharded, "{threads} threads");
+        }
     }
 
     #[test]

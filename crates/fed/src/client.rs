@@ -89,6 +89,36 @@ impl ClientSet {
         (x, y)
     }
 
+    /// Copies the contiguous samples `range` into a minibatch without
+    /// building an index list — both tensors are row-contiguous, so this
+    /// is two bulk `copy_from_slice` calls (the evaluation hot path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or ends past `len()`.
+    pub fn minibatch_range(&self, range: std::ops::Range<usize>) -> (Tensor, Tensor) {
+        assert!(
+            range.start < range.end && range.end <= self.len(),
+            "minibatch range {range:?} invalid for {} samples",
+            self.len()
+        );
+        let n = range.len();
+        let (c, h, w) = (
+            self.features.dim(1),
+            self.features.dim(2),
+            self.features.dim(3),
+        );
+        let xs = c * h * w;
+        let ys = h * w;
+        let mut x = Tensor::zeros(&[n, c, h, w]);
+        let mut y = Tensor::zeros(&[n, 1, h, w]);
+        x.data_mut()
+            .copy_from_slice(&self.features.data()[range.start * xs..range.end * xs]);
+        y.data_mut()
+            .copy_from_slice(&self.labels.data()[range.start * ys..range.end * ys]);
+        (x, y)
+    }
+
     /// Samples a random minibatch of `batch_size` (with replacement when
     /// `batch_size > len`, without otherwise).
     pub fn sample_minibatch(&self, batch_size: usize, rng: &mut Xoshiro256) -> (Tensor, Tensor) {
@@ -200,6 +230,30 @@ mod tests {
         let (x, _) = set.minibatch(&[2, 0]);
         assert_eq!(x.data()[..4], [2.0; 4]);
         assert_eq!(x.data()[4..], [0.0; 4]);
+    }
+
+    #[test]
+    fn minibatch_range_matches_index_minibatch() {
+        let mut features = Tensor::zeros(&[4, 2, 2, 2]);
+        for (i, v) in features.data_mut().iter_mut().enumerate() {
+            *v = i as f32;
+        }
+        let mut labels = Tensor::zeros(&[4, 1, 2, 2]);
+        for (i, v) in labels.data_mut().iter_mut().enumerate() {
+            *v = (i % 2) as f32;
+        }
+        let set = ClientSet::new(features, labels).unwrap();
+        let (xr, yr) = set.minibatch_range(1..3);
+        let (xi, yi) = set.minibatch(&[1, 2]);
+        assert_eq!(xr, xi);
+        assert_eq!(yr, yi);
+    }
+
+    #[test]
+    #[should_panic(expected = "minibatch range")]
+    fn minibatch_range_rejects_out_of_bounds() {
+        let set = set(3, 0.0);
+        let _ = set.minibatch_range(2..5);
     }
 
     #[test]

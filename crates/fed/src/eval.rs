@@ -1,0 +1,397 @@
+//! The parallel multi-metric evaluation subsystem.
+//!
+//! The paper's Tables 3-5 are per-client ROC AUC grids over the nine
+//! Table 2 clients; each client's test split is private and independent,
+//! so evaluation — like training — is embarrassingly parallel. This
+//! module provides:
+//!
+//! - [`EvalReport`] — the full per-client evaluation record: ROC AUC
+//!   (the paper's table cell), average precision, the confusion matrix at
+//!   the paper's 0.5 deployment threshold, and class-conditional score
+//!   histograms,
+//! - [`evaluate_report`] / [`evaluate_auc`] — single-model evaluation on
+//!   one client's split,
+//! - [`Evaluator`] — the fan-out: one worker per client (up to the
+//!   thread budget), each building its own model from the shared
+//!   [`ModelFactory`], loading the deployed state dict and computing an
+//!   [`EvalReport`]; results are reduced in fixed client order on the
+//!   caller's thread.
+//!
+//! # Determinism contract
+//!
+//! Evaluation is forward-only and per-client independent: every worker
+//! loads the full state dict (parameters *and* BatchNorm buffers) into a
+//! factory-fresh model, so the computation per client is identical
+//! whether it runs inline or on any worker. Results are **bit-identical
+//! at every thread count**; `tests/parallel_determinism.rs` pins every
+//! [`EvalReport`] field between 1 and 4 threads.
+
+use rte_metrics::{average_precision, roc_auc, ConfusionMatrix, ScoreHistogram, DEFAULT_BINS};
+use rte_nn::{load_state_dict, Layer, StateDict};
+use rte_tensor::parallel::{map_with, Parallelism};
+
+use crate::{Client, ClientSet, FedError, ModelFactory};
+
+/// The deployment decision threshold the paper's confusion counts use
+/// (`score >= 0.5` ⇒ predicted hotspot).
+pub const DECISION_THRESHOLD: f32 = 0.5;
+
+/// Full evaluation record for one model on one client's test split.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalReport {
+    /// ROC AUC — the paper's table metric (rank estimator, ties at
+    /// midrank).
+    pub auc: f64,
+    /// Average precision (area under the precision-recall curve), the
+    /// imbalance-robust companion metric.
+    pub average_precision: f64,
+    /// Confusion counts at [`DECISION_THRESHOLD`].
+    pub confusion: ConfusionMatrix,
+    /// Class-conditional score histogram ([`DEFAULT_BINS`] buckets over
+    /// `[0, 1]`, out-of-range scores clamped into the edge buckets).
+    pub histogram: ScoreHistogram,
+}
+
+impl EvalReport {
+    /// Computes every metric from raw scores and labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FedError::Metrics`] when the labels contain a single
+    /// class (AUC undefined), lengths mismatch, or scores contain NaN.
+    pub fn from_scores(scores: &[f32], labels: &[bool]) -> Result<Self, FedError> {
+        Ok(EvalReport {
+            auc: roc_auc(scores, labels)?,
+            average_precision: average_precision(scores, labels)?,
+            confusion: ConfusionMatrix::from_scores(scores, labels, DECISION_THRESHOLD)?,
+            histogram: ScoreHistogram::from_scores(scores, labels, DEFAULT_BINS, 0.0, 1.0)?,
+        })
+    }
+
+    /// Number of test tiles this report covers.
+    pub fn n_samples(&self) -> usize {
+        self.confusion.total()
+    }
+}
+
+/// Mean AUC over a slice of reports (0 when empty) — the "Average"
+/// column of the paper's tables.
+pub fn mean_auc(reports: &[EvalReport]) -> f64 {
+    if reports.is_empty() {
+        0.0
+    } else {
+        reports.iter().map(|r| r.auc).sum::<f64>() / reports.len() as f64
+    }
+}
+
+/// Per-client AUCs in report order — the scalar view the table renderers
+/// and regression tests consume.
+pub fn aucs(reports: &[EvalReport]) -> Vec<f64> {
+    reports.iter().map(|r| r.auc).collect()
+}
+
+/// Forwards `model` over `set` in minibatches of `batch_size` in
+/// evaluation mode (BatchNorm running statistics, the paper's deployment
+/// condition), returning the flattened per-tile scores and labels.
+fn collect_scores(
+    model: &mut dyn Layer,
+    set: &ClientSet,
+    batch_size: usize,
+) -> Result<(Vec<f32>, Vec<bool>), FedError> {
+    if set.is_empty() {
+        return Err(FedError::InvalidConfig {
+            reason: "evaluation on empty client set".into(),
+        });
+    }
+    if batch_size == 0 {
+        return Err(FedError::InvalidConfig {
+            reason: "evaluation batch_size must be positive".into(),
+        });
+    }
+    let n = set.len();
+    let mut scores = Vec::with_capacity(set.labels().numel());
+    let mut labels = Vec::with_capacity(set.labels().numel());
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + batch_size).min(n);
+        let (x, y) = set.minibatch_range(start..end);
+        let pred = model.forward(&x, false)?;
+        scores.extend_from_slice(pred.data());
+        labels.extend(y.data().iter().map(|&v| v > 0.5));
+        start = end;
+    }
+    Ok((scores, labels))
+}
+
+/// Evaluates a model on `set`, producing the full [`EvalReport`].
+///
+/// # Errors
+///
+/// Returns [`FedError`] on forward errors, an empty set, a zero batch
+/// size, or a test split containing only one class.
+pub fn evaluate_report(
+    model: &mut dyn Layer,
+    set: &ClientSet,
+    batch_size: usize,
+) -> Result<EvalReport, FedError> {
+    let (scores, labels) = collect_scores(model, set, batch_size)?;
+    EvalReport::from_scores(&scores, &labels)
+}
+
+/// Evaluates a model's ROC AUC on `set` — the scalar fast path kept for
+/// deployments that only need the paper's table metric.
+///
+/// # Errors
+///
+/// Same conditions as [`evaluate_report`].
+pub fn evaluate_auc(
+    model: &mut dyn Layer,
+    set: &ClientSet,
+    batch_size: usize,
+) -> Result<f64, FedError> {
+    let (scores, labels) = collect_scores(model, set, batch_size)?;
+    Ok(roc_auc(&scores, &labels)?)
+}
+
+/// Fans per-client evaluation out to worker threads.
+///
+/// Each worker builds one private model via the factory and reuses it
+/// across the clients it claims (loading each deployed state dict in
+/// full); the caller collects the per-client [`EvalReport`]s in fixed
+/// client order. With a serial budget (or one client) everything runs
+/// inline on the caller's thread — the same code path, so outcomes are
+/// bit-identical for every thread count.
+#[derive(Debug, Clone, Copy)]
+pub struct Evaluator {
+    /// Worker-thread budget (`0` = all cores).
+    pub parallelism: Parallelism,
+    /// Evaluation minibatch size (forward-only, so large batches are
+    /// safe and fast).
+    pub batch_size: usize,
+}
+
+impl Evaluator {
+    /// Creates an evaluator with the given thread budget and batch size.
+    pub fn new(parallelism: Parallelism, batch_size: usize) -> Self {
+        Evaluator {
+            parallelism,
+            batch_size,
+        }
+    }
+
+    /// Evaluates `states[k]` on client `k`'s test split for every `k`
+    /// (personalized deployment), clients on worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FedError::InvalidConfig`] when `states` and `clients`
+    /// disagree in length, otherwise the first failing client's error in
+    /// client order.
+    pub fn eval_states(
+        &self,
+        factory: &ModelFactory,
+        seed: u64,
+        clients: &[Client],
+        states: &[&StateDict],
+    ) -> Result<Vec<EvalReport>, FedError> {
+        if states.len() != clients.len() {
+            return Err(FedError::InvalidConfig {
+                reason: format!("{} state dicts for {} clients", states.len(), clients.len()),
+            });
+        }
+        let batch_size = self.batch_size;
+        let ks: Vec<usize> = (0..clients.len()).collect();
+        let results = map_with(
+            self.parallelism,
+            &ks,
+            || factory(seed),
+            |model, _, &k| -> Result<EvalReport, FedError> {
+                load_state_dict(model.as_mut(), states[k])?;
+                evaluate_report(model.as_mut(), &clients[k].test, batch_size)
+            },
+        );
+        results.into_iter().collect()
+    }
+
+    /// Evaluates one shared state dict on every client (generalized
+    /// deployment).
+    ///
+    /// # Errors
+    ///
+    /// See [`Evaluator::eval_states`].
+    pub fn eval_global(
+        &self,
+        factory: &ModelFactory,
+        seed: u64,
+        clients: &[Client],
+        state: &StateDict,
+    ) -> Result<Vec<EvalReport>, FedError> {
+        let states: Vec<&StateDict> = vec![state; clients.len()];
+        self.eval_states(factory, seed, clients, &states)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rte_nn::{NnError, Param};
+    use rte_tensor::rng::Xoshiro256;
+    use rte_tensor::Tensor;
+
+    /// A fake "model" that echoes one input channel as its score map —
+    /// lets us hand-construct AUC outcomes.
+    struct EchoChannel(usize);
+
+    impl Layer for EchoChannel {
+        fn forward(&mut self, x: &Tensor, _training: bool) -> Result<Tensor, NnError> {
+            let (n, _, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+            let mut y = Tensor::zeros(&[n, 1, h, w]);
+            let cs = h * w;
+            let c_total = x.dim(1);
+            for ni in 0..n {
+                let src = &x.data()[(ni * c_total + self.0) * cs..(ni * c_total + self.0 + 1) * cs];
+                y.data_mut()[ni * cs..(ni + 1) * cs].copy_from_slice(src);
+            }
+            Ok(y)
+        }
+
+        fn backward(&mut self, dy: &Tensor) -> Result<Tensor, NnError> {
+            Ok(dy.clone())
+        }
+
+        fn visit_params(&mut self, _p: &str, _f: &mut dyn FnMut(String, &mut Param)) {}
+    }
+
+    fn set_with_labels_equal_to_channel0() -> ClientSet {
+        // Channel 0 is exactly the label → perfect AUC.
+        let mut x = Tensor::zeros(&[2, 2, 2, 2]);
+        let mut y = Tensor::zeros(&[2, 1, 2, 2]);
+        for i in 0..8 {
+            let v = if i % 3 == 0 { 1.0 } else { 0.0 };
+            x.data_mut()[(i / 4) * 8 + (i % 4)] = v;
+            y.data_mut()[i] = v;
+        }
+        ClientSet::new(x, y).unwrap()
+    }
+
+    #[test]
+    fn perfect_predictor_scores_one() {
+        let set = set_with_labels_equal_to_channel0();
+        let mut model = EchoChannel(0);
+        let auc = evaluate_auc(&mut model, &set, 1).unwrap();
+        assert_eq!(auc, 1.0);
+    }
+
+    #[test]
+    fn uninformative_predictor_scores_half() {
+        let set = set_with_labels_equal_to_channel0();
+        // Channel 1 is all zeros → constant score → AUC 0.5 via midranks.
+        let mut model = EchoChannel(1);
+        let auc = evaluate_auc(&mut model, &set, 4).unwrap();
+        assert_eq!(auc, 0.5);
+    }
+
+    #[test]
+    fn batch_size_does_not_change_result() {
+        let set = set_with_labels_equal_to_channel0();
+        let a = evaluate_report(&mut EchoChannel(0), &set, 1).unwrap();
+        let b = evaluate_report(&mut EchoChannel(0), &set, 64).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_batch_size_is_invalid_config() {
+        let set = set_with_labels_equal_to_channel0();
+        assert!(matches!(
+            evaluate_auc(&mut EchoChannel(0), &set, 0),
+            Err(FedError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            evaluate_report(&mut EchoChannel(0), &set, 0),
+            Err(FedError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn single_class_split_is_error() {
+        let x = Tensor::zeros(&[1, 1, 2, 2]);
+        let y = Tensor::zeros(&[1, 1, 2, 2]);
+        let set = ClientSet::new(x, y).unwrap();
+        assert!(matches!(
+            evaluate_auc(&mut EchoChannel(0), &set, 2),
+            Err(FedError::Metrics(_))
+        ));
+    }
+
+    #[test]
+    fn report_carries_every_metric() {
+        let set = set_with_labels_equal_to_channel0();
+        let report = evaluate_report(&mut EchoChannel(0), &set, 4).unwrap();
+        assert_eq!(report.auc, 1.0);
+        assert!((report.average_precision - 1.0).abs() < 1e-12);
+        // Perfect echo at threshold 0.5: 3 ones, 5 zeros, no mistakes.
+        assert_eq!(report.confusion.true_positives, 3);
+        assert_eq!(report.confusion.true_negatives, 5);
+        assert_eq!(report.confusion.accuracy(), 1.0);
+        assert_eq!(report.n_samples(), 8);
+        assert_eq!(report.histogram.total(), 8);
+        assert_eq!(mean_auc(std::slice::from_ref(&report)), 1.0);
+        assert_eq!(aucs(&[report]), vec![1.0]);
+        assert_eq!(mean_auc(&[]), 0.0);
+    }
+
+    fn echo_factory(channel: usize) -> ModelFactory {
+        Box::new(move |_seed| Box::new(EchoChannel(channel)))
+    }
+
+    fn synthetic_clients(n: usize) -> Vec<Client> {
+        (0..n)
+            .map(|k| {
+                let make = |salt: u64| {
+                    let mut rng = Xoshiro256::seed_from((100 + k as u64) ^ salt);
+                    let x = Tensor::from_fn(&[3, 2, 4, 4], |_| rng.uniform());
+                    let mut y = Tensor::zeros(&[3, 1, 4, 4]);
+                    for i in 0..48 {
+                        y.data_mut()[i] = if x.data()[(i / 16) * 32 + (i % 16)] > 0.5 {
+                            1.0
+                        } else {
+                            0.0
+                        };
+                    }
+                    ClientSet::new(x, y).unwrap()
+                };
+                Client::new(k + 1, make(0xA), make(0xB))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn evaluator_matches_inline_evaluation_at_any_thread_count() {
+        let clients = synthetic_clients(3);
+        let factory = echo_factory(0);
+        let state = StateDict::new(); // EchoChannel has no parameters
+        let states: Vec<&StateDict> = vec![&state; 3];
+        let serial = Evaluator::new(Parallelism::serial(), 4)
+            .eval_states(&factory, 0, &clients, &states)
+            .unwrap();
+        let threaded = Evaluator::new(Parallelism::new(4), 4)
+            .eval_states(&factory, 0, &clients, &states)
+            .unwrap();
+        assert_eq!(serial, threaded);
+        for (k, report) in serial.iter().enumerate() {
+            let inline = evaluate_report(&mut EchoChannel(0), &clients[k].test, 4).unwrap();
+            assert_eq!(*report, inline, "client {k}");
+        }
+    }
+
+    #[test]
+    fn evaluator_rejects_mismatched_states() {
+        let clients = synthetic_clients(2);
+        let factory = echo_factory(0);
+        let state = StateDict::new();
+        let err = Evaluator::new(Parallelism::serial(), 4)
+            .eval_states(&factory, 0, &clients, &[&state])
+            .unwrap_err();
+        assert!(matches!(err, FedError::InvalidConfig { .. }));
+    }
+}

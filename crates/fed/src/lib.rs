@@ -8,7 +8,10 @@
 //!   personalization methods need,
 //! - [`LocalTrainer`] — client-side minibatch Adam with the FedProx
 //!   proximal term of Eq. 1,
-//! - [`evaluate_auc`] — per-client ROC AUC evaluation,
+//! - [`eval`] — the parallel multi-metric evaluation subsystem:
+//!   [`EvalReport`] (ROC AUC + average precision + confusion at the 0.5
+//!   deployment threshold + score histograms) and the [`Evaluator`] that
+//!   fans per-client evaluation out to worker threads,
 //! - [`methods`] — the eight training methods of Tables 3-5:
 //!   local baselines, centralized training, FedProx, FedProx-LG, IFCA,
 //!   FedProx + fine-tuning, assigned clustering and α-portion sync.
@@ -45,7 +48,7 @@ mod client;
 mod config;
 pub mod cost;
 mod error;
-mod evaluate;
+pub mod eval;
 pub mod methods;
 pub mod params;
 mod trainer;
@@ -53,7 +56,7 @@ mod trainer;
 pub use client::{Client, ClientSet};
 pub use config::{FedConfig, Method};
 pub use error::FedError;
-pub use evaluate::evaluate_auc;
+pub use eval::{evaluate_auc, evaluate_report, EvalReport, Evaluator};
 pub use methods::{MethodOutcome, RoundRecord};
 pub use rte_tensor::parallel::Parallelism;
 pub use trainer::LocalTrainer;

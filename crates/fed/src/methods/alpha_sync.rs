@@ -7,7 +7,7 @@
 
 use rte_nn::StateDict;
 
-use crate::methods::{mean_loss, Harness, MethodOutcome, TrainJob};
+use crate::methods::{mean_loss, Harness, MethodOutcome, RoundRecord, TrainJob};
 use crate::params::{blend, weighted_average};
 use crate::{Client, FedConfig, FedError, Method, ModelFactory};
 
@@ -53,17 +53,13 @@ pub(crate) fn run(
         }
         personalized = next;
         if harness.should_record(round) {
-            let aucs = harness.eval_personalized(&personalized)?;
-            history.push(Harness::record(round, aucs, round_loss));
+            let reports = harness.eval_personalized(&personalized)?;
+            history.push(RoundRecord::new(round, reports, round_loss));
         }
     }
 
-    let per_client_auc = harness.eval_personalized(&personalized)?;
-    Ok(MethodOutcome::new(
-        Method::AlphaSync,
-        per_client_auc,
-        history,
-    ))
+    let per_client = harness.eval_personalized(&personalized)?;
+    Ok(MethodOutcome::new(Method::AlphaSync, per_client, history))
 }
 
 #[cfg(test)]

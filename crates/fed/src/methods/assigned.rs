@@ -5,7 +5,7 @@
 
 use rte_nn::StateDict;
 
-use crate::methods::{mean_loss, Harness, MethodOutcome, TrainJob};
+use crate::methods::{mean_loss, Harness, MethodOutcome, RoundRecord, TrainJob};
 use crate::params::weighted_average;
 use crate::{Client, FedConfig, FedError, Method, ModelFactory};
 
@@ -56,23 +56,19 @@ pub(crate) fn run(
             cluster_models[c] = weighted_average(&refs)?;
         }
         if harness.should_record(round) {
-            let per_client: Vec<StateDict> = cluster_of
-                .iter()
-                .map(|&c| cluster_models[c].clone())
-                .collect();
-            let aucs = harness.eval_personalized(&per_client)?;
-            history.push(Harness::record(round, aucs, round_loss));
+            let per_client: Vec<&StateDict> =
+                cluster_of.iter().map(|&c| &cluster_models[c]).collect();
+            let reports = harness.eval_states(&per_client)?;
+            history.push(RoundRecord::new(round, reports, round_loss));
         }
     }
 
-    let per_client_models: Vec<StateDict> = cluster_of
-        .iter()
-        .map(|&c| cluster_models[c].clone())
-        .collect();
-    let per_client_auc = harness.eval_personalized(&per_client_models)?;
+    let per_client_models: Vec<&StateDict> =
+        cluster_of.iter().map(|&c| &cluster_models[c]).collect();
+    let per_client = harness.eval_states(&per_client_models)?;
     Ok(MethodOutcome::new(
         Method::AssignedClustering,
-        per_client_auc,
+        per_client,
         history,
     ))
 }

@@ -47,8 +47,8 @@ pub fn fedprox_rounds(
             .collect();
         global = weighted_average(&refs)?;
         if harness.should_record(round) {
-            let aucs = harness.eval_global(&global)?;
-            history.push(Harness::record(round, aucs, mean_loss(&updates)));
+            let reports = harness.eval_global(&global)?;
+            history.push(RoundRecord::new(round, reports, mean_loss(&updates)));
         }
     }
     Ok((global, history))
@@ -60,7 +60,7 @@ pub(crate) fn run(
     config: &FedConfig,
 ) -> Result<MethodOutcome, FedError> {
     let (global, history) = fedprox_rounds(clients, factory, config)?;
-    let mut harness = Harness::new(clients, factory, config)?;
+    let harness = Harness::new(clients, factory, config)?;
     let per_client = harness.eval_global(&global)?;
     Ok(MethodOutcome::new(Method::FedProx, per_client, history))
 }

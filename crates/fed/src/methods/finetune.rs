@@ -21,7 +21,7 @@ pub(crate) fn run(
     // `S' = 0` degenerates to plain FedProx: skip the training pass
     // entirely (LocalTrainer rejects zero-step runs) and evaluate the
     // global model as deployed.
-    let per_client_auc = if config.finetune_steps == 0 {
+    let per_client = if config.finetune_steps == 0 {
         harness.eval_global(&global)?
     } else {
         let jobs: Vec<TrainJob<'_>> = (0..clients.len())
@@ -32,15 +32,13 @@ pub(crate) fn run(
             })
             .collect();
         let tuned = harness.train_clients(&jobs, config.rounds + 1, config.finetune_steps)?;
-        let mut aucs = Vec::with_capacity(clients.len());
-        for update in &tuned {
-            aucs.push(harness.eval_state_on_client(&update.state, update.client)?);
-        }
-        aucs
+        // Updates come back in job order == client order.
+        let states: Vec<&rte_nn::StateDict> = tuned.iter().map(|u| &u.state).collect();
+        harness.eval_states(&states)?
     };
     Ok(MethodOutcome::new(
         Method::FedProxFinetune,
-        per_client_auc,
+        per_client,
         history,
     ))
 }

@@ -7,7 +7,7 @@
 
 use rte_nn::StateDict;
 
-use crate::methods::{mean_loss, Harness, MethodOutcome, TrainJob};
+use crate::methods::{mean_loss, Harness, MethodOutcome, RoundRecord, TrainJob};
 use crate::params::weighted_average;
 use crate::{Client, FedConfig, FedError, Method, ModelFactory};
 
@@ -17,7 +17,7 @@ pub(crate) fn run(
     config: &FedConfig,
 ) -> Result<MethodOutcome, FedError> {
     config.validate_clusters(clients.len())?;
-    let mut harness = Harness::new(clients, factory, config)?;
+    let harness = Harness::new(clients, factory, config)?;
     // One model per cluster, each with its own initialization (IFCA needs
     // distinct starting points for the clustering to break symmetry).
     let mut cluster_models: Vec<StateDict> = (0..config.clusters)
@@ -58,20 +58,17 @@ pub(crate) fn run(
             cluster_models[c] = weighted_average(&refs)?;
         }
         if harness.should_record(round) {
-            let per_client: Vec<StateDict> =
-                choice.iter().map(|&c| cluster_models[c].clone()).collect();
-            let aucs = harness.eval_personalized(&per_client)?;
-            history.push(Harness::record(round, aucs, round_loss));
+            let per_client: Vec<&StateDict> = choice.iter().map(|&c| &cluster_models[c]).collect();
+            let reports = harness.eval_states(&per_client)?;
+            history.push(RoundRecord::new(round, reports, round_loss));
         }
     }
 
     // Deploy: each client re-picks its best cluster, then evaluates.
     let choice = harness.pick_clusters(&cluster_models)?;
-    let mut per_client_auc = Vec::with_capacity(clients.len());
-    for k in 0..clients.len() {
-        per_client_auc.push(harness.eval_state_on_client(&cluster_models[choice[k]], k)?);
-    }
-    Ok(MethodOutcome::new(Method::Ifca, per_client_auc, history))
+    let deployed: Vec<&StateDict> = choice.iter().map(|&c| &cluster_models[c]).collect();
+    let per_client = harness.eval_states(&deployed)?;
+    Ok(MethodOutcome::new(Method::Ifca, per_client, history))
 }
 
 #[cfg(test)]

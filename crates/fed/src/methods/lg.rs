@@ -5,7 +5,7 @@
 
 use rte_nn::StateDict;
 
-use crate::methods::{mean_loss, Harness, MethodOutcome, TrainJob};
+use crate::methods::{mean_loss, Harness, MethodOutcome, RoundRecord, TrainJob};
 use crate::params::{apply_updates, partition, weighted_average};
 use crate::{Client, FedConfig, FedError, Method, ModelFactory};
 
@@ -53,8 +53,8 @@ pub(crate) fn run(
         global_part = weighted_average(&refs)?;
         if harness.should_record(round) {
             let composites = compose_all(&init, &global_part, &local_parts)?;
-            let aucs = harness.eval_personalized(&composites)?;
-            history.push(Harness::record(round, aucs, round_loss));
+            let reports = harness.eval_personalized(&composites)?;
+            history.push(RoundRecord::new(round, reports, round_loss));
         }
     }
 

@@ -24,10 +24,10 @@ pub(crate) fn run(
         })
         .collect();
     let updates = harness.train_clients(&jobs, 0, total_steps)?;
-    let mut per_client = Vec::with_capacity(clients.len());
-    for update in &updates {
-        per_client.push(harness.eval_state_on_client(&update.state, update.client)?);
-    }
+    // Updates come back in job order == client order; evaluation fans
+    // back out per client.
+    let states: Vec<&rte_nn::StateDict> = updates.iter().map(|u| &u.state).collect();
+    let per_client = harness.eval_states(&states)?;
     Ok(MethodOutcome::new(
         Method::LocalOnly,
         per_client,

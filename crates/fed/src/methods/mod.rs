@@ -2,8 +2,12 @@
 //!
 //! Every method consumes the same ingredients — a client list, a
 //! deterministic [`ModelFactory`] and a [`FedConfig`] — and produces a
-//! [`MethodOutcome`] with one ROC AUC per client plus an optional
-//! per-round history (used to regenerate the Fig. 1/2 convergence series).
+//! [`MethodOutcome`] with one [`EvalReport`] per client (ROC AUC, average
+//! precision, confusion at the 0.5 deployment threshold, score
+//! histograms) plus an optional per-round history (used to regenerate the
+//! Fig. 1/2 convergence series). Evaluation fans out per client through
+//! [`crate::eval::Evaluator`], exactly like training fans out through
+//! [`Harness::train_clients`].
 
 mod alpha_sync;
 mod assigned;
@@ -19,6 +23,7 @@ pub use fedprox::fedprox_rounds;
 use rte_nn::{load_state_dict, state_dict, Layer, StateDict};
 use rte_tensor::rng::Xoshiro256;
 
+use crate::eval::{aucs, mean_auc, EvalReport, Evaluator};
 use crate::{Client, FedConfig, FedError, LocalTrainer, Method, ModelFactory};
 
 /// Evaluation batch size (evaluation is forward-only, so bigger batches
@@ -30,7 +35,10 @@ pub(crate) const EVAL_BATCH: usize = 16;
 pub struct RoundRecord {
     /// Communication round (1-based; 0 = before training).
     pub round: usize,
-    /// ROC AUC per client, in client order.
+    /// Full evaluation report per client, in client order.
+    pub per_client: Vec<EvalReport>,
+    /// ROC AUC per client, in client order (the scalar view of
+    /// `per_client`).
     pub per_client_auc: Vec<f64>,
     /// Mean of `per_client_auc`.
     pub average_auc: f64,
@@ -39,12 +47,31 @@ pub struct RoundRecord {
     pub mean_train_loss: f64,
 }
 
+impl RoundRecord {
+    /// Builds a record from per-client reports and the round's mean
+    /// training loss, deriving the scalar AUC views.
+    pub fn new(round: usize, per_client: Vec<EvalReport>, mean_train_loss: f64) -> Self {
+        let per_client_auc = aucs(&per_client);
+        let average_auc = mean_auc(&per_client);
+        RoundRecord {
+            round,
+            per_client,
+            per_client_auc,
+            average_auc,
+            mean_train_loss,
+        }
+    }
+}
+
 /// Final result of one training method.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MethodOutcome {
     /// The method that produced this outcome.
     pub method: Method,
-    /// Final ROC AUC per client, in client order (one table cell each).
+    /// Full final evaluation report per client, in client order.
+    pub per_client: Vec<EvalReport>,
+    /// Final ROC AUC per client, in client order (one table cell each —
+    /// the scalar view of `per_client`).
     pub per_client_auc: Vec<f64>,
     /// Mean over clients (the table's "Average" column).
     pub average_auc: f64,
@@ -54,14 +81,14 @@ pub struct MethodOutcome {
 }
 
 impl MethodOutcome {
-    pub(crate) fn new(method: Method, per_client_auc: Vec<f64>, history: Vec<RoundRecord>) -> Self {
-        let average_auc = if per_client_auc.is_empty() {
-            0.0
-        } else {
-            per_client_auc.iter().sum::<f64>() / per_client_auc.len() as f64
-        };
+    /// Builds an outcome from per-client reports, deriving the scalar
+    /// AUC views.
+    pub fn new(method: Method, per_client: Vec<EvalReport>, history: Vec<RoundRecord>) -> Self {
+        let per_client_auc = aucs(&per_client);
+        let average_auc = mean_auc(&per_client);
         MethodOutcome {
             method,
+            per_client,
             per_client_auc,
             average_auc,
             history,
@@ -100,13 +127,14 @@ pub(crate) fn mean_loss(updates: &[ClientUpdate]) -> f64 {
 }
 
 /// Shared machinery for the method implementations: a scratch model for
-/// state-dict loading/evaluation, the local trainer, and derived RNG
-/// streams.
+/// state-dict extraction (and centralized training), the local trainer,
+/// the parallel [`Evaluator`], and derived RNG streams.
 pub(crate) struct Harness<'a> {
     pub clients: &'a [Client],
     pub config: &'a FedConfig,
     pub trainer: LocalTrainer,
     pub scratch: Box<dyn Layer>,
+    pub evaluator: Evaluator,
     factory: &'a ModelFactory,
     root_rng: Xoshiro256,
 }
@@ -130,6 +158,7 @@ impl<'a> Harness<'a> {
             config,
             trainer,
             scratch: factory(config.seed),
+            evaluator: Evaluator::new(config.parallelism, EVAL_BATCH),
             factory,
             root_rng: Xoshiro256::seed_from(config.seed ^ 0x5EED_0F0C),
         })
@@ -161,45 +190,30 @@ impl<'a> Harness<'a> {
         sample
     }
 
-    /// Loads `sd` into the scratch model and evaluates AUC on client `k`'s
-    /// test split.
-    pub fn eval_state_on_client(&mut self, sd: &StateDict, k: usize) -> Result<f64, FedError> {
-        load_state_dict(self.scratch.as_mut(), sd)?;
-        crate::evaluate_auc(self.scratch.as_mut(), &self.clients[k].test, EVAL_BATCH)
+    /// Evaluates `sds[k]` on client `k`'s test split for every `k`
+    /// (personalized deployment), clients on worker threads.
+    pub fn eval_states(&self, sds: &[&StateDict]) -> Result<Vec<EvalReport>, FedError> {
+        self.evaluator
+            .eval_states(self.factory, self.config.seed, self.clients, sds)
     }
 
     /// Evaluates one state dict per client (personalized deployment).
-    pub fn eval_personalized(&mut self, sds: &[StateDict]) -> Result<Vec<f64>, FedError> {
-        debug_assert_eq!(sds.len(), self.clients.len());
-        (0..self.clients.len())
-            .map(|k| self.eval_state_on_client(&sds[k], k))
-            .collect()
+    pub fn eval_personalized(&self, sds: &[StateDict]) -> Result<Vec<EvalReport>, FedError> {
+        let refs: Vec<&StateDict> = sds.iter().collect();
+        self.eval_states(&refs)
     }
 
     /// Evaluates one shared state dict on every client (generalized
     /// deployment).
-    pub fn eval_global(&mut self, sd: &StateDict) -> Result<Vec<f64>, FedError> {
-        (0..self.clients.len())
-            .map(|k| self.eval_state_on_client(sd, k))
-            .collect()
+    pub fn eval_global(&self, sd: &StateDict) -> Result<Vec<EvalReport>, FedError> {
+        self.evaluator
+            .eval_global(self.factory, self.config.seed, self.clients, sd)
     }
 
     /// True when round `r` (1-based) should be recorded in the history.
     pub fn should_record(&self, round: usize) -> bool {
         self.config.eval_every > 0
             && (round % self.config.eval_every == 0 || round == self.config.rounds)
-    }
-
-    /// Builds a [`RoundRecord`] from per-client AUCs and the round's mean
-    /// training loss.
-    pub fn record(round: usize, per_client_auc: Vec<f64>, mean_train_loss: f64) -> RoundRecord {
-        let average_auc = per_client_auc.iter().sum::<f64>() / per_client_auc.len() as f64;
-        RoundRecord {
-            round,
-            per_client_auc,
-            average_auc,
-            mean_train_loss,
-        }
     }
 
     /// For every client, evaluates `argmin_c L_k(W_c)` over the cluster

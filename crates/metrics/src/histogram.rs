@@ -1,0 +1,173 @@
+//! Class-conditional score histograms.
+//!
+//! An [`EvalReport`-style](crate) evaluation wants more than scalar
+//! summaries: the *distribution* of scores per class shows how separable
+//! the classifier's outputs are and where a deployment threshold would
+//! land. [`ScoreHistogram`] bins scores into fixed equal-width buckets
+//! with one count vector per class — pure integer state, so two
+//! histograms computed on different thread counts compare exactly.
+
+use crate::MetricsError;
+
+/// Default bin count used by evaluation reports (64 buckets over `[0, 1]`
+/// resolves a 0.5 deployment threshold exactly on a bin edge).
+pub const DEFAULT_BINS: usize = 64;
+
+/// Equal-width class-conditional histogram of prediction scores.
+///
+/// Scores outside `[lo, hi]` are clamped into the edge bins, so the
+/// counts always sum to the sample count.
+///
+/// # Example
+///
+/// ```
+/// use rte_metrics::ScoreHistogram;
+///
+/// let h = ScoreHistogram::from_scores(&[0.1, 0.9, 0.9], &[false, true, true], 4, 0.0, 1.0)?;
+/// assert_eq!(h.bins(), 4);
+/// assert_eq!(h.negatives()[0], 1); // 0.1 lands in [0, 0.25)
+/// assert_eq!(h.positives()[3], 2); // both 0.9s land in [0.75, 1]
+/// assert_eq!(h.total(), 3);
+/// # Ok::<(), rte_metrics::MetricsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoreHistogram {
+    lo: f32,
+    hi: f32,
+    positives: Vec<u64>,
+    negatives: Vec<u64>,
+}
+
+impl ScoreHistogram {
+    /// Builds a histogram of `scores` split by `labels` into `bins`
+    /// equal-width buckets over `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricsError::LengthMismatch`] or
+    /// [`MetricsError::NanScore`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `lo >= hi` (caller bugs, not data
+    /// conditions).
+    pub fn from_scores(
+        scores: &[f32],
+        labels: &[bool],
+        bins: usize,
+        lo: f32,
+        hi: f32,
+    ) -> Result<Self, MetricsError> {
+        assert!(bins > 0, "ScoreHistogram: zero bins");
+        assert!(lo < hi, "ScoreHistogram: empty range {lo}..{hi}");
+        if scores.len() != labels.len() {
+            return Err(MetricsError::LengthMismatch {
+                scores: scores.len(),
+                labels: labels.len(),
+            });
+        }
+        if scores.iter().any(|s| s.is_nan()) {
+            return Err(MetricsError::NanScore);
+        }
+        let mut positives = vec![0u64; bins];
+        let mut negatives = vec![0u64; bins];
+        let width = (hi - lo) / bins as f32;
+        for (&s, &l) in scores.iter().zip(labels.iter()) {
+            let raw = ((s - lo) / width).floor();
+            let bin = (raw.max(0.0) as usize).min(bins - 1);
+            if l {
+                positives[bin] += 1;
+            } else {
+                negatives[bin] += 1;
+            }
+        }
+        Ok(ScoreHistogram {
+            lo,
+            hi,
+            positives,
+            negatives,
+        })
+    }
+
+    /// Number of buckets.
+    pub fn bins(&self) -> usize {
+        self.positives.len()
+    }
+
+    /// Per-bucket counts of positive-labelled samples.
+    pub fn positives(&self) -> &[u64] {
+        &self.positives
+    }
+
+    /// Per-bucket counts of negative-labelled samples.
+    pub fn negatives(&self) -> &[u64] {
+        &self.negatives
+    }
+
+    /// Lower edge of bucket `i` (clamping means edge buckets also hold
+    /// out-of-range scores).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > bins()`.
+    pub fn edge(&self, i: usize) -> f32 {
+        assert!(i <= self.bins(), "edge {i} out of range");
+        self.lo + (self.hi - self.lo) * i as f32 / self.bins() as f32
+    }
+
+    /// Total number of samples counted.
+    pub fn total(&self) -> u64 {
+        self.positives.iter().sum::<u64>() + self.negatives.iter().sum::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_edges() {
+        let scores = [0.0f32, 0.24, 0.25, 0.5, 0.99, 1.0];
+        let labels = [true, false, true, false, true, false];
+        let h = ScoreHistogram::from_scores(&scores, &labels, 4, 0.0, 1.0).unwrap();
+        assert_eq!(h.positives(), &[1, 1, 0, 1]);
+        assert_eq!(h.negatives(), &[1, 0, 1, 1]); // 1.0 clamps into the last bin
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.edge(0), 0.0);
+        assert_eq!(h.edge(2), 0.5);
+        assert_eq!(h.edge(4), 1.0);
+    }
+
+    #[test]
+    fn out_of_range_scores_clamp_to_edge_bins() {
+        let h = ScoreHistogram::from_scores(&[-3.0, 7.0], &[false, true], 8, 0.0, 1.0).unwrap();
+        assert_eq!(h.negatives()[0], 1);
+        assert_eq!(h.positives()[7], 1);
+        assert_eq!(h.total(), 2);
+    }
+
+    #[test]
+    fn empty_input_is_all_zero() {
+        let h = ScoreHistogram::from_scores(&[], &[], 4, 0.0, 1.0).unwrap();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.bins(), 4);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(matches!(
+            ScoreHistogram::from_scores(&[0.5], &[], 4, 0.0, 1.0),
+            Err(MetricsError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            ScoreHistogram::from_scores(&[f32::NAN], &[true], 4, 0.0, 1.0),
+            Err(MetricsError::NanScore)
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero bins")]
+    fn zero_bins_is_a_caller_bug() {
+        let _ = ScoreHistogram::from_scores(&[], &[], 0, 0.0, 1.0);
+    }
+}

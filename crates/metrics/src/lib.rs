@@ -20,10 +20,12 @@
 
 mod average_precision;
 mod confusion;
+mod histogram;
 mod roc;
 
 pub use average_precision::average_precision;
 pub use confusion::ConfusionMatrix;
+pub use histogram::{ScoreHistogram, DEFAULT_BINS};
 pub use roc::{roc_auc, roc_curve, RocPoint};
 
 use std::error::Error;

@@ -1,0 +1,178 @@
+//! Reference-implementation property tests for the metric estimators.
+//!
+//! The fast estimators in `rte-metrics` (rank-sum ROC AUC, threshold-sweep
+//! average precision) are pinned against *naive but obviously correct*
+//! references on random score/label vectors with heavy ties:
+//!
+//! - [`roc_auc`] vs the O(P·N) pairwise Mann-Whitney count, ties ½,
+//! - [`average_precision`] vs the direct precision-at-positive-rank sum,
+//! - [`roc_curve`] endpoint/monotonicity invariants and trapezoid-area
+//!   agreement with the rank AUC.
+//!
+//! Ties are forced by quantizing scores to a handful of levels, the
+//! regime where a naive implementation and a rank-based one diverge
+//! first.
+
+use proptest::prelude::*;
+
+use rte_metrics::{average_precision, roc_auc, roc_curve};
+
+/// Naive O(P·N) AUC: the fraction of (positive, negative) pairs ranked
+/// correctly, tied pairs counted ½.
+fn pairwise_auc(scores: &[f32], labels: &[bool]) -> f64 {
+    let mut correct = 0.0f64;
+    let mut pairs = 0.0f64;
+    for (i, &si) in scores.iter().enumerate() {
+        if !labels[i] {
+            continue;
+        }
+        for (j, &sj) in scores.iter().enumerate() {
+            if labels[j] {
+                continue;
+            }
+            pairs += 1.0;
+            if si > sj {
+                correct += 1.0;
+            } else if si == sj {
+                correct += 0.5;
+            }
+        }
+    }
+    correct / pairs
+}
+
+/// Direct average precision: for every positive sample, the precision of
+/// the prediction set `{j : score_j >= score_i}`, averaged over
+/// positives. Algebraically identical to the threshold-sweep step sum
+/// (each tied group contributes `ΔR · P_group`), but computed per sample
+/// with no sweep state.
+fn precision_at_rank_ap(scores: &[f32], labels: &[bool]) -> f64 {
+    let positives = labels.iter().filter(|&&l| l).count();
+    let mut sum = 0.0f64;
+    for (i, &si) in scores.iter().enumerate() {
+        if !labels[i] {
+            continue;
+        }
+        let mut tp = 0usize;
+        let mut fp = 0usize;
+        for (j, &sj) in scores.iter().enumerate() {
+            if sj >= si {
+                if labels[j] {
+                    tp += 1;
+                } else {
+                    fp += 1;
+                }
+            }
+        }
+        sum += tp as f64 / (tp + fp) as f64;
+    }
+    sum / positives as f64
+}
+
+/// Builds a quantized score vector (heavy ties, duplicated values) and a
+/// label vector from raw uniform draws.
+fn quantize(raw_scores: &[f64], raw_labels: &[u64], levels: usize) -> (Vec<f32>, Vec<bool>) {
+    let scores: Vec<f32> = raw_scores
+        .iter()
+        .map(|&r| ((r * levels as f64).floor() / levels as f64) as f32)
+        .collect();
+    let labels: Vec<bool> = raw_labels.iter().map(|&b| b & 1 == 1).collect();
+    (scores, labels)
+}
+
+fn both_classes(labels: &[bool]) -> bool {
+    labels.iter().any(|&l| l) && labels.iter().any(|&l| !l)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Rank-sum AUC equals the pairwise reference on tie-heavy inputs.
+    #[test]
+    fn roc_auc_matches_pairwise_reference(
+        raw_scores in collection::vec(0.0f64..1.0, 2usize..60),
+        raw_labels in collection::vec(any::<u64>(), 60usize),
+        levels in 1usize..8,
+    ) {
+        let (scores, labels) = quantize(&raw_scores, &raw_labels[..raw_scores.len()], levels);
+        prop_assume!(both_classes(&labels));
+        let fast = roc_auc(&scores, &labels).unwrap();
+        let naive = pairwise_auc(&scores, &labels);
+        prop_assert!(
+            (fast - naive).abs() < 1e-9,
+            "rank {fast} vs pairwise {naive} on {scores:?} / {labels:?}"
+        );
+    }
+
+    /// Threshold-sweep AP equals the direct precision-at-rank sum.
+    #[test]
+    fn average_precision_matches_rank_sum_reference(
+        raw_scores in collection::vec(0.0f64..1.0, 2usize..60),
+        raw_labels in collection::vec(any::<u64>(), 60usize),
+        levels in 1usize..8,
+    ) {
+        let (scores, labels) = quantize(&raw_scores, &raw_labels[..raw_scores.len()], levels);
+        prop_assume!(labels.iter().any(|&l| l));
+        let fast = average_precision(&scores, &labels).unwrap();
+        let naive = precision_at_rank_ap(&scores, &labels);
+        prop_assert!(
+            (fast - naive).abs() < 1e-9,
+            "sweep {fast} vs direct {naive} on {scores:?} / {labels:?}"
+        );
+    }
+
+    /// The ROC curve starts at (0,0), ends at (1,1), and is monotone in
+    /// FPR and TPR with strictly decreasing thresholds; its trapezoid
+    /// area equals the rank AUC.
+    #[test]
+    fn roc_curve_invariants_hold(
+        raw_scores in collection::vec(0.0f64..1.0, 2usize..60),
+        raw_labels in collection::vec(any::<u64>(), 60usize),
+        levels in 1usize..8,
+    ) {
+        let (scores, labels) = quantize(&raw_scores, &raw_labels[..raw_scores.len()], levels);
+        prop_assume!(both_classes(&labels));
+        let curve = roc_curve(&scores, &labels).unwrap();
+        let first = curve.first().unwrap();
+        let last = curve.last().unwrap();
+        prop_assert_eq!(first.fpr, 0.0);
+        prop_assert_eq!(first.tpr, 0.0);
+        prop_assert_eq!(last.fpr, 1.0);
+        prop_assert_eq!(last.tpr, 1.0);
+        for w in curve.windows(2) {
+            prop_assert!(w[1].fpr >= w[0].fpr, "FPR not monotone: {curve:?}");
+            prop_assert!(w[1].tpr >= w[0].tpr, "TPR not monotone: {curve:?}");
+            prop_assert!(
+                w[1].threshold < w[0].threshold,
+                "thresholds not strictly decreasing: {curve:?}"
+            );
+        }
+        let auc = roc_auc(&scores, &labels).unwrap();
+        let mut area = 0.0;
+        for w in curve.windows(2) {
+            area += (w[1].fpr - w[0].fpr) * (w[1].tpr + w[0].tpr) / 2.0;
+        }
+        prop_assert!((area - auc).abs() < 1e-9, "area {area} vs auc {auc}");
+    }
+}
+
+/// Deterministic spot checks of the two references against hand-counted
+/// values, so a bug in the *references* cannot silently weaken the
+/// properties above.
+#[test]
+fn references_agree_with_hand_counts() {
+    // pos {0.8, 0.3}, neg {0.9, 0.1}: 2 of 4 pairs correct.
+    let scores = [0.8f32, 0.3, 0.9, 0.1];
+    let labels = [true, true, false, false];
+    assert_eq!(pairwise_auc(&scores, &labels), 0.5);
+    // ranking pos, neg, pos, neg: AP = (1/2)(1/1 + 2/3).
+    let scores = [0.9f32, 0.7, 0.5, 0.3];
+    let labels = [true, false, true, false];
+    assert!((precision_at_rank_ap(&scores, &labels) - (1.0 + 2.0 / 3.0) / 2.0).abs() < 1e-12);
+    // All tied: every positive sees the full set → AP = prevalence,
+    // AUC = 0.5 exactly.
+    let scores = [0.5f32; 5];
+    let labels = [true, false, true, false, false];
+    assert_eq!(pairwise_auc(&scores, &labels), 0.5);
+    assert!((precision_at_rank_ap(&scores, &labels) - 0.4).abs() < 1e-12);
+}

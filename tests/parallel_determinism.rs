@@ -1,9 +1,14 @@
-//! Property test for the parallel round loop's determinism contract:
-//! for *random* small federated configurations, training a round's
-//! clients on N worker threads must produce a bit-identical
-//! [`MethodOutcome`] to the single-threaded schedule. This is the
-//! load-bearing guarantee that lets `FedConfig::parallelism` be a pure
-//! wall-clock knob.
+//! Property tests for the parallel subsystems' determinism contract:
+//! for *random* small configurations, running on N worker threads must
+//! produce bit-identical results to the single-threaded schedule. This
+//! is the load-bearing guarantee that lets every thread knob be a pure
+//! wall-clock knob. Three layers are pinned:
+//!
+//! - the federated round loop ([`MethodOutcome`], including every
+//!   [`EvalReport`] field in the history),
+//! - the parallel [`Evaluator`] (per-client AUC/AP/confusion/histogram),
+//! - sharded corpus generation (every feature/label tensor, byte for
+//!   byte).
 //!
 //! A companion unit check covers matmul NaN propagation — the kernel-level
 //! bug (`0 × NaN` silently skipped) that could otherwise mask divergence
@@ -11,10 +16,15 @@
 
 use proptest::prelude::*;
 
+use decentralized_routability::eda::corpus::{
+    generate_client_with, generate_corpus_with, CorpusConfig, PAPER_CLIENTS,
+};
 use decentralized_routability::fed::{
-    methods, Client, ClientSet, FedConfig, Method, MethodOutcome, ModelFactory, Parallelism,
+    methods, Client, ClientSet, EvalReport, Evaluator, FedConfig, Method, MethodOutcome,
+    ModelFactory, Parallelism,
 };
 use decentralized_routability::nn::models::{FlNet, FlNetConfig};
+use decentralized_routability::nn::state_dict;
 use decentralized_routability::tensor::rng::Xoshiro256;
 use decentralized_routability::tensor::Tensor;
 
@@ -55,6 +65,30 @@ fn factory() -> ModelFactory {
     })
 }
 
+/// Every [`EvalReport`] field, compared bit for bit: the float metrics
+/// via `to_bits`, the confusion and histogram counts exactly.
+fn assert_reports_bitwise_equal(a: &[EvalReport], b: &[EvalReport], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: report count");
+    for (k, (ra, rb)) in a.iter().zip(b.iter()).enumerate() {
+        assert_eq!(
+            ra.auc.to_bits(),
+            rb.auc.to_bits(),
+            "{what}: client {k} AUC: {} vs {}",
+            ra.auc,
+            rb.auc
+        );
+        assert_eq!(
+            ra.average_precision.to_bits(),
+            rb.average_precision.to_bits(),
+            "{what}: client {k} AP: {} vs {}",
+            ra.average_precision,
+            rb.average_precision
+        );
+        assert_eq!(ra.confusion, rb.confusion, "{what}: client {k} confusion");
+        assert_eq!(ra.histogram, rb.histogram, "{what}: client {k} histogram");
+    }
+}
+
 fn assert_bitwise_equal(a: &MethodOutcome, b: &MethodOutcome, what: &str) {
     assert_eq!(a.average_auc.to_bits(), b.average_auc.to_bits(), "{what}");
     assert_eq!(a.per_client_auc.len(), b.per_client_auc.len(), "{what}");
@@ -66,6 +100,7 @@ fn assert_bitwise_equal(a: &MethodOutcome, b: &MethodOutcome, what: &str) {
     {
         assert_eq!(x.to_bits(), y.to_bits(), "{what}: client {k}: {x} vs {y}");
     }
+    assert_reports_bitwise_equal(&a.per_client, &b.per_client, what);
     assert_eq!(a.history.len(), b.history.len(), "{what}");
     for (ra, rb) in a.history.iter().zip(b.history.iter()) {
         assert_eq!(ra.round, rb.round, "{what}");
@@ -78,6 +113,11 @@ fn assert_bitwise_equal(a: &MethodOutcome, b: &MethodOutcome, what: &str) {
         for (x, y) in ra.per_client_auc.iter().zip(rb.per_client_auc.iter()) {
             assert_eq!(x.to_bits(), y.to_bits(), "{what}: round {}", ra.round);
         }
+        assert_reports_bitwise_equal(
+            &ra.per_client,
+            &rb.per_client,
+            &format!("{what}: round {}", ra.round),
+        );
     }
 }
 
@@ -120,6 +160,94 @@ proptest! {
         let parallel = methods::run_method(Method::FedProx, &clients, &factory, &config).unwrap();
         assert_bitwise_equal(&serial, &parallel, "fedprox");
     }
+
+    /// The parallel [`Evaluator`] agrees bit for bit with its serial
+    /// schedule on random fleets, state dicts, batch sizes and thread
+    /// counts — every [`EvalReport`] field.
+    #[test]
+    fn evaluator_is_bitwise_thread_invariant(
+        n_clients in 1usize..5,
+        batch_size in 1usize..6,
+        threads in 2usize..6,
+        seed in 0u64..100_000,
+    ) {
+        let clients: Vec<Client> = (0..n_clients)
+            .map(|k| synthetic_client(k + 1, 3, 4, seed ^ (700 + k as u64)))
+            .collect();
+        let factory = factory();
+        // Personalized deployment: a distinct model per client.
+        let states: Vec<_> = (0..n_clients)
+            .map(|k| state_dict(factory(seed ^ k as u64).as_mut()))
+            .collect();
+        let state_refs: Vec<&_> = states.iter().collect();
+        let serial = Evaluator::new(Parallelism::serial(), batch_size)
+            .eval_states(&factory, seed, &clients, &state_refs)
+            .unwrap();
+        let parallel = Evaluator::new(Parallelism::new(threads), batch_size)
+            .eval_states(&factory, seed, &clients, &state_refs)
+            .unwrap();
+        assert_reports_bitwise_equal(&serial, &parallel, "evaluator");
+    }
+}
+
+/// Sharded corpus generation must be byte-identical between 1 and 4
+/// worker threads: every client's feature and label tensors, bit for
+/// bit. (The work units are placements across all clients, so 4 threads
+/// genuinely interleave clients.)
+#[test]
+fn corpus_generation_is_bitwise_thread_invariant() {
+    let mut config = CorpusConfig::tiny();
+    config.placement_scale = 0.01; // a few multi-placement designs
+    let serial = generate_corpus_with(&config, Parallelism::serial()).expect("serial corpus");
+    let sharded = generate_corpus_with(&config, Parallelism::new(4)).expect("sharded corpus");
+    assert_eq!(serial.clients.len(), sharded.clients.len());
+    for (ca, cb) in serial.clients.iter().zip(sharded.clients.iter()) {
+        assert_eq!(ca.spec, cb.spec);
+        for (split, da, db) in [
+            ("train", &ca.train, &cb.train),
+            ("test", &ca.test, &cb.test),
+        ] {
+            assert_eq!(
+                da.len(),
+                db.len(),
+                "client {} {split} length",
+                ca.spec.index
+            );
+            for (i, (sa, sb)) in da.samples().iter().zip(db.samples().iter()).enumerate() {
+                assert_eq!(
+                    sa.design, sb.design,
+                    "client {} {split} #{i}",
+                    ca.spec.index
+                );
+                let feats_a: Vec<u32> = sa.features.data().iter().map(|v| v.to_bits()).collect();
+                let feats_b: Vec<u32> = sb.features.data().iter().map(|v| v.to_bits()).collect();
+                assert_eq!(
+                    feats_a, feats_b,
+                    "client {} {split} #{i} features drifted",
+                    ca.spec.index
+                );
+                let labels_a: Vec<u32> = sa.label.data().iter().map(|v| v.to_bits()).collect();
+                let labels_b: Vec<u32> = sb.label.data().iter().map(|v| v.to_bits()).collect();
+                assert_eq!(
+                    labels_a, labels_b,
+                    "client {} {split} #{i} labels drifted",
+                    ca.spec.index
+                );
+            }
+        }
+    }
+}
+
+/// Single-client sharding (placements only, no cross-client interleave)
+/// is also thread-invariant — the `generate_client` public path.
+#[test]
+fn client_generation_is_bitwise_thread_invariant() {
+    let mut config = CorpusConfig::tiny();
+    config.placement_scale = 0.02;
+    let spec = &PAPER_CLIENTS[0];
+    let serial = generate_client_with(spec, &config, Parallelism::serial()).expect("serial");
+    let sharded = generate_client_with(spec, &config, Parallelism::new(4)).expect("sharded");
+    assert_eq!(serial, sharded);
 }
 
 /// Kernel-level companion: the matmul the round loop bottoms out in must

@@ -36,6 +36,13 @@ pub struct BenchArgs {
     /// kernels (`0` = all cores). `None` keeps the `RTE_THREADS`
     /// environment default. Results are bit-identical for any value.
     pub threads: Option<usize>,
+    /// Run the experiment out-of-core: generate/reuse corpus shards in
+    /// this directory and stream every client's data in bounded-memory
+    /// chunks. `None` keeps the in-memory default. Results are
+    /// bit-identical either way.
+    pub corpus_dir: Option<std::path::PathBuf>,
+    /// Samples per streamed chunk (only meaningful with `--corpus-dir`).
+    pub stream_chunk: Option<usize>,
 }
 
 impl BenchArgs {
@@ -53,6 +60,8 @@ impl BenchArgs {
             data_scale: None,
             quick: false,
             threads: None,
+            corpus_dir: None,
+            stream_chunk: None,
         };
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
@@ -75,6 +84,18 @@ impl BenchArgs {
                     let v = it.next().ok_or("--threads needs a value")?;
                     out.threads = Some(v.parse().map_err(|_| format!("bad thread count {v}"))?);
                 }
+                "--corpus-dir" => {
+                    let v = it.next().ok_or("--corpus-dir needs a path")?;
+                    out.corpus_dir = Some(std::path::PathBuf::from(v));
+                }
+                "--stream-chunk" => {
+                    let v = it.next().ok_or("--stream-chunk needs a value")?;
+                    let chunk: usize = v.parse().map_err(|_| format!("bad chunk size {v}"))?;
+                    if chunk == 0 {
+                        return Err("--stream-chunk must be positive".into());
+                    }
+                    out.stream_chunk = Some(chunk);
+                }
                 other => return Err(format!("unknown flag {other}")),
             }
         }
@@ -89,7 +110,7 @@ impl BenchArgs {
                 eprintln!("error: {e}");
                 eprintln!(
                     "usage: [--paper-scale] [--quick] [--seed N] [--rounds N] [--data-scale F] \
-                     [--threads N]"
+                     [--threads N] [--corpus-dir PATH] [--stream-chunk N]"
                 );
                 std::process::exit(2);
             }
@@ -125,6 +146,12 @@ impl BenchArgs {
             // global); outcomes are bit-identical either way.
             config = config.with_threads(threads);
             rte_tensor::parallel::set_global(rte_fed::Parallelism::new(threads));
+        }
+        if let Some(dir) = &self.corpus_dir {
+            config = config.with_corpus_dir(dir);
+        }
+        if let Some(chunk) = self.stream_chunk {
+            config = config.with_stream_chunk(chunk);
         }
         config
     }
@@ -290,6 +317,37 @@ mod tests {
         assert!(args(&["--frobnicate"]).is_err());
         assert!(args(&["--seed"]).is_err());
         assert!(args(&["--seed", "abc"]).is_err());
+    }
+
+    #[test]
+    fn streaming_flags_plumb_into_config() {
+        let a = args(&[
+            "--quick",
+            "--corpus-dir",
+            "/tmp/corpus",
+            "--stream-chunk",
+            "16",
+        ])
+        .unwrap();
+        assert_eq!(
+            a.corpus_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/corpus"))
+        );
+        assert_eq!(a.stream_chunk, Some(16));
+        let c = a.experiment_config();
+        assert_eq!(
+            c.corpus_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/corpus"))
+        );
+        assert_eq!(c.stream_chunk, 16);
+        // Omitting the flags keeps the in-memory default.
+        let c = args(&["--quick"]).unwrap().experiment_config();
+        assert!(c.corpus_dir.is_none());
+        // Malformed values are rejected loudly.
+        assert!(args(&["--corpus-dir"]).is_err());
+        assert!(args(&["--stream-chunk"]).is_err());
+        assert!(args(&["--stream-chunk", "0"]).is_err());
+        assert!(args(&["--stream-chunk", "x"]).is_err());
     }
 
     #[test]

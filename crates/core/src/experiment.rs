@@ -1,9 +1,15 @@
 //! Experiment configuration and the corpus → clients → methods pipeline.
 
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
 use rte_eda::corpus::{generate_corpus_with, Corpus, CorpusConfig};
 use rte_eda::features::FEATURE_CHANNELS;
+use rte_eda::shard::{CorpusReader, CorpusWriter, ShardReader, DEFAULT_CHUNK, SHARD_EXTENSION};
+use rte_fed::stream::RecordSource;
 use rte_fed::{
-    methods, Client, ClientSet, FedConfig, Method, MethodOutcome, ModelFactory, Parallelism,
+    methods, Client, ClientSet, FedConfig, FedError, Method, MethodOutcome, ModelFactory,
+    Parallelism, StreamingClientSet,
 };
 use rte_nn::models::{build_model, ModelKind, ModelScale};
 use rte_tensor::rng::Xoshiro256;
@@ -20,6 +26,17 @@ pub struct ExperimentConfig {
     /// cores; constructors read `RTE_THREADS`). Output is byte-identical
     /// for every value.
     pub corpus_parallelism: Parallelism,
+    /// When set, the experiment runs **out-of-core**: the corpus is
+    /// generated straight into shard files under this directory (reusing
+    /// existing shards whose provenance matches) and every client streams
+    /// bounded-memory chunks instead of materializing its tensors.
+    /// `None` (the default) keeps the in-memory path. Outcomes are
+    /// bit-identical either way.
+    pub corpus_dir: Option<PathBuf>,
+    /// Samples per streamed chunk when `corpus_dir` is set: streaming
+    /// peak memory is proportional to this, never to the corpus size. A
+    /// pure memory/wall-clock knob — results do not change.
+    pub stream_chunk: usize,
     /// Federated training hyper-parameters (§5.1).
     pub fed: FedConfig,
     /// Model capacity (paper filter counts vs CPU-scaled).
@@ -34,6 +51,8 @@ impl ExperimentConfig {
         ExperimentConfig {
             corpus: CorpusConfig::paper(),
             corpus_parallelism: Parallelism::from_env(),
+            corpus_dir: None,
+            stream_chunk: DEFAULT_CHUNK,
             fed: FedConfig::paper(),
             model_scale: ModelScale::Paper,
             methods: Method::ALL.to_vec(),
@@ -46,6 +65,8 @@ impl ExperimentConfig {
         ExperimentConfig {
             corpus: CorpusConfig::scaled(),
             corpus_parallelism: Parallelism::from_env(),
+            corpus_dir: None,
+            stream_chunk: DEFAULT_CHUNK,
             fed: FedConfig::scaled(),
             model_scale: ModelScale::Scaled,
             methods: Method::ALL.to_vec(),
@@ -68,6 +89,25 @@ impl ExperimentConfig {
         self
     }
 
+    /// Switches the experiment to the out-of-core path: the corpus lives
+    /// as shard files under `dir` and clients stream bounded-memory
+    /// chunks. Outcomes are bit-identical to the in-memory default
+    /// (`tests/streaming_determinism.rs`).
+    #[must_use]
+    pub fn with_corpus_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.corpus_dir = Some(dir.into());
+        self
+    }
+
+    /// Sets the samples per streamed chunk (only meaningful together
+    /// with [`ExperimentConfig::with_corpus_dir`]). A pure memory knob —
+    /// results do not change.
+    #[must_use]
+    pub fn with_stream_chunk(mut self, chunk: usize) -> Self {
+        self.stream_chunk = chunk;
+        self
+    }
+
     /// Minimal settings for tests.
     pub fn tiny() -> Self {
         let mut fed = FedConfig::tiny();
@@ -78,6 +118,8 @@ impl ExperimentConfig {
         ExperimentConfig {
             corpus: CorpusConfig::tiny(),
             corpus_parallelism: Parallelism::from_env(),
+            corpus_dir: None,
+            stream_chunk: DEFAULT_CHUNK,
             fed,
             model_scale: ModelScale::Scaled,
             methods: vec![Method::LocalOnly, Method::FedProx],
@@ -125,6 +167,163 @@ pub fn build_clients(corpus: &Corpus) -> Result<Vec<Client>, CoreError> {
         .collect()
 }
 
+/// [`RecordSource`] over one EDA shard file — the adapter that lets
+/// `rte-fed`'s streaming client sets feed on `rte-eda`'s on-disk format
+/// without either crate depending on the other.
+struct ShardSource {
+    reader: ShardReader,
+}
+
+impl RecordSource for ShardSource {
+    fn len(&self) -> usize {
+        self.reader.len()
+    }
+
+    fn geometry(&self) -> (usize, usize, usize) {
+        self.reader.geometry()
+    }
+
+    fn read_into(
+        &self,
+        range: std::ops::Range<usize>,
+        features: &mut Vec<f32>,
+        labels: &mut Vec<f32>,
+    ) -> Result<(), FedError> {
+        self.reader
+            .read_batch_into(range, features, labels)
+            .map_err(|e| FedError::Stream {
+                reason: e.to_string(),
+            })
+    }
+
+    fn descriptor(&self) -> String {
+        self.reader.path().display().to_string()
+    }
+}
+
+/// Wraps one shard file as a streaming client split.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Fed`] for a zero chunk size.
+pub fn shard_client_set(reader: ShardReader, chunk: usize) -> Result<ClientSet, CoreError> {
+    let source: Arc<dyn RecordSource> = Arc::new(ShardSource { reader });
+    Ok(ClientSet::streaming(StreamingClientSet::new(
+        source, chunk,
+    )?))
+}
+
+/// True when `dir` exists and holds at least one shard file.
+fn has_shards(dir: &Path) -> bool {
+    std::fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .filter_map(Result::ok)
+                .any(|e| e.path().extension().and_then(|x| x.to_str()) == Some(SHARD_EXTENSION))
+        })
+        .unwrap_or(false)
+}
+
+/// Materializes the experiment's corpus as shard files (generating them
+/// streamingly if the directory holds none) and builds clients that
+/// stream bounded-memory chunks from them.
+///
+/// Existing shards are reused only when their full provenance (seed,
+/// grid, placement scale) matches the config; a mismatch is an error
+/// rather than a silent run on stale data.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] on generation/validation failures, when the
+/// directory's shards belong to a different corpus, or when the
+/// directory holds damaged shards (the error says how to recover).
+pub fn build_streaming_clients(config: &ExperimentConfig) -> Result<Vec<Client>, CoreError> {
+    let dir = config
+        .corpus_dir
+        .as_ref()
+        .ok_or_else(|| CoreError::InvalidConfig {
+            reason: "build_streaming_clients requires corpus_dir".into(),
+        })?;
+    if !has_shards(dir) {
+        CorpusWriter::new(dir)
+            .with_chunk(config.stream_chunk)
+            .with_parallelism(config.corpus_parallelism)
+            .write(&config.corpus)?;
+    }
+    // Shard files are present (writes are temp-name + rename, so these
+    // are sealed shards, not generation debris) — if they still fail to
+    // open, tell the operator how to get unstuck instead of failing
+    // identically forever.
+    let reader = CorpusReader::open(dir).map_err(|e| CoreError::InvalidConfig {
+        reason: format!(
+            "corpus dir {} is unusable ({e}); delete the directory (or point \
+             --corpus-dir elsewhere) to regenerate",
+            dir.display()
+        ),
+    })?;
+    if reader.seed() != config.corpus.seed
+        || reader.grid() != config.corpus.grid
+        || reader.placement_scale().to_bits() != config.corpus.placement_scale.to_bits()
+    {
+        return Err(CoreError::InvalidConfig {
+            reason: format!(
+                "corpus dir {} holds shards for a different corpus \
+                 (seed {:#x} scale {} vs requested seed {:#x} scale {}); \
+                 regenerate or point elsewhere",
+                dir.display(),
+                reader.seed(),
+                reader.placement_scale(),
+                config.corpus.seed,
+                config.corpus.placement_scale
+            ),
+        });
+    }
+    // The streaming path always materializes the full Table 2 fleet; a
+    // coherent-but-partial directory (e.g. files deleted by hand) must
+    // not silently run the experiment on a subset of clients.
+    let expected: Vec<usize> = rte_eda::corpus::PAPER_CLIENTS
+        .iter()
+        .map(|s| s.index)
+        .collect();
+    let found: Vec<usize> = reader.clients().iter().map(|c| c.client_index).collect();
+    if found != expected {
+        return Err(CoreError::InvalidConfig {
+            reason: format!(
+                "corpus dir {} holds clients {found:?} but the Table 2 corpus needs \
+                 {expected:?}; delete the directory to regenerate",
+                dir.display()
+            ),
+        });
+    }
+    reader
+        .into_clients()
+        .into_iter()
+        .map(|shards| {
+            Ok(Client::new(
+                shards.client_index,
+                shard_client_set(shards.train, config.stream_chunk)?,
+                shard_client_set(shards.test, config.stream_chunk)?,
+            ))
+        })
+        .collect()
+}
+
+/// Builds the experiment's clients on whichever path the config selects:
+/// streaming from `corpus_dir` when set, otherwise generating the corpus
+/// in memory.
+///
+/// # Errors
+///
+/// Propagates generation and batching errors.
+pub fn build_experiment_clients(config: &ExperimentConfig) -> Result<Vec<Client>, CoreError> {
+    if config.corpus_dir.is_some() {
+        build_streaming_clients(config)
+    } else {
+        let corpus = generate_corpus_with(&config.corpus, config.corpus_parallelism)?;
+        build_clients(&corpus)
+    }
+}
+
 /// Builds a deterministic [`ModelFactory`] for the given estimator.
 pub fn model_factory(kind: ModelKind, scale: ModelScale) -> ModelFactory {
     Box::new(move |seed| {
@@ -150,7 +349,10 @@ pub fn run_method_on_clients(
 }
 
 /// Generates the corpus and runs every requested method for one estimator
-/// — i.e. regenerates one of the paper's Tables 3-5.
+/// — i.e. regenerates one of the paper's Tables 3-5. With
+/// [`ExperimentConfig::corpus_dir`] set, the whole run is out-of-core:
+/// the corpus streams to shards and clients stream chunks back, with
+/// bit-identical outcomes.
 ///
 /// # Errors
 ///
@@ -162,8 +364,7 @@ pub fn run_table(kind: ModelKind, config: &ExperimentConfig) -> Result<TableResu
             reason: "no methods requested".into(),
         });
     }
-    let corpus = generate_corpus_with(&config.corpus, config.corpus_parallelism)?;
-    let clients = build_clients(&corpus)?;
+    let clients = build_experiment_clients(config)?;
     let rows = config
         .methods
         .iter()
@@ -230,5 +431,98 @@ mod tests {
         let mut config = ExperimentConfig::tiny();
         config.methods.clear();
         assert!(run_table(ModelKind::FlNet, &config).is_err());
+    }
+
+    /// A unique scratch dir under the system temp root (unit tests have
+    /// no `CARGO_TARGET_TMPDIR`).
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("rte-core-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn streaming_clients_mirror_in_memory_clients() {
+        let dir = scratch_dir("stream");
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = ExperimentConfig::tiny()
+            .with_corpus_dir(&dir)
+            .with_stream_chunk(3);
+        // First call generates shards, second reuses them.
+        let streamed = build_experiment_clients(&config).unwrap();
+        let streamed_again = build_experiment_clients(&config).unwrap();
+        let corpus = rte_eda::corpus::generate_corpus(&config.corpus).unwrap();
+        let in_memory = build_clients(&corpus).unwrap();
+        assert_eq!(streamed.len(), in_memory.len());
+        for (s, m) in streamed.iter().zip(&in_memory) {
+            assert_eq!(s.id, m.id);
+            assert_eq!(s.weight(), m.weight());
+            assert!(s.train.as_streaming().is_some());
+            // Same bytes behind the streaming facade.
+            assert_eq!(
+                s.test.minibatch_range(0..s.test.len()),
+                m.test.minibatch_range(0..m.test.len())
+            );
+        }
+        assert_eq!(streamed_again.len(), streamed.len());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_corpus_dir_is_rejected() {
+        let dir = scratch_dir("stale");
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = ExperimentConfig::tiny().with_corpus_dir(&dir);
+        build_experiment_clients(&config).unwrap();
+        // Different seed: stale.
+        let mut other = config.clone();
+        other.corpus.seed ^= 1;
+        let err = build_experiment_clients(&other).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidConfig { .. }), "{err}");
+        // Same seed, different placement scale: also stale (would
+        // silently train on the wrong corpus size otherwise).
+        let mut other = config.clone();
+        other.corpus.placement_scale = 0.5;
+        let err = build_experiment_clients(&other).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidConfig { .. }), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn partial_corpus_dir_is_rejected_not_subset_run() {
+        let dir = scratch_dir("partial");
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = ExperimentConfig::tiny().with_corpus_dir(&dir);
+        build_experiment_clients(&config).unwrap();
+        // Hand-delete one client's pair: still a coherent directory,
+        // but no longer the nine-client Table 2 corpus.
+        std::fs::remove_file(dir.join("client05.train.rtes")).unwrap();
+        std::fs::remove_file(dir.join("client05.test.rtes")).unwrap();
+        let err = build_experiment_clients(&config).unwrap_err();
+        match err {
+            CoreError::InvalidConfig { reason } => {
+                assert!(reason.contains("needs"), "{reason}");
+            }
+            other => panic!("expected InvalidConfig, got {other}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn damaged_corpus_dir_error_says_how_to_recover() {
+        let dir = scratch_dir("damaged");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // A lone garbage .rtes file: has_shards() is true, so generation
+        // is skipped and the open fails — the error must point at the
+        // recovery path instead of being a bare decode failure.
+        std::fs::write(dir.join("client01.train.rtes"), b"garbage").unwrap();
+        let config = ExperimentConfig::tiny().with_corpus_dir(&dir);
+        let err = build_experiment_clients(&config).unwrap_err();
+        match err {
+            CoreError::InvalidConfig { reason } => {
+                assert!(reason.contains("delete the directory"), "{reason}");
+            }
+            other => panic!("expected InvalidConfig, got {other}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -25,5 +25,6 @@ pub mod report;
 
 pub use error::CoreError;
 pub use experiment::{
-    build_clients, model_factory, run_method_on_clients, run_table, ExperimentConfig, TableResult,
+    build_clients, build_experiment_clients, build_streaming_clients, model_factory,
+    run_method_on_clients, run_table, shard_client_set, ExperimentConfig, TableResult,
 };

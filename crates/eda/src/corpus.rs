@@ -23,8 +23,8 @@
 use rte_tensor::parallel::{self, map_with, Parallelism};
 use rte_tensor::rng::Xoshiro256;
 
-use crate::dataset::{generate_sample, Dataset};
-use crate::netlist::generate_netlist;
+use crate::dataset::{generate_sample, Dataset, Sample};
+use crate::netlist::{generate_netlist, Netlist};
 use crate::placement::{GridDims, PlacementConfig};
 use crate::{EdaError, Family};
 
@@ -210,11 +210,34 @@ impl Corpus {
     }
 }
 
-/// Which split a design belongs to (decides its seed stream).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Role {
+/// Which half of a client's data a design (or shard file) belongs to.
+/// The split decides the design's seed stream, so train and test data
+/// can never collide even when design indices repeat across splits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Split {
+    /// Training split (70% of a client's designs in Table 2).
     Train,
+    /// Testing split (designs disjoint from training).
     Test,
+}
+
+impl Split {
+    /// Both splits, in the fixed `(train, test)` generation order.
+    pub const ALL: [Split; 2] = [Split::Train, Split::Test];
+
+    /// Lower-case token used in shard file names (`train` / `test`).
+    pub fn token(&self) -> &'static str {
+        match self {
+            Split::Train => "train",
+            Split::Test => "test",
+        }
+    }
+}
+
+impl std::fmt::Display for Split {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.token())
+    }
 }
 
 /// The RNG stream of one `(client, split, design)` triple — the only
@@ -224,33 +247,118 @@ enum Role {
 fn design_stream(
     config: &CorpusConfig,
     spec: &ClientSpec,
-    role: Role,
+    split: Split,
     design: usize,
 ) -> Xoshiro256 {
     Xoshiro256::seed_from(config.seed)
         .derive(spec.index as u64)
-        .derive(match role {
-            Role::Train => 0,
-            Role::Test => 1,
+        .derive(match split {
+            Split::Train => 0,
+            Split::Test => 1,
         })
         .derive(design as u64)
 }
 
 /// One design to synthesize (phase 1 work item).
-struct DesignJob {
-    spec_i: usize,
-    role: Role,
-    design: usize,
+pub(crate) struct DesignJob {
+    pub(crate) spec_i: usize,
+    pub(crate) split: Split,
+    pub(crate) design: usize,
 }
 
 /// One placement to generate (phase 2 work item).
-struct PlacementJob {
-    spec_i: usize,
-    role: Role,
-    design: usize,
+pub(crate) struct PlacementJob {
+    pub(crate) spec_i: usize,
+    pub(crate) split: Split,
+    pub(crate) design: usize,
     /// Index into the phase-1 netlist list.
-    netlist: usize,
-    placement: usize,
+    pub(crate) netlist: usize,
+    pub(crate) placement: usize,
+}
+
+/// Expands specs into the flat, fixed-order work lists both the
+/// in-memory and the streaming generators walk: design jobs in
+/// `(client, split, design)` order, placement jobs in
+/// `(client, split, design, placement)` order. This ordering IS the
+/// byte-identity contract — every consumer assembles results by walking
+/// these lists front to back.
+pub(crate) fn build_jobs(
+    specs: &[ClientSpec],
+    config: &CorpusConfig,
+) -> (Vec<DesignJob>, Vec<PlacementJob>) {
+    let mut design_jobs: Vec<DesignJob> = Vec::new();
+    let mut placement_jobs: Vec<PlacementJob> = Vec::new();
+    for (spec_i, spec) in specs.iter().enumerate() {
+        let (n_train, n_test) = spec.scaled_counts(config.placement_scale);
+        for (split, n_designs, n_placements) in [
+            (Split::Train, spec.train_designs, n_train),
+            (Split::Test, spec.test_designs, n_test),
+        ] {
+            for d in 0..n_designs {
+                let netlist = design_jobs.len();
+                design_jobs.push(DesignJob {
+                    spec_i,
+                    split,
+                    design: d,
+                });
+                // Distribute placements round-robin so every design gets
+                // ⌈n/designs⌉ or ⌊n/designs⌋ placements.
+                let share = n_placements / n_designs + usize::from(d < n_placements % n_designs);
+                for p in 0..share {
+                    placement_jobs.push(PlacementJob {
+                        spec_i,
+                        split,
+                        design: d,
+                        netlist,
+                        placement: p,
+                    });
+                }
+            }
+        }
+    }
+    (design_jobs, placement_jobs)
+}
+
+/// Phase-1 work: synthesizes the netlist of one design job, replaying
+/// the job's seed stream from scratch.
+pub(crate) fn synthesize_design(
+    specs: &[ClientSpec],
+    config: &CorpusConfig,
+    job: &DesignJob,
+) -> Result<Netlist, EdaError> {
+    let spec = &specs[job.spec_i];
+    let mut stream = design_stream(config, spec, job.split, job.design);
+    let design_seed = stream.next_u64();
+    generate_netlist(spec.family, design_seed)
+}
+
+/// Phase-2 work: generates one placement sample, replaying the design's
+/// seed stream up to the placement's derivation point so the output is a
+/// pure function of `(seed, client, split, design, placement)`.
+pub(crate) fn placement_sample(
+    specs: &[ClientSpec],
+    config: &CorpusConfig,
+    netlists: &[Netlist],
+    job: &PlacementJob,
+) -> Result<Sample, EdaError> {
+    let spec = &specs[job.spec_i];
+    let mut stream = design_stream(config, spec, job.split, job.design);
+    // The design seed was consumed by phase 1; drawing (and discarding)
+    // it here keeps the stream state identical to the serial schedule's
+    // at the point placements were derived.
+    let _ = stream.next_u64();
+    let mut p_stream = stream.derive(job.placement as u64 + 1);
+    let placement_seed = p_stream.next_u64();
+    let profile = spec.family.profile();
+    let density = profile.target_density.0
+        + (profile.target_density.1 - profile.target_density.0) * p_stream.uniform();
+    let placement_config = PlacementConfig {
+        grid: config.grid,
+        seed: placement_seed,
+        target_density: density,
+        spread_iterations: 2 + p_stream.range_usize(0, 5),
+    };
+    generate_sample(&netlists[job.netlist], &placement_config)
 }
 
 /// The sharded generation core: synthesizes every design's netlist
@@ -263,47 +371,13 @@ fn generate_clients_sharded(
     config: &CorpusConfig,
     par: Parallelism,
 ) -> Result<Vec<ClientData>, EdaError> {
-    let mut design_jobs: Vec<DesignJob> = Vec::new();
-    let mut placement_jobs: Vec<PlacementJob> = Vec::new();
-    for (spec_i, spec) in specs.iter().enumerate() {
-        let (n_train, n_test) = spec.scaled_counts(config.placement_scale);
-        for (role, n_designs, n_placements) in [
-            (Role::Train, spec.train_designs, n_train),
-            (Role::Test, spec.test_designs, n_test),
-        ] {
-            for d in 0..n_designs {
-                let netlist = design_jobs.len();
-                design_jobs.push(DesignJob {
-                    spec_i,
-                    role,
-                    design: d,
-                });
-                // Distribute placements round-robin so every design gets
-                // ⌈n/designs⌉ or ⌊n/designs⌋ placements.
-                let share = n_placements / n_designs + usize::from(d < n_placements % n_designs);
-                for p in 0..share {
-                    placement_jobs.push(PlacementJob {
-                        spec_i,
-                        role,
-                        design: d,
-                        netlist,
-                        placement: p,
-                    });
-                }
-            }
-        }
-    }
+    let (design_jobs, placement_jobs) = build_jobs(specs, config);
     // Phase 1: netlist synthesis, one worker item per design.
     let netlists = map_with(
         par,
         &design_jobs,
         || (),
-        |(), _, job| {
-            let spec = &specs[job.spec_i];
-            let mut stream = design_stream(config, spec, job.role, job.design);
-            let design_seed = stream.next_u64();
-            generate_netlist(spec.family, design_seed)
-        },
+        |(), _, job| synthesize_design(specs, config, job),
     )
     .into_iter()
     .collect::<Result<Vec<_>, _>>()?;
@@ -314,26 +388,7 @@ fn generate_clients_sharded(
         par,
         &placement_jobs,
         || (),
-        |(), _, job| {
-            let spec = &specs[job.spec_i];
-            let mut stream = design_stream(config, spec, job.role, job.design);
-            // The design seed was consumed by phase 1; drawing (and
-            // discarding) it here keeps the stream state identical to the
-            // serial schedule's at the point placements were derived.
-            let _ = stream.next_u64();
-            let mut p_stream = stream.derive(job.placement as u64 + 1);
-            let placement_seed = p_stream.next_u64();
-            let profile = spec.family.profile();
-            let density = profile.target_density.0
-                + (profile.target_density.1 - profile.target_density.0) * p_stream.uniform();
-            let placement_config = PlacementConfig {
-                grid: config.grid,
-                seed: placement_seed,
-                target_density: density,
-                spread_iterations: 2 + p_stream.range_usize(0, 5),
-            };
-            generate_sample(&netlists[job.netlist], &placement_config)
-        },
+        |(), _, job| placement_sample(specs, config, &netlists, job),
     )
     .into_iter()
     .collect::<Result<Vec<_>, _>>()?;
@@ -350,9 +405,9 @@ fn generate_clients_sharded(
         .collect();
     for (job, sample) in placement_jobs.iter().zip(samples) {
         let client = &mut clients[job.spec_i];
-        match job.role {
-            Role::Train => client.train.push(sample),
-            Role::Test => client.test.push(sample),
+        match job.split {
+            Split::Train => client.train.push(sample),
+            Split::Test => client.test.push(sample),
         }
     }
     Ok(clients)

@@ -15,6 +15,8 @@ pub enum EdaError {
     },
     /// An underlying tensor operation failed.
     Tensor(TensorError),
+    /// A corpus shard file could not be written, opened or decoded.
+    Shard(ShardError),
 }
 
 impl fmt::Display for EdaError {
@@ -22,6 +24,7 @@ impl fmt::Display for EdaError {
         match self {
             EdaError::InvalidConfig { reason } => write!(f, "invalid config: {reason}"),
             EdaError::Tensor(e) => write!(f, "tensor error: {e}"),
+            EdaError::Shard(e) => write!(f, "shard error: {e}"),
         }
     }
 }
@@ -30,6 +33,7 @@ impl Error for EdaError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             EdaError::Tensor(e) => Some(e),
+            EdaError::Shard(e) => Some(e),
             _ => None,
         }
     }
@@ -40,6 +44,103 @@ impl From<TensorError> for EdaError {
         EdaError::Tensor(e)
     }
 }
+
+impl From<ShardError> for EdaError {
+    fn from(e: ShardError) -> Self {
+        EdaError::Shard(e)
+    }
+}
+
+/// Typed failure modes of the binary corpus shard format
+/// ([`crate::shard`]). Every variant names the offending file (or
+/// directory), so a failing out-of-core run points straight at the bad
+/// shard instead of panicking mid-stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardError {
+    /// An underlying I/O operation failed (message carries the OS error).
+    Io {
+        /// File or directory the operation targeted.
+        path: String,
+        /// The OS error message.
+        message: String,
+    },
+    /// The file does not start with the shard magic — not a shard file.
+    WrongMagic {
+        /// The offending file.
+        path: String,
+    },
+    /// The shard was written by an unknown format version.
+    UnsupportedVersion {
+        /// The offending file.
+        path: String,
+        /// Version number found in the file.
+        found: u32,
+    },
+    /// The file ends before the bytes its header promises.
+    Truncated {
+        /// The offending file.
+        path: String,
+        /// What was being read when the file ran out.
+        context: String,
+    },
+    /// A checksum did not match — the file was corrupted in transit or
+    /// on disk.
+    CrcMismatch {
+        /// The offending file.
+        path: String,
+        /// Which checksummed region failed (`header` or `record N`).
+        what: String,
+    },
+    /// The shard holds zero samples — structurally valid but useless,
+    /// and always a generation bug upstream.
+    EmptyShard {
+        /// The offending file.
+        path: String,
+    },
+    /// The shard decoded but violates its own invariants (bad design
+    /// index, inconsistent geometry, …).
+    Corrupt {
+        /// The offending file.
+        path: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A corpus directory is not a coherent shard set (missing splits,
+    /// mixed seeds, no shards at all).
+    Layout {
+        /// The corpus directory.
+        dir: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::Io { path, message } => write!(f, "{path}: i/o error: {message}"),
+            ShardError::WrongMagic { path } => {
+                write!(f, "{path}: not a corpus shard (bad magic)")
+            }
+            ShardError::UnsupportedVersion { path, found } => {
+                write!(f, "{path}: unsupported shard version {found}")
+            }
+            ShardError::Truncated { path, context } => {
+                write!(f, "{path}: truncated while reading {context}")
+            }
+            ShardError::CrcMismatch { path, what } => {
+                write!(f, "{path}: CRC mismatch in {what}")
+            }
+            ShardError::EmptyShard { path } => write!(f, "{path}: shard holds zero samples"),
+            ShardError::Corrupt { path, reason } => write!(f, "{path}: corrupt shard: {reason}"),
+            ShardError::Layout { dir, reason } => {
+                write!(f, "{dir}: bad corpus layout: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for ShardError {}
 
 #[cfg(test)]
 mod tests {

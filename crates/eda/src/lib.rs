@@ -25,8 +25,12 @@
 //!    family-specific capacity and noise.
 //! 7. [`dataset`] / [`corpus`] — per-client datasets reproducing the
 //!    paper's Table 2 design/placement assignment.
+//! 8. [`shard`] — the streaming out-of-core path: the same corpus
+//!    generated straight into versioned, CRC'd binary shard files (one
+//!    per `(client, split)`) with bounded memory, and read back in
+//!    seekable chunks.
 //!
-//! # Example
+//! # Example: in-memory generation
 //!
 //! ```
 //! use rte_eda::corpus::{CorpusConfig, generate_corpus};
@@ -37,6 +41,40 @@
 //! assert_eq!(corpus.clients.len(), 9);
 //! # Ok::<(), rte_eda::EdaError>(())
 //! ```
+//!
+//! # Example: corpus write → stream read round trip
+//!
+//! The streaming path writes the *same bytes* the in-memory generator
+//! would produce — here client 2's first training sample is read back
+//! from disk and compared bit for bit:
+//!
+//! ```
+//! use rte_eda::corpus::{generate_corpus, CorpusConfig};
+//! use rte_eda::shard::{CorpusReader, CorpusWriter};
+//!
+//! let dir = std::env::temp_dir().join(format!("rte-doc-{}", std::process::id()));
+//! let config = CorpusConfig::tiny();
+//!
+//! // Stream the Table 2 corpus to per-(client, split) shard files,
+//! // holding at most 8 placements in memory at a time.
+//! CorpusWriter::new(&dir).with_chunk(8).write(&config)?;
+//!
+//! // Open the directory and stream a chunk back.
+//! let reader = CorpusReader::open(&dir)?;
+//! assert_eq!(reader.clients().len(), 9);
+//! let first = reader.clients()[1].train.read_sample(0)?;
+//!
+//! // Bit-identical to the in-memory generator's output.
+//! let corpus = generate_corpus(&config)?;
+//! assert_eq!(first, corpus.clients[1].train.samples()[0]);
+//! # std::fs::remove_dir_all(&dir).ok();
+//! # Ok::<(), rte_eda::EdaError>(())
+//! ```
+
+// Belt and braces: the workspace lint table already warns on missing
+// docs, but this crate's public surface is the streaming format other
+// tools must interoperate with, so the requirement is restated locally.
+#![warn(missing_docs)]
 
 pub mod congestion;
 pub mod corpus;
@@ -48,7 +86,8 @@ pub mod features;
 pub mod interchange;
 pub mod netlist;
 pub mod placement;
+pub mod shard;
 pub mod stats;
 
-pub use error::EdaError;
+pub use error::{EdaError, ShardError};
 pub use family::{Family, FamilyProfile};

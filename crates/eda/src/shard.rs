@@ -1,0 +1,1188 @@
+//! Streaming binary corpus shards — the out-of-core data substrate.
+//!
+//! The paper's clients train on placement corpora that in a real
+//! deployment far exceed any single machine's memory; this module stores
+//! a generated corpus as one **shard file per `(client, split)`** so
+//! training and evaluation can stream bounded-memory chunks instead of
+//! materializing every tensor up front:
+//!
+//! - [`ShardWriter`] / [`ShardReader`] — one shard file: a versioned,
+//!   CRC'd header carrying full provenance (master seed, client, split,
+//!   family, grid, placement scale, design-name table) followed by
+//!   **fixed-size sample records**, so record `i` lives at a computable
+//!   offset and any chunk is one seek away.
+//! - [`CorpusWriter`] — generates the Table 2 corpus *directly into
+//!   shard files* in bounded-memory chunks: placement jobs are processed
+//!   `chunk` at a time on the [`rte_tensor::parallel`] pool and appended
+//!   in fixed `(client, split, design, placement)` order, so peak memory
+//!   is proportional to the chunk size, not the corpus, and the bytes
+//!   written are **identical for every thread count and chunk size**.
+//! - [`CorpusReader`] — opens a shard directory back into per-client
+//!   [`ShardReader`] pairs, validating that the files form one coherent
+//!   corpus (same seed, grid and channel count everywhere).
+//!
+//! # Shard file layout (version 1, all integers little-endian)
+//!
+//! ```text
+//! offset 0   magic      "RTESHRD\0"                      8 bytes
+//!        8   version    u32 = 1
+//!       12   header_len u32   (length of the header body)
+//!       16   header_crc u32   (CRC-32/IEEE of the header body)
+//!       20   header body:
+//!              seed u64 · client u32 · split u8 · family u8
+//!              grid_w u32 · grid_h u32 · channels u32
+//!              placement_scale f64 · n_samples u64
+//!              n_designs u32 · (name_len u16 + utf-8 name)*
+//!       20+header_len   records, each exactly record_len bytes:
+//!              design_idx u32
+//!              features   channels·H·W f32
+//!              label      H·W f32
+//!              record_crc u32   (CRC-32 of the record bytes above)
+//! ```
+//!
+//! The header is written twice: once at create time with `n_samples = 0`
+//! and once at [`ShardWriter::finish`] with the real count (a single
+//! seek-back — the header length never changes because the design table
+//! is fixed at create time). A shard that was never finished therefore
+//! fails to open with a typed error instead of yielding partial data.
+//!
+//! Every failure mode is a typed [`ShardError`] — truncation, wrong
+//! magic, unknown version, CRC mismatch, zero samples — never a panic;
+//! `crates/eda/tests/shard_format.rs` pins each one.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use rte_tensor::parallel::{map_with, Parallelism};
+use rte_tensor::Tensor;
+
+use crate::corpus::{build_jobs, placement_sample, synthesize_design};
+use crate::corpus::{ClientSpec, CorpusConfig, Split, PAPER_CLIENTS};
+use crate::dataset::Sample;
+use crate::placement::GridDims;
+use crate::{EdaError, Family, ShardError};
+
+/// First eight bytes of every shard file.
+pub const SHARD_MAGIC: [u8; 8] = *b"RTESHRD\0";
+
+/// The shard format version this build reads and writes.
+pub const SHARD_VERSION: u32 = 1;
+
+/// File extension of shard files (`client03.train.rtes`).
+pub const SHARD_EXTENSION: &str = "rtes";
+
+/// Default samples per streamed generation chunk — small enough that a
+/// chunk of 16×16×6-channel samples stays well under a megabyte, large
+/// enough to amortize the fork/join of one parallel map.
+pub const DEFAULT_CHUNK: usize = 64;
+
+const PRELUDE_LEN: usize = 20;
+
+// ---------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, the zlib polynomial), table-driven, no deps.
+// ---------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                0xEDB8_8320 ^ (crc >> 1)
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32/IEEE of `bytes` (the zlib `crc32`, init `!0`, final xor `!0`).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+// ---------------------------------------------------------------------
+// Little-endian encode/decode helpers over byte buffers.
+// ---------------------------------------------------------------------
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Byte-slice cursor whose reads fail with [`ShardError::Truncated`]
+/// instead of panicking.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    path: &'a str,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize, context: &str) -> Result<&'a [u8], ShardError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(ShardError::Truncated {
+                path: self.path.to_owned(),
+                context: context.to_owned(),
+            });
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self, context: &str) -> Result<u8, ShardError> {
+        Ok(self.take(1, context)?[0])
+    }
+
+    fn u16(&mut self, context: &str) -> Result<u16, ShardError> {
+        Ok(u16::from_le_bytes(
+            self.take(2, context)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    fn u32(&mut self, context: &str) -> Result<u32, ShardError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, context)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self, context: &str) -> Result<u64, ShardError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, context)?.try_into().expect("8 bytes"),
+        ))
+    }
+}
+
+fn family_code(family: Family) -> u8 {
+    match family {
+        Family::Iscas89 => 0,
+        Family::Itc99 => 1,
+        Family::Iwls05 => 2,
+        Family::Ispd15 => 3,
+    }
+}
+
+fn family_from_code(code: u8) -> Option<Family> {
+    match code {
+        0 => Some(Family::Iscas89),
+        1 => Some(Family::Itc99),
+        2 => Some(Family::Iwls05),
+        3 => Some(Family::Ispd15),
+        _ => None,
+    }
+}
+
+fn split_code(split: Split) -> u8 {
+    match split {
+        Split::Train => 0,
+        Split::Test => 1,
+    }
+}
+
+fn split_from_code(code: u8) -> Option<Split> {
+    match code {
+        0 => Some(Split::Train),
+        1 => Some(Split::Test),
+        _ => None,
+    }
+}
+
+fn io_err(path: &Path, e: &std::io::Error) -> ShardError {
+    ShardError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shard metadata (the provenance header).
+// ---------------------------------------------------------------------
+
+/// Provenance carried by every shard header: enough to regenerate the
+/// shard from scratch and to verify a directory of shards belongs to one
+/// corpus.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardMeta {
+    /// Master corpus seed the samples derive from.
+    pub seed: u64,
+    /// 1-based client index (Table 2 numbering).
+    pub client_index: usize,
+    /// Which split of the client's data this shard holds.
+    pub split: Split,
+    /// Benchmark family of the client's designs.
+    pub family: Family,
+    /// Gcell grid of every sample.
+    pub grid: GridDims,
+    /// Feature channels per sample (currently
+    /// [`crate::features::FEATURE_CHANNELS`]).
+    pub channels: usize,
+    /// Placement-count scale the corpus was generated at.
+    pub placement_scale: f64,
+    /// Design-name table; records reference designs by index into this
+    /// list, keeping records fixed-size.
+    pub designs: Vec<String>,
+}
+
+impl ShardMeta {
+    /// Bytes of one sample record (design index + features + label +
+    /// record CRC).
+    pub fn record_len(&self) -> usize {
+        let cells = self.grid.width * self.grid.height;
+        4 + (self.channels * cells + cells) * 4 + 4
+    }
+
+    /// The canonical shard file name for this meta:
+    /// `client{NN}.{split}.rtes`.
+    pub fn file_name(&self) -> String {
+        format!(
+            "client{:02}.{}.{}",
+            self.client_index,
+            self.split.token(),
+            SHARD_EXTENSION
+        )
+    }
+
+    fn encode_body(&self, n_samples: u64) -> Vec<u8> {
+        let mut body = Vec::new();
+        put_u64(&mut body, self.seed);
+        put_u32(&mut body, self.client_index as u32);
+        body.push(split_code(self.split));
+        body.push(family_code(self.family));
+        put_u32(&mut body, self.grid.width as u32);
+        put_u32(&mut body, self.grid.height as u32);
+        put_u32(&mut body, self.channels as u32);
+        put_u64(&mut body, self.placement_scale.to_bits());
+        put_u64(&mut body, n_samples);
+        put_u32(&mut body, self.designs.len() as u32);
+        for name in &self.designs {
+            put_u16(&mut body, name.len() as u16);
+            body.extend_from_slice(name.as_bytes());
+        }
+        body
+    }
+
+    fn decode_body(bytes: &[u8], path: &str) -> Result<(ShardMeta, u64), ShardError> {
+        let mut c = Cursor {
+            bytes,
+            pos: 0,
+            path,
+        };
+        let seed = c.u64("header seed")?;
+        let client_index = c.u32("header client index")? as usize;
+        let split_byte = c.u8("header split")?;
+        let split = split_from_code(split_byte).ok_or_else(|| ShardError::Corrupt {
+            path: path.to_owned(),
+            reason: format!("unknown split code {split_byte}"),
+        })?;
+        let family_byte = c.u8("header family")?;
+        let family = family_from_code(family_byte).ok_or_else(|| ShardError::Corrupt {
+            path: path.to_owned(),
+            reason: format!("unknown family code {family_byte}"),
+        })?;
+        let width = c.u32("header grid width")? as usize;
+        let height = c.u32("header grid height")? as usize;
+        let channels = c.u32("header channels")? as usize;
+        let placement_scale = f64::from_bits(c.u64("header placement scale")?);
+        let n_samples = c.u64("header sample count")?;
+        let n_designs = c.u32("header design count")? as usize;
+        if width == 0 || height == 0 || channels == 0 {
+            return Err(ShardError::Corrupt {
+                path: path.to_owned(),
+                reason: format!("degenerate geometry {channels}x{height}x{width}"),
+            });
+        }
+        let mut designs = Vec::with_capacity(n_designs.min(4096));
+        for i in 0..n_designs {
+            let len = c.u16("design name length")? as usize;
+            let raw = c.take(len, "design name")?;
+            let name = std::str::from_utf8(raw).map_err(|_| ShardError::Corrupt {
+                path: path.to_owned(),
+                reason: format!("design name {i} is not utf-8"),
+            })?;
+            designs.push(name.to_owned());
+        }
+        if c.pos != bytes.len() {
+            return Err(ShardError::Corrupt {
+                path: path.to_owned(),
+                reason: format!("{} trailing header bytes", bytes.len() - c.pos),
+            });
+        }
+        Ok((
+            ShardMeta {
+                seed,
+                client_index,
+                split,
+                family,
+                grid: GridDims::new(width, height),
+                channels,
+                placement_scale,
+                designs,
+            },
+            n_samples,
+        ))
+    }
+}
+
+fn encode_file_header(meta: &ShardMeta, n_samples: u64) -> Vec<u8> {
+    let body = meta.encode_body(n_samples);
+    let mut out = Vec::with_capacity(PRELUDE_LEN + body.len());
+    out.extend_from_slice(&SHARD_MAGIC);
+    put_u32(&mut out, SHARD_VERSION);
+    put_u32(&mut out, body.len() as u32);
+    put_u32(&mut out, crc32(&body));
+    out.extend_from_slice(&body);
+    out
+}
+
+// ---------------------------------------------------------------------
+// Writer.
+// ---------------------------------------------------------------------
+
+/// Appends fixed-size sample records to one shard file.
+///
+/// Created with the full design table up front (so the header length is
+/// fixed), appended to sample by sample, and sealed with
+/// [`ShardWriter::finish`], which patches the real sample count into the
+/// header. Dropping a writer without finishing leaves a file that
+/// [`ShardReader::open`] rejects — a half-written shard can never be
+/// mistaken for data.
+#[derive(Debug)]
+pub struct ShardWriter {
+    file: BufWriter<File>,
+    path: PathBuf,
+    meta: ShardMeta,
+    n_samples: u64,
+}
+
+impl ShardWriter {
+    /// Creates (truncating) the shard file and writes a provisional
+    /// header with a zero sample count.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::Io`] on filesystem failures; [`EdaError::InvalidConfig`]
+    /// for degenerate metadata (no designs, zero-sized grid, a design
+    /// name longer than a `u16` length field).
+    pub fn create(path: impl Into<PathBuf>, meta: ShardMeta) -> Result<Self, EdaError> {
+        let path = path.into();
+        if meta.designs.is_empty() {
+            return Err(EdaError::InvalidConfig {
+                reason: "shard with an empty design table".into(),
+            });
+        }
+        if meta.grid.width == 0 || meta.grid.height == 0 || meta.channels == 0 {
+            return Err(EdaError::InvalidConfig {
+                reason: "shard with zero-sized sample geometry".into(),
+            });
+        }
+        if let Some(name) = meta.designs.iter().find(|n| n.len() > u16::MAX as usize) {
+            return Err(EdaError::InvalidConfig {
+                reason: format!(
+                    "design name of {} bytes exceeds the format limit",
+                    name.len()
+                ),
+            });
+        }
+        let file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)
+            .map_err(|e| io_err(&path, &e))?;
+        let mut writer = ShardWriter {
+            file: BufWriter::new(file),
+            path,
+            meta,
+            n_samples: 0,
+        };
+        let header = encode_file_header(&writer.meta, 0);
+        writer
+            .file
+            .write_all(&header)
+            .map_err(|e| io_err(&writer.path, &e))?;
+        Ok(writer)
+    }
+
+    /// The provenance this shard was created with.
+    pub fn meta(&self) -> &ShardMeta {
+        &self.meta
+    }
+
+    /// Samples appended so far.
+    pub fn len(&self) -> usize {
+        self.n_samples as usize
+    }
+
+    /// True before the first [`ShardWriter::append`].
+    pub fn is_empty(&self) -> bool {
+        self.n_samples == 0
+    }
+
+    /// Appends one sample record.
+    ///
+    /// # Errors
+    ///
+    /// [`EdaError::InvalidConfig`] when the sample's geometry disagrees
+    /// with the header or its design name is not in the design table;
+    /// [`ShardError::Io`] on write failures.
+    pub fn append(&mut self, sample: &Sample) -> Result<(), EdaError> {
+        let (h, w) = (self.meta.grid.height, self.meta.grid.width);
+        let fdims = sample.features.shape().dims();
+        let ldims = sample.label.shape().dims();
+        if fdims != [self.meta.channels, h, w] || ldims != [1, h, w] {
+            return Err(EdaError::InvalidConfig {
+                reason: format!(
+                    "sample geometry {fdims:?}/{ldims:?} disagrees with shard header \
+                     ({}x{h}x{w})",
+                    self.meta.channels
+                ),
+            });
+        }
+        let design_idx = self
+            .meta
+            .designs
+            .iter()
+            .position(|n| *n == sample.design)
+            .ok_or_else(|| EdaError::InvalidConfig {
+                reason: format!(
+                    "design {} missing from the shard design table",
+                    sample.design
+                ),
+            })?;
+        let mut record = Vec::with_capacity(self.meta.record_len());
+        put_u32(&mut record, design_idx as u32);
+        for &v in sample.features.data() {
+            record.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        for &v in sample.label.data() {
+            record.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        let crc = crc32(&record);
+        put_u32(&mut record, crc);
+        debug_assert_eq!(record.len(), self.meta.record_len());
+        self.file
+            .write_all(&record)
+            .map_err(|e| io_err(&self.path, &e))?;
+        self.n_samples += 1;
+        Ok(())
+    }
+
+    /// Seals the shard: rewrites the header with the final sample count
+    /// and flushes to disk. Returns the number of samples written.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::Io`] on flush/seek failures.
+    pub fn finish(mut self) -> Result<u64, EdaError> {
+        self.file.flush().map_err(|e| io_err(&self.path, &e))?;
+        let file = self.file.get_mut();
+        file.seek(SeekFrom::Start(0))
+            .map_err(|e| io_err(&self.path, &e))?;
+        let header = encode_file_header(&self.meta, self.n_samples);
+        file.write_all(&header)
+            .map_err(|e| io_err(&self.path, &e))?;
+        file.sync_all().map_err(|e| io_err(&self.path, &e))?;
+        Ok(self.n_samples)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reader.
+// ---------------------------------------------------------------------
+
+/// Random-access reader over one sealed shard file.
+///
+/// Opening validates magic, version, header CRC, the advertised sample
+/// count against the file size, and rejects zero-sample shards — all as
+/// typed [`ShardError`]s. Records are fixed-size, so any sample or
+/// contiguous range is one seek plus one read; per-record CRCs are
+/// verified on every read. Reads take `&self` (an internal lock guards
+/// the file cursor), so one reader can feed several worker threads.
+#[derive(Debug)]
+pub struct ShardReader {
+    file: Mutex<File>,
+    path: PathBuf,
+    meta: ShardMeta,
+    n_samples: usize,
+    data_offset: u64,
+    record_len: usize,
+}
+
+impl ShardReader {
+    /// Opens and validates a shard file.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::WrongMagic`] / [`ShardError::UnsupportedVersion`]
+    /// for foreign files, [`ShardError::Truncated`] when the file ends
+    /// early, [`ShardError::CrcMismatch`] for a corrupted header,
+    /// [`ShardError::EmptyShard`] for zero samples, and
+    /// [`ShardError::Corrupt`] for structural violations.
+    pub fn open(path: impl Into<PathBuf>) -> Result<Self, EdaError> {
+        let path = path.into();
+        let path_str = path.display().to_string();
+        let mut file = File::open(&path).map_err(|e| io_err(&path, &e))?;
+        let file_len = file.metadata().map_err(|e| io_err(&path, &e))?.len();
+        let mut prelude = [0u8; PRELUDE_LEN];
+        if file_len < PRELUDE_LEN as u64 {
+            return Err(ShardError::Truncated {
+                path: path_str,
+                context: "file prelude".into(),
+            }
+            .into());
+        }
+        file.read_exact(&mut prelude)
+            .map_err(|e| io_err(&path, &e))?;
+        if prelude[..8] != SHARD_MAGIC {
+            return Err(ShardError::WrongMagic { path: path_str }.into());
+        }
+        let version = u32::from_le_bytes(prelude[8..12].try_into().expect("4 bytes"));
+        if version != SHARD_VERSION {
+            return Err(ShardError::UnsupportedVersion {
+                path: path_str,
+                found: version,
+            }
+            .into());
+        }
+        let header_len = u32::from_le_bytes(prelude[12..16].try_into().expect("4 bytes")) as u64;
+        let header_crc = u32::from_le_bytes(prelude[16..20].try_into().expect("4 bytes"));
+        if file_len < PRELUDE_LEN as u64 + header_len {
+            return Err(ShardError::Truncated {
+                path: path_str,
+                context: "header body".into(),
+            }
+            .into());
+        }
+        let mut body = vec![0u8; header_len as usize];
+        file.read_exact(&mut body).map_err(|e| io_err(&path, &e))?;
+        if crc32(&body) != header_crc {
+            return Err(ShardError::CrcMismatch {
+                path: path_str,
+                what: "header".into(),
+            }
+            .into());
+        }
+        let (meta, n_samples) = ShardMeta::decode_body(&body, &path_str)?;
+        if n_samples == 0 {
+            return Err(ShardError::EmptyShard { path: path_str }.into());
+        }
+        let record_len = meta.record_len() as u64;
+        let data_offset = PRELUDE_LEN as u64 + header_len;
+        let expected = data_offset + n_samples * record_len;
+        if file_len < expected {
+            return Err(ShardError::Truncated {
+                path: path_str,
+                context: format!(
+                    "sample records ({} of {n_samples} present)",
+                    (file_len.saturating_sub(data_offset)) / record_len
+                ),
+            }
+            .into());
+        }
+        if file_len > expected {
+            return Err(ShardError::Corrupt {
+                path: path_str,
+                reason: format!(
+                    "{} trailing bytes after the last record",
+                    file_len - expected
+                ),
+            }
+            .into());
+        }
+        Ok(ShardReader {
+            file: Mutex::new(file),
+            path,
+            meta,
+            n_samples: n_samples as usize,
+            data_offset,
+            record_len: record_len as usize,
+        })
+    }
+
+    /// The provenance header.
+    pub fn meta(&self) -> &ShardMeta {
+        &self.meta
+    }
+
+    /// The shard file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of sample records (always ≥ 1 after a successful open).
+    pub fn len(&self) -> usize {
+        self.n_samples
+    }
+
+    /// Always false: zero-sample shards fail to open.
+    pub fn is_empty(&self) -> bool {
+        self.n_samples == 0
+    }
+
+    /// `(channels, height, width)` of every sample.
+    pub fn geometry(&self) -> (usize, usize, usize) {
+        (
+            self.meta.channels,
+            self.meta.grid.height,
+            self.meta.grid.width,
+        )
+    }
+
+    /// Reads the raw bytes of records `range` (one seek + one read under
+    /// the file lock, so concurrent readers interleave cleanly).
+    fn read_raw(&self, range: std::ops::Range<usize>) -> Result<Vec<u8>, EdaError> {
+        let mut buf = vec![0u8; (range.end - range.start) * self.record_len];
+        let mut file = self.file.lock().expect("shard file lock poisoned");
+        file.seek(SeekFrom::Start(
+            self.data_offset + (range.start * self.record_len) as u64,
+        ))
+        .map_err(|e| io_err(&self.path, &e))?;
+        file.read_exact(&mut buf).map_err(|e| {
+            EdaError::Shard(ShardError::Truncated {
+                path: self.path.display().to_string(),
+                context: format!("records {}..{}: {e}", range.start, range.end),
+            })
+        })?;
+        Ok(buf)
+    }
+
+    fn check_range(&self, range: &std::ops::Range<usize>) -> Result<(), EdaError> {
+        if range.start >= range.end || range.end > self.n_samples {
+            return Err(EdaError::InvalidConfig {
+                reason: format!(
+                    "record range {range:?} invalid for shard of {} samples",
+                    self.n_samples
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Decodes one raw record, verifying its CRC; appends the f32 planes
+    /// to `features` / `labels` and returns the design index.
+    fn decode_record(
+        &self,
+        index: usize,
+        raw: &[u8],
+        features: &mut Vec<f32>,
+        labels: &mut Vec<f32>,
+    ) -> Result<usize, EdaError> {
+        let body_len = self.record_len - 4;
+        let stored = u32::from_le_bytes(raw[body_len..].try_into().expect("4 bytes"));
+        if crc32(&raw[..body_len]) != stored {
+            return Err(ShardError::CrcMismatch {
+                path: self.path.display().to_string(),
+                what: format!("record {index}"),
+            }
+            .into());
+        }
+        let design_idx = u32::from_le_bytes(raw[..4].try_into().expect("4 bytes")) as usize;
+        if design_idx >= self.meta.designs.len() {
+            return Err(ShardError::Corrupt {
+                path: self.path.display().to_string(),
+                reason: format!(
+                    "record {index} references design {design_idx} of {}",
+                    self.meta.designs.len()
+                ),
+            }
+            .into());
+        }
+        let cells = self.meta.grid.width * self.meta.grid.height;
+        let f_len = self.meta.channels * cells;
+        let mut off = 4;
+        for _ in 0..f_len {
+            features.push(f32::from_bits(u32::from_le_bytes(
+                raw[off..off + 4].try_into().expect("4 bytes"),
+            )));
+            off += 4;
+        }
+        for _ in 0..cells {
+            labels.push(f32::from_bits(u32::from_le_bytes(
+                raw[off..off + 4].try_into().expect("4 bytes"),
+            )));
+            off += 4;
+        }
+        Ok(design_idx)
+    }
+
+    /// Reads records `range`, appending their feature and label planes
+    /// (flat row-major f32s, record-major) to the output vectors — the
+    /// zero-copy-into-`Tensor` path the streaming client set feeds on.
+    ///
+    /// # Errors
+    ///
+    /// [`EdaError::InvalidConfig`] for an empty or out-of-bounds range,
+    /// [`ShardError::CrcMismatch`] / [`ShardError::Corrupt`] for damaged
+    /// records, [`ShardError::Io`] on filesystem failures.
+    pub fn read_batch_into(
+        &self,
+        range: std::ops::Range<usize>,
+        features: &mut Vec<f32>,
+        labels: &mut Vec<f32>,
+    ) -> Result<(), EdaError> {
+        self.check_range(&range)?;
+        let raw = self.read_raw(range.clone())?;
+        for (i, record) in raw.chunks_exact(self.record_len).enumerate() {
+            self.decode_record(range.start + i, record, features, labels)?;
+        }
+        Ok(())
+    }
+
+    /// Reads records `range` as full [`Sample`]s (design names resolved
+    /// through the header's table).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ShardReader::read_batch_into`].
+    pub fn read_range(&self, range: std::ops::Range<usize>) -> Result<Vec<Sample>, EdaError> {
+        self.check_range(&range)?;
+        let raw = self.read_raw(range.clone())?;
+        let (c, h, w) = self.geometry();
+        let mut out = Vec::with_capacity(range.end - range.start);
+        for (i, record) in raw.chunks_exact(self.record_len).enumerate() {
+            let mut features = Vec::with_capacity(c * h * w);
+            let mut labels = Vec::with_capacity(h * w);
+            let design_idx =
+                self.decode_record(range.start + i, record, &mut features, &mut labels)?;
+            out.push(Sample {
+                features: Tensor::from_vec(features, &[c, h, w])?,
+                label: Tensor::from_vec(labels, &[1, h, w])?,
+                design: self.meta.designs[design_idx].clone(),
+            });
+        }
+        Ok(out)
+    }
+
+    /// Reads one sample record.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ShardReader::read_range`].
+    pub fn read_sample(&self, index: usize) -> Result<Sample, EdaError> {
+        let mut samples = self.read_range(index..index + 1)?;
+        Ok(samples.pop().expect("one-record range"))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Corpus-level writer: streaming generation straight to shards.
+// ---------------------------------------------------------------------
+
+/// One shard file a [`CorpusWriter`] produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardSummary {
+    /// Where the shard was written.
+    pub path: PathBuf,
+    /// 1-based client index.
+    pub client_index: usize,
+    /// The split the shard holds.
+    pub split: Split,
+    /// Samples written.
+    pub samples: u64,
+}
+
+/// Generates a corpus *directly into shard files* with bounded memory.
+///
+/// Unlike [`crate::corpus::generate_corpus`], which materializes every
+/// client's tensors before returning, this writer walks the same fixed
+/// `(client, split, design, placement)` job list in chunks of
+/// [`CorpusWriter::with_chunk`] placements: each chunk is generated in
+/// parallel on the [`rte_tensor::parallel`] pool, appended to the
+/// per-`(client, split)` [`ShardWriter`]s in job order, then dropped.
+/// Peak sample residency is therefore one chunk — not the corpus — and
+/// because every placement's RNG stream is a pure function of its
+/// coordinates, **the shard bytes are identical for every thread count
+/// and every chunk size**.
+#[derive(Debug, Clone)]
+pub struct CorpusWriter {
+    dir: PathBuf,
+    chunk: usize,
+    parallelism: Parallelism,
+}
+
+impl CorpusWriter {
+    /// A writer targeting `dir` with the default chunk size and the
+    /// process-global thread budget.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        CorpusWriter {
+            dir: dir.into(),
+            chunk: DEFAULT_CHUNK,
+            parallelism: rte_tensor::parallel::global(),
+        }
+    }
+
+    /// Sets the placements generated (and resident) per chunk.
+    #[must_use]
+    pub fn with_chunk(mut self, chunk: usize) -> Self {
+        self.chunk = chunk;
+        self
+    }
+
+    /// Sets the worker-thread budget (a pure wall-clock knob — the
+    /// output bytes do not change).
+    #[must_use]
+    pub fn with_parallelism(mut self, par: Parallelism) -> Self {
+        self.parallelism = par;
+        self
+    }
+
+    /// Writes the full nine-client Table 2 corpus.
+    ///
+    /// # Errors
+    ///
+    /// See [`CorpusWriter::write_specs`].
+    pub fn write(&self, config: &CorpusConfig) -> Result<Vec<ShardSummary>, EdaError> {
+        self.write_specs(&PAPER_CLIENTS, config)
+    }
+
+    /// Writes shards for an explicit client list (one train + one test
+    /// shard per spec), creating the directory if needed.
+    ///
+    /// Shards are written under temporary `.tmp` names and renamed to
+    /// their final `.rtes` names only after *every* writer has been
+    /// sealed, so an interrupted or failed generation leaves no files
+    /// that [`CorpusReader::open`] would try to treat as a corpus.
+    /// Stale `.tmp` leftovers from a previous crash are removed first.
+    ///
+    /// # Errors
+    ///
+    /// [`EdaError::InvalidConfig`] for a zero chunk size, generation
+    /// errors from the placement/labelling pipeline, or
+    /// [`ShardError::Io`] on filesystem failures.
+    pub fn write_specs(
+        &self,
+        specs: &[ClientSpec],
+        config: &CorpusConfig,
+    ) -> Result<Vec<ShardSummary>, EdaError> {
+        if self.chunk == 0 {
+            return Err(EdaError::InvalidConfig {
+                reason: "streaming chunk size must be positive".into(),
+            });
+        }
+        std::fs::create_dir_all(&self.dir).map_err(|e| io_err(&self.dir, &e))?;
+        // Sweep debris from a previously interrupted generation.
+        if let Ok(entries) = std::fs::read_dir(&self.dir) {
+            for entry in entries.filter_map(Result::ok) {
+                let path = entry.path();
+                if path.extension().and_then(|e| e.to_str()) == Some("tmp") {
+                    let _ = std::fs::remove_file(&path);
+                }
+            }
+        }
+        let (design_jobs, placement_jobs) = build_jobs(specs, config);
+        // Phase 1: all netlists (74 at paper scale — small), parallel
+        // over designs, exactly as the in-memory generator does it.
+        let netlists = map_with(
+            self.parallelism,
+            &design_jobs,
+            || (),
+            |(), _, job| synthesize_design(specs, config, job),
+        )
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()?;
+        // One writer per (client, split), design tables drawn from the
+        // phase-1 names in design order.
+        let mut writers: Vec<Vec<ShardWriter>> = Vec::with_capacity(specs.len());
+        for (spec_i, spec) in specs.iter().enumerate() {
+            let mut per_split = Vec::with_capacity(2);
+            for split in Split::ALL {
+                let designs: Vec<String> = design_jobs
+                    .iter()
+                    .zip(netlists.iter())
+                    .filter(|(job, _)| job.spec_i == spec_i && job.split == split)
+                    .map(|(_, nl)| nl.name.clone())
+                    .collect();
+                let meta = ShardMeta {
+                    seed: config.seed,
+                    client_index: spec.index,
+                    split,
+                    family: spec.family,
+                    grid: config.grid,
+                    channels: crate::features::FEATURE_CHANNELS,
+                    placement_scale: config.placement_scale,
+                    designs,
+                };
+                let path = self.dir.join(format!("{}.tmp", meta.file_name()));
+                per_split.push(ShardWriter::create(path, meta)?);
+            }
+            writers.push(per_split);
+        }
+        // Phase 2, chunked: generate `chunk` placements in parallel,
+        // append them in job order, drop them. The job list is already
+        // in (client, split, design, placement) order, so appends land
+        // in exactly the order the in-memory path assembles datasets.
+        for jobs in placement_jobs.chunks(self.chunk) {
+            let samples = map_with(
+                self.parallelism,
+                jobs,
+                || (),
+                |(), _, job| placement_sample(specs, config, &netlists, job),
+            )
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()?;
+            for (job, sample) in jobs.iter().zip(&samples) {
+                writers[job.spec_i][split_code(job.split) as usize].append(sample)?;
+            }
+        }
+        // Seal every shard first, then rename the whole set: a failure
+        // anywhere before this loop completes leaves only `.tmp` files
+        // behind, never a half-corpus of valid-looking shards.
+        let mut sealed = Vec::with_capacity(specs.len() * 2);
+        for per_split in writers {
+            for writer in per_split {
+                let tmp_path = writer.path.clone();
+                let final_path = self.dir.join(writer.meta.file_name());
+                let client_index = writer.meta.client_index;
+                let split = writer.meta.split;
+                let samples = writer.finish()?;
+                sealed.push((tmp_path, final_path, client_index, split, samples));
+            }
+        }
+        let mut summaries = Vec::with_capacity(sealed.len());
+        for (tmp_path, final_path, client_index, split, samples) in sealed {
+            std::fs::rename(&tmp_path, &final_path).map_err(|e| io_err(&tmp_path, &e))?;
+            summaries.push(ShardSummary {
+                path: final_path,
+                client_index,
+                split,
+                samples,
+            });
+        }
+        Ok(summaries)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Corpus-level reader.
+// ---------------------------------------------------------------------
+
+/// One client's pair of shard readers.
+#[derive(Debug)]
+pub struct ClientShards {
+    /// 1-based client index (Table 2 numbering).
+    pub client_index: usize,
+    /// Benchmark family of the client's designs.
+    pub family: Family,
+    /// Training-split shard.
+    pub train: ShardReader,
+    /// Testing-split shard.
+    pub test: ShardReader,
+}
+
+/// Opens a directory of shard files back into per-client reader pairs.
+///
+/// Validates that the directory is one coherent corpus: every client has
+/// both splits, and every shard agrees on seed, grid and channel count.
+#[derive(Debug)]
+pub struct CorpusReader {
+    clients: Vec<ClientShards>,
+    grid: GridDims,
+    seed: u64,
+    placement_scale: f64,
+}
+
+impl CorpusReader {
+    /// Opens every `client*.{train,test}.rtes` file under `dir`.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::Layout`] when the directory holds no shards, a
+    /// client is missing a split, or shards disagree on provenance; any
+    /// [`ShardReader::open`] error for individual files.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, EdaError> {
+        let dir = dir.as_ref();
+        let dir_str = dir.display().to_string();
+        let layout_err = |reason: String| ShardError::Layout {
+            dir: dir_str.clone(),
+            reason,
+        };
+        let entries = std::fs::read_dir(dir).map_err(|e| io_err(dir, &e))?;
+        let mut paths: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().and_then(|e| e.to_str()) == Some(SHARD_EXTENSION))
+            .collect();
+        paths.sort();
+        if paths.is_empty() {
+            return Err(layout_err("no shard files found".into()).into());
+        }
+        let mut pairs: std::collections::BTreeMap<
+            usize,
+            (Option<ShardReader>, Option<ShardReader>),
+        > = std::collections::BTreeMap::new();
+        for path in paths {
+            let reader = ShardReader::open(&path)?;
+            let slot = pairs.entry(reader.meta().client_index).or_default();
+            let split = reader.meta().split;
+            let cell = match split {
+                Split::Train => &mut slot.0,
+                Split::Test => &mut slot.1,
+            };
+            if cell.is_some() {
+                return Err(layout_err(format!(
+                    "duplicate {split} shard for client {}",
+                    reader.meta().client_index
+                ))
+                .into());
+            }
+            *cell = Some(reader);
+        }
+        let mut clients = Vec::with_capacity(pairs.len());
+        for (client_index, (train, test)) in pairs {
+            let train = train
+                .ok_or_else(|| layout_err(format!("client {client_index} lacks a train shard")))?;
+            let test = test
+                .ok_or_else(|| layout_err(format!("client {client_index} lacks a test shard")))?;
+            if train.meta().family != test.meta().family {
+                return Err(layout_err(format!(
+                    "client {client_index} train/test shards disagree on family"
+                ))
+                .into());
+            }
+            clients.push(ClientShards {
+                client_index,
+                family: train.meta().family,
+                train,
+                test,
+            });
+        }
+        let first = &clients[0].train.meta().clone();
+        for c in &clients {
+            for shard in [&c.train, &c.test] {
+                let m = shard.meta();
+                if m.seed != first.seed
+                    || m.grid != first.grid
+                    || m.channels != first.channels
+                    || m.placement_scale.to_bits() != first.placement_scale.to_bits()
+                {
+                    return Err(layout_err(format!(
+                        "{} disagrees with the corpus provenance \
+                         (seed/grid/channels/placement scale)",
+                        shard.path().display()
+                    ))
+                    .into());
+                }
+            }
+        }
+        Ok(CorpusReader {
+            grid: first.grid,
+            seed: first.seed,
+            placement_scale: first.placement_scale,
+            clients,
+        })
+    }
+
+    /// Per-client shard pairs, ordered by client index.
+    pub fn clients(&self) -> &[ClientShards] {
+        &self.clients
+    }
+
+    /// Consumes the reader into its per-client shard pairs (so callers
+    /// can move the [`ShardReader`]s into long-lived streaming sources).
+    pub fn into_clients(self) -> Vec<ClientShards> {
+        self.clients
+    }
+
+    /// The gcell grid every shard was generated on.
+    pub fn grid(&self) -> GridDims {
+        self.grid
+    }
+
+    /// The master corpus seed every shard derives from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The placement-count scale every shard was generated at.
+    pub fn placement_scale(&self) -> f64 {
+        self.placement_scale
+    }
+
+    /// Total samples across all clients and splits.
+    pub fn total_samples(&self) -> usize {
+        self.clients
+            .iter()
+            .map(|c| c.train.len() + c.test.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The canonical IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn family_and_split_codes_round_trip() {
+        for family in Family::ALL {
+            assert_eq!(family_from_code(family_code(family)), Some(family));
+        }
+        for split in Split::ALL {
+            assert_eq!(split_from_code(split_code(split)), Some(split));
+        }
+        assert_eq!(family_from_code(9), None);
+        assert_eq!(split_from_code(9), None);
+    }
+
+    #[test]
+    fn meta_record_len_counts_every_field() {
+        let meta = ShardMeta {
+            seed: 1,
+            client_index: 1,
+            split: Split::Train,
+            family: Family::Itc99,
+            grid: GridDims::new(4, 4),
+            channels: 2,
+            placement_scale: 0.0,
+            designs: vec!["d".into()],
+        };
+        // 4 (design idx) + (2*16 + 16)*4 (planes) + 4 (crc).
+        assert_eq!(meta.record_len(), 4 + 48 * 4 + 4);
+        assert_eq!(meta.file_name(), "client01.train.rtes");
+    }
+
+    #[test]
+    fn header_encode_decode_round_trips() {
+        let meta = ShardMeta {
+            seed: 0xDEAD_BEEF,
+            client_index: 7,
+            split: Split::Test,
+            family: Family::Ispd15,
+            grid: GridDims::new(8, 16),
+            channels: 6,
+            placement_scale: 0.25,
+            designs: vec!["alpha".into(), "beta".into()],
+        };
+        let body = meta.encode_body(42);
+        let (back, n) = ShardMeta::decode_body(&body, "mem").unwrap();
+        assert_eq!(back, meta);
+        assert_eq!(n, 42);
+    }
+}

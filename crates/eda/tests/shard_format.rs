@@ -1,0 +1,374 @@
+//! Robustness tests for the binary shard format: every way a shard file
+//! can be damaged — truncation at any stage, foreign magic, unknown
+//! version, header or record CRC corruption, zero samples — must surface
+//! as a typed [`ShardError`], never a panic; and a property test pins
+//! the write→read round trip to bitwise tensor equality.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use proptest::prelude::*;
+
+use rte_eda::corpus::Split;
+use rte_eda::dataset::Sample;
+use rte_eda::placement::GridDims;
+use rte_eda::shard::{CorpusReader, ShardMeta, ShardReader, ShardWriter};
+use rte_eda::{EdaError, Family, ShardError};
+use rte_tensor::rng::Xoshiro256;
+use rte_tensor::Tensor;
+
+static DIR_COUNTER: AtomicUsize = AtomicUsize::new(0);
+
+/// A unique scratch directory under cargo's per-target tmp dir.
+fn scratch_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!(
+        "shard-format-{}-{}",
+        std::process::id(),
+        DIR_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn meta(designs: &[&str]) -> ShardMeta {
+    ShardMeta {
+        seed: 0xC0FFEE,
+        client_index: 3,
+        split: Split::Train,
+        family: Family::Iwls05,
+        grid: GridDims::new(4, 4),
+        channels: 2,
+        placement_scale: 0.5,
+        designs: designs.iter().map(|s| s.to_string()).collect(),
+    }
+}
+
+/// A deterministic sample for design `design` with seeded f32 content
+/// (including values that exercise full mantissas, not just round ones).
+fn sample(design: &str, seed: u64) -> Sample {
+    let mut rng = Xoshiro256::seed_from(seed);
+    Sample {
+        features: Tensor::from_fn(&[2, 4, 4], |_| rng.normal()),
+        label: Tensor::from_fn(&[1, 4, 4], |_| f32::from(u8::from(rng.bernoulli(0.3)))),
+        design: design.to_string(),
+    }
+}
+
+/// Writes a small valid shard and returns its path.
+fn valid_shard(dir: &std::path::Path, n_samples: usize) -> PathBuf {
+    let path = dir.join("client03.train.rtes");
+    let mut writer = ShardWriter::create(&path, meta(&["d0", "d1"])).unwrap();
+    for i in 0..n_samples {
+        writer
+            .append(&sample(if i % 2 == 0 { "d0" } else { "d1" }, 40 + i as u64))
+            .unwrap();
+    }
+    writer.finish().unwrap();
+    path
+}
+
+fn shard_err(result: Result<ShardReader, EdaError>) -> ShardError {
+    match result {
+        Err(EdaError::Shard(e)) => e,
+        Err(other) => panic!("expected a ShardError, got {other}"),
+        Ok(_) => panic!("expected an error, file opened"),
+    }
+}
+
+#[test]
+fn round_trip_preserves_samples_and_meta() {
+    let dir = scratch_dir();
+    let path = valid_shard(&dir, 5);
+    let reader = ShardReader::open(&path).unwrap();
+    assert_eq!(reader.len(), 5);
+    assert_eq!(reader.geometry(), (2, 4, 4));
+    assert_eq!(reader.meta().seed, 0xC0FFEE);
+    assert_eq!(reader.meta().split, Split::Train);
+    assert_eq!(reader.meta().designs, vec!["d0", "d1"]);
+    for i in 0..5 {
+        let got = reader.read_sample(i).unwrap();
+        let want = sample(if i % 2 == 0 { "d0" } else { "d1" }, 40 + i as u64);
+        assert_eq!(got, want, "sample {i}");
+    }
+    // Range reads agree with single reads.
+    let range = reader.read_range(1..4).unwrap();
+    assert_eq!(range.len(), 3);
+    assert_eq!(range[0], reader.read_sample(1).unwrap());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn truncation_at_every_stage_is_a_typed_error() {
+    let dir = scratch_dir();
+    let path = valid_shard(&dir, 3);
+    let bytes = std::fs::read(&path).unwrap();
+    // Cut inside the prelude, inside the header body, at a partial
+    // record, and one byte short of complete.
+    for cut in [0, 5, 12, 25, bytes.len() / 2, bytes.len() - 1] {
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        let err = shard_err(ShardReader::open(&path));
+        assert!(
+            matches!(err, ShardError::Truncated { .. }),
+            "cut at {cut}: {err}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn wrong_magic_is_a_typed_error() {
+    let dir = scratch_dir();
+    let path = valid_shard(&dir, 1);
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[0] = b'X';
+    std::fs::write(&path, &bytes).unwrap();
+    assert!(matches!(
+        shard_err(ShardReader::open(&path)),
+        ShardError::WrongMagic { .. }
+    ));
+    // A completely foreign file is also WrongMagic, not a panic.
+    std::fs::write(&path, b"this is not a shard file at all....").unwrap();
+    assert!(matches!(
+        shard_err(ShardReader::open(&path)),
+        ShardError::WrongMagic { .. }
+    ));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn unknown_version_is_a_typed_error() {
+    let dir = scratch_dir();
+    let path = valid_shard(&dir, 1);
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+    std::fs::write(&path, &bytes).unwrap();
+    let err = shard_err(ShardReader::open(&path));
+    assert!(
+        matches!(err, ShardError::UnsupportedVersion { found: 99, .. }),
+        "{err}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn header_corruption_fails_the_header_crc() {
+    let dir = scratch_dir();
+    let path = valid_shard(&dir, 2);
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[24] ^= 0xFF; // inside the header body (the seed field)
+    std::fs::write(&path, &bytes).unwrap();
+    let err = shard_err(ShardReader::open(&path));
+    assert!(
+        matches!(&err, ShardError::CrcMismatch { what, .. } if what == "header"),
+        "{err}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn record_corruption_fails_that_record_crc_only() {
+    let dir = scratch_dir();
+    let path = valid_shard(&dir, 3);
+    let bytes = std::fs::read(&path).unwrap();
+    let header_len = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+    let data_offset = 20 + header_len;
+    let record_len = (bytes.len() - data_offset) / 3;
+    // Flip a feature byte in record 1.
+    let mut corrupt = bytes.clone();
+    corrupt[data_offset + record_len + 10] ^= 0x01;
+    std::fs::write(&path, &corrupt).unwrap();
+    let reader = ShardReader::open(&path).unwrap(); // header is fine
+    assert!(reader.read_sample(0).is_ok(), "record 0 untouched");
+    assert!(reader.read_sample(2).is_ok(), "record 2 untouched");
+    let err = reader.read_sample(1).unwrap_err();
+    assert!(
+        matches!(
+            &err,
+            EdaError::Shard(ShardError::CrcMismatch { what, .. }) if what == "record 1"
+        ),
+        "{err}"
+    );
+    // Range reads crossing the bad record fail too.
+    assert!(reader.read_range(0..3).is_err());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn zero_sample_shard_is_a_typed_error() {
+    let dir = scratch_dir();
+    let path = dir.join("client03.train.rtes");
+    let writer = ShardWriter::create(&path, meta(&["d0"])).unwrap();
+    assert!(writer.is_empty());
+    writer.finish().unwrap();
+    assert!(matches!(
+        shard_err(ShardReader::open(&path)),
+        ShardError::EmptyShard { .. }
+    ));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn unfinished_shard_cannot_be_opened() {
+    let dir = scratch_dir();
+    let path = dir.join("client03.train.rtes");
+    let mut writer = ShardWriter::create(&path, meta(&["d0"])).unwrap();
+    writer.append(&sample("d0", 1)).unwrap();
+    // Dropped without finish(): the header still advertises 0 samples,
+    // and the file carries record bytes — trailing garbage.
+    drop(writer);
+    let err = shard_err(ShardReader::open(&path));
+    assert!(
+        matches!(
+            err,
+            ShardError::EmptyShard { .. } | ShardError::Corrupt { .. }
+        ),
+        "{err}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn writer_validates_geometry_and_design_table() {
+    let dir = scratch_dir();
+    let path = dir.join("client03.train.rtes");
+    let mut writer = ShardWriter::create(&path, meta(&["d0"])).unwrap();
+    // Unknown design name.
+    assert!(writer.append(&sample("nope", 1)).is_err());
+    // Wrong geometry.
+    let bad = Sample {
+        features: Tensor::zeros(&[2, 8, 8]),
+        label: Tensor::zeros(&[1, 8, 8]),
+        design: "d0".into(),
+    };
+    assert!(writer.append(&bad).is_err());
+    // Empty design table is rejected at create time.
+    assert!(ShardWriter::create(dir.join("x.rtes"), meta(&[])).is_err());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn corpus_reader_validates_directory_layout() {
+    let dir = scratch_dir();
+    // Empty directory: typed layout error.
+    assert!(matches!(
+        CorpusReader::open(&dir),
+        Err(EdaError::Shard(ShardError::Layout { .. }))
+    ));
+    // A train shard without its test sibling: layout error.
+    valid_shard(&dir, 2);
+    let err = CorpusReader::open(&dir).unwrap_err();
+    assert!(
+        matches!(&err, EdaError::Shard(ShardError::Layout { reason, .. })
+            if reason.contains("lacks a test shard")),
+        "{err}"
+    );
+    // Add the sibling: the pair opens.
+    let test_path = dir.join("client03.test.rtes");
+    let mut m = meta(&["t0"]);
+    m.split = Split::Test;
+    let mut writer = ShardWriter::create(&test_path, m).unwrap();
+    writer.append(&sample("t0", 9)).unwrap();
+    writer.finish().unwrap();
+    let reader = CorpusReader::open(&dir).unwrap();
+    assert_eq!(reader.clients().len(), 1);
+    assert_eq!(reader.clients()[0].client_index, 3);
+    assert_eq!(reader.total_samples(), 3);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn corpus_writer_leaves_no_tmp_files_and_sweeps_stale_ones() {
+    use rte_eda::corpus::CorpusConfig;
+    use rte_eda::shard::CorpusWriter;
+    let dir = scratch_dir();
+    // Debris from a hypothetical interrupted generation: must be swept,
+    // must not count as shards, and must not confuse the reader.
+    std::fs::write(dir.join("client01.train.rtes.tmp"), b"half-written junk").unwrap();
+    assert!(matches!(
+        CorpusReader::open(&dir),
+        Err(EdaError::Shard(ShardError::Layout { .. })),
+    ));
+    let summaries = CorpusWriter::new(&dir)
+        .with_chunk(4)
+        .write(&CorpusConfig::tiny())
+        .unwrap();
+    assert_eq!(summaries.len(), 18, "9 clients × 2 splits");
+    let leftovers: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("tmp"))
+        .collect();
+    assert!(leftovers.is_empty(), "tmp debris left: {leftovers:?}");
+    // Every summary points at a final, openable .rtes file.
+    for summary in &summaries {
+        assert_eq!(
+            summary.path.extension().and_then(|e| e.to_str()),
+            Some("rtes")
+        );
+        assert!(ShardReader::open(&summary.path).is_ok());
+    }
+    assert!(CorpusReader::open(&dir).is_ok());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Write→read round-trips arbitrary tensor content bitwise: for a
+    /// random sample count, geometry and seed, every f32 read back has
+    /// exactly the bit pattern written.
+    #[test]
+    fn shard_round_trip_is_bitwise(
+        n_samples in 1usize..6,
+        channels in 1usize..4,
+        height in 2usize..6,
+        width in 2usize..6,
+        seed in 0u64..1_000_000,
+    ) {
+        let dir = scratch_dir();
+        let path = dir.join("client01.train.rtes");
+        let m = ShardMeta {
+            seed,
+            client_index: 1,
+            split: Split::Train,
+            family: Family::Itc99,
+            grid: GridDims::new(width, height),
+            channels,
+            placement_scale: 1.0,
+            designs: vec!["a".into(), "b".into()],
+        };
+        let mut rng = Xoshiro256::seed_from(seed);
+        let samples: Vec<Sample> = (0..n_samples)
+            .map(|i| Sample {
+                // normal() exercises full mantissas; mix in exact zeros
+                // and negatives.
+                features: Tensor::from_fn(&[channels, height, width], |_| {
+                    if rng.bernoulli(0.1) { 0.0 } else { rng.normal() }
+                }),
+                label: Tensor::from_fn(&[1, height, width], |_| {
+                    f32::from(u8::from(rng.bernoulli(0.4)))
+                }),
+                design: if i % 2 == 0 { "a".into() } else { "b".into() },
+            })
+            .collect();
+        let mut writer = ShardWriter::create(&path, m).unwrap();
+        for s in &samples {
+            writer.append(s).unwrap();
+        }
+        prop_assert_eq!(writer.finish().unwrap(), n_samples as u64);
+        let reader = ShardReader::open(&path).unwrap();
+        prop_assert_eq!(reader.len(), n_samples);
+        let back = reader.read_range(0..n_samples).unwrap();
+        for (got, want) in back.iter().zip(&samples) {
+            prop_assert_eq!(&got.design, &want.design);
+            let got_bits: Vec<u32> = got.features.data().iter().map(|v| v.to_bits()).collect();
+            let want_bits: Vec<u32> = want.features.data().iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(got_bits, want_bits);
+            let got_bits: Vec<u32> = got.label.data().iter().map(|v| v.to_bits()).collect();
+            let want_bits: Vec<u32> = want.label.data().iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(got_bits, want_bits);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,20 +1,47 @@
 //! Client-side data containers.
+//!
+//! A [`ClientSet`] is one private data split. It has two backends behind
+//! one API: the default **in-memory** backend (pre-batched NCHW tensors,
+//! exactly as before the streaming subsystem existed) and the
+//! **streaming** backend ([`crate::stream::StreamingClientSet`]), which
+//! feeds the same minibatches from bounded-memory chunk reads so corpora
+//! larger than RAM can train and evaluate. Minibatch *index selection*
+//! lives here, in one place, for both backends — which is what makes the
+//! streamed path bit-identical to the in-memory one.
+
+use std::sync::Arc;
 
 use rte_tensor::rng::Xoshiro256;
 use rte_tensor::Tensor;
 
+use crate::stream::{ConcatSource, RecordSource, StreamingClientSet, TensorSource};
 use crate::FedError;
 
+/// Storage backend of a [`ClientSet`].
+///
+/// In-memory tensors sit behind [`Arc`] so cloning a client (and pooling
+/// splits into a [`ConcatSource`]) shares the planes instead of deep-
+/// copying them.
+#[derive(Debug, Clone, PartialEq)]
+enum Backend {
+    /// Pre-batched tensors resident in memory (the default).
+    InMemory {
+        features: Arc<Tensor>,
+        labels: Arc<Tensor>,
+    },
+    /// Bounded-memory chunk streaming from a [`RecordSource`].
+    Streaming(StreamingClientSet),
+}
+
 /// One data split held privately by a client: features `(N, C, H, W)` and
-/// labels `(N, 1, H, W)`.
+/// labels `(N, 1, H, W)`, resident in memory or streamed out-of-core.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClientSet {
-    features: Tensor,
-    labels: Tensor,
+    backend: Backend,
 }
 
 impl ClientSet {
-    /// Wraps pre-batched feature/label tensors.
+    /// Wraps pre-batched feature/label tensors (the in-memory backend).
     ///
     /// # Errors
     ///
@@ -39,12 +66,38 @@ impl ClientSet {
                 ),
             });
         }
-        Ok(ClientSet { features, labels })
+        Ok(ClientSet {
+            backend: Backend::InMemory {
+                features: Arc::new(features),
+                labels: Arc::new(labels),
+            },
+        })
+    }
+
+    /// Wraps a streaming split (the out-of-core backend). Minibatches
+    /// drawn from it are bit-identical to an in-memory set holding the
+    /// same records.
+    pub fn streaming(set: StreamingClientSet) -> Self {
+        ClientSet {
+            backend: Backend::Streaming(set),
+        }
+    }
+
+    /// The streaming backend, when this set uses one (the benches and
+    /// determinism tests read its bounded-memory counters).
+    pub fn as_streaming(&self) -> Option<&StreamingClientSet> {
+        match &self.backend {
+            Backend::Streaming(s) => Some(s),
+            Backend::InMemory { .. } => None,
+        }
     }
 
     /// Number of samples.
     pub fn len(&self) -> usize {
-        self.features.dim(0)
+        match &self.backend {
+            Backend::InMemory { features, .. } => features.dim(0),
+            Backend::Streaming(s) => s.len(),
+        }
     }
 
     /// True when the split holds no samples.
@@ -52,87 +105,175 @@ impl ClientSet {
         self.len() == 0
     }
 
-    /// The full feature tensor.
-    pub fn features(&self) -> &Tensor {
-        &self.features
+    /// `(channels, height, width)` of every sample.
+    pub fn geometry(&self) -> (usize, usize, usize) {
+        match &self.backend {
+            Backend::InMemory { features, .. } => {
+                (features.dim(1), features.dim(2), features.dim(3))
+            }
+            Backend::Streaming(s) => s.geometry(),
+        }
     }
 
-    /// The full label tensor.
-    pub fn labels(&self) -> &Tensor {
-        &self.labels
+    /// The full feature tensor — `None` for streaming splits, whose
+    /// whole point is never materializing it.
+    pub fn features(&self) -> Option<&Tensor> {
+        match &self.backend {
+            Backend::InMemory { features, .. } => Some(features.as_ref()),
+            Backend::Streaming(_) => None,
+        }
+    }
+
+    /// The full label tensor — `None` for streaming splits.
+    pub fn labels(&self) -> Option<&Tensor> {
+        match &self.backend {
+            Backend::InMemory { labels, .. } => Some(labels.as_ref()),
+            Backend::Streaming(_) => None,
+        }
+    }
+
+    /// Copies the samples at `indices` into a contiguous minibatch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FedError::InvalidConfig`] for out-of-bounds indices and
+    /// [`FedError::Stream`] when a streaming backend's storage fails.
+    pub fn try_minibatch(&self, indices: &[usize]) -> Result<(Tensor, Tensor), FedError> {
+        match &self.backend {
+            Backend::InMemory { features, labels } => {
+                let n = indices.len();
+                let (c, h, w) = (features.dim(1), features.dim(2), features.dim(3));
+                let xs = c * h * w;
+                let ys = h * w;
+                let mut x = Tensor::zeros(&[n, c, h, w]);
+                let mut y = Tensor::zeros(&[n, 1, h, w]);
+                for (bi, &si) in indices.iter().enumerate() {
+                    if si >= self.len() {
+                        return Err(FedError::InvalidConfig {
+                            reason: format!(
+                                "minibatch index {si} out of bounds ({} samples)",
+                                self.len()
+                            ),
+                        });
+                    }
+                    x.data_mut()[bi * xs..(bi + 1) * xs]
+                        .copy_from_slice(&features.data()[si * xs..(si + 1) * xs]);
+                    y.data_mut()[bi * ys..(bi + 1) * ys]
+                        .copy_from_slice(&labels.data()[si * ys..(si + 1) * ys]);
+                }
+                Ok((x, y))
+            }
+            Backend::Streaming(s) => s.gather(indices),
+        }
     }
 
     /// Copies the samples at `indices` into a contiguous minibatch.
     ///
     /// # Panics
     ///
-    /// Panics if any index is out of bounds (internal callers sample
-    /// indices from `0..len()`).
+    /// Panics if any index is out of bounds or streaming storage fails —
+    /// fallible callers use [`ClientSet::try_minibatch`].
     pub fn minibatch(&self, indices: &[usize]) -> (Tensor, Tensor) {
-        let n = indices.len();
-        let (c, h, w) = (
-            self.features.dim(1),
-            self.features.dim(2),
-            self.features.dim(3),
-        );
-        let xs = c * h * w;
-        let ys = h * w;
-        let mut x = Tensor::zeros(&[n, c, h, w]);
-        let mut y = Tensor::zeros(&[n, 1, h, w]);
-        for (bi, &si) in indices.iter().enumerate() {
-            assert!(si < self.len(), "minibatch index out of bounds");
-            x.data_mut()[bi * xs..(bi + 1) * xs]
-                .copy_from_slice(&self.features.data()[si * xs..(si + 1) * xs]);
-            y.data_mut()[bi * ys..(bi + 1) * ys]
-                .copy_from_slice(&self.labels.data()[si * ys..(si + 1) * ys]);
-        }
-        (x, y)
+        self.try_minibatch(indices)
+            .expect("minibatch index out of bounds")
     }
 
-    /// Copies the contiguous samples `range` into a minibatch without
-    /// building an index list — both tensors are row-contiguous, so this
-    /// is two bulk `copy_from_slice` calls (the evaluation hot path).
+    /// Copies the contiguous samples `range` into a minibatch. For the
+    /// in-memory backend this is two bulk `copy_from_slice` calls (the
+    /// evaluation hot path); for the streaming backend it flows through
+    /// the double-buffered chunk cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FedError::InvalidConfig`] when the range is empty or
+    /// ends past `len()`, [`FedError::Stream`] on storage failures.
+    pub fn try_minibatch_range(
+        &self,
+        range: std::ops::Range<usize>,
+    ) -> Result<(Tensor, Tensor), FedError> {
+        match &self.backend {
+            Backend::InMemory { features, labels } => {
+                if range.start >= range.end || range.end > self.len() {
+                    return Err(FedError::InvalidConfig {
+                        reason: format!(
+                            "minibatch range {range:?} invalid for {} samples",
+                            self.len()
+                        ),
+                    });
+                }
+                let n = range.len();
+                let (c, h, w) = (features.dim(1), features.dim(2), features.dim(3));
+                let xs = c * h * w;
+                let ys = h * w;
+                let mut x = Tensor::zeros(&[n, c, h, w]);
+                let mut y = Tensor::zeros(&[n, 1, h, w]);
+                x.data_mut()
+                    .copy_from_slice(&features.data()[range.start * xs..range.end * xs]);
+                y.data_mut()
+                    .copy_from_slice(&labels.data()[range.start * ys..range.end * ys]);
+                Ok((x, y))
+            }
+            Backend::Streaming(s) => s.range_batch(range),
+        }
+    }
+
+    /// Copies the contiguous samples `range` into a minibatch.
     ///
     /// # Panics
     ///
-    /// Panics if the range is empty or ends past `len()`.
+    /// Panics if the range is empty, ends past `len()`, or streaming
+    /// storage fails — fallible callers use
+    /// [`ClientSet::try_minibatch_range`].
     pub fn minibatch_range(&self, range: std::ops::Range<usize>) -> (Tensor, Tensor) {
-        assert!(
-            range.start < range.end && range.end <= self.len(),
-            "minibatch range {range:?} invalid for {} samples",
-            self.len()
-        );
-        let n = range.len();
-        let (c, h, w) = (
-            self.features.dim(1),
-            self.features.dim(2),
-            self.features.dim(3),
-        );
-        let xs = c * h * w;
-        let ys = h * w;
-        let mut x = Tensor::zeros(&[n, c, h, w]);
-        let mut y = Tensor::zeros(&[n, 1, h, w]);
-        x.data_mut()
-            .copy_from_slice(&self.features.data()[range.start * xs..range.end * xs]);
-        y.data_mut()
-            .copy_from_slice(&self.labels.data()[range.start * ys..range.end * ys]);
-        (x, y)
+        self.try_minibatch_range(range)
+            .expect("minibatch range invalid")
     }
 
-    /// Samples a random minibatch of `batch_size` (with replacement when
-    /// `batch_size > len`, without otherwise).
-    pub fn sample_minibatch(&self, batch_size: usize, rng: &mut Xoshiro256) -> (Tensor, Tensor) {
+    /// Samples a random minibatch of `batch_size` (the full split, in
+    /// order, when `batch_size >= len`). This is the **single derivation
+    /// point** of training minibatch indices: both backends consume the
+    /// RNG identically, so streamed training replays the in-memory batch
+    /// sequence exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FedError::Stream`] when streaming storage fails.
+    pub fn try_sample_minibatch(
+        &self,
+        batch_size: usize,
+        rng: &mut Xoshiro256,
+    ) -> Result<(Tensor, Tensor), FedError> {
         let n = self.len();
+        if batch_size >= n && n > 0 {
+            // Full-set "batch": the contiguous range path is one bulk
+            // copy (or one streamed read) and yields the same bytes as
+            // gathering indices 0..n one by one.
+            return self.try_minibatch_range(0..n);
+        }
         let indices: Vec<usize> = if batch_size >= n {
             (0..n).collect()
         } else {
             rng.sample_indices(n, batch_size)
         };
-        self.minibatch(&indices)
+        self.try_minibatch(&indices)
+    }
+
+    /// Samples a random minibatch of `batch_size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if streaming storage fails — fallible callers use
+    /// [`ClientSet::try_sample_minibatch`].
+    pub fn sample_minibatch(&self, batch_size: usize, rng: &mut Xoshiro256) -> (Tensor, Tensor) {
+        self.try_sample_minibatch(batch_size, rng)
+            .expect("minibatch sampling failed")
     }
 
     /// Concatenates several splits into one (used by centralized
-    /// training).
+    /// training). All-in-memory inputs pool eagerly into one tensor
+    /// pair; if any input streams, the result streams too (a
+    /// [`ConcatSource`] over the parts), so pooling never forces the
+    /// corpus into memory.
     ///
     /// # Errors
     ///
@@ -142,27 +283,55 @@ impl ClientSet {
         let first = sets.first().ok_or_else(|| FedError::InvalidConfig {
             reason: "concat of zero client sets".into(),
         })?;
-        let (c, h, w) = (
-            first.features.dim(1),
-            first.features.dim(2),
-            first.features.dim(3),
-        );
-        let total: usize = sets.iter().map(|s| s.len()).sum();
-        let mut x = Vec::with_capacity(total * c * h * w);
-        let mut y = Vec::with_capacity(total * h * w);
+        let (c, h, w) = first.geometry();
         for s in sets {
-            if s.features.dim(1) != c || s.features.dim(2) != h || s.features.dim(3) != w {
+            if s.geometry() != (c, h, w) {
                 return Err(FedError::InvalidConfig {
                     reason: "client sets disagree on geometry".into(),
                 });
             }
-            x.extend_from_slice(s.features.data());
-            y.extend_from_slice(s.labels.data());
         }
-        Ok(ClientSet {
-            features: Tensor::from_vec(x, &[total, c, h, w])?,
-            labels: Tensor::from_vec(y, &[total, 1, h, w])?,
-        })
+        if sets.iter().all(|s| s.as_streaming().is_none()) {
+            let total: usize = sets.iter().map(|s| s.len()).sum();
+            let mut x = Vec::with_capacity(total * c * h * w);
+            let mut y = Vec::with_capacity(total * h * w);
+            for s in sets {
+                let features = s.features().expect("in-memory backend");
+                let labels = s.labels().expect("in-memory backend");
+                x.extend_from_slice(features.data());
+                y.extend_from_slice(labels.data());
+            }
+            return ClientSet::new(
+                Tensor::from_vec(x, &[total, c, h, w])?,
+                Tensor::from_vec(y, &[total, 1, h, w])?,
+            );
+        }
+        // Mixed or fully streaming: splice the sources logically. The
+        // chunk size carries over from the largest streamed part (a pure
+        // wall-clock/memory knob — any value yields the same bytes).
+        let mut sources: Vec<Arc<dyn RecordSource>> = Vec::with_capacity(sets.len());
+        let mut chunk = 1usize;
+        for s in sets {
+            match &s.backend {
+                Backend::InMemory { features, labels } => {
+                    // Shares the Arc'd planes — no deep copy of the
+                    // in-memory parts.
+                    sources.push(Arc::new(TensorSource::from_shared(
+                        Arc::clone(features),
+                        Arc::clone(labels),
+                    )?));
+                }
+                Backend::Streaming(stream) => {
+                    chunk = chunk.max(stream.chunk_len());
+                    sources.push(Arc::clone(stream.source()));
+                }
+            }
+        }
+        let concat = ConcatSource::new(sources)?;
+        Ok(ClientSet::streaming(StreamingClientSet::new(
+            Arc::new(concat),
+            chunk,
+        )?))
     }
 }
 
@@ -201,6 +370,16 @@ mod tests {
             Tensor::zeros(&[n, 1, 4, 4]),
         )
         .unwrap()
+    }
+
+    /// The same split, streamed from a TensorSource.
+    fn streamed(n: usize, fill: f32, chunk: usize) -> ClientSet {
+        let source = TensorSource::new(
+            Tensor::full(&[n, 2, 4, 4], fill),
+            Tensor::zeros(&[n, 1, 4, 4]),
+        )
+        .unwrap();
+        ClientSet::streaming(StreamingClientSet::new(Arc::new(source), chunk).unwrap())
     }
 
     #[test]
@@ -269,14 +448,53 @@ mod tests {
     }
 
     #[test]
+    fn streaming_backend_serves_identical_minibatches() {
+        let mut features = Tensor::zeros(&[6, 2, 4, 4]);
+        for (i, v) in features.data_mut().iter_mut().enumerate() {
+            *v = (i % 97) as f32 * 0.25;
+        }
+        let labels = Tensor::from_fn(&[6, 1, 4, 4], |i| (i % 3 == 0) as u8 as f32);
+        let memory = ClientSet::new(features.clone(), labels.clone()).unwrap();
+        let stream = ClientSet::streaming(
+            StreamingClientSet::new(Arc::new(TensorSource::new(features, labels).unwrap()), 2)
+                .unwrap(),
+        );
+        assert_eq!(memory.len(), stream.len());
+        assert_eq!(memory.geometry(), stream.geometry());
+        assert_eq!(memory.minibatch(&[4, 1, 1]), stream.minibatch(&[4, 1, 1]));
+        assert_eq!(memory.minibatch_range(1..5), stream.minibatch_range(1..5));
+        // The RNG-driven sampler consumes the stream identically.
+        let mut rng_a = Xoshiro256::seed_from(9);
+        let mut rng_b = Xoshiro256::seed_from(9);
+        assert_eq!(
+            memory.sample_minibatch(3, &mut rng_a),
+            stream.sample_minibatch(3, &mut rng_b)
+        );
+        assert!(stream.features().is_none());
+        assert!(memory.features().is_some());
+    }
+
+    #[test]
     fn concat_pools_samples() {
         let a = set(2, 1.0);
         let b = set(3, 2.0);
         let all = ClientSet::concat(&[&a, &b]).unwrap();
         assert_eq!(all.len(), 5);
-        assert_eq!(all.features().data()[0], 1.0);
-        assert_eq!(all.features().data()[2 * 32], 2.0);
+        assert_eq!(all.features().unwrap().data()[0], 1.0);
+        assert_eq!(all.features().unwrap().data()[2 * 32], 2.0);
         assert!(ClientSet::concat(&[]).is_err());
+    }
+
+    #[test]
+    fn concat_with_streaming_part_stays_streaming() {
+        let a = set(2, 1.0);
+        let b = streamed(3, 2.0, 2);
+        let all = ClientSet::concat(&[&a, &b]).unwrap();
+        assert_eq!(all.len(), 5);
+        assert!(all.as_streaming().is_some(), "must not materialize");
+        // Same bytes as the eager concat of the same data.
+        let eager = ClientSet::concat(&[&a, &set(3, 2.0)]).unwrap();
+        assert_eq!(all.minibatch_range(0..5), eager.minibatch_range(0..5));
     }
 
     #[test]

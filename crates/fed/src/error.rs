@@ -26,6 +26,12 @@ pub enum FedError {
         /// Human-readable reason.
         reason: String,
     },
+    /// A streaming data source failed mid-read (I/O error, checksum
+    /// mismatch, out-of-range chunk).
+    Stream {
+        /// Human-readable reason (carries the storage layer's message).
+        reason: String,
+    },
 }
 
 impl fmt::Display for FedError {
@@ -38,6 +44,7 @@ impl fmt::Display for FedError {
             FedError::AggregationMismatch { reason } => {
                 write!(f, "aggregation mismatch: {reason}")
             }
+            FedError::Stream { reason } => write!(f, "streaming error: {reason}"),
         }
     }
 }

@@ -109,12 +109,13 @@ fn collect_scores(
         });
     }
     let n = set.len();
-    let mut scores = Vec::with_capacity(set.labels().numel());
-    let mut labels = Vec::with_capacity(set.labels().numel());
+    let (_, h, w) = set.geometry();
+    let mut scores = Vec::with_capacity(n * h * w);
+    let mut labels = Vec::with_capacity(n * h * w);
     let mut start = 0usize;
     while start < n {
         let end = (start + batch_size).min(n);
-        let (x, y) = set.minibatch_range(start..end);
+        let (x, y) = set.try_minibatch_range(start..end)?;
         let pred = model.forward(&x, false)?;
         scores.extend_from_slice(pred.data());
         labels.extend(y.data().iter().map(|&v| v > 0.5));

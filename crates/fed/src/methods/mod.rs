@@ -7,7 +7,7 @@
 //! histograms) plus an optional per-round history (used to regenerate the
 //! Fig. 1/2 convergence series). Evaluation fans out per client through
 //! [`crate::eval::Evaluator`], exactly like training fans out through
-//! [`Harness::train_clients`].
+//! the harness' internal `train_clients` round loop.
 
 mod alpha_sync;
 mod assigned;

@@ -1,0 +1,726 @@
+//! Bounded-memory streaming data feeding for clients whose corpora do
+//! not fit in RAM.
+//!
+//! The federated formulation assumes clients iterate local data they
+//! cannot hold (or share) wholesale; this module models that directly:
+//!
+//! - [`RecordSource`] — the minimal random-access contract a sample
+//!   store must offer (length, geometry, "read records `a..b` into flat
+//!   f32 buffers"). The EDA shard files implement it via an adapter in
+//!   `rte-core`; [`TensorSource`] backs it with in-memory tensors (for
+//!   tests and for mixed concatenation), and [`ConcatSource`] splices
+//!   several sources into one logical store.
+//! - [`StreamingClientSet`] — a [`crate::ClientSet`] backend that feeds
+//!   [`crate::LocalTrainer`] and [`crate::eval::Evaluator`] from chunk
+//!   iterators holding **at most two chunks** in memory: the chunk being
+//!   consumed and the next one, prefetched alongside it on the existing
+//!   [`rte_tensor::parallel`] pool (the classic double buffer). Random
+//!   training minibatches bypass the cache entirely and read exactly the
+//!   records they need.
+//!
+//! # Determinism contract
+//!
+//! Streaming changes *where bytes are read from*, never *which bytes a
+//! minibatch holds*: minibatch index sampling stays in
+//! [`crate::ClientSet`] (one derivation point for both backends), and
+//! records hold the same f32 bit patterns the in-memory tensors would.
+//! Streamed training and evaluation are therefore **bit-identical to
+//! the in-memory path at any thread count and any chunk size** —
+//! `tests/streaming_determinism.rs` pins the full `MethodOutcome` and
+//! every `EvalReport` field across both axes.
+
+use std::ops::Range;
+use std::sync::{Arc, Mutex};
+
+use rte_tensor::parallel::{self, map_with};
+use rte_tensor::Tensor;
+
+use crate::FedError;
+
+/// Random-access source of fixed-geometry `(features, label)` records.
+///
+/// Implementations must be cheap to read from at arbitrary offsets
+/// (seekable files, in-memory tensors); all reads go through
+/// [`RecordSource::read_into`] so one code path serves both sequential
+/// chunk streaming and random minibatch gathers.
+pub trait RecordSource: Send + Sync {
+    /// Total number of records.
+    fn len(&self) -> usize;
+
+    /// True when the source holds no records.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(channels, height, width)` of every record.
+    fn geometry(&self) -> (usize, usize, usize);
+
+    /// Appends records `range` (record-major, row-major planes) to the
+    /// flat output buffers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FedError`] for out-of-range reads or storage failures
+    /// (I/O errors, checksum mismatches).
+    fn read_into(
+        &self,
+        range: Range<usize>,
+        features: &mut Vec<f32>,
+        labels: &mut Vec<f32>,
+    ) -> Result<(), FedError>;
+
+    /// Stable human-readable identity (file path, construction recipe)
+    /// used for `Debug`/`PartialEq` of the wrapping client set.
+    fn descriptor(&self) -> String;
+}
+
+/// [`RecordSource`] over in-memory NCHW tensors — the bridge that lets
+/// streaming and in-memory data mix (and the natural source for tests).
+///
+/// The planes sit behind [`Arc`], so building a source over tensors that
+/// are already shared (e.g. pooling an in-memory [`crate::ClientSet`]
+/// into a [`ConcatSource`]) copies pointers, not data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TensorSource {
+    features: Arc<Tensor>,
+    labels: Arc<Tensor>,
+}
+
+impl TensorSource {
+    /// Wraps pre-batched `(N, C, H, W)` features and `(N, 1, H, W)`
+    /// labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FedError::InvalidConfig`] for rank/shape disagreements,
+    /// exactly like [`crate::ClientSet::new`].
+    pub fn new(features: Tensor, labels: Tensor) -> Result<Self, FedError> {
+        TensorSource::from_shared(Arc::new(features), Arc::new(labels))
+    }
+
+    /// [`TensorSource::new`] over already-shared tensors — zero-copy.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TensorSource::new`].
+    pub fn from_shared(features: Arc<Tensor>, labels: Arc<Tensor>) -> Result<Self, FedError> {
+        if features.shape().rank() != 4 || labels.shape().rank() != 4 {
+            return Err(FedError::InvalidConfig {
+                reason: "features and labels must be rank-4 (NCHW)".into(),
+            });
+        }
+        if features.dim(0) != labels.dim(0)
+            || labels.dim(1) != 1
+            || features.dim(2) != labels.dim(2)
+            || features.dim(3) != labels.dim(3)
+        {
+            return Err(FedError::InvalidConfig {
+                reason: format!(
+                    "feature shape {} incompatible with label shape {}",
+                    features.shape(),
+                    labels.shape()
+                ),
+            });
+        }
+        Ok(TensorSource { features, labels })
+    }
+}
+
+impl RecordSource for TensorSource {
+    fn len(&self) -> usize {
+        self.features.dim(0)
+    }
+
+    fn geometry(&self) -> (usize, usize, usize) {
+        (
+            self.features.dim(1),
+            self.features.dim(2),
+            self.features.dim(3),
+        )
+    }
+
+    fn read_into(
+        &self,
+        range: Range<usize>,
+        features: &mut Vec<f32>,
+        labels: &mut Vec<f32>,
+    ) -> Result<(), FedError> {
+        if range.start >= range.end || range.end > self.len() {
+            return Err(FedError::Stream {
+                reason: format!("record range {range:?} invalid for {} records", self.len()),
+            });
+        }
+        let (c, h, w) = self.geometry();
+        let xs = c * h * w;
+        let ys = h * w;
+        features.extend_from_slice(&self.features.data()[range.start * xs..range.end * xs]);
+        labels.extend_from_slice(&self.labels.data()[range.start * ys..range.end * ys]);
+        Ok(())
+    }
+
+    fn descriptor(&self) -> String {
+        // Content-addressed: two sources over same-shape but different
+        // data must not compare equal through the wrapping client set's
+        // descriptor-based PartialEq.
+        let mut hash = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+        for t in [self.features.as_ref(), self.labels.as_ref()] {
+            for v in t.data() {
+                hash ^= u64::from(v.to_bits());
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+        let (c, h, w) = self.geometry();
+        format!("tensor({}x{c}x{h}x{w}#{hash:016x})", self.len())
+    }
+}
+
+/// [`RecordSource`] that splices several sources into one logical store
+/// (record `i` of source `k` appears after every record of sources
+/// `0..k`) — how centralized training pools client splits without
+/// materializing them.
+pub struct ConcatSource {
+    sources: Vec<Arc<dyn RecordSource>>,
+    /// Exclusive running totals: `ends[k]` = records in sources `0..=k`.
+    ends: Vec<usize>,
+}
+
+impl ConcatSource {
+    /// Concatenates `sources` in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FedError::InvalidConfig`] for an empty list or
+    /// geometry disagreements between sources.
+    pub fn new(sources: Vec<Arc<dyn RecordSource>>) -> Result<Self, FedError> {
+        let first = sources.first().ok_or_else(|| FedError::InvalidConfig {
+            reason: "concat of zero record sources".into(),
+        })?;
+        let geometry = first.geometry();
+        let mut ends = Vec::with_capacity(sources.len());
+        let mut total = 0usize;
+        for s in &sources {
+            if s.geometry() != geometry {
+                return Err(FedError::InvalidConfig {
+                    reason: "record sources disagree on geometry".into(),
+                });
+            }
+            total += s.len();
+            ends.push(total);
+        }
+        Ok(ConcatSource { sources, ends })
+    }
+}
+
+impl RecordSource for ConcatSource {
+    fn len(&self) -> usize {
+        self.ends.last().copied().unwrap_or(0)
+    }
+
+    fn geometry(&self) -> (usize, usize, usize) {
+        self.sources[0].geometry()
+    }
+
+    fn read_into(
+        &self,
+        range: Range<usize>,
+        features: &mut Vec<f32>,
+        labels: &mut Vec<f32>,
+    ) -> Result<(), FedError> {
+        if range.start >= range.end || range.end > self.len() {
+            return Err(FedError::Stream {
+                reason: format!("record range {range:?} invalid for {} records", self.len()),
+            });
+        }
+        let mut pos = range.start;
+        for (k, source) in self.sources.iter().enumerate() {
+            if pos >= range.end {
+                break;
+            }
+            let start_of_k = self.ends[k] - source.len();
+            if pos >= self.ends[k] {
+                continue;
+            }
+            let local_start = pos - start_of_k;
+            let local_end = (range.end - start_of_k).min(source.len());
+            source.read_into(local_start..local_end, features, labels)?;
+            pos = start_of_k + local_end;
+        }
+        Ok(())
+    }
+
+    fn descriptor(&self) -> String {
+        let parts: Vec<String> = self.sources.iter().map(|s| s.descriptor()).collect();
+        format!("concat[{}]", parts.join("+"))
+    }
+}
+
+/// One resident chunk of records.
+struct ChunkBuf {
+    /// Chunk index (`records [index*chunk .. )`).
+    index: usize,
+    /// Records in this chunk (the last chunk may be short).
+    len: usize,
+    features: Vec<f32>,
+    labels: Vec<f32>,
+}
+
+/// The double buffer: at most two resident chunks plus the high-water
+/// mark of resident samples (the bounded-memory proof the benches and
+/// tests assert against).
+struct ChunkCache {
+    slots: Vec<ChunkBuf>,
+    peak_resident: usize,
+}
+
+/// A client split streamed from a [`RecordSource`] with bounded memory.
+///
+/// Sequential scans (evaluation, full-batch loss) are served from a
+/// two-slot chunk cache: when a scan enters an uncached chunk, that
+/// chunk *and the next one* are fetched together on the
+/// [`rte_tensor::parallel`] pool, so at most `2 × chunk` samples are
+/// ever resident (track record: [`StreamingClientSet::peak_resident_samples`]).
+/// Random minibatch gathers read exactly the requested records and keep
+/// nothing.
+///
+/// Cloning shares the underlying source but starts an empty cache;
+/// equality compares provenance (source descriptor, length, geometry,
+/// chunk size), not buffered bytes.
+pub struct StreamingClientSet {
+    source: Arc<dyn RecordSource>,
+    chunk: usize,
+    cache: Mutex<ChunkCache>,
+}
+
+impl std::fmt::Debug for StreamingClientSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamingClientSet")
+            .field("source", &self.source.descriptor())
+            .field("len", &self.source.len())
+            .field("chunk", &self.chunk)
+            .finish()
+    }
+}
+
+impl Clone for StreamingClientSet {
+    fn clone(&self) -> Self {
+        StreamingClientSet {
+            source: Arc::clone(&self.source),
+            chunk: self.chunk,
+            cache: Mutex::new(ChunkCache {
+                slots: Vec::new(),
+                peak_resident: 0,
+            }),
+        }
+    }
+}
+
+impl PartialEq for StreamingClientSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.chunk == other.chunk
+            && self.source.len() == other.source.len()
+            && self.source.geometry() == other.source.geometry()
+            && self.source.descriptor() == other.source.descriptor()
+    }
+}
+
+impl StreamingClientSet {
+    /// Wraps `source`, streaming `chunk` samples at a time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FedError::InvalidConfig`] for a zero chunk size.
+    pub fn new(source: Arc<dyn RecordSource>, chunk: usize) -> Result<Self, FedError> {
+        if chunk == 0 {
+            return Err(FedError::InvalidConfig {
+                reason: "streaming chunk size must be positive".into(),
+            });
+        }
+        Ok(StreamingClientSet {
+            source,
+            chunk,
+            cache: Mutex::new(ChunkCache {
+                slots: Vec::new(),
+                peak_resident: 0,
+            }),
+        })
+    }
+
+    /// Number of samples in the split.
+    pub fn len(&self) -> usize {
+        self.source.len()
+    }
+
+    /// True when the split holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(channels, height, width)` of every sample.
+    pub fn geometry(&self) -> (usize, usize, usize) {
+        self.source.geometry()
+    }
+
+    /// Samples streamed per chunk.
+    pub fn chunk_len(&self) -> usize {
+        self.chunk
+    }
+
+    /// The shared record source.
+    pub fn source(&self) -> &Arc<dyn RecordSource> {
+        &self.source
+    }
+
+    /// High-water mark of samples resident in the streaming buffers —
+    /// bounded by `2 × chunk_len` by construction, regardless of how
+    /// large the split is. (Minibatch tensors handed to the caller are
+    /// excluded: the in-memory path allocates those too.)
+    pub fn peak_resident_samples(&self) -> usize {
+        self.cache
+            .lock()
+            .expect("chunk cache lock poisoned")
+            .peak_resident
+    }
+
+    fn n_chunks(&self) -> usize {
+        self.len().div_ceil(self.chunk)
+    }
+
+    fn chunk_range(&self, index: usize) -> Range<usize> {
+        let start = index * self.chunk;
+        start..((start + self.chunk).min(self.len()))
+    }
+
+    /// Loads chunk `index` (and, as the double-buffer prefetch, chunk
+    /// `index + 1` when it exists and is not already resident) on the
+    /// current thread-default parallel budget. Stale slots are evicted
+    /// *before* the fetch, so at most two chunks are ever resident —
+    /// either the freshly fetched `(index, index + 1)` pair, or a kept
+    /// prefetched `index + 1` plus the fetched `index`.
+    fn load_into_cache(&self, index: usize) -> Result<(), FedError> {
+        let to_load: Vec<usize> = {
+            let mut cache = self.cache.lock().expect("chunk cache lock poisoned");
+            // Evict everything except a still-useful prefetched next
+            // chunk; dropping before fetching is what bounds residency
+            // at 2 × chunk.
+            cache.slots.retain(|s| s.index == index + 1);
+            let mut want = vec![index];
+            let next = index + 1;
+            if next < self.n_chunks() && !cache.slots.iter().any(|s| s.index == next) {
+                want.push(next);
+            }
+            want
+        };
+        // Fetch the pair on the pool: two buffers decode concurrently on
+        // the coordinator thread's budget, and degrade to a serial fetch
+        // inside nested parallel regions (the evaluator's workers).
+        let loaded = map_with(
+            parallel::global(),
+            &to_load,
+            || (),
+            |(), _, &ci| -> Result<ChunkBuf, FedError> {
+                let range = self.chunk_range(ci);
+                let (c, h, w) = self.geometry();
+                let n = range.len();
+                let mut features = Vec::with_capacity(n * c * h * w);
+                let mut labels = Vec::with_capacity(n * h * w);
+                self.source.read_into(range, &mut features, &mut labels)?;
+                Ok(ChunkBuf {
+                    index: ci,
+                    len: n,
+                    features,
+                    labels,
+                })
+            },
+        )
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()?;
+        let mut cache = self.cache.lock().expect("chunk cache lock poisoned");
+        cache.slots.extend(loaded);
+        let resident: usize = cache.slots.iter().map(|s| s.len).sum();
+        cache.peak_resident = cache.peak_resident.max(resident);
+        Ok(())
+    }
+
+    /// Copies the contiguous samples `range` into a minibatch, streaming
+    /// through the chunk cache (the evaluation hot path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FedError::InvalidConfig`] for an empty or out-of-bounds
+    /// range and [`FedError::Stream`] for storage failures.
+    pub fn range_batch(&self, range: Range<usize>) -> Result<(Tensor, Tensor), FedError> {
+        if range.start >= range.end || range.end > self.len() {
+            return Err(FedError::InvalidConfig {
+                reason: format!(
+                    "minibatch range {range:?} invalid for {} samples",
+                    self.len()
+                ),
+            });
+        }
+        let (c, h, w) = self.geometry();
+        let xs = c * h * w;
+        let ys = h * w;
+        let n = range.len();
+        let mut x = Tensor::zeros(&[n, c, h, w]);
+        let mut y = Tensor::zeros(&[n, 1, h, w]);
+        let first_chunk = range.start / self.chunk;
+        let last_chunk = (range.end - 1) / self.chunk;
+        for ci in first_chunk..=last_chunk {
+            let needs_load = {
+                let cache = self.cache.lock().expect("chunk cache lock poisoned");
+                !cache.slots.iter().any(|s| s.index == ci)
+            };
+            if needs_load {
+                self.load_into_cache(ci)?;
+            }
+            let chunk_range = self.chunk_range(ci);
+            let copy_start = range.start.max(chunk_range.start);
+            let copy_end = range.end.min(chunk_range.end);
+            let dst = copy_start - range.start;
+            let rows = copy_end - copy_start;
+            let cache = self.cache.lock().expect("chunk cache lock poisoned");
+            if let Some(buf) = cache.slots.iter().find(|s| s.index == ci) {
+                let src = copy_start - chunk_range.start;
+                x.data_mut()[dst * xs..(dst + rows) * xs]
+                    .copy_from_slice(&buf.features[src * xs..(src + rows) * xs]);
+                y.data_mut()[dst * ys..(dst + rows) * ys]
+                    .copy_from_slice(&buf.labels[src * ys..(src + rows) * ys]);
+            } else {
+                // A concurrent scan evicted the chunk between our load
+                // and this copy; read the rows directly rather than
+                // thrashing the shared cache.
+                drop(cache);
+                let mut features = Vec::with_capacity(rows * xs);
+                let mut labels = Vec::with_capacity(rows * ys);
+                self.source
+                    .read_into(copy_start..copy_end, &mut features, &mut labels)?;
+                x.data_mut()[dst * xs..(dst + rows) * xs].copy_from_slice(&features);
+                y.data_mut()[dst * ys..(dst + rows) * ys].copy_from_slice(&labels);
+            }
+        }
+        Ok((x, y))
+    }
+
+    /// Copies the samples at `indices` into a minibatch, reading exactly
+    /// the requested records (random training access keeps nothing
+    /// resident). Consecutive ascending index runs are coalesced into
+    /// single reads, so a sorted batch costs one read per gap rather
+    /// than one per sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FedError::InvalidConfig`] for out-of-bounds indices and
+    /// [`FedError::Stream`] for storage failures.
+    pub fn gather(&self, indices: &[usize]) -> Result<(Tensor, Tensor), FedError> {
+        let (c, h, w) = self.geometry();
+        let n = indices.len();
+        if let Some(&bad) = indices.iter().find(|&&si| si >= self.len()) {
+            return Err(FedError::InvalidConfig {
+                reason: format!(
+                    "minibatch index {bad} out of bounds ({} samples)",
+                    self.len()
+                ),
+            });
+        }
+        let mut features = Vec::with_capacity(n * c * h * w);
+        let mut labels = Vec::with_capacity(n * h * w);
+        let mut i = 0usize;
+        while i < n {
+            // Extend the run while indices stay consecutive ascending;
+            // batch row order is preserved because the output rows are
+            // exactly indices[i..j] in order.
+            let start = indices[i];
+            let mut j = i + 1;
+            while j < n && indices[j] == start + (j - i) {
+                j += 1;
+            }
+            self.source
+                .read_into(start..start + (j - i), &mut features, &mut labels)?;
+            i = j;
+        }
+        let x = Tensor::from_vec(features, &[n, c, h, w])?;
+        let y = Tensor::from_vec(labels, &[n, 1, h, w])?;
+        Ok((x, y))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 0..n counting source: sample `i`'s features are `i` everywhere,
+    /// labels `i % 2`. `reads` counts read_into calls for cache asserts.
+    struct CountingSource {
+        n: usize,
+        c: usize,
+        h: usize,
+        w: usize,
+        reads: std::sync::atomic::AtomicUsize,
+    }
+
+    impl CountingSource {
+        fn new(n: usize) -> Self {
+            CountingSource {
+                n,
+                c: 2,
+                h: 3,
+                w: 3,
+                reads: std::sync::atomic::AtomicUsize::new(0),
+            }
+        }
+    }
+
+    impl RecordSource for CountingSource {
+        fn len(&self) -> usize {
+            self.n
+        }
+
+        fn geometry(&self) -> (usize, usize, usize) {
+            (self.c, self.h, self.w)
+        }
+
+        fn read_into(
+            &self,
+            range: Range<usize>,
+            features: &mut Vec<f32>,
+            labels: &mut Vec<f32>,
+        ) -> Result<(), FedError> {
+            self.reads
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            for i in range {
+                features.extend(std::iter::repeat(i as f32).take(self.c * self.h * self.w));
+                labels.extend(std::iter::repeat((i % 2) as f32).take(self.h * self.w));
+            }
+            Ok(())
+        }
+
+        fn descriptor(&self) -> String {
+            format!("counting({})", self.n)
+        }
+    }
+
+    fn streaming(n: usize, chunk: usize) -> StreamingClientSet {
+        StreamingClientSet::new(Arc::new(CountingSource::new(n)), chunk).unwrap()
+    }
+
+    #[test]
+    fn zero_chunk_rejected() {
+        let err = StreamingClientSet::new(Arc::new(CountingSource::new(4)), 0).unwrap_err();
+        assert!(matches!(err, FedError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn range_batch_matches_source_content() {
+        let set = streaming(10, 3);
+        let (x, y) = set.range_batch(2..7).unwrap();
+        assert_eq!(x.shape().dims(), &[5, 2, 3, 3]);
+        assert_eq!(y.shape().dims(), &[5, 1, 3, 3]);
+        for bi in 0..5 {
+            let want = (2 + bi) as f32;
+            assert!(x.data()[bi * 18..(bi + 1) * 18].iter().all(|&v| v == want));
+            assert!(y.data()[bi * 9..(bi + 1) * 9]
+                .iter()
+                .all(|&v| v == ((2 + bi) % 2) as f32));
+        }
+    }
+
+    #[test]
+    fn sequential_scan_is_memory_bounded_and_reads_each_chunk_once() {
+        let set = streaming(20, 4);
+        let mut batches = Vec::new();
+        let mut start = 0;
+        while start < 20 {
+            let end = (start + 3).min(20);
+            batches.push(set.range_batch(start..end).unwrap());
+            start = end;
+        }
+        // 20 samples / chunk 4 = 5 chunk reads, each exactly once.
+        let source = set.source();
+        assert_eq!(source.len(), 20);
+        assert!(set.peak_resident_samples() <= 2 * 4, "double-buffer bound");
+        assert!(set.peak_resident_samples() >= 4);
+        // Stitch the batches back together: a full pass.
+        let total: usize = batches.iter().map(|(x, _)| x.dim(0)).sum();
+        assert_eq!(total, 20);
+    }
+
+    #[test]
+    fn gather_matches_range_batch_rows() {
+        let set = streaming(9, 2);
+        let (xr, yr) = set.range_batch(3..6).unwrap();
+        let (xg, yg) = set.gather(&[3, 4, 5]).unwrap();
+        assert_eq!(xr, xg);
+        assert_eq!(yr, yg);
+        // Out-of-order gather reorders rows.
+        let (x, _) = set.gather(&[5, 3]).unwrap();
+        assert!(x.data()[..18].iter().all(|&v| v == 5.0));
+        assert!(x.data()[18..].iter().all(|&v| v == 3.0));
+    }
+
+    #[test]
+    fn invalid_ranges_and_indices_are_errors() {
+        let set = streaming(4, 2);
+        assert!(set.range_batch(2..2).is_err());
+        assert!(set.range_batch(2..9).is_err());
+        assert!(set.gather(&[4]).is_err());
+    }
+
+    #[test]
+    fn clone_shares_source_but_not_cache() {
+        let set = streaming(8, 2);
+        let _ = set.range_batch(0..4).unwrap();
+        let clone = set.clone();
+        assert_eq!(set, clone);
+        assert!(set.peak_resident_samples() > 0);
+        assert_eq!(clone.peak_resident_samples(), 0);
+    }
+
+    #[test]
+    fn concat_source_splices_in_order() {
+        let a: Arc<dyn RecordSource> = Arc::new(CountingSource::new(3));
+        let b: Arc<dyn RecordSource> = Arc::new(CountingSource::new(2));
+        let concat = ConcatSource::new(vec![a, b]).unwrap();
+        assert_eq!(concat.len(), 5);
+        let mut f = Vec::new();
+        let mut l = Vec::new();
+        // Crosses the seam: records 2 (from a) then 0, 1 (from b).
+        concat.read_into(2..5, &mut f, &mut l).unwrap();
+        assert!(f[..18].iter().all(|&v| v == 2.0));
+        assert!(f[18..36].iter().all(|&v| v == 0.0));
+        assert!(f[36..].iter().all(|&v| v == 1.0));
+        assert!(ConcatSource::new(Vec::new()).is_err());
+    }
+
+    #[test]
+    fn same_shape_different_data_sets_are_not_equal() {
+        let make = |fill: f32| {
+            let src = TensorSource::new(
+                Tensor::full(&[3, 2, 2, 2], fill),
+                Tensor::zeros(&[3, 1, 2, 2]),
+            )
+            .unwrap();
+            StreamingClientSet::new(Arc::new(src), 2).unwrap()
+        };
+        let a = make(1.0);
+        let b = make(2.0);
+        assert_ne!(a, b, "content must distinguish same-shape sources");
+        assert_eq!(a, make(1.0), "same content compares equal");
+    }
+
+    #[test]
+    fn tensor_source_round_trips() {
+        let features = Tensor::from_fn(&[3, 2, 2, 2], |i| i as f32);
+        let labels = Tensor::from_fn(&[3, 1, 2, 2], |i| (i % 2) as f32);
+        let src = TensorSource::new(features.clone(), labels.clone()).unwrap();
+        assert_eq!(src.len(), 3);
+        let mut f = Vec::new();
+        let mut l = Vec::new();
+        src.read_into(0..3, &mut f, &mut l).unwrap();
+        assert_eq!(f, features.data());
+        assert_eq!(l, labels.data());
+        // Shape validation mirrors ClientSet::new.
+        assert!(
+            TensorSource::new(Tensor::zeros(&[2, 2, 2, 2]), Tensor::zeros(&[3, 1, 2, 2])).is_err()
+        );
+    }
+}

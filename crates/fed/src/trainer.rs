@@ -79,7 +79,7 @@ impl LocalTrainer {
         let mut optimizer = Adam::new(self.lr, self.weight_decay);
         let mut total_loss = 0.0f64;
         for _ in 0..steps {
-            let (x, y) = data.sample_minibatch(self.batch_size, rng);
+            let (x, y) = data.try_sample_minibatch(self.batch_size, rng)?;
             let pred = model.forward(&x, true)?;
             let loss = mse(&pred, &y)?;
             total_loss += loss.value as f64;
@@ -143,8 +143,7 @@ impl LocalTrainer {
         let mut start = 0usize;
         while start < n {
             let end = (start + self.batch_size).min(n);
-            let indices: Vec<usize> = (start..end).collect();
-            let (x, y) = data.minibatch(&indices);
+            let (x, y) = data.try_minibatch_range(start..end)?;
             let pred = model.forward(&x, false)?;
             total += mse(&pred, &y)?.value as f64 * (end - start) as f64;
             start = end;

@@ -1,0 +1,286 @@
+//! The streaming determinism contract: training and evaluation fed from
+//! on-disk corpus shards must be **bit-identical** to the in-memory
+//! path, across worker-thread counts (the existing `RTE_THREADS={1,4}`
+//! guarantee) *and* across streaming chunk sizes (the new axis). Four
+//! layers are pinned:
+//!
+//! - the shard *files* themselves: streamed generation writes the same
+//!   bytes at every `(threads, chunk)` combination,
+//! - the shard *contents*: samples read back equal the in-memory
+//!   generator's tensors bit for bit,
+//! - full federated training (`MethodOutcome` including every
+//!   `EvalReport` in the history) on streamed clients vs in-memory
+//!   clients, at 1 and 4 threads and two chunk sizes,
+//! - the parallel `Evaluator` on streamed clients vs in-memory clients.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use decentralized_routability::core::{build_clients, build_experiment_clients, ExperimentConfig};
+use decentralized_routability::eda::corpus::{generate_corpus, CorpusConfig};
+use decentralized_routability::eda::shard::CorpusWriter;
+use decentralized_routability::fed::{
+    methods, Client, EvalReport, Evaluator, Method, MethodOutcome, Parallelism,
+};
+use decentralized_routability::nn::state_dict;
+
+static DIR_COUNTER: AtomicUsize = AtomicUsize::new(0);
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!(
+        "stream-det-{tag}-{}-{}",
+        std::process::id(),
+        DIR_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// A corpus small enough for debug test runs but with several
+/// placements per design, so chunk boundaries actually cut through
+/// splits.
+fn corpus_config() -> CorpusConfig {
+    let mut config = CorpusConfig::tiny();
+    config.placement_scale = 0.02;
+    config
+}
+
+/// Every [`EvalReport`] field, compared bit for bit.
+fn assert_reports_bitwise_equal(a: &[EvalReport], b: &[EvalReport], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: report count");
+    for (k, (ra, rb)) in a.iter().zip(b.iter()).enumerate() {
+        assert_eq!(
+            ra.auc.to_bits(),
+            rb.auc.to_bits(),
+            "{what}: client {k} AUC: {} vs {}",
+            ra.auc,
+            rb.auc
+        );
+        assert_eq!(
+            ra.average_precision.to_bits(),
+            rb.average_precision.to_bits(),
+            "{what}: client {k} AP"
+        );
+        assert_eq!(ra.confusion, rb.confusion, "{what}: client {k} confusion");
+        assert_eq!(ra.histogram, rb.histogram, "{what}: client {k} histogram");
+    }
+}
+
+fn assert_outcomes_bitwise_equal(a: &MethodOutcome, b: &MethodOutcome, what: &str) {
+    assert_eq!(a.average_auc.to_bits(), b.average_auc.to_bits(), "{what}");
+    for (k, (x, y)) in a
+        .per_client_auc
+        .iter()
+        .zip(b.per_client_auc.iter())
+        .enumerate()
+    {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: client {k}: {x} vs {y}");
+    }
+    assert_reports_bitwise_equal(&a.per_client, &b.per_client, what);
+    assert_eq!(a.history.len(), b.history.len(), "{what}: history length");
+    for (ra, rb) in a.history.iter().zip(b.history.iter()) {
+        assert_eq!(ra.round, rb.round, "{what}");
+        assert_eq!(
+            ra.mean_train_loss.to_bits(),
+            rb.mean_train_loss.to_bits(),
+            "{what}: round {} training loss",
+            ra.round
+        );
+        assert_reports_bitwise_equal(
+            &ra.per_client,
+            &rb.per_client,
+            &format!("{what}: round {}", ra.round),
+        );
+    }
+}
+
+/// Streamed generation writes byte-identical shard files at every
+/// `(threads, chunk)` combination — the on-disk analogue of the
+/// in-memory thread-invariance guarantee, with the chunk-size axis on
+/// top.
+#[test]
+fn shard_files_are_thread_and_chunk_invariant() {
+    let config = corpus_config();
+    let reference_dir = scratch_dir("ref");
+    CorpusWriter::new(&reference_dir)
+        .with_chunk(1)
+        .with_parallelism(Parallelism::serial())
+        .write(&config)
+        .unwrap();
+    let mut reference_files: Vec<(String, Vec<u8>)> = std::fs::read_dir(&reference_dir)
+        .unwrap()
+        .map(|e| {
+            let path = e.unwrap().path();
+            (
+                path.file_name().unwrap().to_string_lossy().into_owned(),
+                std::fs::read(&path).unwrap(),
+            )
+        })
+        .collect();
+    reference_files.sort();
+    assert_eq!(reference_files.len(), 18, "9 clients × 2 splits");
+    for (threads, chunk) in [(1, 7), (4, 1), (4, 7), (4, 1000)] {
+        let dir = scratch_dir(&format!("t{threads}c{chunk}"));
+        CorpusWriter::new(&dir)
+            .with_chunk(chunk)
+            .with_parallelism(Parallelism::new(threads))
+            .write(&config)
+            .unwrap();
+        for (name, reference_bytes) in &reference_files {
+            let bytes = std::fs::read(dir.join(name)).unwrap();
+            assert_eq!(
+                &bytes, reference_bytes,
+                "{name} drifted at threads={threads} chunk={chunk}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+    std::fs::remove_dir_all(&reference_dir).unwrap();
+}
+
+/// Samples streamed back from shards equal the in-memory generator's
+/// tensors bit for bit (write→read round trip at corpus scale).
+#[test]
+fn shard_contents_match_in_memory_corpus_bitwise() {
+    let config = corpus_config();
+    let dir = scratch_dir("contents");
+    CorpusWriter::new(&dir)
+        .with_chunk(5)
+        .write(&config)
+        .unwrap();
+    let corpus = generate_corpus(&config).unwrap();
+    let reader = decentralized_routability::eda::shard::CorpusReader::open(&dir).unwrap();
+    assert_eq!(reader.clients().len(), corpus.clients.len());
+    for (shards, client) in reader.clients().iter().zip(&corpus.clients) {
+        assert_eq!(shards.client_index, client.spec.index);
+        for (shard, dataset) in [(&shards.train, &client.train), (&shards.test, &client.test)] {
+            assert_eq!(shard.len(), dataset.len());
+            let streamed = shard.read_range(0..shard.len()).unwrap();
+            for (i, (got, want)) in streamed.iter().zip(dataset.samples()).enumerate() {
+                assert_eq!(got.design, want.design);
+                let got_bits: Vec<u32> = got.features.data().iter().map(|v| v.to_bits()).collect();
+                let want_bits: Vec<u32> =
+                    want.features.data().iter().map(|v| v.to_bits()).collect();
+                assert_eq!(
+                    got_bits, want_bits,
+                    "client {} sample {i} features drifted",
+                    client.spec.index
+                );
+                let got_bits: Vec<u32> = got.label.data().iter().map(|v| v.to_bits()).collect();
+                let want_bits: Vec<u32> = want.label.data().iter().map(|v| v.to_bits()).collect();
+                assert_eq!(got_bits, want_bits);
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Builds the experiment clients both ways from one config.
+fn both_client_sets(config: &ExperimentConfig) -> (Vec<Client>, Vec<Client>) {
+    let corpus = generate_corpus(&config.corpus).unwrap();
+    let in_memory = build_clients(&corpus).unwrap();
+    let streamed = build_experiment_clients(config).unwrap();
+    (in_memory, streamed)
+}
+
+/// Full federated training on streamed clients is bit-identical to the
+/// in-memory path — every `MethodOutcome` field including the per-round
+/// `EvalReport` history — across `RTE_THREADS`-style thread counts and
+/// two chunk sizes.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "runs 8 real federated experiments; release only"
+)]
+fn streamed_training_is_bitwise_identical_to_in_memory() {
+    let dir = scratch_dir("train");
+    for chunk in [2usize, 9] {
+        let mut config = ExperimentConfig::tiny()
+            .with_corpus_dir(&dir)
+            .with_stream_chunk(chunk);
+        config.corpus = corpus_config();
+        config.fed.eval_every = 1; // record every round's reports
+        let (in_memory, streamed) = both_client_sets(&config);
+        for threads in [1usize, 4] {
+            let mut fed = config.fed.clone();
+            fed.parallelism = Parallelism::new(threads);
+            let factory = decentralized_routability::core::model_factory(
+                decentralized_routability::nn::models::ModelKind::FlNet,
+                config.model_scale,
+            );
+            let a = methods::run_method(Method::FedProx, &in_memory, &factory, &fed).unwrap();
+            let b = methods::run_method(Method::FedProx, &streamed, &factory, &fed).unwrap();
+            assert_outcomes_bitwise_equal(
+                &a,
+                &b,
+                &format!("fedprox threads={threads} chunk={chunk}"),
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The parallel evaluator produces bit-identical `EvalReport`s from
+/// streamed and in-memory clients at both thread counts and two chunk
+/// sizes.
+#[test]
+fn streamed_evaluation_is_bitwise_identical_to_in_memory() {
+    let dir = scratch_dir("eval");
+    for chunk in [1usize, 6] {
+        let mut config = ExperimentConfig::tiny()
+            .with_corpus_dir(&dir)
+            .with_stream_chunk(chunk);
+        config.corpus = corpus_config();
+        let (in_memory, streamed) = both_client_sets(&config);
+        let factory = decentralized_routability::core::model_factory(
+            decentralized_routability::nn::models::ModelKind::FlNet,
+            config.model_scale,
+        );
+        let global = state_dict(factory(11).as_mut());
+        for threads in [1usize, 4] {
+            let evaluator = Evaluator::new(Parallelism::new(threads), 3);
+            let a = evaluator
+                .eval_global(&factory, 11, &in_memory, &global)
+                .unwrap();
+            let b = evaluator
+                .eval_global(&factory, 11, &streamed, &global)
+                .unwrap();
+            assert_reports_bitwise_equal(
+                &a,
+                &b,
+                &format!("evaluator threads={threads} chunk={chunk}"),
+            );
+        }
+        // The streamed pass stayed within the double-buffer bound.
+        for client in &streamed {
+            let stream = client.test.as_streaming().expect("streamed backend");
+            assert!(
+                stream.peak_resident_samples() <= 2 * chunk,
+                "client {}: peak {} exceeds 2×chunk {}",
+                client.id,
+                stream.peak_resident_samples(),
+                2 * chunk
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Centralized training pools streamed splits through `ConcatSource`
+/// without materializing them — and still matches the in-memory pooled
+/// result bit for bit.
+#[test]
+fn streamed_centralized_pooling_matches_in_memory() {
+    let dir = scratch_dir("central");
+    let mut config = ExperimentConfig::tiny()
+        .with_corpus_dir(&dir)
+        .with_stream_chunk(4);
+    config.corpus = corpus_config();
+    let (in_memory, streamed) = both_client_sets(&config);
+    let factory = decentralized_routability::core::model_factory(
+        decentralized_routability::nn::models::ModelKind::FlNet,
+        config.model_scale,
+    );
+    let a = methods::run_method(Method::Centralized, &in_memory, &factory, &config.fed).unwrap();
+    let b = methods::run_method(Method::Centralized, &streamed, &factory, &config.fed).unwrap();
+    assert_outcomes_bitwise_equal(&a, &b, "centralized");
+    std::fs::remove_dir_all(&dir).unwrap();
+}

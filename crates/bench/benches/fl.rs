@@ -1,11 +1,14 @@
 //! Criterion micro-benchmarks for the federated-learning plumbing:
 //! state-dict aggregation, ROC AUC, one client training step, the
-//! parallel round loop, and the parallel nine-client evaluator (each
-//! 1 thread vs all cores — outcomes are bit-identical, only wall-clock
-//! differs).
+//! parallel round loop, the parallel nine-client evaluator (each
+//! 1 thread vs all cores), and an end-to-end FedProx experiment per
+//! SIMD arm — outcomes are bit-identical across thread counts *and*
+//! arms, only wall-clock differs.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+
+use rte_tensor::simd::{self, SimdBackend};
 
 use rte_fed::params::weighted_average;
 use rte_fed::{
@@ -172,12 +175,54 @@ fn bench_parallel_eval(c: &mut Criterion) {
     }
 }
 
+fn bench_simd_arms_round(c: &mut Criterion) {
+    // The tentpole's end-to-end claim: one FedProx experiment
+    // (2 rounds × 9 clients × 4 local steps, serial threading so the
+    // kernel arm is the only variable) per SIMD arm. The MethodOutcome
+    // is bit-identical across arms (pinned by tests/simd_determinism.rs);
+    // the wall-clock gap here is the whole-round speedup.
+    let clients = synthetic_clients(9);
+    let factory: ModelFactory = Box::new(|seed| {
+        let mut rng = Xoshiro256::seed_from(seed);
+        Box::new(FlNet::new(
+            FlNetConfig {
+                in_channels: 6,
+                hidden: 8,
+                kernel: 3,
+                depth: 2,
+            },
+            &mut rng,
+        ))
+    });
+    let mut config = FedConfig::scaled();
+    config.rounds = 2;
+    config.local_steps = 4;
+    config.batch_size = 4;
+    config.parallelism = Parallelism::serial();
+    let before = simd::global();
+    let mut arms = vec![SimdBackend::Scalar];
+    if SimdBackend::detect() == SimdBackend::Avx2 {
+        arms.push(SimdBackend::Avx2);
+    }
+    for arm in arms {
+        simd::set_global(arm);
+        c.bench_function(&format!("fedprox_round_simd_{arm}"), |b| {
+            b.iter(|| {
+                methods::run_method(Method::FedProx, black_box(&clients), &factory, &config)
+                    .unwrap()
+            })
+        });
+    }
+    simd::set_global(before);
+}
+
 criterion_group!(
     benches,
     bench_aggregation,
     bench_roc_auc,
     bench_local_step,
     bench_parallel_rounds,
-    bench_parallel_eval
+    bench_parallel_eval,
+    bench_simd_arms_round
 );
 criterion_main!(benches);

@@ -1,9 +1,11 @@
 //! Criterion micro-benchmarks for the tensor kernels that dominate
 //! training time (conv2d forward/backward on FLNet-shaped workloads,
-//! matmul, pixel shuffle).
+//! matmul across SIMD arms, elementwise sweeps, pixel shuffle), plus a
+//! machine-readable `BENCH_kernels.json` perf-trajectory dump.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 
 use rte_tensor::conv::{
     conv2d, conv2d_backward, conv2d_backward_with, conv2d_with, pixel_shuffle, Conv2dSpec,
@@ -11,11 +13,21 @@ use rte_tensor::conv::{
 use rte_tensor::linalg::{matmul, matmul_naive};
 use rte_tensor::parallel::Parallelism;
 use rte_tensor::rng::Xoshiro256;
+use rte_tensor::simd::{self, SimdBackend};
 use rte_tensor::Tensor;
 
 fn rand_tensor(dims: &[usize], seed: u64) -> Tensor {
     let mut rng = Xoshiro256::seed_from(seed);
     Tensor::from_fn(dims, |_| rng.normal())
+}
+
+/// The arms available on this machine, scalar first (the baseline).
+fn arms() -> Vec<SimdBackend> {
+    let mut arms = vec![SimdBackend::Scalar];
+    if SimdBackend::detect() == SimdBackend::Avx2 {
+        arms.push(SimdBackend::Avx2);
+    }
+    arms
 }
 
 fn bench_conv2d(c: &mut Criterion) {
@@ -53,9 +65,11 @@ fn bench_matmul(c: &mut Criterion) {
     });
 }
 
-fn bench_matmul_blocked_vs_naive(c: &mut Criterion) {
+fn bench_matmul_arms(c: &mut Criterion) {
     // The acceptance workload: a 128×729×576 im2col-shaped product
-    // (≈ 107 MFLOP), naive scalar i-k-j vs the register-blocked kernel.
+    // (≈ 107 MFLOP). Naive scalar i-k-j baseline, then each SIMD arm of
+    // the GEMM family — outputs are bit-identical, only wall-clock
+    // differs.
     let (m, k, n) = (128, 729, 576);
     let a = rand_tensor(&[m * k], 7);
     let b = rand_tensor(&[k * n], 8);
@@ -66,12 +80,92 @@ fn bench_matmul_blocked_vs_naive(c: &mut Criterion) {
             black_box(out[0])
         })
     });
-    c.bench_function("matmul_blocked_128x729x576", |bench| {
-        bench.iter(|| {
-            matmul(black_box(a.data()), black_box(b.data()), m, k, n, &mut out);
-            black_box(out[0])
-        })
-    });
+    for arm in arms() {
+        c.bench_function(&format!("matmul_{arm}_128x729x576"), |bench| {
+            bench.iter(|| {
+                simd::matmul_with(
+                    arm,
+                    black_box(a.data()),
+                    black_box(b.data()),
+                    m,
+                    k,
+                    n,
+                    &mut out,
+                );
+                black_box(out[0])
+            })
+        });
+        c.bench_function(&format!("matmul_tn_{arm}_128x729x576"), |bench| {
+            bench.iter(|| {
+                simd::matmul_tn_with(
+                    arm,
+                    black_box(&a.data()[..k * m]),
+                    black_box(b.data()),
+                    m,
+                    k,
+                    n,
+                    &mut out,
+                );
+                black_box(out[0])
+            })
+        });
+        c.bench_function(&format!("matmul_nt_acc_{arm}_128x729x576"), |bench| {
+            bench.iter(|| {
+                simd::matmul_nt_acc_with(
+                    arm,
+                    black_box(a.data()),
+                    black_box(&b.data()[..n * k]),
+                    m,
+                    k,
+                    n,
+                    &mut out,
+                );
+                black_box(out[0])
+            })
+        });
+    }
+}
+
+fn bench_elementwise_arms(c: &mut Criterion) {
+    // The hot elementwise sweeps at a paper-round-sized 1M elements.
+    let len = 1 << 20;
+    let x = rand_tensor(&[len], 9);
+    let g = rand_tensor(&[len], 10);
+    for arm in arms() {
+        let mut y = x.data().to_vec();
+        c.bench_function(&format!("axpy_{arm}_1m"), |bench| {
+            bench.iter(|| {
+                simd::axpy_with(arm, 0.37, black_box(g.data()), &mut y);
+                black_box(y[0])
+            })
+        });
+        c.bench_function(&format!("sigmoid_{arm}_1m"), |bench| {
+            let mut buf = x.data().to_vec();
+            bench.iter(|| {
+                buf.copy_from_slice(x.data());
+                simd::sigmoid_with(arm, black_box(&mut buf));
+                black_box(buf[0])
+            })
+        });
+        c.bench_function(&format!("relu_{arm}_1m"), |bench| {
+            let mut buf = x.data().to_vec();
+            bench.iter(|| {
+                buf.copy_from_slice(x.data());
+                simd::relu_with(arm, black_box(&mut buf));
+                black_box(buf[0])
+            })
+        });
+        c.bench_function(&format!("sum_{arm}_1m"), |bench| {
+            bench.iter(|| black_box(simd::sum_with(arm, black_box(x.data()))))
+        });
+        c.bench_function(&format!("sgd_step_{arm}_1m"), |bench| {
+            let mut value = x.data().to_vec();
+            bench.iter(|| {
+                simd::sgd_step_with(arm, &mut value, black_box(g.data()), 2e-4, 1e-5);
+                black_box(value[0])
+            })
+        });
+    }
 }
 
 fn bench_conv2d_parallel(c: &mut Criterion) {
@@ -139,12 +233,187 @@ fn bench_pixel_shuffle(c: &mut Criterion) {
     });
 }
 
+/// Best-of-batches ns/iter for `f`, measured with the same warmup →
+/// calibrate → batch scheme as the criterion stand-in (kept local so the
+/// JSON dump works identically under the real criterion crate).
+fn measure_ns(mut f: impl FnMut()) -> f64 {
+    const WARMUP: u32 = 3;
+    const BUDGET: Duration = Duration::from_millis(400);
+    for _ in 0..WARMUP {
+        f();
+    }
+    let probe = Instant::now();
+    f();
+    let per_iter = probe.elapsed().as_secs_f64().max(1e-9);
+    let batch = ((BUDGET.as_secs_f64() / 10.0 / per_iter) as u64).clamp(1, 1_000_000);
+    let started = Instant::now();
+    let mut best = f64::INFINITY;
+    let mut batches = 0u32;
+    while started.elapsed() < BUDGET && batches < 30 {
+        let t = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        let ns = t.elapsed().as_secs_f64() * 1e9 / batch as f64;
+        if ns < best {
+            best = ns;
+        }
+        batches += 1;
+    }
+    best
+}
+
+/// One record of the perf-trajectory dump.
+struct JsonEntry {
+    kernel: &'static str,
+    shape: String,
+    arm: &'static str,
+    ns_per_iter: f64,
+    speedup_vs_scalar: f64,
+}
+
+/// Measures the GEMM family and the hot elementwise sweeps on every
+/// available arm and writes `BENCH_kernels.json` (override the path with
+/// `RTE_BENCH_JSON`) so the perf trajectory is machine-trackable from PR
+/// to PR.
+///
+/// Skipped when a bench filter is passed (`cargo bench --bench kernels
+/// -- <name>`): a targeted run should neither pay the full sweep nor
+/// overwrite the tracked trajectory with partial-context numbers.
+fn emit_kernels_json(_c: &mut Criterion) {
+    if std::env::args().skip(1).any(|a| !a.starts_with('-')) {
+        println!("bench: filter given, skipping BENCH_kernels.json dump");
+        return;
+    }
+    let (m, k, n) = (128, 729, 576);
+    let a = rand_tensor(&[m * k], 7);
+    let b = rand_tensor(&[k * n], 8);
+    let len = 1 << 20;
+    let x = rand_tensor(&[len], 9);
+    let g = rand_tensor(&[len], 10);
+    let mut entries: Vec<JsonEntry> = Vec::new();
+    let gemm_shape = format!("{m}x{k}x{n}");
+    let sweep_shape = format!("{len}");
+    for arm in arms() {
+        let mut out = vec![0.0f32; m * n];
+        let cases: Vec<(&'static str, String, f64)> = vec![
+            (
+                "matmul",
+                gemm_shape.clone(),
+                measure_ns(|| {
+                    simd::matmul_with(
+                        arm,
+                        black_box(a.data()),
+                        black_box(b.data()),
+                        m,
+                        k,
+                        n,
+                        &mut out,
+                    )
+                }),
+            ),
+            (
+                "matmul_tn",
+                gemm_shape.clone(),
+                measure_ns(|| {
+                    simd::matmul_tn_with(
+                        arm,
+                        black_box(&a.data()[..k * m]),
+                        black_box(b.data()),
+                        m,
+                        k,
+                        n,
+                        &mut out,
+                    )
+                }),
+            ),
+            (
+                "matmul_nt_acc",
+                gemm_shape.clone(),
+                measure_ns(|| {
+                    simd::matmul_nt_acc_with(
+                        arm,
+                        black_box(a.data()),
+                        black_box(&b.data()[..n * k]),
+                        m,
+                        k,
+                        n,
+                        &mut out,
+                    )
+                }),
+            ),
+            ("axpy", sweep_shape.clone(), {
+                let mut y = x.data().to_vec();
+                measure_ns(|| simd::axpy_with(arm, 0.37, black_box(g.data()), &mut y))
+            }),
+            ("sigmoid", sweep_shape.clone(), {
+                let mut buf = x.data().to_vec();
+                measure_ns(|| {
+                    buf.copy_from_slice(x.data());
+                    simd::sigmoid_with(arm, black_box(&mut buf));
+                })
+            }),
+            ("sum", sweep_shape.clone(), {
+                measure_ns(|| {
+                    black_box(simd::sum_with(arm, black_box(x.data())));
+                })
+            }),
+        ];
+        for (kernel, shape, ns) in cases {
+            let baseline = entries
+                .iter()
+                .find(|e| e.kernel == kernel && e.arm == SimdBackend::Scalar.name())
+                .map(|e| e.ns_per_iter)
+                .unwrap_or(ns);
+            entries.push(JsonEntry {
+                kernel,
+                shape,
+                arm: arm.name(),
+                ns_per_iter: ns,
+                speedup_vs_scalar: baseline / ns,
+            });
+        }
+    }
+    let mut json = String::from("[\n");
+    for (i, e) in entries.iter().enumerate() {
+        json.push_str(&format!(
+            "  {{\"kernel\": \"{}\", \"shape\": \"{}\", \"arm\": \"{}\", \
+             \"ns_per_iter\": {:.1}, \"speedup_vs_scalar\": {:.3}}}{}\n",
+            e.kernel,
+            e.shape,
+            e.arm,
+            e.ns_per_iter,
+            e.speedup_vs_scalar,
+            if i + 1 == entries.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("]\n");
+    // Default to the workspace root (cargo runs benches from the
+    // package dir) so the tracked perf trajectory lives next to the
+    // README; `RTE_BENCH_JSON` overrides.
+    let path = std::env::var("RTE_BENCH_JSON").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json").to_string()
+    });
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("bench: wrote perf trajectory to {path}"),
+        Err(e) => eprintln!("bench: could not write {path}: {e}"),
+    }
+    for e in &entries {
+        println!(
+            "bench: json {:<14} {:>12} arm {:<6} {:>12.1} ns/iter  {:>6.2}x vs scalar",
+            e.kernel, e.shape, e.arm, e.ns_per_iter, e.speedup_vs_scalar
+        );
+    }
+}
+
 criterion_group!(
     benches,
     bench_conv2d,
     bench_matmul,
-    bench_matmul_blocked_vs_naive,
+    bench_matmul_arms,
+    bench_elementwise_arms,
     bench_conv2d_parallel,
-    bench_pixel_shuffle
+    bench_pixel_shuffle,
+    emit_kernels_json
 );
 criterion_main!(benches);

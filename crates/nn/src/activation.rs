@@ -1,6 +1,10 @@
 //! Pointwise activation layers.
+//!
+//! The elementwise sweeps run on the process-global
+//! [`rte_tensor::simd`] arm: results are bit-identical on every arm,
+//! only the wall-clock differs.
 
-use rte_tensor::Tensor;
+use rte_tensor::{simd, Tensor};
 
 use crate::{Layer, NnError, Param};
 
@@ -20,7 +24,9 @@ use crate::{Layer, NnError, Param};
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Relu {
-    mask: Option<Vec<bool>>,
+    /// Forward input, cached for the backward gate `x > 0` (a dense
+    /// `f32` copy vectorizes on both passes, unlike a `Vec<bool>` mask).
+    cached_x: Option<Tensor>,
 }
 
 impl Relu {
@@ -32,28 +38,26 @@ impl Relu {
 
 impl Layer for Relu {
     fn forward(&mut self, x: &Tensor, _training: bool) -> Result<Tensor, NnError> {
-        self.mask = Some(x.data().iter().map(|&v| v > 0.0).collect());
-        Ok(x.map(|v| v.max(0.0)))
+        self.cached_x = Some(x.clone());
+        let mut y = x.clone();
+        simd::relu(y.data_mut());
+        Ok(y)
     }
 
     fn backward(&mut self, dy: &Tensor) -> Result<Tensor, NnError> {
-        let mask = self
-            .mask
+        let x = self
+            .cached_x
             .as_ref()
             .ok_or_else(|| NnError::BackwardBeforeForward {
                 layer: "Relu".into(),
             })?;
-        if mask.len() != dy.numel() {
+        if x.numel() != dy.numel() {
             return Err(NnError::Tensor(rte_tensor::TensorError::InvalidShape {
                 reason: format!("Relu backward: dy has {} elements", dy.numel()),
             }));
         }
         let mut dx = dy.clone();
-        for (v, &keep) in dx.data_mut().iter_mut().zip(mask.iter()) {
-            if !keep {
-                *v = 0.0;
-            }
-        }
+        simd::relu_backward(dx.data_mut(), x.data());
         Ok(dx)
     }
 
@@ -79,7 +83,10 @@ impl Sigmoid {
 
 impl Layer for Sigmoid {
     fn forward(&mut self, x: &Tensor, _training: bool) -> Result<Tensor, NnError> {
-        let y = x.map(|v| 1.0 / (1.0 + (-v).exp()));
+        // The SIMD arm's shared polynomial `exp` (not libm), so the
+        // forward pass is bit-identical across arms and machines.
+        let mut y = x.clone();
+        simd::sigmoid(y.data_mut());
         self.cached_y = Some(y.clone());
         Ok(y)
     }
@@ -97,7 +104,9 @@ impl Layer for Sigmoid {
                 right: dy.shape().clone(),
             }));
         }
-        Ok(dy.zip_with(y, |d, yv| d * yv * (1.0 - yv)))
+        let mut dx = dy.clone();
+        simd::sigmoid_backward(dx.data_mut(), y.data());
+        Ok(dx)
     }
 
     fn visit_params(&mut self, _prefix: &str, _f: &mut dyn FnMut(String, &mut Param)) {}

@@ -4,9 +4,14 @@
 //! of 1e-5; both Adam and plain SGD (with momentum) are provided. Optimizer
 //! state is keyed by parameter path so it survives parameter re-loading
 //! during federated rounds.
+//!
+//! The per-parameter update sweeps are fused kernels on the
+//! process-global [`rte_tensor::simd`] arm — every arithmetic op is
+//! IEEE-exact, so the update is bit-identical on every arm.
 
 use std::collections::HashMap;
 
+use rte_tensor::simd;
 use rte_tensor::Tensor;
 
 use crate::{Layer, Param};
@@ -59,19 +64,29 @@ impl Optimizer for Sgd {
         let wd = self.weight_decay;
         let velocity = &mut self.velocity;
         model.visit_params("", &mut |name, p: &mut Param| {
+            if momentum <= 0.0 {
+                // Momentum-free path (the constructor validates
+                // momentum ∈ [0, 1), so this is exactly the complement
+                // of the historical `momentum > 0.0` velocity branch):
+                // one fused sweep, no gradient clone. The expression
+                // matches the unfused axpy pair below bit for bit; the
+                // kernel folds the decay term only when its wd is
+                // nonzero, so the historical `wd > 0.0` guard is
+                // reproduced by zeroing it here.
+                let wd = if wd > 0.0 { wd } else { 0.0 };
+                simd::sgd_step(p.value.data_mut(), p.grad.data(), lr, wd);
+                return;
+            }
             let mut g = p.grad.clone();
             if wd > 0.0 {
                 g.axpy(wd, &p.value).expect("grad/value shapes match");
             }
-            if momentum > 0.0 {
-                let v = velocity
-                    .entry(name)
-                    .or_insert_with(|| Tensor::zeros(g.shape().dims()));
-                v.scale_in_place(momentum);
-                v.add_assign(&g).expect("velocity shape");
-                g = v.clone();
-            }
-            p.value.axpy(-lr, &g).expect("param shape");
+            let v = velocity
+                .entry(name)
+                .or_insert_with(|| Tensor::zeros(g.shape().dims()));
+            v.scale_in_place(momentum);
+            v.add_assign(&g).expect("velocity shape");
+            p.value.axpy(-lr, v).expect("param shape");
         });
     }
 
@@ -150,35 +165,39 @@ impl Adam {
 impl Optimizer for Adam {
     fn step(&mut self, model: &mut dyn Layer) {
         self.t += 1;
-        let (b1, b2) = (self.beta1, self.beta2);
-        let bias1 = 1.0 - b1.powi(self.t as i32);
-        let bias2 = 1.0 - b2.powi(self.t as i32);
-        let lr = self.lr;
-        let eps = self.eps;
-        let wd = self.weight_decay;
+        let step = simd::AdamStep {
+            beta1: self.beta1,
+            beta2: self.beta2,
+            bias1: 1.0 - self.beta1.powi(self.t as i32),
+            bias2: 1.0 - self.beta2.powi(self.t as i32),
+            lr: self.lr,
+            eps: self.eps,
+            // The kernel folds the decay term only when nonzero,
+            // reproducing the historical `wd > 0.0` guard.
+            weight_decay: if self.weight_decay > 0.0 {
+                self.weight_decay
+            } else {
+                0.0
+            },
+        };
         let first = &mut self.first;
         let second = &mut self.second;
         model.visit_params("", &mut |name, p: &mut Param| {
-            let mut g = p.grad.clone();
-            if wd > 0.0 {
-                g.axpy(wd, &p.value).expect("grad/value shapes match");
-            }
             let m = first
                 .entry(name.clone())
-                .or_insert_with(|| Tensor::zeros(g.shape().dims()));
+                .or_insert_with(|| Tensor::zeros(p.grad.shape().dims()));
             let v = second
                 .entry(name)
-                .or_insert_with(|| Tensor::zeros(g.shape().dims()));
-            for i in 0..g.numel() {
-                let gi = g.data()[i];
-                let mi = b1 * m.data()[i] + (1.0 - b1) * gi;
-                let vi = b2 * v.data()[i] + (1.0 - b2) * gi * gi;
-                m.data_mut()[i] = mi;
-                v.data_mut()[i] = vi;
-                let m_hat = mi / bias1;
-                let v_hat = vi / bias2;
-                p.value.data_mut()[i] -= lr * m_hat / (v_hat.sqrt() + eps);
-            }
+                .or_insert_with(|| Tensor::zeros(p.grad.shape().dims()));
+            // One fused sweep per parameter: moment updates and the
+            // bias-corrected step, no gradient clone.
+            simd::adam_step(
+                p.value.data_mut(),
+                m.data_mut(),
+                v.data_mut(),
+                p.grad.data(),
+                &step,
+            );
         });
     }
 

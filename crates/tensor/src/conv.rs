@@ -6,8 +6,11 @@
 //! parameter storage; they are exposed here as free functions so they can be
 //! benchmarked and property-tested in isolation.
 
+use std::cell::RefCell;
+
 use crate::linalg::{matmul, matmul_nt_acc, matmul_tn};
 use crate::parallel::{self, Parallelism};
+use crate::simd;
 use crate::{Tensor, TensorError};
 
 /// Minimum per-batch-item multiply count before the batch loop fans out
@@ -23,6 +26,34 @@ fn effective_parallelism(par: Parallelism, item_flops: usize) -> Parallelism {
     } else {
         par
     }
+}
+
+std::thread_local! {
+    /// Per-thread im2col/col2im scratch, reused across kernel *calls* on
+    /// the single-threaded paths (the training loop convolves thousands
+    /// of times with identical geometry, so a per-call `Vec` is pure
+    /// allocator churn). Worker threads in the batch-parallel paths keep
+    /// their own per-worker buffers via the pool's `init` hook instead.
+    static COL_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` on a thread-local scratch slice of exactly `len` elements.
+///
+/// Contents are unspecified on entry — every caller overwrites the full
+/// slice (im2col writes padding explicitly; the matmuls zero their
+/// output). Falls back to a fresh allocation if the scratch is already
+/// borrowed (re-entrant kernels), so nesting degrades instead of
+/// panicking.
+fn with_col_scratch<R>(len: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
+    COL_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut buf) => {
+            if buf.len() < len {
+                buf.resize(len, 0.0);
+            }
+            f(&mut buf[..len])
+        }
+        Err(_) => f(&mut vec![0.0f32; len]),
+    })
 }
 
 /// Geometry of a 2-D convolution: stride, zero padding and dilation
@@ -132,8 +163,28 @@ impl Conv2dSpec {
     }
 }
 
+/// The output positions `oj ∈ [lo, hi)` whose source column
+/// `jj = oj*stride + jj0` lies inside `[0, w)` — everything outside is
+/// zero padding. Splitting the row this way lets the copy loops run
+/// branch-free (and as a straight `memcpy` at stride 1).
+fn valid_col_range(jj0: isize, stride: usize, w: usize, ow: usize) -> (usize, usize) {
+    let s = stride as isize;
+    let lo = if jj0 >= 0 { 0 } else { (-jj0 + s - 1) / s }.clamp(0, ow as isize) as usize;
+    let limit = w as isize - jj0; // jj < w  ⇔  oj < ceil(limit / s)
+    let hi = if limit <= 0 {
+        0
+    } else {
+        ((limit + s - 1) / s).clamp(lo as isize, ow as isize) as usize
+    };
+    (lo, hi.max(lo))
+}
+
 /// Unfolds one image (`c × h × w`) into a column matrix
 /// (`c*kh*kw × oh*ow`) for the given convolution spec.
+///
+/// Each output row is written as explicit zero-pad prefix/suffix around
+/// a branch-free interior copy — a single `copy_from_slice` at stride 1
+/// (the paper models' only stride for their large 9×9 kernels).
 ///
 /// # Panics
 ///
@@ -158,25 +209,34 @@ pub fn im2col(
             for kj in 0..kw {
                 let base = row * oh * ow;
                 row += 1;
+                let jj0 = (kj * spec.dilation) as isize - spec.padding as isize;
+                let (lo, hi) = valid_col_range(jj0, spec.stride, w, ow);
                 for oi in 0..oh {
                     let ii =
                         (oi * spec.stride + ki * spec.dilation) as isize - spec.padding as isize;
-                    let out_base = base + oi * ow;
+                    let out_row = &mut col[base + oi * ow..base + (oi + 1) * ow];
                     if ii < 0 || ii >= h as isize {
-                        col[out_base..out_base + ow]
-                            .iter_mut()
-                            .for_each(|x| *x = 0.0);
+                        out_row.iter_mut().for_each(|x| *x = 0.0);
                         continue;
                     }
-                    let ii = ii as usize;
-                    for oj in 0..ow {
-                        let jj = (oj * spec.stride + kj * spec.dilation) as isize
-                            - spec.padding as isize;
-                        col[out_base + oj] = if jj < 0 || jj >= w as isize {
-                            0.0
-                        } else {
-                            img_c[ii * w + jj as usize]
-                        };
+                    let src = &img_c[ii as usize * w..(ii as usize + 1) * w];
+                    out_row[..lo].iter_mut().for_each(|x| *x = 0.0);
+                    out_row[hi..].iter_mut().for_each(|x| *x = 0.0);
+                    if lo >= hi {
+                        // Kernel column entirely in padding: the fills
+                        // above already wrote the whole row (and
+                        // jj0 + lo could be negative here).
+                        continue;
+                    }
+                    if spec.stride == 1 {
+                        let j_start = (jj0 + lo as isize) as usize;
+                        out_row[lo..hi].copy_from_slice(&src[j_start..j_start + (hi - lo)]);
+                    } else {
+                        let mut jj = (jj0 + (lo * spec.stride) as isize) as usize;
+                        for o in out_row[lo..hi].iter_mut() {
+                            *o = src[jj];
+                            jj += spec.stride;
+                        }
                     }
                 }
             }
@@ -214,6 +274,13 @@ pub fn col2im(
             for kj in 0..kw {
                 let base = row * oh * ow;
                 row += 1;
+                let jj0 = (kj * spec.dilation) as isize - spec.padding as isize;
+                let (lo, hi) = valid_col_range(jj0, spec.stride, w, ow);
+                if lo >= hi {
+                    // Kernel column entirely in padding: nothing to
+                    // fold back (and jj0 + lo could be negative).
+                    continue;
+                }
                 for oi in 0..oh {
                     let ii =
                         (oi * spec.stride + ki * spec.dilation) as isize - spec.padding as isize;
@@ -221,13 +288,19 @@ pub fn col2im(
                         continue;
                     }
                     let ii = ii as usize;
-                    for oj in 0..ow {
-                        let jj = (oj * spec.stride + kj * spec.dilation) as isize
-                            - spec.padding as isize;
-                        if jj < 0 || jj >= w as isize {
-                            continue;
+                    let src = &col[base + oi * ow..base + (oi + 1) * ow];
+                    if spec.stride == 1 {
+                        let j_start = (jj0 + lo as isize) as usize;
+                        let dst = &mut img_c[ii * w + j_start..ii * w + j_start + (hi - lo)];
+                        for (d, &s) in dst.iter_mut().zip(src[lo..hi].iter()) {
+                            *d += s;
                         }
-                        img_c[ii * w + jj as usize] += col[base + oi * ow + oj];
+                    } else {
+                        let mut jj = (jj0 + (lo * spec.stride) as isize) as usize;
+                        for &s in src[lo..hi].iter() {
+                            img_c[ii * w + jj] += s;
+                            jj += spec.stride;
+                        }
                     }
                 }
             }
@@ -310,25 +383,36 @@ pub fn conv2d_with(
     let w_data = w.data();
     let b_data = bias.map(|b| b.data());
     let par = effective_parallelism(par, c_out * ckk * ohw);
-    parallel::for_each_chunk_mut(
-        par,
-        y.data_mut(),
-        c_out * ohw,
-        || vec![0.0f32; ckk * ohw],
-        |col, ni, y_n| {
-            let x_n = &x_data[ni * c_in * h * w_in..(ni + 1) * c_in * h * w_in];
-            im2col(x_n, c_in, h, w_in, kh, kw, spec, col);
-            matmul(w_data, col, c_out, ckk, ohw, y_n);
-            if let Some(b) = b_data {
-                for co in 0..c_out {
-                    let bv = b[co];
-                    for v in &mut y_n[co * ohw..(co + 1) * ohw] {
-                        *v += bv;
-                    }
+    let item = |col: &mut [f32], ni: usize, y_n: &mut [f32]| {
+        let x_n = &x_data[ni * c_in * h * w_in..(ni + 1) * c_in * h * w_in];
+        im2col(x_n, c_in, h, w_in, kh, kw, spec, col);
+        matmul(w_data, col, c_out, ckk, ohw, y_n);
+        if let Some(b) = b_data {
+            for co in 0..c_out {
+                let bv = b[co];
+                for v in &mut y_n[co * ohw..(co + 1) * ohw] {
+                    *v += bv;
                 }
             }
-        },
-    );
+        }
+    };
+    if par.workers_for(n) <= 1 {
+        // Single-threaded: reuse the thread-local scratch across calls
+        // instead of allocating a fresh im2col buffer per forward pass.
+        with_col_scratch(ckk * ohw, |col| {
+            for (ni, y_n) in y.data_mut().chunks_mut(c_out * ohw).enumerate() {
+                item(col, ni, y_n);
+            }
+        });
+    } else {
+        parallel::for_each_chunk_mut(
+            par,
+            y.data_mut(),
+            c_out * ohw,
+            || vec![0.0f32; ckk * ohw],
+            |col, ni, y_n| item(col, ni, y_n),
+        );
+    }
     Ok(y)
 }
 
@@ -408,20 +492,30 @@ pub fn conv2d_backward_with(
     let par = effective_parallelism(par, c_out * ckk * ohw);
 
     // Input gradient: dX_n = col2im(Wᵀ · dY_n), one disjoint slice per
-    // batch item, per-worker dcol scratch. A zero-channel input (dx has
+    // batch item, per-worker dcol scratch (thread-local scratch reused
+    // across calls when single-threaded). A zero-channel input (dx has
     // no elements) trivially has no input gradient to compute.
     if c_in * h * w_in > 0 {
-        parallel::for_each_chunk_mut(
-            par,
-            dx.data_mut(),
-            c_in * h * w_in,
-            || vec![0.0f32; ckk * ohw],
-            |dcol, ni, dx_n| {
-                let dy_n = &dy_data[ni * c_out * ohw..(ni + 1) * c_out * ohw];
-                matmul_tn(w_data, dy_n, ckk, c_out, ohw, dcol);
-                col2im(dcol, c_in, h, w_in, kh, kw, spec, dx_n);
-            },
-        );
+        let item = |dcol: &mut [f32], ni: usize, dx_n: &mut [f32]| {
+            let dy_n = &dy_data[ni * c_out * ohw..(ni + 1) * c_out * ohw];
+            matmul_tn(w_data, dy_n, ckk, c_out, ohw, dcol);
+            col2im(dcol, c_in, h, w_in, kh, kw, spec, dx_n);
+        };
+        if par.workers_for(n) <= 1 {
+            with_col_scratch(ckk * ohw, |dcol| {
+                for (ni, dx_n) in dx.data_mut().chunks_mut(c_in * h * w_in).enumerate() {
+                    item(dcol, ni, dx_n);
+                }
+            });
+        } else {
+            parallel::for_each_chunk_mut(
+                par,
+                dx.data_mut(),
+                c_in * h * w_in,
+                || vec![0.0f32; ckk * ohw],
+                |dcol, ni, dx_n| item(dcol, ni, dx_n),
+            );
+        }
     }
 
     // Weight/bias gradients sum over the batch. Serially, accumulate in
@@ -432,19 +526,21 @@ pub fn conv2d_backward_with(
     // computes each item's contribution into a local `acc` before the
     // `+=`, whether the target is `dw` directly or a zeroed partial.
     if par.workers_for(n) <= 1 {
-        let mut col = vec![0.0f32; ckk * ohw];
-        for ni in 0..n {
-            let x_n = &x_data[ni * c_in * h * w_in..(ni + 1) * c_in * h * w_in];
-            let dy_n = &dy_data[ni * c_out * ohw..(ni + 1) * c_out * ohw];
-            // dW += dY_n · colᵀ; matmul_nt_acc needs dw flattened as
-            // (c_out, ckk), which is exactly the tensor's storage layout.
-            im2col(x_n, c_in, h, w_in, kh, kw, spec, &mut col);
-            matmul_nt_acc(dy_n, &col, c_out, ohw, ckk, dw.data_mut());
-            for co in 0..c_out {
-                let s: f32 = dy_n[co * ohw..(co + 1) * ohw].iter().sum();
-                db.data_mut()[co] += s;
+        with_col_scratch(ckk * ohw, |col| {
+            for ni in 0..n {
+                let x_n = &x_data[ni * c_in * h * w_in..(ni + 1) * c_in * h * w_in];
+                let dy_n = &dy_data[ni * c_out * ohw..(ni + 1) * c_out * ohw];
+                // dW += dY_n · colᵀ; matmul_nt_acc needs dw flattened as
+                // (c_out, ckk), which is exactly the tensor's storage
+                // layout.
+                im2col(x_n, c_in, h, w_in, kh, kw, spec, col);
+                matmul_nt_acc(dy_n, col, c_out, ohw, ckk, dw.data_mut());
+                for co in 0..c_out {
+                    let s = simd::sum(&dy_n[co * ohw..(co + 1) * ohw]);
+                    db.data_mut()[co] += s;
+                }
             }
-        }
+        });
     } else {
         let batch: Vec<usize> = (0..n).collect();
         let partials = parallel::map_with(
@@ -458,7 +554,7 @@ pub fn conv2d_backward_with(
                 let mut dw_n = vec![0.0f32; c_out * ckk];
                 matmul_nt_acc(dy_n, col, c_out, ohw, ckk, &mut dw_n);
                 let db_n: Vec<f32> = (0..c_out)
-                    .map(|co| dy_n[co * ohw..(co + 1) * ohw].iter().sum())
+                    .map(|co| simd::sum(&dy_n[co * ohw..(co + 1) * ohw]))
                     .collect();
                 (dw_n, db_n)
             },
@@ -509,30 +605,33 @@ pub fn conv_transpose2d(
     // Sanity: a conv over (oh, ow) with this spec must produce (h, w).
     debug_assert_eq!(spec.out_extent(oh, kh), h);
     debug_assert_eq!(spec.out_extent(ow, kw), w_in);
+    if let Some(b) = bias {
+        if b.shape().dims() != [c_out] {
+            return Err(TensorError::InvalidShape {
+                reason: format!("conv_transpose2d: bias shape {} != [{c_out}]", b.shape()),
+            });
+        }
+    }
     let ckk = c_out * kh * kw;
     let hw = h * w_in;
     let mut y = Tensor::zeros(&[n, c_out, oh, ow]);
-    let mut col = vec![0.0f32; ckk * hw];
-    for ni in 0..n {
-        let x_n = &x.data()[ni * c_in * hw..(ni + 1) * c_in * hw];
-        // col = Wᵀ_flat · x_n, where W_flat is (C_in, C_out*KH*KW).
-        matmul_tn(w.data(), x_n, ckk, c_in, hw, &mut col);
-        let y_n = &mut y.data_mut()[ni * c_out * oh * ow..(ni + 1) * c_out * oh * ow];
-        col2im(&col, c_out, oh, ow, kh, kw, spec, y_n);
-        if let Some(b) = bias {
-            if b.shape().dims() != [c_out] {
-                return Err(TensorError::InvalidShape {
-                    reason: format!("conv_transpose2d: bias shape {} != [{c_out}]", b.shape()),
-                });
-            }
-            for co in 0..c_out {
-                let bv = b.data()[co];
-                for v in &mut y_n[co * oh * ow..(co + 1) * oh * ow] {
-                    *v += bv;
+    with_col_scratch(ckk * hw, |col| {
+        for ni in 0..n {
+            let x_n = &x.data()[ni * c_in * hw..(ni + 1) * c_in * hw];
+            // col = Wᵀ_flat · x_n, where W_flat is (C_in, C_out*KH*KW).
+            matmul_tn(w.data(), x_n, ckk, c_in, hw, col);
+            let y_n = &mut y.data_mut()[ni * c_out * oh * ow..(ni + 1) * c_out * oh * ow];
+            col2im(col, c_out, oh, ow, kh, kw, spec, y_n);
+            if let Some(b) = bias {
+                for co in 0..c_out {
+                    let bv = b.data()[co];
+                    for v in &mut y_n[co * oh * ow..(co + 1) * oh * ow] {
+                        *v += bv;
+                    }
                 }
             }
         }
-    }
+    });
     Ok(y)
 }
 
@@ -568,22 +667,23 @@ pub fn conv_transpose2d_backward(
     let mut dx = Tensor::zeros(&[n, c_in, h, w_in]);
     let mut dw = Tensor::zeros(&[c_in, c_out, kh, kw]);
     let mut db = Tensor::zeros(&[c_out]);
-    let mut col = vec![0.0f32; ckk * hw];
-    for ni in 0..n {
-        let x_n = &x.data()[ni * c_in * hw..(ni + 1) * c_in * hw];
-        let dy_n = &dy.data()[ni * c_out * oh * ow..(ni + 1) * c_out * oh * ow];
-        // The forward was y = col2im(Wᵀ x); its adjoint is im2col.
-        im2col(dy_n, c_out, oh, ow, kh, kw, spec, &mut col);
-        // dX_n = W_flat · col  (C_in × ckk)·(ckk × hw).
-        let dx_n = &mut dx.data_mut()[ni * c_in * hw..(ni + 1) * c_in * hw];
-        matmul(w.data(), &col, c_in, ckk, hw, dx_n);
-        // dW += x_n · colᵀ  (C_in × hw)·(hw × ckk).
-        matmul_nt_acc(x_n, &col, c_in, hw, ckk, dw.data_mut());
-        for co in 0..c_out {
-            let s: f32 = dy_n[co * oh * ow..(co + 1) * oh * ow].iter().sum();
-            db.data_mut()[co] += s;
+    with_col_scratch(ckk * hw, |col| {
+        for ni in 0..n {
+            let x_n = &x.data()[ni * c_in * hw..(ni + 1) * c_in * hw];
+            let dy_n = &dy.data()[ni * c_out * oh * ow..(ni + 1) * c_out * oh * ow];
+            // The forward was y = col2im(Wᵀ x); its adjoint is im2col.
+            im2col(dy_n, c_out, oh, ow, kh, kw, spec, col);
+            // dX_n = W_flat · col  (C_in × ckk)·(ckk × hw).
+            let dx_n = &mut dx.data_mut()[ni * c_in * hw..(ni + 1) * c_in * hw];
+            matmul(w.data(), col, c_in, ckk, hw, dx_n);
+            // dW += x_n · colᵀ  (C_in × hw)·(hw × ckk).
+            matmul_nt_acc(x_n, col, c_in, hw, ckk, dw.data_mut());
+            for co in 0..c_out {
+                let s = simd::sum(&dy_n[co * oh * ow..(co + 1) * oh * ow]);
+                db.data_mut()[co] += s;
+            }
         }
-    }
+    });
     Ok(Conv2dGrads { dx, dw, db })
 }
 
@@ -1089,6 +1189,82 @@ mod tests {
     fn pixel_shuffle_rejects_bad_channels() {
         let x = Tensor::zeros(&[1, 3, 2, 2]);
         assert!(pixel_shuffle(&x, 2).is_err());
+    }
+
+    /// Per-element reference im2col (the pre-fast-path logic), for
+    /// cross-checking the split-row rewrite on pathological geometry.
+    fn im2col_reference(
+        img: &[f32],
+        c: usize,
+        h: usize,
+        w: usize,
+        kh: usize,
+        kw: usize,
+        spec: Conv2dSpec,
+        col: &mut [f32],
+    ) {
+        let oh = spec.out_extent(h, kh);
+        let ow = spec.out_extent(w, kw);
+        let mut row = 0usize;
+        for ci in 0..c {
+            let img_c = &img[ci * h * w..(ci + 1) * h * w];
+            for ki in 0..kh {
+                for kj in 0..kw {
+                    let base = row * oh * ow;
+                    row += 1;
+                    for oi in 0..oh {
+                        let ii = (oi * spec.stride + ki * spec.dilation) as isize
+                            - spec.padding as isize;
+                        for oj in 0..ow {
+                            let jj = (oj * spec.stride + kj * spec.dilation) as isize
+                                - spec.padding as isize;
+                            let inside = ii >= 0 && ii < h as isize && jj >= 0 && jj < w as isize;
+                            col[base + oi * ow + oj] = if inside {
+                                img_c[ii as usize * w + jj as usize]
+                            } else {
+                                0.0
+                            };
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Regression: a kernel column that lies *entirely* in padding
+    /// (valid output range empty, e.g. w=1 with kw=6, padding=3) must
+    /// produce zeros, not a wrapped negative slice index. Covers both
+    /// the im2col fast path and col2im (via the backward pass).
+    #[test]
+    fn fully_padded_kernel_columns_are_zero() {
+        for (h, w, kh, kw, stride, padding, dilation) in [
+            (1usize, 1usize, 6usize, 6usize, 1usize, 3usize, 1usize),
+            (4, 1, 3, 6, 1, 3, 1),
+            (1, 2, 5, 7, 2, 4, 1),
+            (3, 1, 3, 5, 1, 4, 2),
+        ] {
+            let spec = Conv2dSpec {
+                stride,
+                padding,
+                dilation,
+            };
+            let oh = spec.out_extent(h, kh);
+            let ow = spec.out_extent(w, kw);
+            let c = 2;
+            let x = rand_tensor(&[c, h, w], 97);
+            let mut got = vec![0.0f32; c * kh * kw * oh * ow];
+            im2col(x.data(), c, h, w, kh, kw, spec, &mut got);
+            let mut want = vec![f32::NAN; c * kh * kw * oh * ow];
+            im2col_reference(x.data(), c, h, w, kh, kw, spec, &mut want);
+            assert_eq!(got, want, "im2col {h}x{w} k{kh}x{kw} s{stride} p{padding}");
+
+            // The backward pass exercises col2im on the same geometry.
+            let xb = rand_tensor(&[1, c, h, w], 98);
+            let wt = rand_tensor(&[1, c, kh, kw], 99);
+            let y = conv2d(&xb, &wt, None, spec).unwrap();
+            let grads = conv2d_backward(&xb, &wt, &y, spec).unwrap();
+            assert!(grads.dx.data().iter().all(|v| v.is_finite()));
+        }
     }
 
     #[test]

@@ -8,7 +8,10 @@
 //! - [`Tensor`]: an owned, row-major, N-dimensional `f32` array,
 //! - [`conv`]: 2-D convolution forward/backward with stride, padding and
 //!   dilation (NCHW layout), transposed convolution and max pooling,
-//! - [`linalg`]: register-blocked matrix multiplication primitives,
+//! - [`linalg`]: matrix multiplication primitives (thin dispatchers over
+//!   [`simd`], plus the naive reference kernel),
+//! - [`simd`]: the runtime-dispatched SIMD backend (AVX2 / scalar arms,
+//!   `RTE_SIMD` knob) with bit-identical lane-ordered reductions,
 //! - [`parallel`]: a dependency-free scoped thread pool with a
 //!   bit-determinism contract (same results at any thread count),
 //! - [`rng`]: a seedable xoshiro256** PRNG with SplitMix64 stream derivation
@@ -33,6 +36,7 @@ pub mod linalg;
 pub mod parallel;
 pub mod rng;
 mod shape;
+pub mod simd;
 mod tensor;
 
 pub use shape::Shape;

@@ -4,87 +4,46 @@
 //! im2col. All routines operate on row-major slices so they can run on
 //! scratch buffers without allocating.
 //!
-//! The production kernels are register-blocked: they process `MR` output
-//! rows (or columns) per pass so every loaded element of the shared
-//! operand is reused `MR` times from registers, giving the compiler `MR`
-//! independent accumulation streams to vectorize. Per output element the
-//! accumulation order over `k` is unchanged from the scalar reference
-//! kernels, so results are bit-identical to [`matmul_naive`] — with one
-//! deliberate exception: the old kernels skipped `a == 0.0` terms, which
-//! silently swallowed IEEE `0 × inf = NaN` propagation. The blocked
-//! kernels never skip terms, so non-finite inputs poison the output as
-//! IEEE 754 requires.
+//! Since the SIMD backend landed, the production entry points here are
+//! thin dispatchers over [`crate::simd`]: the process-global
+//! [`SimdBackend`](crate::simd::SimdBackend) (env knob `RTE_SIMD`)
+//! selects between a packed AVX2 micro-kernel GEMM and a blocked,
+//! bounds-check-free scalar arm. The arms are **bit-identical** — see
+//! the lane-ordered reduction contract in [`crate::simd`]:
+//!
+//! - [`matmul`] / [`matmul_tn`] accumulate each output element over `k`
+//!   in strictly ascending order on every arm, so results match the
+//!   scalar reference [`matmul_naive`] bit for bit — with one deliberate
+//!   historical exception carried over from the register-blocking PR:
+//!   no kernel skips `a == 0.0` terms, so IEEE `0 × inf = NaN`
+//!   propagation is preserved.
+//! - [`matmul_nt_acc`] computes each output element as an 8-lane
+//!   virtual-SIMD dot product (lane `i % 8`, fixed
+//!   [`reduce8`](crate::simd::reduce8) tree) — the same order on every
+//!   arm, chosen so the vector arm can keep the lanes in registers.
+//!
+//! [`matmul_naive`] remains the untouched scalar i-k-j reference and the
+//! baseline of the kernel benchmarks.
 
-/// Rows (columns for [`matmul_nt_acc`]) processed per register block.
-const MR: usize = 4;
-
-/// Splits `rows` (length `MR * n`) into `MR` disjoint row slices.
-fn split_rows(rows: &mut [f32], n: usize) -> [&mut [f32]; MR] {
-    let (r0, rest) = rows.split_at_mut(n);
-    let (r1, rest) = rest.split_at_mut(n);
-    let (r2, r3) = rest.split_at_mut(n);
-    [r0, r1, r2, r3]
-}
-
-/// k-panel depth: a `KC × n` panel of `B` (≤ ~300 KB for conv-shaped `n`)
-/// stays cache-resident while every row block of the output sweeps it.
-const KC: usize = 128;
+use crate::simd;
 
 /// `out = A @ B` where `A` is `m×k`, `B` is `k×n`, `out` is `m×n`.
 ///
-/// Accumulates in `f32` with a k-inner loop ordered for cache locality
-/// (i-k-j), blocked over `MR` output rows and tiled over `KC`-deep
-/// k-panels so `B` is streamed from cache rather than memory. Per output
-/// element the `p` accumulation order is still strictly ascending, so the
-/// result is bit-identical to [`matmul_naive`].
+/// Dispatches to the process-global [`crate::simd`] arm. Per output
+/// element the `k` accumulation order is strictly ascending on every
+/// arm, so the result is bit-identical to [`matmul_naive`] (and across
+/// arms, thread counts and machines).
 ///
 /// # Panics
 ///
 /// Panics if any slice length is inconsistent with the given dimensions.
 pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
-    assert_eq!(a.len(), m * k, "matmul: lhs length");
-    assert_eq!(b.len(), k * n, "matmul: rhs length");
-    assert_eq!(out.len(), m * n, "matmul: out length");
-    out.iter_mut().for_each(|x| *x = 0.0);
-    let mut p0 = 0;
-    while p0 < k {
-        let p1 = (p0 + KC).min(k);
-        let mut i = 0;
-        while i + MR <= m {
-            let [r0, r1, r2, r3] = split_rows(&mut out[i * n..(i + MR) * n], n);
-            for p in p0..p1 {
-                let a0 = a[i * k + p];
-                let a1 = a[(i + 1) * k + p];
-                let a2 = a[(i + 2) * k + p];
-                let a3 = a[(i + 3) * k + p];
-                let b_row = &b[p * n..(p + 1) * n];
-                for (j, &bv) in b_row.iter().enumerate() {
-                    r0[j] += a0 * bv;
-                    r1[j] += a1 * bv;
-                    r2[j] += a2 * bv;
-                    r3[j] += a3 * bv;
-                }
-            }
-            i += MR;
-        }
-        for i in i..m {
-            let a_row = &a[i * k..(i + 1) * k];
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for p in p0..p1 {
-                let a_ip = a_row[p];
-                let b_row = &b[p * n..(p + 1) * n];
-                for (o, &b_pj) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a_ip * b_pj;
-                }
-            }
-        }
-        p0 = p1;
-    }
+    simd::matmul(a, b, m, k, n, out);
 }
 
-/// Scalar i-k-j reference kernel: the pre-blocking implementation, kept
-/// for correctness cross-checks and as the baseline in the kernel
-/// benchmarks (`cargo bench -p rte-bench --bench kernels`).
+/// Scalar i-k-j reference kernel: the original pre-blocking
+/// implementation, kept for correctness cross-checks and as the baseline
+/// in the kernel benchmarks (`cargo bench -p rte-bench --bench kernels`).
 ///
 /// # Panics
 ///
@@ -108,96 +67,30 @@ pub fn matmul_naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mu
 
 /// `out = Aᵀ @ B` where `A` is `k×m` (so `Aᵀ` is `m×k`), `B` is `k×n`.
 ///
-/// Blocked over `MR` output rows; the `MR` lhs elements per step are
-/// contiguous in `A`'s row-major storage (`a[p*m + i ..]`), so the block
-/// load is a single cache line.
+/// Dispatches to the process-global [`crate::simd`] arm; same
+/// ascending-`k` per-element accumulation order as [`matmul`].
 ///
 /// # Panics
 ///
 /// Panics if any slice length is inconsistent with the given dimensions.
 pub fn matmul_tn(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
-    assert_eq!(a.len(), k * m, "matmul_tn: lhs length");
-    assert_eq!(b.len(), k * n, "matmul_tn: rhs length");
-    assert_eq!(out.len(), m * n, "matmul_tn: out length");
-    out.iter_mut().for_each(|x| *x = 0.0);
-    let mut i = 0;
-    while i + MR <= m {
-        let [r0, r1, r2, r3] = split_rows(&mut out[i * n..(i + MR) * n], n);
-        for p in 0..k {
-            let ap = &a[p * m + i..p * m + i + MR];
-            let (a0, a1, a2, a3) = (ap[0], ap[1], ap[2], ap[3]);
-            let b_row = &b[p * n..(p + 1) * n];
-            for (j, &bv) in b_row.iter().enumerate() {
-                r0[j] += a0 * bv;
-                r1[j] += a1 * bv;
-                r2[j] += a2 * bv;
-                r3[j] += a3 * bv;
-            }
-        }
-        i += MR;
-    }
-    if i < m {
-        for p in 0..k {
-            let b_row = &b[p * n..(p + 1) * n];
-            for ii in i..m {
-                let a_pi = a[p * m + ii];
-                let out_row = &mut out[ii * n..(ii + 1) * n];
-                for (o, &b_pj) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a_pi * b_pj;
-                }
-            }
-        }
-    }
+    simd::matmul_tn(a, b, m, k, n, out);
 }
 
 /// `out += A @ Bᵀ` where `A` is `m×k`, `B` is `n×k` (so `Bᵀ` is `k×n`).
 ///
-/// Accumulating (`+=`) because the convolution weight gradient sums over the
-/// batch; zero `out` first when a plain product is needed.
+/// Accumulating (`+=`) because the convolution weight gradient sums over
+/// the batch; zero `out` first when a plain product is needed.
 ///
-/// Blocked over `MR` output columns: each pass runs `MR` independent dot
-/// products that share every load of the `A` row, giving the out-of-order
-/// core `MR` parallel accumulation chains.
+/// Dispatches to the process-global [`crate::simd`] arm. Each output
+/// element is an 8-lane virtual-SIMD dot product over `k` with the fixed
+/// [`reduce8`](crate::simd::reduce8) lane tree — identical on every arm.
 ///
 /// # Panics
 ///
 /// Panics if any slice length is inconsistent with the given dimensions.
 pub fn matmul_nt_acc(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
-    assert_eq!(a.len(), m * k, "matmul_nt_acc: lhs length");
-    assert_eq!(b.len(), n * k, "matmul_nt_acc: rhs length");
-    assert_eq!(out.len(), m * n, "matmul_nt_acc: out length");
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let out_row = &mut out[i * n..(i + 1) * n];
-        let mut j = 0;
-        while j + MR <= n {
-            let b0 = &b[j * k..(j + 1) * k];
-            let b1 = &b[(j + 1) * k..(j + 2) * k];
-            let b2 = &b[(j + 2) * k..(j + 3) * k];
-            let b3 = &b[(j + 3) * k..(j + 4) * k];
-            let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
-            for p in 0..k {
-                let x = a_row[p];
-                s0 += x * b0[p];
-                s1 += x * b1[p];
-                s2 += x * b2[p];
-                s3 += x * b3[p];
-            }
-            out_row[j] += s0;
-            out_row[j + 1] += s1;
-            out_row[j + 2] += s2;
-            out_row[j + 3] += s3;
-            j += MR;
-        }
-        for j in j..n {
-            let b_row = &b[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (&x, &y) in a_row.iter().zip(b_row.iter()) {
-                acc += x * y;
-            }
-            out_row[j] += acc;
-        }
-    }
+    simd::matmul_nt_acc(a, b, m, k, n, out);
 }
 
 #[cfg(test)]
@@ -264,12 +157,12 @@ mod tests {
         (0..len).map(|_| rng.normal()).collect()
     }
 
-    /// The blocked kernels preserve the per-element accumulation order of
-    /// the scalar reference kernel, so all shapes — including remainder
-    /// rows/columns when the dimension is not a multiple of the block —
-    /// must agree bit for bit.
+    /// The dispatched kernels preserve the per-element accumulation
+    /// order of the scalar reference kernel, so all shapes — including
+    /// remainder rows/columns when the dimension is not a multiple of
+    /// the register block — must agree bit for bit.
     #[test]
-    fn blocked_kernels_match_reference_bitwise() {
+    fn dispatched_kernels_match_reference_bitwise() {
         for (m, k, n) in [
             (1, 1, 1),
             (3, 5, 2),
@@ -277,6 +170,7 @@ mod tests {
             (5, 3, 6),
             (9, 4, 13),
             (8, 8, 8),
+            (17, 40, 23),
         ] {
             let a = rand_vec(m * k, 1000 + (m * k * n) as u64);
             let b = rand_vec(k * n, 2000 + (m + k + n) as u64);
@@ -313,8 +207,10 @@ mod tests {
             let mut got_nt = vec![0.0f32; m * n];
             matmul_nt_acc(&a, &bt, m, k, n, &mut got_nt);
             for (g, w) in got_nt.iter().zip(want_nt.iter()) {
-                // Dot-product accumulation differs in rounding from the
-                // i-k-j reference, so compare numerically here.
+                // The 8-lane dot-product accumulation differs in
+                // rounding from the i-k-j reference, so compare
+                // numerically here (cross-arm bit-identity is pinned in
+                // crate::simd and tests/simd_determinism.rs).
                 assert!((g - w).abs() <= 1e-4 * (1.0 + w.abs()), "{g} vs {w}");
             }
         }
@@ -342,7 +238,8 @@ mod tests {
             out_tn[0]
         );
 
-        // And a blocked-path (m ≥ MR) case: every row sees the NaN column.
+        // And a register-blocked-path (m ≥ 4) case: every row sees the
+        // NaN column.
         let m = 5;
         let a_blk: Vec<f32> = (0..m * 2)
             .map(|i| if i % 2 == 0 { 0.0 } else { 1.0 })

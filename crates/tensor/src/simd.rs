@@ -1,0 +1,1769 @@
+//! Runtime-dispatched SIMD kernel backend with bit-identical,
+//! lane-ordered reductions.
+//!
+//! Every training method in the workspace bottoms out in a handful of
+//! `f32` kernels: the im2col matrix products behind [`crate::conv`], and
+//! the elementwise activation / optimizer sweeps in `rte-nn`. This module
+//! multi-versions those kernels over instruction-set *arms* and picks one
+//! at runtime:
+//!
+//! - **`Avx2`** — x86-64 AVX2 (+FMA availability is required for
+//!   detection parity with common deployments, but fused contraction is
+//!   deliberately **not** used; see below), 8-lane `f32` vectors,
+//! - **`Scalar`** — a portable fallback that *emulates the same 8-lane
+//!   schedule* so its results are bit-identical to the vector arm.
+//!
+//! The arm is chosen once per process from the `RTE_SIMD` environment
+//! variable (`auto` | `avx2` | `scalar`, default `auto` =
+//! best-available), and can be overridden programmatically with
+//! [`set_global`] — the same shape as [`crate::parallel`]'s thread knob.
+//! Every kernel also has a `*_with` variant taking an explicit
+//! [`SimdBackend`] so tests and benches can pin arms without touching
+//! process state.
+//!
+//! # Determinism contract: the 8-lane virtual SIMD machine
+//!
+//! The workspace guarantees bit-identical outputs across thread counts;
+//! this module extends that guarantee across *instruction sets*. Every
+//! arm implements the same **fixed 8-lane virtual-SIMD accumulation
+//! order**:
+//!
+//! 1. **Elementwise maps** (`axpy`, `scale`, SGD/Adam steps, ReLU and
+//!    sigmoid forward/backward) evaluate one fixed expression per
+//!    element, built only from IEEE-exact operations (`+ - * / sqrt`,
+//!    comparisons/selects). Vector lanes are independent, so any
+//!    vector width reproduces the scalar expression bit for bit.
+//!    **No FMA contraction is ever emitted** — a fused `a*b+c` rounds
+//!    once where `mul`+`add` round twice, which would split the arms.
+//! 2. **Matrix products** ([`matmul`], [`matmul_tn`]) vectorize over
+//!    *output columns*: each output element accumulates its `k`
+//!    products in strictly ascending `k` order on every arm (lanes are
+//!    distinct outputs, never partial sums of one output). All arms are
+//!    therefore bit-identical to the naive i-k-j reference kernel.
+//! 3. **Reductions** ([`sum`], [`matmul_nt_acc`]'s dot products)
+//!    accumulate into 8 virtual lanes — element `i` goes to lane
+//!    `i % 8` in ascending `i` order — and the lanes are combined by
+//!    the fixed tree [`reduce8`]: `((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7))`
+//!    evaluated as pairwise sums. The scalar arm maintains the 8 lanes
+//!    in an array; the vector arm's tail elements reuse the *same
+//!    scalar lane code*, so tails cannot diverge by construction.
+//! 4. **Transcendentals** (the sigmoid's `exp`) never call libm:
+//!    both arms evaluate one shared Cephes-style polynomial
+//!    ([`exp_lane`]) with an identical operation sequence, so the
+//!    vector arm is a pure 8-wide transcription of the scalar arm.
+//!
+//! `tests/simd_determinism.rs` pins the contract end to end: every
+//! kernel bitwise across arms over randomized shapes, and a full FedProx
+//! training run producing a bit-identical `MethodOutcome` per arm.
+//!
+//! # Safety
+//!
+//! The workspace denies `unsafe_code`; this module carries a scoped
+//! allow because SIMD intrinsics are unsafe to call by design. The
+//! invariant that makes every `unsafe` here sound is: **`Avx2` kernels
+//! are only reachable through [`SimdBackend::Avx2`], and that variant is
+//! only ever constructed after `is_x86_feature_detected!` confirmed
+//! AVX2+FMA support** (or by a caller who explicitly forced it, which
+//! [`SimdBackend::from_env`] refuses to do on unsupported CPUs).
+#![allow(unsafe_code)]
+
+use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Instruction-set arm used by the dispatched kernels.
+///
+/// All arms produce bit-identical results (see the module docs); the
+/// choice only trades wall-clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimdBackend {
+    /// Portable scalar arm emulating the 8-lane schedule.
+    Scalar,
+    /// x86-64 AVX2 arm (8-lane `f32`); constructed only after feature
+    /// detection (or an explicit, checked override).
+    Avx2,
+}
+
+impl SimdBackend {
+    /// The best arm the running CPU supports.
+    pub fn detect() -> SimdBackend {
+        #[cfg(any(target_arch = "x86_64", target_arch = "x86"))]
+        {
+            if std::is_x86_feature_detected!("avx2") && std::is_x86_feature_detected!("fma") {
+                return SimdBackend::Avx2;
+            }
+        }
+        SimdBackend::Scalar
+    }
+
+    /// Resolves the `RTE_SIMD` environment variable: `scalar` and `avx2`
+    /// force an arm, anything else (including unset) means
+    /// [`SimdBackend::detect`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `RTE_SIMD=avx2` is forced on a CPU without AVX2+FMA —
+    /// an explicit request that cannot be honored must not silently
+    /// degrade, because the caller asked for a specific arm's wall-clock.
+    pub fn from_env() -> SimdBackend {
+        match std::env::var("RTE_SIMD") {
+            Ok(v) => Self::parse(&v),
+            Err(_) => SimdBackend::detect(),
+        }
+    }
+
+    /// [`SimdBackend::from_env`]'s parsing rule, factored out for tests.
+    ///
+    /// # Panics
+    ///
+    /// See [`SimdBackend::from_env`].
+    pub fn parse(value: &str) -> SimdBackend {
+        match value.trim().to_ascii_lowercase().as_str() {
+            "scalar" => SimdBackend::Scalar,
+            "avx2" => {
+                assert!(
+                    SimdBackend::detect() == SimdBackend::Avx2,
+                    "RTE_SIMD=avx2 requested but this CPU does not support AVX2+FMA"
+                );
+                SimdBackend::Avx2
+            }
+            _ => SimdBackend::detect(),
+        }
+    }
+
+    /// Stable lowercase name (`"scalar"` / `"avx2"`), used by bench
+    /// output and `BENCH_kernels.json`.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdBackend::Scalar => "scalar",
+            SimdBackend::Avx2 => "avx2",
+        }
+    }
+}
+
+impl fmt::Display for SimdBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Process-wide arm for kernels dispatched without an explicit
+/// `*_with` argument. `0` = not yet resolved from `RTE_SIMD`.
+static GLOBAL_BACKEND: AtomicU8 = AtomicU8::new(0);
+
+const BACKEND_SCALAR: u8 = 1;
+const BACKEND_AVX2: u8 = 2;
+
+fn encode(backend: SimdBackend) -> u8 {
+    match backend {
+        SimdBackend::Scalar => BACKEND_SCALAR,
+        SimdBackend::Avx2 => BACKEND_AVX2,
+    }
+}
+
+/// Sets the process-wide [`SimdBackend`] used by all dispatched kernels.
+///
+/// Results are bit-identical for every arm; this knob only trades
+/// wall-clock, exactly like [`crate::parallel::set_global`].
+pub fn set_global(backend: SimdBackend) {
+    GLOBAL_BACKEND.store(encode(backend), Ordering::Relaxed);
+}
+
+/// The current process-wide [`SimdBackend`], resolved from `RTE_SIMD`
+/// (unset = auto-detect) on first use.
+pub fn global() -> SimdBackend {
+    match GLOBAL_BACKEND.load(Ordering::Relaxed) {
+        BACKEND_SCALAR => SimdBackend::Scalar,
+        BACKEND_AVX2 => SimdBackend::Avx2,
+        _ => {
+            let backend = SimdBackend::from_env();
+            // Benign race: concurrent first readers resolve identically.
+            GLOBAL_BACKEND.store(encode(backend), Ordering::Relaxed);
+            backend
+        }
+    }
+}
+
+/// Number of virtual lanes every arm schedules around.
+pub const LANES: usize = 8;
+
+/// The fixed lane-combination tree shared by every reduction on every
+/// arm: `((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7))`, evaluated pairwise.
+///
+/// This is exactly the shape of an AVX2 horizontal add performed as
+/// `low128 + high128`, then two in-register shuffles — so the vector
+/// arm can reduce in registers while the scalar arm reduces the array,
+/// and both round identically.
+#[inline]
+pub fn reduce8(lanes: &[f32; LANES]) -> f32 {
+    let s0 = lanes[0] + lanes[4];
+    let s1 = lanes[1] + lanes[5];
+    let s2 = lanes[2] + lanes[6];
+    let s3 = lanes[3] + lanes[7];
+    (s0 + s2) + (s1 + s3)
+}
+
+// ---------------------------------------------------------------------
+// Shared per-lane expressions.
+//
+// Each scalar helper below is THE definition of one kernel's per-element
+// arithmetic. The scalar arm loops them; the vector arm transcribes the
+// identical operation sequence into 8-wide intrinsics and reuses the
+// helper verbatim for non-multiple-of-8 tails.
+// ---------------------------------------------------------------------
+
+/// `min` with x86 `vminps` semantics: `if a < b { a } else { b }`
+/// (returns `b` when `a` is NaN or both compare equal).
+#[inline]
+fn min_ps(a: f32, b: f32) -> f32 {
+    if a < b {
+        a
+    } else {
+        b
+    }
+}
+
+/// `max` with x86 `vmaxps` semantics: `if a > b { a } else { b }`.
+#[inline]
+fn max_ps(a: f32, b: f32) -> f32 {
+    if a > b {
+        a
+    } else {
+        b
+    }
+}
+
+/// Exponent clamp bounds: `exp` saturates to `+inf` above `EXP_HI` and
+/// to the smallest normal below `EXP_LO`, keeping the `2^n` scale factor
+/// constructible from exponent bits on every arm.
+const EXP_HI: f32 = 88.722_84;
+const EXP_LO: f32 = -87.336_55;
+/// `log2(e)` for the range reduction `x = n·ln2 + r`.
+const EXP_LOG2E: f32 = std::f32::consts::LOG2_E;
+/// Cody–Waite split of `ln 2` (high part exactly representable).
+const EXP_LN2_HI: f32 = 0.693_359_4;
+/// Low-order correction of the `ln 2` split.
+const EXP_LN2_LO: f32 = -2.121_944_4e-4;
+/// `1.5 · 2²³`: adding and subtracting rounds to the nearest integer
+/// (ties to even) with plain `+`/`-`, identically on both arms.
+const EXP_MAGIC: f32 = 12_582_912.0;
+/// Cephes `expf` minimax polynomial, degree 5 → constant term.
+const EXP_P0: f32 = 1.987_569_1e-4;
+const EXP_P1: f32 = 1.398_2e-3;
+const EXP_P2: f32 = 8.333_452e-3;
+const EXP_P3: f32 = 4.166_579_6e-2;
+const EXP_P4: f32 = 1.666_666_5e-1;
+const EXP_P5: f32 = 5.000_000_3e-1;
+
+/// Shared polynomial `expf`: Cephes-style range reduction
+/// (`x = n·ln2 + r`, `|r| ≤ ln2/2`), a degree-5 minimax polynomial and
+/// an exponent-bit `2^n` scale — every step an IEEE-exact op in a fixed
+/// order, so the AVX2 transcription is bit-identical per lane.
+///
+/// Accuracy is ~2 ulp on the reduced range (ample for the sigmoid);
+/// NaN inputs pass through unchanged; out-of-range inputs saturate to
+/// `+inf` / the smallest normal instead of libm's gradual underflow.
+#[inline]
+pub fn exp_lane(x: f32) -> f32 {
+    if x.is_nan() {
+        return x;
+    }
+    let xc = max_ps(min_ps(x, EXP_HI), EXP_LO);
+    let n = (xc * EXP_LOG2E + EXP_MAGIC) - EXP_MAGIC;
+    let r = xc - n * EXP_LN2_HI;
+    let r = r - n * EXP_LN2_LO;
+    let mut y = EXP_P0;
+    y = y * r + EXP_P1;
+    y = y * r + EXP_P2;
+    y = y * r + EXP_P3;
+    y = y * r + EXP_P4;
+    y = y * r + EXP_P5;
+    let y = ((y * r) * r + r) + 1.0;
+    let scale = f32::from_bits((((n as i32) + 127) << 23) as u32);
+    y * scale
+}
+
+#[inline]
+fn axpy_lane(alpha: f32, x: f32, y: f32) -> f32 {
+    y + alpha * x
+}
+
+#[inline]
+fn scale_lane(alpha: f32, x: f32) -> f32 {
+    x * alpha
+}
+
+#[inline]
+fn relu_lane(x: f32) -> f32 {
+    if x > 0.0 {
+        x
+    } else {
+        0.0
+    }
+}
+
+#[inline]
+fn relu_backward_lane(dy: f32, x: f32) -> f32 {
+    if x > 0.0 {
+        dy
+    } else {
+        0.0
+    }
+}
+
+#[inline]
+fn sigmoid_lane(x: f32) -> f32 {
+    1.0 / (1.0 + exp_lane(-x))
+}
+
+#[inline]
+fn sigmoid_backward_lane(dy: f32, y: f32) -> f32 {
+    (dy * y) * (1.0 - y)
+}
+
+#[inline]
+fn sgd_lane(value: f32, grad: f32, lr: f32, wd: f32) -> f32 {
+    let g = if wd != 0.0 { grad + wd * value } else { grad };
+    value + (-lr) * g
+}
+
+/// Hyper-parameters of one fused Adam step (see [`adam_step`]); the
+/// bias corrections are precomputed by the caller because they depend
+/// on the step counter, not the parameter.
+#[derive(Debug, Clone, Copy)]
+pub struct AdamStep {
+    /// First-moment decay (β₁).
+    pub beta1: f32,
+    /// Second-moment decay (β₂).
+    pub beta2: f32,
+    /// First-moment bias correction `1 - β₁ᵗ`.
+    pub bias1: f32,
+    /// Second-moment bias correction `1 - β₂ᵗ`.
+    pub bias2: f32,
+    /// Learning rate.
+    pub lr: f32,
+    /// Denominator fuzz (ε).
+    pub eps: f32,
+    /// L2 strength folded into the gradient (0 disables the term).
+    pub weight_decay: f32,
+}
+
+/// One Adam lane: updates `(m, v)` in place and returns the new value.
+#[inline]
+fn adam_lane(value: f32, m: &mut f32, v: &mut f32, grad: f32, s: &AdamStep) -> f32 {
+    let g = if s.weight_decay != 0.0 {
+        grad + s.weight_decay * value
+    } else {
+        grad
+    };
+    let mi = s.beta1 * *m + (1.0 - s.beta1) * g;
+    let vi = s.beta2 * *v + ((1.0 - s.beta2) * g) * g;
+    *m = mi;
+    *v = vi;
+    let m_hat = mi / s.bias1;
+    let v_hat = vi / s.bias2;
+    value - (s.lr * m_hat) / (v_hat.sqrt() + s.eps)
+}
+
+// ---------------------------------------------------------------------
+// Dispatched public kernels.
+// ---------------------------------------------------------------------
+
+macro_rules! dispatch {
+    ($backend:expr, $scalar:expr, $avx2:expr) => {
+        match $backend {
+            SimdBackend::Scalar => $scalar,
+            #[cfg(any(target_arch = "x86_64", target_arch = "x86"))]
+            // SAFETY: `SimdBackend::Avx2` is only constructed after
+            // `is_x86_feature_detected!("avx2") && ("fma")` succeeded
+            // (detect / checked parse), so the target features the
+            // callee was compiled for are present at runtime.
+            SimdBackend::Avx2 => unsafe { $avx2 },
+            // Unreachable in practice: `detect` never returns Avx2 off
+            // x86 and `parse` refuses to construct it; tolerate a
+            // hand-built value by degrading to the (bit-identical)
+            // scalar arm rather than panicking.
+            #[cfg(not(any(target_arch = "x86_64", target_arch = "x86")))]
+            SimdBackend::Avx2 => $scalar,
+        }
+    };
+}
+
+/// `out = A @ B` (`A` is `m×k`, `B` is `k×n`, row-major) on the
+/// process-global arm. Per output element the `k` accumulation order is
+/// strictly ascending on every arm — bit-identical to the naive i-k-j
+/// reference kernel.
+///
+/// # Panics
+///
+/// Panics if any slice length is inconsistent with the dimensions.
+pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    matmul_with(global(), a, b, m, k, n, out);
+}
+
+/// [`matmul`] with an explicit arm.
+///
+/// # Panics
+///
+/// Panics if any slice length is inconsistent with the dimensions.
+pub fn matmul_with(
+    backend: SimdBackend,
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+) {
+    assert_eq!(a.len(), m * k, "matmul: lhs length");
+    assert_eq!(b.len(), k * n, "matmul: rhs length");
+    assert_eq!(out.len(), m * n, "matmul: out length");
+    dispatch!(
+        backend,
+        scalar::matmul(a, b, m, k, n, out),
+        avx2::gemm(a, b, m, k, n, out, false)
+    );
+}
+
+/// `out = Aᵀ @ B` (`A` stored `k×m`) on the process-global arm; same
+/// ascending-`k` per-element order as [`matmul`].
+///
+/// # Panics
+///
+/// Panics if any slice length is inconsistent with the dimensions.
+pub fn matmul_tn(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    matmul_tn_with(global(), a, b, m, k, n, out);
+}
+
+/// [`matmul_tn`] with an explicit arm.
+///
+/// # Panics
+///
+/// Panics if any slice length is inconsistent with the dimensions.
+pub fn matmul_tn_with(
+    backend: SimdBackend,
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+) {
+    assert_eq!(a.len(), k * m, "matmul_tn: lhs length");
+    assert_eq!(b.len(), k * n, "matmul_tn: rhs length");
+    assert_eq!(out.len(), m * n, "matmul_tn: out length");
+    dispatch!(
+        backend,
+        scalar::matmul_tn(a, b, m, k, n, out),
+        avx2::gemm(a, b, m, k, n, out, true)
+    );
+}
+
+/// `out += A @ Bᵀ` (`A` is `m×k`, `B` is `n×k`) on the process-global
+/// arm. Each output element is an 8-lane dot product over `k` reduced
+/// with [`reduce8`] — the lane-ordered reduction of the module contract.
+///
+/// # Panics
+///
+/// Panics if any slice length is inconsistent with the dimensions.
+pub fn matmul_nt_acc(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    matmul_nt_acc_with(global(), a, b, m, k, n, out);
+}
+
+/// [`matmul_nt_acc`] with an explicit arm.
+///
+/// # Panics
+///
+/// Panics if any slice length is inconsistent with the dimensions.
+pub fn matmul_nt_acc_with(
+    backend: SimdBackend,
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+) {
+    assert_eq!(a.len(), m * k, "matmul_nt_acc: lhs length");
+    assert_eq!(b.len(), n * k, "matmul_nt_acc: rhs length");
+    assert_eq!(out.len(), m * n, "matmul_nt_acc: out length");
+    dispatch!(
+        backend,
+        scalar::matmul_nt_acc(a, b, m, k, n, out),
+        avx2::matmul_nt_acc(a, b, m, k, n, out)
+    );
+}
+
+/// `y[i] += alpha * x[i]` (BLAS `axpy`) on the process-global arm.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    axpy_with(global(), alpha, x, y);
+}
+
+/// [`axpy`] with an explicit arm.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy_with(backend: SimdBackend, alpha: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    dispatch!(backend, scalar::axpy(alpha, x, y), avx2::axpy(alpha, x, y));
+}
+
+/// `x[i] *= alpha` on the process-global arm.
+pub fn scale(alpha: f32, x: &mut [f32]) {
+    scale_with(global(), alpha, x);
+}
+
+/// [`scale`] with an explicit arm.
+pub fn scale_with(backend: SimdBackend, alpha: f32, x: &mut [f32]) {
+    dispatch!(backend, scalar::scale(alpha, x), avx2::scale(alpha, x));
+}
+
+/// Lane-ordered sum: element `i` accumulates into virtual lane `i % 8`
+/// in ascending order, and the lanes reduce via [`reduce8`] — identical
+/// on every arm (and deliberately different from a plain sequential
+/// fold, which no arm could vectorize).
+pub fn sum(x: &[f32]) -> f32 {
+    sum_with(global(), x)
+}
+
+/// [`sum`] with an explicit arm.
+pub fn sum_with(backend: SimdBackend, x: &[f32]) -> f32 {
+    dispatch!(backend, scalar::sum(x), avx2::sum(x))
+}
+
+/// Fused SGD step `value -= lr * (grad + wd * value)` (no momentum) on
+/// the process-global arm; the `wd` term is skipped exactly when
+/// `wd == 0` so the expression matches the unfused axpy pair bit for bit.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn sgd_step(value: &mut [f32], grad: &[f32], lr: f32, wd: f32) {
+    sgd_step_with(global(), value, grad, lr, wd);
+}
+
+/// [`sgd_step`] with an explicit arm.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn sgd_step_with(backend: SimdBackend, value: &mut [f32], grad: &[f32], lr: f32, wd: f32) {
+    assert_eq!(value.len(), grad.len(), "sgd_step: length mismatch");
+    dispatch!(
+        backend,
+        scalar::sgd_step(value, grad, lr, wd),
+        avx2::sgd_step(value, grad, lr, wd)
+    );
+}
+
+/// Fused Adam step on the process-global arm: updates the moment
+/// buffers `m`/`v` in place and applies the bias-corrected update to
+/// `value`. All ops are IEEE-exact (`sqrt`/`div` included), so the arms
+/// agree bitwise.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn adam_step(value: &mut [f32], m: &mut [f32], v: &mut [f32], grad: &[f32], step: &AdamStep) {
+    adam_step_with(global(), value, m, v, grad, step);
+}
+
+/// [`adam_step`] with an explicit arm.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn adam_step_with(
+    backend: SimdBackend,
+    value: &mut [f32],
+    m: &mut [f32],
+    v: &mut [f32],
+    grad: &[f32],
+    step: &AdamStep,
+) {
+    assert_eq!(value.len(), grad.len(), "adam_step: grad length mismatch");
+    assert_eq!(value.len(), m.len(), "adam_step: m length mismatch");
+    assert_eq!(value.len(), v.len(), "adam_step: v length mismatch");
+    dispatch!(
+        backend,
+        scalar::adam_step(value, m, v, grad, step),
+        avx2::adam_step(value, m, v, grad, step)
+    );
+}
+
+/// In-place ReLU `x = if x > 0 { x } else { 0 }` on the process-global
+/// arm (NaN maps to `+0.0` on every arm).
+pub fn relu(x: &mut [f32]) {
+    relu_with(global(), x);
+}
+
+/// [`relu`] with an explicit arm.
+pub fn relu_with(backend: SimdBackend, x: &mut [f32]) {
+    dispatch!(backend, scalar::relu(x), avx2::relu(x));
+}
+
+/// In-place ReLU backward: `dy[i] = if x[i] > 0 { dy[i] } else { 0 }`
+/// on the process-global arm.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn relu_backward(dy: &mut [f32], x: &[f32]) {
+    relu_backward_with(global(), dy, x);
+}
+
+/// [`relu_backward`] with an explicit arm.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn relu_backward_with(backend: SimdBackend, dy: &mut [f32], x: &[f32]) {
+    assert_eq!(dy.len(), x.len(), "relu_backward: length mismatch");
+    dispatch!(
+        backend,
+        scalar::relu_backward(dy, x),
+        avx2::relu_backward(dy, x)
+    );
+}
+
+/// In-place logistic sigmoid `x = 1 / (1 + exp(-x))` on the
+/// process-global arm, built on the shared polynomial [`exp_lane`].
+pub fn sigmoid(x: &mut [f32]) {
+    sigmoid_with(global(), x);
+}
+
+/// [`sigmoid`] with an explicit arm.
+pub fn sigmoid_with(backend: SimdBackend, x: &mut [f32]) {
+    dispatch!(backend, scalar::sigmoid(x), avx2::sigmoid(x));
+}
+
+/// In-place sigmoid backward `dy[i] = dy[i] * y[i] * (1 - y[i])` (where
+/// `y` is the cached forward output) on the process-global arm.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn sigmoid_backward(dy: &mut [f32], y: &[f32]) {
+    sigmoid_backward_with(global(), dy, y);
+}
+
+/// [`sigmoid_backward`] with an explicit arm.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn sigmoid_backward_with(backend: SimdBackend, dy: &mut [f32], y: &[f32]) {
+    assert_eq!(dy.len(), y.len(), "sigmoid_backward: length mismatch");
+    dispatch!(
+        backend,
+        scalar::sigmoid_backward(dy, y),
+        avx2::sigmoid_backward(dy, y)
+    );
+}
+
+// ---------------------------------------------------------------------
+// Scalar arm.
+// ---------------------------------------------------------------------
+
+/// The portable arm: loops the shared lane expressions and emulates the
+/// 8-lane reduction schedule. Inner loops use `zip`/`chunks_exact`
+/// slicing so the compiler drops the bounds checks and autovectorizes
+/// the independent accumulation streams.
+mod scalar {
+    use super::*;
+
+    /// Rows processed per register block of the blocked GEMM.
+    const MR: usize = 4;
+
+    /// k-panel depth: a `KC × n` panel of `B` stays cache-resident while
+    /// every row block of the output sweeps it.
+    const KC: usize = 128;
+
+    /// Splits `rows` (length `MR * n`) into `MR` disjoint row slices.
+    fn split_rows(rows: &mut [f32], n: usize) -> [&mut [f32]; MR] {
+        let (r0, rest) = rows.split_at_mut(n);
+        let (r1, rest) = rest.split_at_mut(n);
+        let (r2, r3) = rest.split_at_mut(n);
+        [r0, r1, r2, r3]
+    }
+
+    /// Adds `a? * b[j]` into four output rows with a single fused
+    /// iterator chain (no bounds checks; four independent accumulation
+    /// streams for the autovectorizer).
+    #[inline]
+    fn saxpy4(rows: [&mut [f32]; MR], coeffs: [f32; MR], b_row: &[f32]) {
+        let [r0, r1, r2, r3] = rows;
+        let [a0, a1, a2, a3] = coeffs;
+        let inner = r2.iter_mut().zip(r3.iter_mut()).zip(b_row.iter());
+        for ((o0, o1), ((o2, o3), &bv)) in r0.iter_mut().zip(r1.iter_mut()).zip(inner) {
+            *o0 += a0 * bv;
+            *o1 += a1 * bv;
+            *o2 += a2 * bv;
+            *o3 += a3 * bv;
+        }
+    }
+
+    pub(super) fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+        out.iter_mut().for_each(|x| *x = 0.0);
+        let mut p0 = 0;
+        while p0 < k {
+            let p1 = (p0 + KC).min(k);
+            let mut i = 0;
+            while i + MR <= m {
+                let rows = split_rows(&mut out[i * n..(i + MR) * n], n);
+                let [r0, r1, r2, r3] = rows;
+                for p in p0..p1 {
+                    let coeffs = [
+                        a[i * k + p],
+                        a[(i + 1) * k + p],
+                        a[(i + 2) * k + p],
+                        a[(i + 3) * k + p],
+                    ];
+                    saxpy4(
+                        [&mut r0[..], &mut r1[..], &mut r2[..], &mut r3[..]],
+                        coeffs,
+                        &b[p * n..(p + 1) * n],
+                    );
+                }
+                i += MR;
+            }
+            for i in i..m {
+                let a_row = &a[i * k..(i + 1) * k];
+                let out_row = &mut out[i * n..(i + 1) * n];
+                for p in p0..p1 {
+                    let a_ip = a_row[p];
+                    let b_row = &b[p * n..(p + 1) * n];
+                    for (o, &b_pj) in out_row.iter_mut().zip(b_row.iter()) {
+                        *o += a_ip * b_pj;
+                    }
+                }
+            }
+            p0 = p1;
+        }
+    }
+
+    pub(super) fn matmul_tn(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+        out.iter_mut().for_each(|x| *x = 0.0);
+        let mut i = 0;
+        while i + MR <= m {
+            let [r0, r1, r2, r3] = split_rows(&mut out[i * n..(i + MR) * n], n);
+            for p in 0..k {
+                let ap = &a[p * m + i..p * m + i + MR];
+                saxpy4(
+                    [&mut r0[..], &mut r1[..], &mut r2[..], &mut r3[..]],
+                    [ap[0], ap[1], ap[2], ap[3]],
+                    &b[p * n..(p + 1) * n],
+                );
+            }
+            i += MR;
+        }
+        if i < m {
+            for p in 0..k {
+                let b_row = &b[p * n..(p + 1) * n];
+                for ii in i..m {
+                    let a_pi = a[p * m + ii];
+                    let out_row = &mut out[ii * n..(ii + 1) * n];
+                    for (o, &b_pj) in out_row.iter_mut().zip(b_row.iter()) {
+                        *o += a_pi * b_pj;
+                    }
+                }
+            }
+        }
+    }
+
+    /// 8-lane dot product: lane `i % 8` accumulates element `i` in
+    /// ascending order, reduced with [`reduce8`]. This is the tail code
+    /// the AVX2 arm reuses verbatim, so it *is* the cross-arm spec.
+    #[inline]
+    pub(super) fn dot_lanes(a: &[f32], b: &[f32]) -> f32 {
+        let mut lanes = [0.0f32; LANES];
+        let blocks = a.len() / LANES;
+        for (ca, cb) in a
+            .chunks_exact(LANES)
+            .zip(b.chunks_exact(LANES))
+            .take(blocks)
+        {
+            for l in 0..LANES {
+                lanes[l] += ca[l] * cb[l];
+            }
+        }
+        let tail = blocks * LANES;
+        dot_tail(&mut lanes, &a[tail..], &b[tail..]);
+        reduce8(&lanes)
+    }
+
+    /// Adds a sub-8 tail into the lane accumulators (lane = offset).
+    #[inline]
+    pub(super) fn dot_tail(lanes: &mut [f32; LANES], a: &[f32], b: &[f32]) {
+        for (l, (&x, &y)) in a.iter().zip(b.iter()).enumerate() {
+            lanes[l] += x * y;
+        }
+    }
+
+    pub(super) fn matmul_nt_acc(
+        a: &[f32],
+        b: &[f32],
+        m: usize,
+        k: usize,
+        n: usize,
+        out: &mut [f32],
+    ) {
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                *o += dot_lanes(a_row, &b[j * k..(j + 1) * k]);
+            }
+        }
+    }
+
+    pub(super) fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+        for (o, &xi) in y.iter_mut().zip(x.iter()) {
+            *o = axpy_lane(alpha, xi, *o);
+        }
+    }
+
+    pub(super) fn scale(alpha: f32, x: &mut [f32]) {
+        for o in x.iter_mut() {
+            *o = scale_lane(alpha, *o);
+        }
+    }
+
+    /// Lane-ordered sum; see [`super::sum`] for the schedule.
+    pub(super) fn sum(x: &[f32]) -> f32 {
+        let mut lanes = [0.0f32; LANES];
+        let blocks = x.len() / LANES;
+        for chunk in x.chunks_exact(LANES).take(blocks) {
+            for l in 0..LANES {
+                lanes[l] += chunk[l];
+            }
+        }
+        sum_tail(&mut lanes, &x[blocks * LANES..]);
+        reduce8(&lanes)
+    }
+
+    /// Adds a sub-8 tail into the lane accumulators (lane = offset).
+    #[inline]
+    pub(super) fn sum_tail(lanes: &mut [f32; LANES], x: &[f32]) {
+        for (l, &v) in x.iter().enumerate() {
+            lanes[l] += v;
+        }
+    }
+
+    pub(super) fn sgd_step(value: &mut [f32], grad: &[f32], lr: f32, wd: f32) {
+        for (v, &g) in value.iter_mut().zip(grad.iter()) {
+            *v = sgd_lane(*v, g, lr, wd);
+        }
+    }
+
+    pub(super) fn adam_step(
+        value: &mut [f32],
+        m: &mut [f32],
+        v: &mut [f32],
+        grad: &[f32],
+        step: &AdamStep,
+    ) {
+        let inner = m.iter_mut().zip(v.iter_mut()).zip(grad.iter());
+        for (p, ((mi, vi), &g)) in value.iter_mut().zip(inner) {
+            *p = adam_lane(*p, mi, vi, g, step);
+        }
+    }
+
+    pub(super) fn relu(x: &mut [f32]) {
+        for v in x.iter_mut() {
+            *v = relu_lane(*v);
+        }
+    }
+
+    pub(super) fn relu_backward(dy: &mut [f32], x: &[f32]) {
+        for (d, &xi) in dy.iter_mut().zip(x.iter()) {
+            *d = relu_backward_lane(*d, xi);
+        }
+    }
+
+    pub(super) fn sigmoid(x: &mut [f32]) {
+        for v in x.iter_mut() {
+            *v = sigmoid_lane(*v);
+        }
+    }
+
+    pub(super) fn sigmoid_backward(dy: &mut [f32], y: &[f32]) {
+        for (d, &yi) in dy.iter_mut().zip(y.iter()) {
+            *d = sigmoid_backward_lane(*d, yi);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// AVX2 arm.
+// ---------------------------------------------------------------------
+
+/// The x86 AVX2 arm: 8-wide transcriptions of the shared lane
+/// expressions, a packed micro-kernel GEMM, and [`reduce8`]-ordered
+/// reductions. Every function is `#[target_feature(enable = "avx2")]`;
+/// callers reach them only through the [`dispatch!`] macro, whose
+/// safety argument lives at the single `unsafe` site.
+#[cfg(any(target_arch = "x86_64", target_arch = "x86"))]
+mod avx2 {
+    use super::*;
+    #[cfg(target_arch = "x86")]
+    use std::arch::x86::*;
+    #[cfg(target_arch = "x86_64")]
+    use std::arch::x86_64::*;
+    use std::cell::RefCell;
+
+    /// Rows per GEMM micro-tile.
+    const MR: usize = 4;
+    /// Columns per GEMM micro-tile (two 8-lane vectors).
+    const NR: usize = 16;
+    /// k-panel depth of the packed B panel (`KC × NR` blocks stream
+    /// through L1 while a packed A panel is broadcast against them).
+    const KC: usize = 256;
+
+    std::thread_local! {
+        /// Per-thread packing scratch (A panel, B panel), reused across
+        /// GEMM calls so the hot conv loops do not allocate per call.
+        /// Every slot of the used region is overwritten while packing,
+        /// so stale contents are never read.
+        static PACK_SCRATCH: RefCell<(Vec<f32>, Vec<f32>)> =
+            const { RefCell::new((Vec::new(), Vec::new())) };
+    }
+
+    /// Below these cutoffs the unpacked [`gemm_direct`] kernel wins:
+    /// with few output row-blocks there is not enough reuse to amortize
+    /// packing a B panel, and a small `k×n` B already sits in cache.
+    const PACK_MIN_M: usize = 32;
+    /// See [`PACK_MIN_M`]: minimum `k·n` before packing pays.
+    const PACK_MIN_KN: usize = 32 * 1024;
+
+    /// `A` element `(i, p)` of the logical `m×k` operand, reading the
+    /// transposed storage when `trans_a` is set.
+    #[inline(always)]
+    fn a_at(a: &[f32], m: usize, k: usize, trans_a: bool, i: usize, p: usize) -> f32 {
+        if trans_a {
+            a[p * m + i]
+        } else {
+            a[i * k + p]
+        }
+    }
+
+    /// GEMM entry: `out = A @ B` (`trans_a == false`, `A` row-major
+    /// `m×k`) or `out = Aᵀ @ B` (`trans_a == true`, `A` stored `k×m`).
+    ///
+    /// Large problems pack B into `NR`-wide column panels and A into
+    /// `MR`-wide row panels per `KC`-deep k-tile; the micro-kernel then
+    /// runs eight independent 8-lane accumulators (an `MR×NR` register
+    /// tile). Small problems (the table-scale conv shapes) skip packing
+    /// entirely and run the same register tile straight over the
+    /// operands. Per output element the `k` accumulation order is
+    /// strictly ascending in **both** paths — the same order as the
+    /// scalar arm and the naive reference, so the path choice is
+    /// bit-neutral.
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX2 (the [`dispatch!`] invariant).
+    pub(super) unsafe fn gemm(
+        a: &[f32],
+        b: &[f32],
+        m: usize,
+        k: usize,
+        n: usize,
+        out: &mut [f32],
+        trans_a: bool,
+    ) {
+        out.iter_mut().for_each(|x| *x = 0.0);
+        if m == 0 || n == 0 || k == 0 {
+            return;
+        }
+        if m < PACK_MIN_M || k * n < PACK_MIN_KN {
+            return gemm_direct(a, b, m, k, n, out, trans_a);
+        }
+        let nb = n.div_ceil(NR);
+        let mb = m.div_ceil(MR);
+        let kc = KC.min(k);
+        PACK_SCRATCH.with(|cell| {
+            let mut scratch = cell.borrow_mut();
+            let (a_pack, b_pack) = &mut *scratch;
+            a_pack.resize(mb * MR * kc, 0.0);
+            b_pack.resize(nb * NR * kc, 0.0);
+            let mut p0 = 0;
+            while p0 < k {
+                let pc = (k - p0).min(KC);
+                pack_b(b, n, p0, pc, nb, b_pack);
+                pack_a(a, m, k, p0, pc, mb, trans_a, a_pack);
+                for ib in 0..mb {
+                    let i0 = ib * MR;
+                    let iw = MR.min(m - i0);
+                    let a_panel = &a_pack[ib * pc * MR..(ib + 1) * pc * MR];
+                    for jb in 0..nb {
+                        let j0 = jb * NR;
+                        let jw = NR.min(n - j0);
+                        let b_panel = &b_pack[jb * pc * NR..(jb + 1) * pc * NR];
+                        // SAFETY: `gemm`'s contract — the dispatcher
+                        // established AVX2 support before calling in.
+                        unsafe { micro_kernel(a_panel, b_panel, pc, out, n, i0, iw, j0, jw) };
+                    }
+                }
+                p0 += pc;
+            }
+        });
+    }
+
+    /// Packs `B[p0..p0+pc, :]` into `NR`-wide column panels
+    /// (`[jb][p][0..NR]`, zero-padded past column `n`).
+    fn pack_b(b: &[f32], n: usize, p0: usize, pc: usize, nb: usize, b_pack: &mut [f32]) {
+        for jb in 0..nb {
+            let j0 = jb * NR;
+            let jw = NR.min(n - j0);
+            for p in 0..pc {
+                let dst = &mut b_pack[(jb * pc + p) * NR..(jb * pc + p + 1) * NR];
+                let src = &b[(p0 + p) * n + j0..(p0 + p) * n + j0 + jw];
+                dst[..jw].copy_from_slice(src);
+                dst[jw..].iter_mut().for_each(|x| *x = 0.0);
+            }
+        }
+    }
+
+    /// Packs the k-tile of A into `MR`-wide row panels
+    /// (`[ib][p][0..MR]`, zero-padded past row `m`), transposing on the
+    /// fly for the `Aᵀ @ B` product.
+    #[allow(clippy::too_many_arguments)]
+    fn pack_a(
+        a: &[f32],
+        m: usize,
+        k: usize,
+        p0: usize,
+        pc: usize,
+        mb: usize,
+        trans_a: bool,
+        a_pack: &mut [f32],
+    ) {
+        for ib in 0..mb {
+            let i0 = ib * MR;
+            let iw = MR.min(m - i0);
+            for p in 0..pc {
+                let dst = &mut a_pack[(ib * pc + p) * MR..(ib * pc + p + 1) * MR];
+                if trans_a {
+                    let src = &a[(p0 + p) * m + i0..(p0 + p) * m + i0 + iw];
+                    dst[..iw].copy_from_slice(src);
+                } else {
+                    for (r, slot) in dst[..iw].iter_mut().enumerate() {
+                        *slot = a[(i0 + r) * k + p0 + p];
+                    }
+                }
+                dst[iw..].iter_mut().for_each(|x| *x = 0.0);
+            }
+        }
+    }
+
+    /// The `MR×NR` register tile: eight 8-lane accumulators swept by one
+    /// packed k-panel.
+    ///
+    /// The accumulators are *seeded from `out`* (the partial sums of the
+    /// previous k-tiles) and stored back plainly, so each output
+    /// element's addition chain over `k` continues uninterrupted across
+    /// tiles — exactly the ascending-`k` chain of the scalar arm. A
+    /// zero-seeded tile followed by `out += tile` would re-associate the
+    /// chain and split the arms bitwise. Padded rows/columns accumulate
+    /// on zeros and are discarded at the store.
+    #[target_feature(enable = "avx2")]
+    unsafe fn micro_kernel(
+        a_panel: &[f32],
+        b_panel: &[f32],
+        pc: usize,
+        out: &mut [f32],
+        n: usize,
+        i0: usize,
+        iw: usize,
+        j0: usize,
+        jw: usize,
+    ) {
+        let mut acc = [[_mm256_setzero_ps(); 2]; MR];
+        for (r, acc_r) in acc.iter_mut().enumerate().take(iw) {
+            let row = &out[(i0 + r) * n..(i0 + r) * n + n];
+            if jw == NR {
+                let src = row.as_ptr().add(j0);
+                acc_r[0] = _mm256_loadu_ps(src);
+                acc_r[1] = _mm256_loadu_ps(src.add(8));
+            } else {
+                let mut tmp = [0.0f32; NR];
+                tmp[..jw].copy_from_slice(&row[j0..j0 + jw]);
+                acc_r[0] = _mm256_loadu_ps(tmp.as_ptr());
+                acc_r[1] = _mm256_loadu_ps(tmp.as_ptr().add(8));
+            }
+        }
+        let mut ap = a_panel.as_ptr();
+        let mut bp = b_panel.as_ptr();
+        for _ in 0..pc {
+            let b0 = _mm256_loadu_ps(bp);
+            let b1 = _mm256_loadu_ps(bp.add(8));
+            for r in 0..MR {
+                let ar = _mm256_set1_ps(*ap.add(r));
+                acc[r][0] = _mm256_add_ps(acc[r][0], _mm256_mul_ps(ar, b0));
+                acc[r][1] = _mm256_add_ps(acc[r][1], _mm256_mul_ps(ar, b1));
+            }
+            ap = ap.add(MR);
+            bp = bp.add(NR);
+        }
+        for r in 0..iw {
+            let row = &mut out[(i0 + r) * n..(i0 + r) * n + n];
+            if jw == NR {
+                let dst = row.as_mut_ptr().add(j0);
+                _mm256_storeu_ps(dst, acc[r][0]);
+                _mm256_storeu_ps(dst.add(8), acc[r][1]);
+            } else {
+                let mut tmp = [0.0f32; NR];
+                _mm256_storeu_ps(tmp.as_mut_ptr(), acc[r][0]);
+                _mm256_storeu_ps(tmp.as_mut_ptr().add(8), acc[r][1]);
+                row[j0..j0 + jw].copy_from_slice(&tmp[..jw]);
+            }
+        }
+    }
+
+    /// Unpacked register-tile GEMM for small problems: the same `MR×NR`
+    /// accumulator tile as [`micro_kernel`], fed by strided loads from
+    /// the operands in place. Every output element still accumulates
+    /// its `k` products in strictly ascending order (one uninterrupted
+    /// chain — no k-tiling here), so this path is bit-identical to the
+    /// packed path and the scalar arm.
+    #[target_feature(enable = "avx2")]
+    unsafe fn gemm_direct(
+        a: &[f32],
+        b: &[f32],
+        m: usize,
+        k: usize,
+        n: usize,
+        out: &mut [f32],
+        trans_a: bool,
+    ) {
+        let mut i0 = 0;
+        while i0 + MR <= m {
+            let mut j0 = 0;
+            while j0 + NR <= n {
+                let mut acc = [[_mm256_setzero_ps(); 2]; MR];
+                for p in 0..k {
+                    let bp = b.as_ptr().add(p * n + j0);
+                    let b0 = _mm256_loadu_ps(bp);
+                    let b1 = _mm256_loadu_ps(bp.add(8));
+                    for r in 0..MR {
+                        let ar = _mm256_set1_ps(a_at(a, m, k, trans_a, i0 + r, p));
+                        acc[r][0] = _mm256_add_ps(acc[r][0], _mm256_mul_ps(ar, b0));
+                        acc[r][1] = _mm256_add_ps(acc[r][1], _mm256_mul_ps(ar, b1));
+                    }
+                }
+                for (r, acc_r) in acc.iter().enumerate() {
+                    let dst = out.as_mut_ptr().add((i0 + r) * n + j0);
+                    _mm256_storeu_ps(dst, acc_r[0]);
+                    _mm256_storeu_ps(dst.add(8), acc_r[1]);
+                }
+                j0 += NR;
+            }
+            while j0 + 8 <= n {
+                let mut acc = [_mm256_setzero_ps(); MR];
+                for p in 0..k {
+                    let bv = _mm256_loadu_ps(b.as_ptr().add(p * n + j0));
+                    for (r, acc_r) in acc.iter_mut().enumerate() {
+                        let ar = _mm256_set1_ps(a_at(a, m, k, trans_a, i0 + r, p));
+                        *acc_r = _mm256_add_ps(*acc_r, _mm256_mul_ps(ar, bv));
+                    }
+                }
+                for (r, acc_r) in acc.iter().enumerate() {
+                    _mm256_storeu_ps(out.as_mut_ptr().add((i0 + r) * n + j0), *acc_r);
+                }
+                j0 += 8;
+            }
+            for j in j0..n {
+                for r in 0..MR {
+                    let mut s = 0.0f32;
+                    for p in 0..k {
+                        s += a_at(a, m, k, trans_a, i0 + r, p) * b[p * n + j];
+                    }
+                    out[(i0 + r) * n + j] = s;
+                }
+            }
+            i0 += MR;
+        }
+        for i in i0..m {
+            let mut j0 = 0;
+            while j0 + 8 <= n {
+                let mut acc = _mm256_setzero_ps();
+                for p in 0..k {
+                    let ar = _mm256_set1_ps(a_at(a, m, k, trans_a, i, p));
+                    let bv = _mm256_loadu_ps(b.as_ptr().add(p * n + j0));
+                    acc = _mm256_add_ps(acc, _mm256_mul_ps(ar, bv));
+                }
+                _mm256_storeu_ps(out.as_mut_ptr().add(i * n + j0), acc);
+                j0 += 8;
+            }
+            for j in j0..n {
+                let mut s = 0.0f32;
+                for p in 0..k {
+                    s += a_at(a, m, k, trans_a, i, p) * b[p * n + j];
+                }
+                out[i * n + j] = s;
+            }
+        }
+    }
+
+    /// Spills an 8-lane accumulator register to the lane array the
+    /// scalar tail/reduction code operates on.
+    #[target_feature(enable = "avx2")]
+    unsafe fn spill(acc: __m256) -> [f32; LANES] {
+        let mut lanes = [0.0f32; LANES];
+        _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+        lanes
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn matmul_nt_acc(
+        a: &[f32],
+        b: &[f32],
+        m: usize,
+        k: usize,
+        n: usize,
+        out: &mut [f32],
+    ) {
+        let kb = k / LANES * LANES;
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            let mut j = 0;
+            // Four dot products at a time share every load of the A row.
+            while j + 4 <= n {
+                let rows = [
+                    &b[j * k..(j + 1) * k],
+                    &b[(j + 1) * k..(j + 2) * k],
+                    &b[(j + 2) * k..(j + 3) * k],
+                    &b[(j + 3) * k..(j + 4) * k],
+                ];
+                let mut acc = [_mm256_setzero_ps(); 4];
+                let mut p = 0;
+                while p < kb {
+                    let av = _mm256_loadu_ps(a_row.as_ptr().add(p));
+                    for (c, row) in rows.iter().enumerate() {
+                        let bv = _mm256_loadu_ps(row.as_ptr().add(p));
+                        acc[c] = _mm256_add_ps(acc[c], _mm256_mul_ps(av, bv));
+                    }
+                    p += LANES;
+                }
+                for (c, row) in rows.iter().enumerate() {
+                    let mut lanes = spill(acc[c]);
+                    scalar::dot_tail(&mut lanes, &a_row[kb..], &row[kb..]);
+                    out_row[j + c] += reduce8(&lanes);
+                }
+                j += 4;
+            }
+            for j in j..n {
+                out_row[j] += dot_lanes(a_row, &b[j * k..(j + 1) * k]);
+            }
+        }
+    }
+
+    /// Single 8-lane dot product (vector body + shared scalar tail).
+    #[target_feature(enable = "avx2")]
+    unsafe fn dot_lanes(a: &[f32], b: &[f32]) -> f32 {
+        let kb = a.len() / LANES * LANES;
+        let mut acc = _mm256_setzero_ps();
+        let mut p = 0;
+        while p < kb {
+            let av = _mm256_loadu_ps(a.as_ptr().add(p));
+            let bv = _mm256_loadu_ps(b.as_ptr().add(p));
+            acc = _mm256_add_ps(acc, _mm256_mul_ps(av, bv));
+            p += LANES;
+        }
+        let mut lanes = spill(acc);
+        scalar::dot_tail(&mut lanes, &a[kb..], &b[kb..]);
+        reduce8(&lanes)
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn sum(x: &[f32]) -> f32 {
+        let kb = x.len() / LANES * LANES;
+        let mut acc = _mm256_setzero_ps();
+        let mut p = 0;
+        while p < kb {
+            acc = _mm256_add_ps(acc, _mm256_loadu_ps(x.as_ptr().add(p)));
+            p += LANES;
+        }
+        let mut lanes = spill(acc);
+        scalar::sum_tail(&mut lanes, &x[kb..]);
+        reduce8(&lanes)
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+        let full = x.len() / LANES * LANES;
+        let av = _mm256_set1_ps(alpha);
+        let mut p = 0;
+        while p < full {
+            let xv = _mm256_loadu_ps(x.as_ptr().add(p));
+            let yv = _mm256_loadu_ps(y.as_ptr().add(p));
+            _mm256_storeu_ps(
+                y.as_mut_ptr().add(p),
+                _mm256_add_ps(yv, _mm256_mul_ps(av, xv)),
+            );
+            p += LANES;
+        }
+        for (o, &xi) in y[full..].iter_mut().zip(x[full..].iter()) {
+            *o = axpy_lane(alpha, xi, *o);
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn scale(alpha: f32, x: &mut [f32]) {
+        let full = x.len() / LANES * LANES;
+        let av = _mm256_set1_ps(alpha);
+        let mut p = 0;
+        while p < full {
+            let xv = _mm256_loadu_ps(x.as_ptr().add(p));
+            _mm256_storeu_ps(x.as_mut_ptr().add(p), _mm256_mul_ps(xv, av));
+            p += LANES;
+        }
+        for o in x[full..].iter_mut() {
+            *o = scale_lane(alpha, *o);
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn sgd_step(value: &mut [f32], grad: &[f32], lr: f32, wd: f32) {
+        let full = value.len() / LANES * LANES;
+        let neg_lr = _mm256_set1_ps(-lr);
+        let wdv = _mm256_set1_ps(wd);
+        let fold_wd = wd != 0.0;
+        let mut p = 0;
+        while p < full {
+            let v = _mm256_loadu_ps(value.as_ptr().add(p));
+            let mut g = _mm256_loadu_ps(grad.as_ptr().add(p));
+            if fold_wd {
+                g = _mm256_add_ps(g, _mm256_mul_ps(wdv, v));
+            }
+            _mm256_storeu_ps(
+                value.as_mut_ptr().add(p),
+                _mm256_add_ps(v, _mm256_mul_ps(neg_lr, g)),
+            );
+            p += LANES;
+        }
+        for (v, &g) in value[full..].iter_mut().zip(grad[full..].iter()) {
+            *v = sgd_lane(*v, g, lr, wd);
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn adam_step(
+        value: &mut [f32],
+        m: &mut [f32],
+        v: &mut [f32],
+        grad: &[f32],
+        s: &AdamStep,
+    ) {
+        let full = value.len() / LANES * LANES;
+        let b1 = _mm256_set1_ps(s.beta1);
+        let omb1 = _mm256_set1_ps(1.0 - s.beta1);
+        let b2 = _mm256_set1_ps(s.beta2);
+        let omb2 = _mm256_set1_ps(1.0 - s.beta2);
+        let bias1 = _mm256_set1_ps(s.bias1);
+        let bias2 = _mm256_set1_ps(s.bias2);
+        let lr = _mm256_set1_ps(s.lr);
+        let eps = _mm256_set1_ps(s.eps);
+        let wd = _mm256_set1_ps(s.weight_decay);
+        let fold_wd = s.weight_decay != 0.0;
+        let mut p = 0;
+        while p < full {
+            let pv = _mm256_loadu_ps(value.as_ptr().add(p));
+            let mut g = _mm256_loadu_ps(grad.as_ptr().add(p));
+            if fold_wd {
+                g = _mm256_add_ps(g, _mm256_mul_ps(wd, pv));
+            }
+            let mv = _mm256_loadu_ps(m.as_ptr().add(p));
+            let vv = _mm256_loadu_ps(v.as_ptr().add(p));
+            let mi = _mm256_add_ps(_mm256_mul_ps(b1, mv), _mm256_mul_ps(omb1, g));
+            let vi = _mm256_add_ps(
+                _mm256_mul_ps(b2, vv),
+                _mm256_mul_ps(_mm256_mul_ps(omb2, g), g),
+            );
+            _mm256_storeu_ps(m.as_mut_ptr().add(p), mi);
+            _mm256_storeu_ps(v.as_mut_ptr().add(p), vi);
+            let m_hat = _mm256_div_ps(mi, bias1);
+            let v_hat = _mm256_div_ps(vi, bias2);
+            let denom = _mm256_add_ps(_mm256_sqrt_ps(v_hat), eps);
+            let upd = _mm256_div_ps(_mm256_mul_ps(lr, m_hat), denom);
+            _mm256_storeu_ps(value.as_mut_ptr().add(p), _mm256_sub_ps(pv, upd));
+            p += LANES;
+        }
+        let inner = m[full..].iter_mut().zip(v[full..].iter_mut());
+        for ((pv, (mi, vi)), &g) in value[full..].iter_mut().zip(inner).zip(grad[full..].iter()) {
+            *pv = adam_lane(*pv, mi, vi, g, s);
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn relu(x: &mut [f32]) {
+        let full = x.len() / LANES * LANES;
+        let zero = _mm256_setzero_ps();
+        let mut p = 0;
+        while p < full {
+            let v = _mm256_loadu_ps(x.as_ptr().add(p));
+            let mask = _mm256_cmp_ps::<_CMP_GT_OQ>(v, zero);
+            _mm256_storeu_ps(x.as_mut_ptr().add(p), _mm256_and_ps(mask, v));
+            p += LANES;
+        }
+        for o in x[full..].iter_mut() {
+            *o = relu_lane(*o);
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn relu_backward(dy: &mut [f32], x: &[f32]) {
+        let full = x.len() / LANES * LANES;
+        let zero = _mm256_setzero_ps();
+        let mut p = 0;
+        while p < full {
+            let xv = _mm256_loadu_ps(x.as_ptr().add(p));
+            let dv = _mm256_loadu_ps(dy.as_ptr().add(p));
+            let mask = _mm256_cmp_ps::<_CMP_GT_OQ>(xv, zero);
+            _mm256_storeu_ps(dy.as_mut_ptr().add(p), _mm256_and_ps(mask, dv));
+            p += LANES;
+        }
+        for (d, &xi) in dy[full..].iter_mut().zip(x[full..].iter()) {
+            *d = relu_backward_lane(*d, xi);
+        }
+    }
+
+    /// 8-wide transcription of [`exp_lane`] — op for op, including the
+    /// clamp semantics (`vminps`/`vmaxps`) and the magic-number round —
+    /// with NaN lanes of the input blended back at the end.
+    #[target_feature(enable = "avx2")]
+    unsafe fn exp_ps(x: __m256) -> __m256 {
+        let xc = _mm256_max_ps(
+            _mm256_min_ps(x, _mm256_set1_ps(EXP_HI)),
+            _mm256_set1_ps(EXP_LO),
+        );
+        let magic = _mm256_set1_ps(EXP_MAGIC);
+        let n = _mm256_sub_ps(
+            _mm256_add_ps(_mm256_mul_ps(xc, _mm256_set1_ps(EXP_LOG2E)), magic),
+            magic,
+        );
+        let r = _mm256_sub_ps(xc, _mm256_mul_ps(n, _mm256_set1_ps(EXP_LN2_HI)));
+        let r = _mm256_sub_ps(r, _mm256_mul_ps(n, _mm256_set1_ps(EXP_LN2_LO)));
+        let mut y = _mm256_set1_ps(EXP_P0);
+        y = _mm256_add_ps(_mm256_mul_ps(y, r), _mm256_set1_ps(EXP_P1));
+        y = _mm256_add_ps(_mm256_mul_ps(y, r), _mm256_set1_ps(EXP_P2));
+        y = _mm256_add_ps(_mm256_mul_ps(y, r), _mm256_set1_ps(EXP_P3));
+        y = _mm256_add_ps(_mm256_mul_ps(y, r), _mm256_set1_ps(EXP_P4));
+        y = _mm256_add_ps(_mm256_mul_ps(y, r), _mm256_set1_ps(EXP_P5));
+        let y = _mm256_add_ps(
+            _mm256_add_ps(_mm256_mul_ps(_mm256_mul_ps(y, r), r), r),
+            _mm256_set1_ps(1.0),
+        );
+        let ni = _mm256_cvtps_epi32(n);
+        let scale = _mm256_castsi256_ps(_mm256_slli_epi32::<23>(_mm256_add_epi32(
+            ni,
+            _mm256_set1_epi32(127),
+        )));
+        let result = _mm256_mul_ps(y, scale);
+        // NaN inputs pass through unchanged, as in the scalar arm.
+        let nan_mask = _mm256_cmp_ps::<_CMP_UNORD_Q>(x, x);
+        _mm256_blendv_ps(result, x, nan_mask)
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn sigmoid(x: &mut [f32]) {
+        let full = x.len() / LANES * LANES;
+        let one = _mm256_set1_ps(1.0);
+        let sign = _mm256_set1_ps(-0.0);
+        let mut p = 0;
+        while p < full {
+            let v = _mm256_loadu_ps(x.as_ptr().add(p));
+            let e = exp_ps(_mm256_xor_ps(v, sign));
+            _mm256_storeu_ps(
+                x.as_mut_ptr().add(p),
+                _mm256_div_ps(one, _mm256_add_ps(one, e)),
+            );
+            p += LANES;
+        }
+        for o in x[full..].iter_mut() {
+            *o = sigmoid_lane(*o);
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn sigmoid_backward(dy: &mut [f32], y: &[f32]) {
+        let full = y.len() / LANES * LANES;
+        let one = _mm256_set1_ps(1.0);
+        let mut p = 0;
+        while p < full {
+            let dv = _mm256_loadu_ps(dy.as_ptr().add(p));
+            let yv = _mm256_loadu_ps(y.as_ptr().add(p));
+            let r = _mm256_mul_ps(_mm256_mul_ps(dv, yv), _mm256_sub_ps(one, yv));
+            _mm256_storeu_ps(dy.as_mut_ptr().add(p), r);
+            p += LANES;
+        }
+        for (d, &yi) in dy[full..].iter_mut().zip(y[full..].iter()) {
+            *d = sigmoid_backward_lane(*d, yi);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256;
+
+    fn rand_vec(len: usize, seed: u64) -> Vec<f32> {
+        let mut rng = Xoshiro256::seed_from(seed);
+        (0..len).map(|_| rng.normal()).collect()
+    }
+
+    fn arms() -> Vec<SimdBackend> {
+        let mut arms = vec![SimdBackend::Scalar];
+        if SimdBackend::detect() == SimdBackend::Avx2 {
+            arms.push(SimdBackend::Avx2);
+        }
+        arms
+    }
+
+    fn assert_bits_eq(got: &[f32], want: &[f32], what: &str) {
+        assert_eq!(got.len(), want.len(), "{what}: length");
+        for (i, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+            assert_eq!(
+                g.to_bits(),
+                w.to_bits(),
+                "{what}[{i}]: {g} vs {w} (bits differ)"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_selects_arms() {
+        assert_eq!(SimdBackend::parse("scalar"), SimdBackend::Scalar);
+        assert_eq!(SimdBackend::parse(" SCALAR "), SimdBackend::Scalar);
+        assert_eq!(SimdBackend::parse("auto"), SimdBackend::detect());
+        assert_eq!(SimdBackend::parse(""), SimdBackend::detect());
+        assert_eq!(SimdBackend::parse("typo"), SimdBackend::detect());
+        if SimdBackend::detect() == SimdBackend::Avx2 {
+            assert_eq!(SimdBackend::parse("avx2"), SimdBackend::Avx2);
+        }
+        assert_eq!(SimdBackend::Scalar.to_string(), "scalar");
+        assert_eq!(SimdBackend::Avx2.name(), "avx2");
+    }
+
+    #[test]
+    fn reduce8_has_the_documented_tree() {
+        // Values chosen so a different association order would round
+        // differently: the documented tree must be reproduced literally.
+        let lanes = [1e8f32, 1.0, -1e8, 2.0, 3.0, -4.0, 5.0, 6.0];
+        let s0 = lanes[0] + lanes[4];
+        let s1 = lanes[1] + lanes[5];
+        let s2 = lanes[2] + lanes[6];
+        let s3 = lanes[3] + lanes[7];
+        let want = (s0 + s2) + (s1 + s3);
+        assert_eq!(reduce8(&lanes).to_bits(), want.to_bits());
+    }
+
+    #[test]
+    fn exp_lane_tracks_libm() {
+        for i in -800..=800 {
+            let x = i as f32 * 0.11;
+            let got = exp_lane(x) as f64;
+            let want = (x as f64).exp();
+            let rel = if want == 0.0 {
+                got.abs()
+            } else {
+                ((got - want) / want).abs()
+            };
+            // The clamp saturates to the smallest normal / inf at the
+            // extremes; inside the clamp the poly stays within ~1e-6.
+            if (EXP_LO..=EXP_HI).contains(&x) {
+                assert!(rel < 1e-5, "exp({x}): {got} vs {want} (rel {rel})");
+            }
+        }
+        assert_eq!(exp_lane(0.0), 1.0);
+        assert!(exp_lane(f32::NAN).is_nan());
+        assert_eq!(exp_lane(1000.0), f32::INFINITY);
+        assert!(exp_lane(-1000.0) > 0.0, "deep negative saturates, not 0");
+    }
+
+    #[test]
+    fn matmul_family_is_bitwise_identical_across_arms() {
+        for (m, k, n) in [
+            (0, 3, 2),
+            (1, 0, 1),
+            (1, 1, 1),
+            (3, 5, 2),
+            (4, 8, 16),
+            (5, 9, 17),
+            (7, 300, 33),
+            (12, 17, 40),
+            // Hits the packed-panel path (m ≥ 32, k·n ≥ 32768) with
+            // row/column remainders and multiple k-tiles.
+            (37, 300, 130),
+            (40, 280, 128),
+        ] {
+            let a = rand_vec(m * k, 10 + (m * 31 + k * 7 + n) as u64);
+            let b = rand_vec(k * n, 20 + (m + k * 13 + n * 3) as u64);
+            let at = rand_vec(k * m, 30 + (m + k + n) as u64);
+            let bt = rand_vec(n * k, 40 + (m * k + n) as u64);
+            let mut want = vec![0.0f32; m * n];
+            let mut want_tn = vec![0.0f32; m * n];
+            let mut want_nt = rand_vec(m * n, 50);
+            matmul_with(SimdBackend::Scalar, &a, &b, m, k, n, &mut want);
+            matmul_tn_with(SimdBackend::Scalar, &at, &b, m, k, n, &mut want_tn);
+            matmul_nt_acc_with(SimdBackend::Scalar, &a, &bt, m, k, n, &mut want_nt);
+            for arm in arms() {
+                let mut got = vec![0.0f32; m * n];
+                matmul_with(arm, &a, &b, m, k, n, &mut got);
+                assert_bits_eq(&got, &want, &format!("matmul[{arm}] {m}x{k}x{n}"));
+                let mut got_tn = vec![0.0f32; m * n];
+                matmul_tn_with(arm, &at, &b, m, k, n, &mut got_tn);
+                assert_bits_eq(&got_tn, &want_tn, &format!("matmul_tn[{arm}] {m}x{k}x{n}"));
+                let mut got_nt = rand_vec(m * n, 50);
+                matmul_nt_acc_with(arm, &a, &bt, m, k, n, &mut got_nt);
+                assert_bits_eq(
+                    &got_nt,
+                    &want_nt,
+                    &format!("matmul_nt_acc[{arm}] {m}x{k}x{n}"),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn elementwise_ops_are_bitwise_identical_across_arms() {
+        for len in [0usize, 1, 7, 8, 9, 64, 100, 1000] {
+            let x = rand_vec(len, 100 + len as u64);
+            let g = rand_vec(len, 200 + len as u64);
+            for arm in arms() {
+                let tag = format!("[{arm}] len {len}");
+
+                let mut want = x.clone();
+                super::scalar::axpy(0.37, &g, &mut want);
+                let mut got = x.clone();
+                axpy_with(arm, 0.37, &g, &mut got);
+                assert_bits_eq(&got, &want, &format!("axpy {tag}"));
+
+                let mut want = x.clone();
+                super::scalar::scale(-1.3, &mut want);
+                let mut got = x.clone();
+                scale_with(arm, -1.3, &mut got);
+                assert_bits_eq(&got, &want, &format!("scale {tag}"));
+
+                let want = super::scalar::sum(&x);
+                let got = sum_with(arm, &x);
+                assert_eq!(got.to_bits(), want.to_bits(), "sum {tag}");
+
+                for wd in [0.0f32, 1e-5] {
+                    let mut want = x.clone();
+                    super::scalar::sgd_step(&mut want, &g, 0.01, wd);
+                    let mut got = x.clone();
+                    sgd_step_with(arm, &mut got, &g, 0.01, wd);
+                    assert_bits_eq(&got, &want, &format!("sgd(wd={wd}) {tag}"));
+                }
+
+                let step = AdamStep {
+                    beta1: 0.9,
+                    beta2: 0.999,
+                    bias1: 0.1,
+                    bias2: 0.001,
+                    lr: 2e-4,
+                    eps: 1e-8,
+                    weight_decay: 1e-5,
+                };
+                let m0 = rand_vec(len, 300 + len as u64);
+                let v0: Vec<f32> = rand_vec(len, 400 + len as u64)
+                    .iter()
+                    .map(|v| v.abs())
+                    .collect();
+                let (mut wp, mut wm, mut wv) = (x.clone(), m0.clone(), v0.clone());
+                super::scalar::adam_step(&mut wp, &mut wm, &mut wv, &g, &step);
+                let (mut gp, mut gm, mut gv) = (x.clone(), m0.clone(), v0.clone());
+                adam_step_with(arm, &mut gp, &mut gm, &mut gv, &g, &step);
+                assert_bits_eq(&gp, &wp, &format!("adam value {tag}"));
+                assert_bits_eq(&gm, &wm, &format!("adam m {tag}"));
+                assert_bits_eq(&gv, &wv, &format!("adam v {tag}"));
+
+                let mut want = x.clone();
+                super::scalar::relu(&mut want);
+                let mut got = x.clone();
+                relu_with(arm, &mut got);
+                assert_bits_eq(&got, &want, &format!("relu {tag}"));
+
+                let mut want = g.clone();
+                super::scalar::relu_backward(&mut want, &x);
+                let mut got = g.clone();
+                relu_backward_with(arm, &mut got, &x);
+                assert_bits_eq(&got, &want, &format!("relu_backward {tag}"));
+
+                let mut want = x.clone();
+                super::scalar::sigmoid(&mut want);
+                let mut got = x.clone();
+                sigmoid_with(arm, &mut got);
+                assert_bits_eq(&got, &want, &format!("sigmoid {tag}"));
+
+                let y = want;
+                let mut want = g.clone();
+                super::scalar::sigmoid_backward(&mut want, &y);
+                let mut got = g.clone();
+                sigmoid_backward_with(arm, &mut got, &y);
+                assert_bits_eq(&got, &want, &format!("sigmoid_backward {tag}"));
+            }
+        }
+    }
+
+    #[test]
+    fn special_values_are_preserved_across_arms() {
+        let x = [
+            f32::NAN,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            -0.0,
+            0.0,
+            1.0,
+            -1.0,
+            f32::MIN_POSITIVE,
+            100.0,
+        ];
+        for arm in arms() {
+            let mut relu_s = x;
+            super::scalar::relu(&mut relu_s);
+            let mut relu_a = x;
+            relu_with(arm, &mut relu_a);
+            assert_bits_eq(&relu_a, &relu_s, &format!("relu specials [{arm}]"));
+
+            let mut sig_s = x;
+            super::scalar::sigmoid(&mut sig_s);
+            let mut sig_a = x;
+            sigmoid_with(arm, &mut sig_a);
+            assert_bits_eq(&sig_a, &sig_s, &format!("sigmoid specials [{arm}]"));
+            assert!(sig_a[0].is_nan(), "sigmoid must propagate NaN");
+            assert_eq!(sig_a[1], 1.0, "sigmoid(+inf) = 1");
+            assert_eq!(sig_a[2], 0.0, "sigmoid(-inf) = 0");
+            assert_eq!(sig_a[5], sigmoid_lane(1.0));
+        }
+    }
+
+    #[test]
+    fn matmul_keeps_nan_propagation() {
+        // The zero-skip regression from PR 2 must hold on every arm.
+        for arm in arms() {
+            let a = [0.0f32, 1.0];
+            let b = [f32::NAN, 2.0];
+            let mut out = [0.0f32; 1];
+            matmul_with(arm, &a, &b, 1, 2, 1, &mut out);
+            assert!(out[0].is_nan(), "[{arm}] swallowed 0×NaN: {}", out[0]);
+        }
+    }
+
+    #[test]
+    fn global_round_trips() {
+        let before = global();
+        set_global(SimdBackend::Scalar);
+        assert_eq!(global(), SimdBackend::Scalar);
+        set_global(before);
+        assert_eq!(global(), before);
+    }
+}

@@ -3,6 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
+use crate::simd;
 use crate::Shape;
 
 /// Error produced by fallible tensor operations.
@@ -246,29 +247,29 @@ impl Tensor {
         Ok(())
     }
 
-    /// In-place `self += alpha * other` (BLAS `axpy`).
+    /// In-place `self += alpha * other` (BLAS `axpy`), on the
+    /// process-global [`crate::simd`] arm (bit-identical per arm).
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
     pub fn axpy(&mut self, alpha: f32, other: &Tensor) -> Result<(), TensorError> {
         self.check_same_shape(other)?;
-        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
-            *a += alpha * b;
-        }
+        simd::axpy(alpha, &other.data, &mut self.data);
         Ok(())
     }
 
-    /// Returns `self` scaled by a constant.
+    /// Returns `self` scaled by a constant (vectorized via
+    /// [`crate::simd`]).
     pub fn scale(&self, alpha: f32) -> Tensor {
-        self.map(|x| x * alpha)
+        let mut out = self.clone();
+        simd::scale(alpha, &mut out.data);
+        out
     }
 
-    /// Scales in place.
+    /// Scales in place (vectorized via [`crate::simd`]).
     pub fn scale_in_place(&mut self, alpha: f32) {
-        for x in &mut self.data {
-            *x *= alpha;
-        }
+        simd::scale(alpha, &mut self.data);
     }
 
     /// Fills the tensor with a constant.

@@ -8,7 +8,7 @@
 //! same grid for any companion metric (average precision, accuracy or F1
 //! at the paper's 0.5 deployment threshold, …).
 
-use rte_fed::{EvalReport, MethodOutcome};
+use rte_fed::{EvalReport, MethodOutcome, ScenarioOutcome};
 
 use crate::TableResult;
 
@@ -70,6 +70,44 @@ pub fn render_metric_table(
             sum / row.per_client.len() as f64
         };
         line.push_str(&format!("  {avg:<7.2}"));
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders one robustness grid (one attack): per-client outcomes of
+/// every method × defense row, with diverged clients printed as `div`
+/// cells and the average taken over the healthy clients only. The
+/// `table6_robustness` bench prints one of these per attack; the output
+/// is a pure function of the outcomes, so the determinism suite can pin
+/// it byte-for-byte across thread counts and SIMD arms.
+pub fn render_robustness_grid(title: &str, n_clients: usize, rows: &[ScenarioOutcome]) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let mut header = format!("{:<34}{:<9}", "Method", "Defense");
+    for k in 1..=n_clients {
+        header.push_str(&format!("  C{k:<4}"));
+    }
+    header.push_str("  Average  Diverged");
+    out.push_str(&header);
+    out.push('\n');
+    out.push_str(&"-".repeat(header.len()));
+    out.push('\n');
+    for row in rows {
+        let mut line = format!("{:<34}{:<9}", row.method.label(), row.aggregation.label());
+        for cell in row.cell_aucs() {
+            match cell {
+                Some(v) => line.push_str(&format!("  {v:<5.2}")),
+                None => line.push_str(&format!("  {:<5}", "div")),
+            }
+        }
+        match row.healthy_average_auc() {
+            Some(avg) => line.push_str(&format!("  {avg:<7.2}")),
+            None => line.push_str(&format!("  {:<7}", "div")),
+        }
+        line.push_str(&format!("  {}", row.diverged().len()));
         out.push_str(&line);
         out.push('\n');
     }
@@ -173,6 +211,43 @@ mod tests {
                 assert!((0.0..=1.0).contains(&rep.confusion.accuracy()));
             }
         }
+    }
+
+    #[test]
+    fn robustness_grid_renders_divergence() {
+        use rte_fed::{Aggregation, FedError};
+        let rows = vec![
+            ScenarioOutcome {
+                method: Method::FedProx,
+                aggregation: Aggregation::WeightedMean,
+                cells: vec![
+                    Ok(report(0.9)),
+                    Err(FedError::ClientDiverged {
+                        client: 1,
+                        reason: "scores contain NaN".into(),
+                    }),
+                ],
+            },
+            ScenarioOutcome {
+                method: Method::FedProx,
+                aggregation: Aggregation::Median,
+                cells: vec![Ok(report(0.9)), Ok(report(0.7))],
+            },
+        ];
+        let text = render_robustness_grid("Robustness under sign-flip", 2, &rows);
+        assert!(text.contains("Robustness under sign-flip"));
+        assert!(text.contains("Defense"));
+        assert!(text.contains("Diverged"));
+        assert!(text.contains("mean"));
+        assert!(text.contains("median"));
+        assert!(text.contains("div"), "diverged cell marker");
+        // Mean row averages over its single healthy client.
+        assert!(text.contains("0.90"));
+        let mean_line = text
+            .lines()
+            .find(|l| l.contains("mean") && !l.contains("median"))
+            .unwrap();
+        assert!(mean_line.trim_end().ends_with('1'), "{mean_line:?}");
     }
 
     #[test]

@@ -61,6 +61,66 @@ impl std::fmt::Display for Method {
     }
 }
 
+/// Server-side aggregation rule applied when a method combines client
+/// updates — the defense axis of the `table6_robustness` grid.
+///
+/// All three rules are fixed-order deterministic reductions performed on
+/// the coordinator thread (determinism-contract rule 6): the robust
+/// rules sort each coordinate's values with a NaN-last total order, so a
+/// hostile minority cannot panic the server or poison the aggregate with
+/// non-finite values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Aggregation {
+    /// Example-count weighted mean `Σ_k (n_k/n) w_k` — the paper's
+    /// Fig. 1 rule and the default. No Byzantine robustness: a single
+    /// corrupted update contaminates every coordinate.
+    WeightedMean,
+    /// Coordinate-wise median (ignores client weights). Tolerates up to
+    /// `⌈K/2⌉ − 1` arbitrary updates per coordinate.
+    Median,
+    /// Coordinate-wise trimmed mean (ignores client weights): drop the
+    /// `⌊trim_ratio · K⌋` smallest and largest values per coordinate,
+    /// average the rest.
+    TrimmedMean {
+        /// Fraction trimmed from *each* end, in `[0, 0.5)`.
+        trim_ratio: f32,
+    },
+}
+
+impl Aggregation {
+    /// Short column label used by the robustness grid renderers.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Aggregation::WeightedMean => "mean",
+            Aggregation::Median => "median",
+            Aggregation::TrimmedMean { .. } => "trimmed",
+        }
+    }
+
+    /// Validates the rule's own parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FedError::InvalidConfig`] for a trim ratio outside
+    /// `[0, 0.5)` (trimming half or more from both ends leaves nothing).
+    pub fn validate(&self) -> Result<(), FedError> {
+        if let Aggregation::TrimmedMean { trim_ratio } = self {
+            if !(0.0..0.5).contains(trim_ratio) {
+                return Err(FedError::InvalidConfig {
+                    reason: format!("trim_ratio {trim_ratio} outside [0, 0.5)"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for Aggregation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Hyper-parameters of the federated experiments (paper §5.1).
 #[derive(Debug, Clone, PartialEq)]
 pub struct FedConfig {
@@ -92,6 +152,15 @@ pub struct FedConfig {
     /// paper uses full participation (1.0); real FL deployments sample a
     /// subset each round. At least one client always participates.
     pub participation: f32,
+    /// Server-side aggregation rule used wherever a method combines
+    /// client updates (the global FedProx average, FedProx-LG's global
+    /// part, IFCA/assigned per-cluster averages, α-portion sync's
+    /// rest-of-fleet average). [`Aggregation::WeightedMean`] reproduces
+    /// the paper; the robust rules defend against Byzantine clients.
+    pub aggregation: Aggregation,
+    /// Hostile-client scenario injected into the harness (`None` = the
+    /// paper's clean federation). See [`crate::scenario::ScenarioConfig`].
+    pub scenario: Option<crate::scenario::ScenarioConfig>,
     /// Worker-thread budget for training a round's participants in
     /// parallel (each client is an independent work unit, exactly as in
     /// the real decentralized deployment). Outcomes are **bit-identical
@@ -120,6 +189,8 @@ impl FedConfig {
             assigned_clusters: Self::paper_assignment(),
             eval_every: 0,
             participation: 1.0,
+            aggregation: Aggregation::WeightedMean,
+            scenario: None,
             parallelism: Parallelism::from_env(),
             seed: 0xF3D5_EED5,
         }
@@ -142,6 +213,8 @@ impl FedConfig {
             assigned_clusters: Self::paper_assignment(),
             eval_every: 0,
             participation: 1.0,
+            aggregation: Aggregation::WeightedMean,
+            scenario: None,
             parallelism: Parallelism::from_env(),
             seed: 0xF3D5_EED5,
         }
@@ -162,6 +235,8 @@ impl FedConfig {
             assigned_clusters: vec![vec![0], vec![1]],
             eval_every: 0,
             participation: 1.0,
+            aggregation: Aggregation::WeightedMean,
+            scenario: None,
             parallelism: Parallelism::from_env(),
             seed: 7,
         }
@@ -200,6 +275,7 @@ impl FedConfig {
                 reason: format!("participation {} outside (0, 1]", self.participation),
             });
         }
+        self.aggregation.validate()?;
         Ok(())
     }
 

@@ -32,6 +32,16 @@ pub enum FedError {
         /// Human-readable reason (carries the storage layer's message).
         reason: String,
     },
+    /// One client's deployed model produced degenerate test scores
+    /// (typically NaN logits after training blew up under attack). The
+    /// federation as a whole is fine — tolerant callers render this as a
+    /// "diverged" grid cell instead of aborting the run.
+    ClientDiverged {
+        /// Position of the diverged client in the harness' client list.
+        client: usize,
+        /// What the metrics layer rejected (e.g. "scores contain NaN").
+        reason: String,
+    },
 }
 
 impl fmt::Display for FedError {
@@ -45,6 +55,9 @@ impl fmt::Display for FedError {
                 write!(f, "aggregation mismatch: {reason}")
             }
             FedError::Stream { reason } => write!(f, "streaming error: {reason}"),
+            FedError::ClientDiverged { client, reason } => {
+                write!(f, "client {client} diverged: {reason}")
+            }
         }
     }
 }
@@ -95,6 +108,13 @@ mod tests {
             reason: "rounds = 0".into(),
         };
         assert!(e.to_string().contains("rounds = 0"));
+        assert!(Error::source(&e).is_none());
+
+        let e = FedError::ClientDiverged {
+            client: 3,
+            reason: "scores contain NaN".into(),
+        };
+        assert_eq!(e.to_string(), "client 3 diverged: scores contain NaN");
         assert!(Error::source(&e).is_none());
     }
 }

@@ -187,7 +187,9 @@ impl Evaluator {
     ///
     /// Returns [`FedError::InvalidConfig`] when `states` and `clients`
     /// disagree in length, otherwise the first failing client's error in
-    /// client order.
+    /// client order. A model whose scores the metrics layer rejects
+    /// (NaN logits after training blew up) surfaces as
+    /// [`FedError::ClientDiverged`] naming that client.
     pub fn eval_states(
         &self,
         factory: &ModelFactory,
@@ -195,6 +197,33 @@ impl Evaluator {
         clients: &[Client],
         states: &[&StateDict],
     ) -> Result<Vec<EvalReport>, FedError> {
+        self.eval_states_cells(factory, seed, clients, states)?
+            .into_iter()
+            .collect()
+    }
+
+    /// Evaluates `states[k]` on client `k`'s test split for every `k`,
+    /// keeping per-client failures as cells instead of aborting on the
+    /// first one. A client whose deployed model emits scores the metrics
+    /// layer rejects (NaN logits, a degenerate sweep) comes back as
+    /// `Err(`[`FedError::ClientDiverged`]`)` in its slot; the robustness
+    /// grid renders those cells as "diverged" while the healthy clients
+    /// keep their reports. Infrastructure failures (state-dict
+    /// mismatches, streaming errors) stay as their original variants so
+    /// tolerant callers can distinguish "the attack won" from "the
+    /// harness is broken".
+    ///
+    /// # Errors
+    ///
+    /// The outer `Result` only fails when `states` and `clients`
+    /// disagree in length.
+    pub fn eval_states_cells(
+        &self,
+        factory: &ModelFactory,
+        seed: u64,
+        clients: &[Client],
+        states: &[&StateDict],
+    ) -> Result<Vec<Result<EvalReport, FedError>>, FedError> {
         if states.len() != clients.len() {
             return Err(FedError::InvalidConfig {
                 reason: format!("{} state dicts for {} clients", states.len(), clients.len()),
@@ -211,7 +240,19 @@ impl Evaluator {
                 evaluate_report(model.as_mut(), &clients[k].test, batch_size)
             },
         );
-        results.into_iter().collect()
+        Ok(results
+            .into_iter()
+            .enumerate()
+            .map(|(k, r)| {
+                r.map_err(|e| match e {
+                    FedError::Metrics(m) => FedError::ClientDiverged {
+                        client: k,
+                        reason: m.to_string(),
+                    },
+                    other => other,
+                })
+            })
+            .collect())
     }
 
     /// Evaluates one shared state dict on every client (generalized
@@ -383,6 +424,50 @@ mod tests {
             let inline = evaluate_report(&mut EchoChannel(0), &clients[k].test, 4).unwrap();
             assert_eq!(*report, inline, "client {k}");
         }
+    }
+
+    /// Emits NaN for every score — a stand-in for a model whose training
+    /// blew up under attack.
+    struct NanModel;
+
+    impl Layer for NanModel {
+        fn forward(&mut self, x: &Tensor, _training: bool) -> Result<Tensor, NnError> {
+            let (n, h, w) = (x.dim(0), x.dim(2), x.dim(3));
+            Ok(Tensor::from_fn(&[n, 1, h, w], |_| f32::NAN))
+        }
+
+        fn backward(&mut self, dy: &Tensor) -> Result<Tensor, NnError> {
+            Ok(dy.clone())
+        }
+
+        fn visit_params(&mut self, _p: &str, _f: &mut dyn FnMut(String, &mut Param)) {}
+    }
+
+    #[test]
+    fn nan_logits_surface_as_typed_divergence_not_a_panic() {
+        let clients = synthetic_clients(2);
+        let factory: ModelFactory = Box::new(|_seed| Box::new(NanModel));
+        let state = StateDict::new();
+        let states: Vec<&StateDict> = vec![&state; 2];
+        let evaluator = Evaluator::new(Parallelism::serial(), 4);
+
+        // Tolerant path: one diverged cell per client, nothing aborts.
+        let cells = evaluator
+            .eval_states_cells(&factory, 0, &clients, &states)
+            .unwrap();
+        assert_eq!(cells.len(), 2);
+        for (k, cell) in cells.iter().enumerate() {
+            assert!(
+                matches!(cell, Err(FedError::ClientDiverged { client, .. }) if *client == k),
+                "cell {k}: {cell:?}"
+            );
+        }
+
+        // Strict path: the first diverged client becomes the run's error.
+        let err = evaluator
+            .eval_states(&factory, 0, &clients, &states)
+            .unwrap_err();
+        assert!(matches!(err, FedError::ClientDiverged { client: 0, .. }));
     }
 
     #[test]

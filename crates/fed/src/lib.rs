@@ -15,6 +15,11 @@
 //! - [`methods`] — the eight training methods of Tables 3-5:
 //!   local baselines, centralized training, FedProx, FedProx-LG, IFCA,
 //!   FedProx + fine-tuning, assigned clustering and α-portion sync,
+//! - [`scenario`] — hostile-client scenario injection: per-client data
+//!   poisoning and Byzantine update corruption, per-round availability
+//!   traces, and the tolerant [`run_scenario`] grid runner whose robust
+//!   defenses ([`Aggregation::Median`], [`Aggregation::TrimmedMean`])
+//!   live in [`params`],
 //! - [`stream`] — bounded-memory data feeding: [`StreamingClientSet`]
 //!   lets every method train and evaluate a corpus that never fits in
 //!   memory, bit-identically to the in-memory path.
@@ -87,15 +92,17 @@ mod error;
 pub mod eval;
 pub mod methods;
 pub mod params;
+pub mod scenario;
 pub mod stream;
 mod trainer;
 
 pub use client::{Client, ClientSet};
-pub use config::{FedConfig, Method};
+pub use config::{Aggregation, FedConfig, Method};
 pub use error::FedError;
 pub use eval::{evaluate_auc, evaluate_report, EvalReport, Evaluator};
 pub use methods::{MethodOutcome, RoundRecord};
 pub use rte_tensor::parallel::Parallelism;
+pub use scenario::{run_scenario, Attack, ScenarioConfig, ScenarioOutcome};
 pub use stream::{RecordSource, StreamingClientSet};
 pub use trainer::LocalTrainer;
 

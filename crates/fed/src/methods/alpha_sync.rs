@@ -7,24 +7,29 @@
 
 use rte_nn::StateDict;
 
-use crate::methods::{mean_loss, Harness, MethodOutcome, RoundRecord, TrainJob};
-use crate::params::{blend, weighted_average};
+use crate::methods::{mean_loss, Deployed, Harness, MethodOutcome, RoundRecord, TrainJob};
+use crate::params::{aggregate, blend};
 use crate::{Client, FedConfig, FedError, Method, ModelFactory};
 
-pub(crate) fn run(
+pub(crate) fn deployed(
     clients: &[Client],
     factory: &ModelFactory,
     config: &FedConfig,
-) -> Result<MethodOutcome, FedError> {
+) -> Result<(Deployed, Vec<RoundRecord>), FedError> {
     let mut harness = Harness::new(clients, factory, config)?;
     let init = harness.initial_state();
     let mut personalized: Vec<StateDict> = vec![init; clients.len()];
     let mut history = Vec::new();
 
     for round in 1..=config.rounds {
-        // Every client trains from its own personalized aggregate; the
-        // per-client blending below stays on the coordinator thread.
-        let jobs: Vec<TrainJob<'_>> = (0..clients.len())
+        // The round's participants train from their own personalized
+        // aggregates; the per-client blending below stays on the
+        // coordinator thread. A client that sat the round out stands in
+        // with its previous personalized model (the developer's last
+        // known parameters for it).
+        let jobs: Vec<TrainJob<'_>> = harness
+            .participants(round)
+            .into_iter()
             .map(|k| TrainJob {
                 client: k,
                 start: &personalized[k],
@@ -33,7 +38,15 @@ pub(crate) fn run(
             .collect();
         let updates = harness.train_clients(&jobs, round, config.local_steps)?;
         let round_loss = mean_loss(&updates);
-        let locals: Vec<StateDict> = updates.into_iter().map(|u| u.state).collect();
+        let mut latest: Vec<Option<StateDict>> = vec![None; clients.len()];
+        for update in updates {
+            latest[update.client] = Some(update.state);
+        }
+        let locals: Vec<&StateDict> = latest
+            .iter()
+            .zip(personalized.iter())
+            .map(|(fresh, previous)| fresh.as_ref().unwrap_or(previous))
+            .collect();
         // Personalized aggregation per client.
         let mut next: Vec<StateDict> = Vec::with_capacity(clients.len());
         for k in 0..clients.len() {
@@ -41,13 +54,13 @@ pub(crate) fn run(
                 .iter()
                 .enumerate()
                 .filter(|(j, _)| *j != k)
-                .map(|(j, sd)| (sd, clients[j].weight() as f64))
+                .map(|(j, sd)| (*sd, clients[j].weight() as f64))
                 .collect();
             let blended = if others.is_empty() {
                 locals[k].clone()
             } else {
-                let rest = weighted_average(&others)?;
-                blend(&locals[k], &rest, config.alpha)?
+                let rest = aggregate(&others, config.aggregation)?;
+                blend(locals[k], &rest, config.alpha)?
             };
             next.push(blended);
         }
@@ -58,7 +71,17 @@ pub(crate) fn run(
         }
     }
 
-    let per_client = harness.eval_personalized(&personalized)?;
+    Ok((Deployed::PerClient(personalized), history))
+}
+
+pub(crate) fn run(
+    clients: &[Client],
+    factory: &ModelFactory,
+    config: &FedConfig,
+) -> Result<MethodOutcome, FedError> {
+    let (final_states, history) = deployed(clients, factory, config)?;
+    let harness = Harness::new(clients, factory, config)?;
+    let per_client = harness.eval_deployed(&final_states)?;
     Ok(MethodOutcome::new(Method::AlphaSync, per_client, history))
 }
 

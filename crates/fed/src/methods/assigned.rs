@@ -5,15 +5,15 @@
 
 use rte_nn::StateDict;
 
-use crate::methods::{mean_loss, Harness, MethodOutcome, RoundRecord, TrainJob};
-use crate::params::weighted_average;
+use crate::methods::{mean_loss, Deployed, Harness, MethodOutcome, RoundRecord, TrainJob};
+use crate::params::aggregate;
 use crate::{Client, FedConfig, FedError, Method, ModelFactory};
 
-pub(crate) fn run(
+pub(crate) fn deployed(
     clients: &[Client],
     factory: &ModelFactory,
     config: &FedConfig,
-) -> Result<MethodOutcome, FedError> {
+) -> Result<(Deployed, Vec<RoundRecord>), FedError> {
     config.validate_assignment(clients.len())?;
     let mut harness = Harness::new(clients, factory, config)?;
     let groups = &config.assigned_clusters;
@@ -31,9 +31,12 @@ pub(crate) fn run(
     let mut history = Vec::new();
 
     for round in 1..=config.rounds {
-        // Within-cluster FedProx: all clients train in parallel, the
-        // per-cluster grouping below runs in client order.
-        let jobs: Vec<TrainJob<'_>> = (0..clients.len())
+        // Within-cluster FedProx: the round's participants train in
+        // parallel, the per-cluster grouping below runs in client order.
+        // A cluster whose members all dropped out keeps its model.
+        let jobs: Vec<TrainJob<'_>> = harness
+            .participants(round)
+            .into_iter()
             .map(|k| TrainJob {
                 client: k,
                 start: &cluster_models[cluster_of[k]],
@@ -53,7 +56,7 @@ pub(crate) fn run(
             }
             let refs: Vec<(&StateDict, f64)> =
                 cluster_updates.iter().map(|(sd, w)| (sd, *w)).collect();
-            cluster_models[c] = weighted_average(&refs)?;
+            cluster_models[c] = aggregate(&refs, config.aggregation)?;
         }
         if harness.should_record(round) {
             let per_client: Vec<&StateDict> =
@@ -63,9 +66,21 @@ pub(crate) fn run(
         }
     }
 
-    let per_client_models: Vec<&StateDict> =
-        cluster_of.iter().map(|&c| &cluster_models[c]).collect();
-    let per_client = harness.eval_states(&per_client_models)?;
+    let per_client: Vec<StateDict> = cluster_of
+        .iter()
+        .map(|&c| cluster_models[c].clone())
+        .collect();
+    Ok((Deployed::PerClient(per_client), history))
+}
+
+pub(crate) fn run(
+    clients: &[Client],
+    factory: &ModelFactory,
+    config: &FedConfig,
+) -> Result<MethodOutcome, FedError> {
+    let (final_states, history) = deployed(clients, factory, config)?;
+    let harness = Harness::new(clients, factory, config)?;
+    let per_client = harness.eval_deployed(&final_states)?;
     Ok(MethodOutcome::new(
         Method::AssignedClustering,
         per_client,

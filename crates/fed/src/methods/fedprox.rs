@@ -8,8 +8,8 @@
 
 use rte_nn::StateDict;
 
-use crate::methods::{mean_loss, Harness, MethodOutcome, RoundRecord, TrainJob};
-use crate::params::weighted_average;
+use crate::methods::{mean_loss, Deployed, Harness, MethodOutcome, RoundRecord, TrainJob};
+use crate::params::aggregate;
 use crate::{Client, FedConfig, FedError, Method, ModelFactory};
 
 /// Runs the FedProx round loop and returns the final global state dict
@@ -45,7 +45,7 @@ pub fn fedprox_rounds(
             .iter()
             .map(|u| (&u.state, clients[u.client].weight() as f64))
             .collect();
-        global = weighted_average(&refs)?;
+        global = aggregate(&refs, config.aggregation)?;
         if harness.should_record(round) {
             let reports = harness.eval_global(&global)?;
             history.push(RoundRecord::new(round, reports, mean_loss(&updates)));
@@ -54,14 +54,23 @@ pub fn fedprox_rounds(
     Ok((global, history))
 }
 
+pub(crate) fn deployed(
+    clients: &[Client],
+    factory: &ModelFactory,
+    config: &FedConfig,
+) -> Result<(Deployed, Vec<RoundRecord>), FedError> {
+    let (global, history) = fedprox_rounds(clients, factory, config)?;
+    Ok((Deployed::Global(global), history))
+}
+
 pub(crate) fn run(
     clients: &[Client],
     factory: &ModelFactory,
     config: &FedConfig,
 ) -> Result<MethodOutcome, FedError> {
-    let (global, history) = fedprox_rounds(clients, factory, config)?;
+    let (final_states, history) = deployed(clients, factory, config)?;
     let harness = Harness::new(clients, factory, config)?;
-    let per_client = harness.eval_global(&global)?;
+    let per_client = harness.eval_deployed(&final_states)?;
     Ok(MethodOutcome::new(Method::FedProx, per_client, history))
 }
 

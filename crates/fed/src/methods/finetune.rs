@@ -4,38 +4,47 @@
 //! paper's best personalization method (Table 3: 0.80 average).
 
 use crate::methods::fedprox::fedprox_rounds;
-use crate::methods::{Harness, MethodOutcome, TrainJob};
+use crate::methods::{Deployed, Harness, MethodOutcome, RoundRecord, TrainJob};
 use crate::{Client, FedConfig, FedError, Method, ModelFactory};
+
+pub(crate) fn deployed(
+    clients: &[Client],
+    factory: &ModelFactory,
+    config: &FedConfig,
+) -> Result<(Deployed, Vec<RoundRecord>), FedError> {
+    let (global, history) = fedprox_rounds(clients, factory, config)?;
+    // `S' = 0` degenerates to plain FedProx: skip the training pass
+    // entirely (LocalTrainer rejects zero-step runs) and deploy the
+    // global model as-is.
+    if config.finetune_steps == 0 {
+        return Ok((Deployed::Global(global), history));
+    }
+    let mut harness = Harness::new(clients, factory, config)?;
+    // Fine-tuning happens outside the decentralized setting: no proximal
+    // pull (the paper notes "such finetuning process is no longer under
+    // the decentralized setting").
+    harness.trainer.mu = 0.0;
+    let jobs: Vec<TrainJob<'_>> = (0..clients.len())
+        .map(|k| TrainJob {
+            client: k,
+            start: &global,
+            reference: None,
+        })
+        .collect();
+    let tuned = harness.train_clients(&jobs, config.rounds + 1, config.finetune_steps)?;
+    // Updates come back in job order == client order.
+    let states: Vec<rte_nn::StateDict> = tuned.into_iter().map(|u| u.state).collect();
+    Ok((Deployed::PerClient(states), history))
+}
 
 pub(crate) fn run(
     clients: &[Client],
     factory: &ModelFactory,
     config: &FedConfig,
 ) -> Result<MethodOutcome, FedError> {
-    let (global, history) = fedprox_rounds(clients, factory, config)?;
-    let mut harness = Harness::new(clients, factory, config)?;
-    // Fine-tuning happens outside the decentralized setting: no proximal
-    // pull (the paper notes "such finetuning process is no longer under
-    // the decentralized setting").
-    harness.trainer.mu = 0.0;
-    // `S' = 0` degenerates to plain FedProx: skip the training pass
-    // entirely (LocalTrainer rejects zero-step runs) and evaluate the
-    // global model as deployed.
-    let per_client = if config.finetune_steps == 0 {
-        harness.eval_global(&global)?
-    } else {
-        let jobs: Vec<TrainJob<'_>> = (0..clients.len())
-            .map(|k| TrainJob {
-                client: k,
-                start: &global,
-                reference: None,
-            })
-            .collect();
-        let tuned = harness.train_clients(&jobs, config.rounds + 1, config.finetune_steps)?;
-        // Updates come back in job order == client order.
-        let states: Vec<&rte_nn::StateDict> = tuned.iter().map(|u| &u.state).collect();
-        harness.eval_states(&states)?
-    };
+    let (final_states, history) = deployed(clients, factory, config)?;
+    let harness = Harness::new(clients, factory, config)?;
+    let per_client = harness.eval_deployed(&final_states)?;
     Ok(MethodOutcome::new(
         Method::FedProxFinetune,
         per_client,

@@ -7,15 +7,15 @@
 
 use rte_nn::StateDict;
 
-use crate::methods::{mean_loss, Harness, MethodOutcome, RoundRecord, TrainJob};
-use crate::params::weighted_average;
+use crate::methods::{mean_loss, Deployed, Harness, MethodOutcome, RoundRecord, TrainJob};
+use crate::params::aggregate;
 use crate::{Client, FedConfig, FedError, Method, ModelFactory};
 
-pub(crate) fn run(
+pub(crate) fn deployed(
     clients: &[Client],
     factory: &ModelFactory,
     config: &FedConfig,
-) -> Result<MethodOutcome, FedError> {
+) -> Result<(Deployed, Vec<RoundRecord>), FedError> {
     config.validate_clusters(clients.len())?;
     let harness = Harness::new(clients, factory, config)?;
     // One model per cluster, each with its own initialization (IFCA needs
@@ -31,10 +31,14 @@ pub(crate) fn run(
     for round in 1..=config.rounds {
         // 1. Cluster selection by training loss, clients in parallel.
         let choice = harness.pick_clusters(&cluster_models)?;
-        // 2. Local training of the chosen cluster model, clients in
-        // parallel; per-cluster grouping happens afterwards in client
-        // order so aggregation stays deterministic.
-        let jobs: Vec<TrainJob<'_>> = (0..clients.len())
+        // 2. Local training of the chosen cluster model, the round's
+        // participants in parallel; per-cluster grouping happens
+        // afterwards in client order so aggregation stays deterministic.
+        // (Selection is forward-only, so it runs for everyone; dropout
+        // only gates who trains and sends an update.)
+        let jobs: Vec<TrainJob<'_>> = harness
+            .participants(round)
+            .into_iter()
             .map(|k| TrainJob {
                 client: k,
                 start: &cluster_models[choice[k]],
@@ -55,7 +59,7 @@ pub(crate) fn run(
             }
             let refs: Vec<(&StateDict, f64)> =
                 cluster_updates.iter().map(|(sd, w)| (sd, *w)).collect();
-            cluster_models[c] = weighted_average(&refs)?;
+            cluster_models[c] = aggregate(&refs, config.aggregation)?;
         }
         if harness.should_record(round) {
             let per_client: Vec<&StateDict> = choice.iter().map(|&c| &cluster_models[c]).collect();
@@ -64,10 +68,20 @@ pub(crate) fn run(
         }
     }
 
-    // Deploy: each client re-picks its best cluster, then evaluates.
+    // Deploy: each client re-picks its best cluster.
     let choice = harness.pick_clusters(&cluster_models)?;
-    let deployed: Vec<&StateDict> = choice.iter().map(|&c| &cluster_models[c]).collect();
-    let per_client = harness.eval_states(&deployed)?;
+    let per_client: Vec<StateDict> = choice.iter().map(|&c| cluster_models[c].clone()).collect();
+    Ok((Deployed::PerClient(per_client), history))
+}
+
+pub(crate) fn run(
+    clients: &[Client],
+    factory: &ModelFactory,
+    config: &FedConfig,
+) -> Result<MethodOutcome, FedError> {
+    let (final_states, history) = deployed(clients, factory, config)?;
+    let harness = Harness::new(clients, factory, config)?;
+    let per_client = harness.eval_deployed(&final_states)?;
     Ok(MethodOutcome::new(Method::Ifca, per_client, history))
 }
 

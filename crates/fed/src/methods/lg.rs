@@ -5,8 +5,8 @@
 
 use rte_nn::StateDict;
 
-use crate::methods::{mean_loss, Harness, MethodOutcome, RoundRecord, TrainJob};
-use crate::params::{apply_updates, partition, weighted_average};
+use crate::methods::{mean_loss, Deployed, Harness, MethodOutcome, RoundRecord, TrainJob};
+use crate::params::{aggregate, apply_updates, partition};
 use crate::{Client, FedConfig, FedError, Method, ModelFactory};
 
 /// The paper sets "the output layers of the three models to be the local
@@ -15,11 +15,11 @@ fn is_local(name: &str) -> bool {
     name.starts_with("output_conv")
 }
 
-pub(crate) fn run(
+pub(crate) fn deployed(
     clients: &[Client],
     factory: &ModelFactory,
     config: &FedConfig,
-) -> Result<MethodOutcome, FedError> {
+) -> Result<(Deployed, Vec<RoundRecord>), FedError> {
     let mut harness = Harness::new(clients, factory, config)?;
     let init = harness.initial_state();
     let (init_local, init_global) = partition(&init, is_local);
@@ -30,27 +30,29 @@ pub(crate) fn run(
     for round in 1..=config.rounds {
         // Compose {G^r, l_k} per client as both the start point and the
         // proximal reference (matching Fig. 2a's objective), then train
-        // all clients in parallel.
+        // the round's participants in parallel. Absent clients keep
+        // their local part and contribute nothing to this round's
+        // global aggregate.
         let composites = compose_all(&init, &global_part, &local_parts)?;
-        let jobs: Vec<TrainJob<'_>> = composites
-            .iter()
-            .enumerate()
-            .map(|(k, composed)| TrainJob {
+        let jobs: Vec<TrainJob<'_>> = harness
+            .participants(round)
+            .into_iter()
+            .map(|k| TrainJob {
                 client: k,
-                start: composed,
-                reference: Some(composed),
+                start: &composites[k],
+                reference: Some(&composites[k]),
             })
             .collect();
         let trained = harness.train_clients(&jobs, round, config.local_steps)?;
         let round_loss = mean_loss(&trained);
-        let mut updates: Vec<(StateDict, f64)> = Vec::with_capacity(clients.len());
+        let mut updates: Vec<(StateDict, f64)> = Vec::with_capacity(trained.len());
         for update in trained {
             let (local, global) = partition(&update.state, is_local);
             local_parts[update.client] = local;
             updates.push((global, clients[update.client].weight() as f64));
         }
         let refs: Vec<(&StateDict, f64)> = updates.iter().map(|(sd, w)| (sd, *w)).collect();
-        global_part = weighted_average(&refs)?;
+        global_part = aggregate(&refs, config.aggregation)?;
         if harness.should_record(round) {
             let composites = compose_all(&init, &global_part, &local_parts)?;
             let reports = harness.eval_personalized(&composites)?;
@@ -59,7 +61,17 @@ pub(crate) fn run(
     }
 
     let composites = compose_all(&init, &global_part, &local_parts)?;
-    let per_client = harness.eval_personalized(&composites)?;
+    Ok((Deployed::PerClient(composites), history))
+}
+
+pub(crate) fn run(
+    clients: &[Client],
+    factory: &ModelFactory,
+    config: &FedConfig,
+) -> Result<MethodOutcome, FedError> {
+    let (final_states, history) = deployed(clients, factory, config)?;
+    let harness = Harness::new(clients, factory, config)?;
+    let per_client = harness.eval_deployed(&final_states)?;
     Ok(MethodOutcome::new(Method::FedProxLg, per_client, history))
 }
 

@@ -96,6 +96,45 @@ impl MethodOutcome {
     }
 }
 
+/// The model(s) a finished method hands to deployment: one shared state
+/// dict (generalized methods) or one per client (personalized methods).
+/// This is the seam the scenario harness evaluates tolerantly — the same
+/// states [`run_method`] scores strictly.
+pub(crate) enum Deployed {
+    /// One shared model evaluated on every client.
+    Global(StateDict),
+    /// One model per client, in client order.
+    PerClient(Vec<StateDict>),
+}
+
+/// Trains `method` to its final deployable state(s) without the final
+/// evaluation pass. [`run_method`] adds a strict evaluation;
+/// [`crate::scenario::run_scenario`] adds a tolerant per-cell one.
+///
+/// # Errors
+///
+/// Returns [`FedError::InvalidConfig`] for methods with no aggregation
+/// step (local-only, centralized train without a federation round loop),
+/// otherwise any training failure.
+pub(crate) fn deployed_states(
+    method: Method,
+    clients: &[Client],
+    factory: &ModelFactory,
+    config: &FedConfig,
+) -> Result<(Deployed, Vec<RoundRecord>), FedError> {
+    match method {
+        Method::FedProx => fedprox::deployed(clients, factory, config),
+        Method::FedProxLg => lg::deployed(clients, factory, config),
+        Method::Ifca => ifca::deployed(clients, factory, config),
+        Method::FedProxFinetune => finetune::deployed(clients, factory, config),
+        Method::AssignedClustering => assigned::deployed(clients, factory, config),
+        Method::AlphaSync => alpha_sync::deployed(clients, factory, config),
+        Method::LocalOnly | Method::Centralized => Err(FedError::InvalidConfig {
+            reason: format!("{method} has no aggregation step to defend against hostile clients"),
+        }),
+    }
+}
+
 /// One client's training assignment within a round: where it starts and
 /// what it is proximally pulled towards.
 pub(crate) struct TrainJob<'s> {
@@ -151,6 +190,9 @@ impl<'a> Harness<'a> {
             });
         }
         config.validate_core()?;
+        if let Some(scenario) = &config.scenario {
+            scenario.validate(clients.len())?;
+        }
         let trainer =
             LocalTrainer::new(config.lr, config.weight_decay, config.mu, config.batch_size);
         Ok(Harness {
@@ -177,16 +219,30 @@ impl<'a> Harness<'a> {
     /// The clients participating in `round` under
     /// [`FedConfig::participation`]: all of them at 1.0, otherwise a
     /// deterministic per-round sample of
-    /// `ceil(participation · K)` clients (at least one).
+    /// `ceil(participation · K)` clients (at least one). When a
+    /// scenario with dropout is active, its availability trace filters
+    /// the sample afterwards (the lowest-indexed sampled client is kept
+    /// if the whole round would otherwise drop out).
     pub fn participants(&self, round: usize) -> Vec<usize> {
         let k = self.clients.len();
-        if self.config.participation >= 1.0 {
-            return (0..k).collect();
+        let mut sample = if self.config.participation >= 1.0 {
+            (0..k).collect()
+        } else {
+            let take = ((self.config.participation as f64 * k as f64).ceil() as usize).clamp(1, k);
+            let mut rng = self.root_rng.derive(0x9A37).derive(round as u64);
+            let mut sample = rng.sample_indices(k, take);
+            sample.sort_unstable();
+            sample
+        };
+        if let Some(scenario) = &self.config.scenario {
+            if scenario.dropout > 0.0 {
+                let fallback = sample[0];
+                sample.retain(|&c| scenario.available(round, c));
+                if sample.is_empty() {
+                    sample.push(fallback);
+                }
+            }
         }
-        let take = ((self.config.participation as f64 * k as f64).ceil() as usize).clamp(1, k);
-        let mut rng = self.root_rng.derive(0x9A37).derive(round as u64);
-        let mut sample = rng.sample_indices(k, take);
-        sample.sort_unstable();
         sample
     }
 
@@ -208,6 +264,30 @@ impl<'a> Harness<'a> {
     pub fn eval_global(&self, sd: &StateDict) -> Result<Vec<EvalReport>, FedError> {
         self.evaluator
             .eval_global(self.factory, self.config.seed, self.clients, sd)
+    }
+
+    /// Strictly evaluates a method's final deployment (either shape).
+    pub fn eval_deployed(&self, deployed: &Deployed) -> Result<Vec<EvalReport>, FedError> {
+        match deployed {
+            Deployed::Global(sd) => self.eval_global(sd),
+            Deployed::PerClient(sds) => self.eval_personalized(sds),
+        }
+    }
+
+    /// Tolerantly evaluates a method's final deployment: diverged
+    /// clients come back as typed [`FedError::ClientDiverged`] cells in
+    /// their slots instead of aborting the evaluation (the scenario
+    /// harness' grid path).
+    pub fn eval_deployed_cells(
+        &self,
+        deployed: &Deployed,
+    ) -> Result<Vec<Result<EvalReport, FedError>>, FedError> {
+        let states: Vec<&StateDict> = match deployed {
+            Deployed::Global(sd) => vec![sd; self.clients.len()],
+            Deployed::PerClient(sds) => sds.iter().collect(),
+        };
+        self.evaluator
+            .eval_states_cells(self.factory, self.config.seed, self.clients, &states)
     }
 
     /// True when round `r` (1-based) should be recorded in the history.
@@ -264,6 +344,11 @@ impl<'a> Harness<'a> {
     /// the caller on the coordinator thread, so outcomes are bit-identical
     /// for every thread count (`tests/determinism.rs` pins this down).
     ///
+    /// When a scenario is active, Byzantine clients' updates are
+    /// corrupted here — after honest local training, before the caller
+    /// aggregates — on the coordinator thread in job order, from
+    /// per-`(round, client)` streams independent of the training RNG.
+    ///
     /// # Errors
     ///
     /// Returns the first failing job's [`FedError`] in job order.
@@ -299,7 +384,17 @@ impl<'a> Harness<'a> {
                 })
             },
         );
-        results.into_iter().collect()
+        let mut updates: Vec<ClientUpdate> = results.into_iter().collect::<Result<_, _>>()?;
+        if let Some(scenario) = &self.config.scenario {
+            for (job, update) in jobs.iter().zip(updates.iter_mut()) {
+                if let Some(corrupted) =
+                    scenario.corrupt_update(round, job.client, job.start, &update.state)?
+                {
+                    update.state = corrupted;
+                }
+            }
+        }
+        Ok(updates)
     }
 }
 

@@ -6,10 +6,22 @@
 //! the same primitives: [`partition`] splits a dict into global/local
 //! parts for FedProx-LG, and [`blend`] mixes a client's own parameters
 //! with the rest-of-fleet average for α-portion sync.
+//!
+//! For federations with clients the server cannot trust,
+//! [`coordinate_median`] and [`trimmed_mean`] provide Byzantine-robust
+//! alternatives, and [`aggregate`] dispatches on
+//! [`Aggregation`](crate::config::Aggregation). All reductions here are
+//! **fixed-order and coordinator-only** (determinism-contract rule 6):
+//! per-coordinate values are gathered in client order and sorted with a
+//! NaN-last total order, so results are bit-identical at any thread
+//! count and no input — finite, infinite or NaN — can panic the server.
+
+use std::cmp::Ordering;
 
 use rte_nn::StateDict;
 use rte_tensor::Tensor;
 
+use crate::config::Aggregation;
 use crate::FedError;
 
 fn check_compatible(a: &StateDict, b: &StateDict) -> Result<(), FedError> {
@@ -79,6 +91,126 @@ pub fn weighted_average(entries: &[(&StateDict, f64)]) -> Result<StateDict, FedE
         }
     }
     Ok(out)
+}
+
+/// NaN-last total order for the robust reductions: finite values and
+/// ±inf compare by IEEE order, NaN (either sign bit) sorts after
+/// everything — so sorting can never panic, and NaN values land at the
+/// top end where median/trimming keep them away from the result as long
+/// as they are a minority.
+fn nan_last(a: f32, b: f32) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        // Both non-NaN: partial_cmp is total.
+        (false, false) => a.partial_cmp(&b).unwrap_or(Ordering::Equal),
+    }
+}
+
+/// Shared frame of the coordinate-wise reductions: checks structural
+/// compatibility, then maps every coordinate's client-ordered value
+/// vector through `reduce` (which receives it sorted by [`nan_last`]).
+fn coordinate_reduce(
+    dicts: &[&StateDict],
+    what: &str,
+    reduce: impl Fn(&[f32]) -> f32,
+) -> Result<StateDict, FedError> {
+    let first = dicts.first().ok_or_else(|| FedError::InvalidConfig {
+        reason: format!("{what} of zero dicts"),
+    })?;
+    for dict in dicts.iter().skip(1) {
+        check_compatible(first, dict)?;
+    }
+    let mut column = vec![0.0f32; dicts.len()];
+    let mut out = StateDict::with_capacity(first.len());
+    for (e, (name, t)) in first.iter().enumerate() {
+        let mut acc = Tensor::zeros(t.shape().dims());
+        for i in 0..t.data().len() {
+            for (j, dict) in dicts.iter().enumerate() {
+                column[j] = dict[e].1.data()[i];
+            }
+            column.sort_by(|a, b| nan_last(*a, *b));
+            acc.data_mut()[i] = reduce(&column);
+        }
+        out.push((name.clone(), acc));
+    }
+    Ok(out)
+}
+
+/// Coordinate-wise median of state dicts — the classic Byzantine-robust
+/// aggregation rule. Client weights are deliberately ignored: a hostile
+/// client could inflate its sample count, so robust rules treat every
+/// update as one vote.
+///
+/// Each coordinate's values are sorted with a NaN-last total order; odd
+/// counts take the middle element, even counts the midpoint of the two
+/// middle elements (one fixed expression, so results are bit-identical
+/// across runs). As long as strictly more than half of the inputs are
+/// finite at a coordinate, the result there is finite.
+///
+/// # Errors
+///
+/// Returns [`FedError::InvalidConfig`] for empty input and
+/// [`FedError::AggregationMismatch`] for structurally incompatible dicts.
+pub fn coordinate_median(dicts: &[&StateDict]) -> Result<StateDict, FedError> {
+    coordinate_reduce(dicts, "coordinate_median", |sorted| {
+        let n = sorted.len();
+        if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) * 0.5
+        }
+    })
+}
+
+/// Coordinate-wise trimmed mean: per coordinate, drop the
+/// `⌊trim_ratio · K⌋` smallest and largest values (NaN sorts last, so
+/// NaN is trimmed first) and average the survivors in ascending sorted
+/// order — a fixed-order reduction like everything else in this module.
+/// Client weights are ignored, as in [`coordinate_median`].
+///
+/// The trim count is clamped so at least one value always survives.
+///
+/// # Errors
+///
+/// Returns [`FedError::InvalidConfig`] for empty input or a trim ratio
+/// outside `[0, 0.5)`, and [`FedError::AggregationMismatch`] for
+/// structurally incompatible dicts.
+pub fn trimmed_mean(dicts: &[&StateDict], trim_ratio: f32) -> Result<StateDict, FedError> {
+    Aggregation::TrimmedMean { trim_ratio }.validate()?;
+    let n = dicts.len();
+    let trim = ((trim_ratio as f64 * n as f64).floor() as usize).min(n.saturating_sub(1) / 2);
+    coordinate_reduce(dicts, "trimmed_mean", |sorted| {
+        let kept = &sorted[trim..sorted.len() - trim];
+        let mut acc = 0.0f32;
+        for &v in kept {
+            acc += v;
+        }
+        acc / kept.len() as f32
+    })
+}
+
+/// Dispatches one round's server-side aggregation on the configured
+/// [`Aggregation`] rule. The weights in `entries` are honored by
+/// [`Aggregation::WeightedMean`] and deliberately ignored by the robust
+/// rules (see [`coordinate_median`]).
+///
+/// # Errors
+///
+/// See [`weighted_average`], [`coordinate_median`] and [`trimmed_mean`].
+pub fn aggregate(entries: &[(&StateDict, f64)], rule: Aggregation) -> Result<StateDict, FedError> {
+    match rule {
+        Aggregation::WeightedMean => weighted_average(entries),
+        Aggregation::Median => {
+            let dicts: Vec<&StateDict> = entries.iter().map(|(d, _)| *d).collect();
+            coordinate_median(&dicts)
+        }
+        Aggregation::TrimmedMean { trim_ratio } => {
+            let dicts: Vec<&StateDict> = entries.iter().map(|(d, _)| *d).collect();
+            trimmed_mean(&dicts, trim_ratio)
+        }
+    }
 }
 
 /// Splits a state dict into `(matching, rest)` by a name predicate.
@@ -201,6 +333,93 @@ mod tests {
         assert!(weighted_average(&[(&d1, 1.0), (&d3, 1.0)]).is_err());
         assert!(weighted_average(&[]).is_err());
         assert!(weighted_average(&[(&d1, 0.0)]).is_err());
+    }
+
+    #[test]
+    fn median_is_robust_to_one_outlier() {
+        let honest1 = dict(1.0);
+        let honest2 = dict(2.0);
+        let hostile = dict(1e30);
+        let med = coordinate_median(&[&honest1, &hostile, &honest2]).unwrap();
+        assert_eq!(
+            med[0].1.data(),
+            &[2.0; 4],
+            "outlier must not move the median"
+        );
+    }
+
+    #[test]
+    fn median_even_count_takes_midpoint() {
+        let a = dict(1.0);
+        let b = dict(3.0);
+        let med = coordinate_median(&[&a, &b]).unwrap();
+        assert_eq!(med[0].1.data(), &[2.0; 4]);
+    }
+
+    #[test]
+    fn median_survives_nan_minority() {
+        let mut poisoned = dict(5.0);
+        for v in poisoned[0].1.data_mut() {
+            *v = f32::NAN;
+        }
+        let a = dict(1.0);
+        let b = dict(3.0);
+        let med = coordinate_median(&[&poisoned, &a, &b]).unwrap();
+        // NaN sorts last: the median of {1, 3, NaN} is 3.
+        assert_eq!(med[0].1.data(), &[3.0; 4]);
+        assert!(med
+            .iter()
+            .all(|(_, t)| t.data().iter().all(|v| v.is_finite())));
+    }
+
+    #[test]
+    fn trimmed_mean_drops_extremes() {
+        let dicts = [dict(1.0), dict(2.0), dict(3.0), dict(-100.0), dict(100.0)];
+        let refs: Vec<&StateDict> = dicts.iter().collect();
+        let tm = trimmed_mean(&refs, 0.2).unwrap(); // trim 1 each end
+        assert_eq!(tm[0].1.data(), &[2.0; 4]);
+    }
+
+    #[test]
+    fn trimmed_mean_zero_ratio_is_unweighted_mean() {
+        let dicts = [dict(1.0), dict(2.0), dict(6.0)];
+        let refs: Vec<&StateDict> = dicts.iter().collect();
+        let tm = trimmed_mean(&refs, 0.0).unwrap();
+        assert_eq!(tm[0].1.data(), &[3.0; 4]);
+    }
+
+    #[test]
+    fn trimmed_mean_rejects_bad_ratio_and_empty() {
+        let d = dict(1.0);
+        assert!(trimmed_mean(&[&d], 0.5).is_err());
+        assert!(trimmed_mean(&[&d], -0.1).is_err());
+        assert!(trimmed_mean(&[], 0.1).is_err());
+        assert!(coordinate_median(&[]).is_err());
+    }
+
+    #[test]
+    fn aggregate_dispatches_on_rule() {
+        let a = dict(0.0);
+        let b = dict(4.0);
+        let entries = [(&a, 3.0), (&b, 1.0)];
+        assert_eq!(
+            aggregate(&entries, Aggregation::WeightedMean).unwrap(),
+            weighted_average(&entries).unwrap()
+        );
+        // Robust rules ignore weights: median of {0, 4} is 2, not 1.
+        let med = aggregate(&entries, Aggregation::Median).unwrap();
+        assert_eq!(med[0].1.data(), &[2.0; 4]);
+        let tm = aggregate(&entries, Aggregation::TrimmedMean { trim_ratio: 0.0 }).unwrap();
+        assert_eq!(tm[0].1.data(), &[2.0; 4]);
+    }
+
+    #[test]
+    fn robust_rules_reject_mismatched_dicts() {
+        let d1 = dict(1.0);
+        let mut d2 = dict(1.0);
+        d2[0].0 = "renamed".into();
+        assert!(coordinate_median(&[&d1, &d2]).is_err());
+        assert!(trimmed_mean(&[&d1, &d2], 0.0).is_err());
     }
 
     #[test]

@@ -14,10 +14,14 @@ use crate::MetricsError;
 /// Ties are handled as one group (all samples at a threshold enter
 /// together).
 ///
+/// ±inf scores are legal and sweep first (`+inf`) / last (`-inf`); the
+/// internal sort uses [`f32::total_cmp`] and cannot panic on any score
+/// vector. NaN is rejected up front with a typed error.
+///
 /// # Errors
 ///
-/// Returns [`MetricsError`] for length mismatches, NaN scores, or a
-/// label vector without any positives.
+/// Returns [`MetricsError`] for length mismatches, empty input, NaN
+/// scores, or a label vector without any positives.
 ///
 /// # Example
 ///
@@ -36,6 +40,9 @@ pub fn average_precision(scores: &[f32], labels: &[bool]) -> Result<f64, Metrics
             labels: labels.len(),
         });
     }
+    if scores.is_empty() {
+        return Err(MetricsError::Empty);
+    }
     if scores.iter().any(|s| s.is_nan()) {
         return Err(MetricsError::NanScore);
     }
@@ -47,7 +54,9 @@ pub fn average_precision(scores: &[f32], labels: &[bool]) -> Result<f64, Metrics
         });
     }
     let mut idx: Vec<usize> = (0..scores.len()).collect();
-    idx.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("no NaN"));
+    // Descending, panic-free total order; -0.0/+0.0 still form one tie
+    // group via the `==` threshold walk below.
+    idx.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
     let mut tp = 0usize;
     let mut fp = 0usize;
     let mut prev_recall = 0.0f64;
@@ -134,6 +143,23 @@ mod tests {
         assert!(average_precision(&[0.5], &[]).is_err());
         assert!(average_precision(&[f32::NAN], &[true]).is_err());
         assert!(average_precision(&[0.5, 0.4], &[false, false]).is_err());
+        assert!(matches!(
+            average_precision(&[], &[]),
+            Err(MetricsError::Empty)
+        ));
+    }
+
+    #[test]
+    fn infinite_scores_sweep_at_the_extremes() {
+        // +inf enters first: a positive there gives a perfect prefix.
+        let ap = average_precision(
+            &[f32::INFINITY, 0.5, f32::NEG_INFINITY],
+            &[true, false, true],
+        )
+        .unwrap();
+        // After +inf (pos): R=0.5, P=1 → +0.5. After -inf (pos):
+        // R=1.0, P=2/3 → +0.5·(2/3).
+        assert!((ap - (0.5 + 0.5 * 2.0 / 3.0)).abs() < 1e-12);
     }
 
     #[test]

@@ -123,6 +123,16 @@ impl ConfusionMatrix {
 mod tests {
     use super::*;
 
+    #[test]
+    fn infinite_scores_threshold_naturally() {
+        // +inf >= t for every finite threshold; -inf never is.
+        let cm =
+            ConfusionMatrix::from_scores(&[f32::INFINITY, f32::NEG_INFINITY], &[true, false], 0.5)
+                .unwrap();
+        assert_eq!(cm.true_positives, 1);
+        assert_eq!(cm.true_negatives, 1);
+    }
+
     fn sample() -> ConfusionMatrix {
         ConfusionMatrix {
             true_positives: 8,

@@ -147,6 +147,23 @@ mod tests {
     }
 
     #[test]
+    fn infinite_scores_clamp_to_edge_bins() {
+        // ±inf behave as extreme out-of-range scores: they land in the
+        // edge bins, so totals still account for every sample.
+        let h = ScoreHistogram::from_scores(
+            &[f32::NEG_INFINITY, f32::INFINITY, 0.5],
+            &[false, true, true],
+            8,
+            0.0,
+            1.0,
+        )
+        .unwrap();
+        assert_eq!(h.negatives()[0], 1);
+        assert_eq!(h.positives()[7], 1);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
     fn empty_input_is_all_zero() {
         let h = ScoreHistogram::from_scores(&[], &[], 4, 0.0, 1.0).unwrap();
         assert_eq!(h.total(), 0);

@@ -6,6 +6,27 @@
 //! [`ConfusionMatrix`] provides the thresholded counts the ROC curve is
 //! built from.
 //!
+//! # Degenerate inputs and non-finite scores
+//!
+//! Every metric in this crate is **panic-free on arbitrary score
+//! vectors** — a corrupted model emitting garbage must surface as a
+//! typed [`MetricsError`], never a panic inside a sort:
+//!
+//! - mismatched lengths → [`MetricsError::LengthMismatch`],
+//! - no samples at all → [`MetricsError::Empty`],
+//! - any NaN score → [`MetricsError::NanScore`] (NaN carries no ranking
+//!   information, so rank metrics are undefined),
+//! - a single-class label vector → [`MetricsError::SingleClass`] where
+//!   the metric is undefined (ROC AUC needs both classes; average
+//!   precision needs at least one positive).
+//!
+//! **±inf scores are legal** and ordered by the IEEE total order:
+//! `-inf` ranks below every finite score and `+inf` above, with midrank
+//! tie handling applying to repeated infinities exactly as to repeated
+//! finite values. Thresholded metrics compare them naturally
+//! (`+inf >= t` for every finite `t`), and histograms clamp them into
+//! the edge bins like any other out-of-range score.
+//!
 //! # Example
 //!
 //! ```
@@ -50,6 +71,9 @@ pub enum MetricsError {
     },
     /// A score was NaN.
     NanScore,
+    /// No samples were provided: every rank metric is undefined on an
+    /// empty score vector.
+    Empty,
 }
 
 impl fmt::Display for MetricsError {
@@ -66,6 +90,7 @@ impl fmt::Display for MetricsError {
                 "AUC undefined with {positives} positives and {negatives} negatives"
             ),
             MetricsError::NanScore => write!(f, "scores contain NaN"),
+            MetricsError::Empty => write!(f, "no samples provided"),
         }
     }
 }

@@ -21,6 +21,9 @@ fn validate(scores: &[f32], labels: &[bool]) -> Result<(usize, usize), MetricsEr
             labels: labels.len(),
         });
     }
+    if scores.is_empty() {
+        return Err(MetricsError::Empty);
+    }
     if scores.iter().any(|s| s.is_nan()) {
         return Err(MetricsError::NanScore);
     }
@@ -40,10 +43,16 @@ fn validate(scores: &[f32], labels: &[bool]) -> Result<(usize, usize), MetricsEr
 ///
 /// `labels[i]` is `true` for a positive (hotspot) sample.
 ///
+/// ±inf scores are legal and rank at the extremes (`-inf` below every
+/// finite score, `+inf` above); repeated infinities tie at midrank like
+/// any repeated value. The internal sort uses [`f32::total_cmp`], so no
+/// score vector can panic it — NaN is rejected up front with a typed
+/// error because NaN carries no ranking information.
+///
 /// # Errors
 ///
-/// Returns [`MetricsError`] when lengths differ, scores contain NaN, or
-/// only one class is present.
+/// Returns [`MetricsError`] when lengths differ, the input is empty,
+/// scores contain NaN, or only one class is present.
 ///
 /// # Example
 ///
@@ -58,7 +67,10 @@ fn validate(scores: &[f32], labels: &[bool]) -> Result<(usize, usize), MetricsEr
 pub fn roc_auc(scores: &[f32], labels: &[bool]) -> Result<f64, MetricsError> {
     let (positives, negatives) = validate(scores, labels)?;
     let mut idx: Vec<usize> = (0..scores.len()).collect();
-    idx.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("no NaN"));
+    // `total_cmp` cannot panic whatever the input; `validate` already
+    // rejected NaN, and the -0.0/+0.0 distinction it introduces is
+    // erased by the `==` tie grouping below.
+    idx.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
     // Assign midranks over tied groups and sum ranks of positives.
     let mut rank_sum_pos = 0.0f64;
     let mut i = 0usize;
@@ -91,8 +103,9 @@ pub fn roc_auc(scores: &[f32], labels: &[bool]) -> Result<f64, MetricsError> {
 pub fn roc_curve(scores: &[f32], labels: &[bool]) -> Result<Vec<RocPoint>, MetricsError> {
     let (positives, negatives) = validate(scores, labels)?;
     let mut idx: Vec<usize> = (0..scores.len()).collect();
-    // Descending by score: sweep the threshold down.
-    idx.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("no NaN"));
+    // Descending by score: sweep the threshold down. Panic-free total
+    // order (see `roc_auc`).
+    idx.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
     let mut points = vec![RocPoint {
         fpr: 0.0,
         tpr: 0.0,
@@ -174,6 +187,36 @@ mod tests {
             roc_auc(&[f32::NAN, 0.2], &[true, false]),
             Err(MetricsError::NanScore)
         ));
+        assert!(matches!(roc_auc(&[], &[]), Err(MetricsError::Empty)));
+        assert!(matches!(roc_curve(&[], &[]), Err(MetricsError::Empty)));
+    }
+
+    #[test]
+    fn infinite_scores_rank_at_the_extremes() {
+        // +inf outranks every finite score, -inf is below all of them.
+        let s = [f32::INFINITY, 0.5, f32::NEG_INFINITY];
+        assert_eq!(roc_auc(&s, &[true, true, false]).unwrap(), 1.0);
+        assert_eq!(roc_auc(&s, &[false, false, true]).unwrap(), 0.0);
+        // Repeated infinities tie at midrank like any repeated value:
+        // pairs (inf,inf) → ½, (inf,0.1) → 1, (0.2,inf) → 0,
+        // (0.2,0.1) → 1, so U = 2.5 of 4.
+        let tied = [f32::INFINITY, f32::INFINITY, 0.1, 0.2];
+        assert_eq!(roc_auc(&tied, &[true, false, false, true]).unwrap(), 0.625);
+        // The full curve handles them too (thresholds stay ordered).
+        let curve = roc_curve(&s, &[true, true, false]).unwrap();
+        assert_eq!(curve.last().unwrap().tpr, 1.0);
+    }
+
+    #[test]
+    fn signed_zeros_are_one_tie_group() {
+        // total_cmp orders -0.0 before +0.0; the tie grouping must still
+        // treat them as one group (they compare equal), so labels split
+        // across the two zeros get midrank credit.
+        let s = [-0.0f32, 0.0, 1.0];
+        let l = [true, false, true];
+        let auc = roc_auc(&s, &l).unwrap();
+        let auc_swapped = roc_auc(&[0.0f32, -0.0, 1.0], &l).unwrap();
+        assert_eq!(auc, auc_swapped);
     }
 
     #[test]

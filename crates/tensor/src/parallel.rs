@@ -78,15 +78,39 @@ impl Parallelism {
     }
 
     /// Reads the `RTE_THREADS` environment variable (the workspace-wide
-    /// thread knob, also honored by CI): unset, empty or unparsable means
+    /// thread knob, also honored by CI): unset or empty means
     /// [`Parallelism::auto`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unparsable value (e.g. `RTE_THREADS=four`). An
+    /// explicit knob that cannot be honored must fail loudly, not
+    /// silently fall back to a different thread count — the same policy
+    /// [`crate::simd::SimdBackend::from_env`] applies to `RTE_SIMD`.
     pub fn from_env() -> Self {
         match std::env::var("RTE_THREADS") {
-            Ok(v) => match v.trim().parse::<usize>() {
-                Ok(n) => Parallelism::new(n),
-                Err(_) => Parallelism::auto(),
-            },
+            Ok(v) => Self::parse(&v),
             Err(_) => Parallelism::auto(),
+        }
+    }
+
+    /// [`Parallelism::from_env`]'s parsing rule, factored out for tests:
+    /// empty means auto, otherwise a non-negative integer (`0` = auto).
+    ///
+    /// # Panics
+    ///
+    /// See [`Parallelism::from_env`].
+    pub fn parse(value: &str) -> Self {
+        let v = value.trim();
+        if v.is_empty() {
+            return Parallelism::auto();
+        }
+        match v.parse::<usize>() {
+            Ok(n) => Parallelism::new(n),
+            Err(_) => panic!(
+                "RTE_THREADS={v:?} is not a valid thread count; accepted values: \
+                 a non-negative integer (0 = all cores) or unset/empty for auto"
+            ),
         }
     }
 
@@ -392,6 +416,21 @@ mod tests {
         // (other tests mutate the process default concurrently, so only
         // the flag itself can be asserted race-free).
         assert!(!NESTED_SERIAL.with(|flag| flag.get()));
+    }
+
+    #[test]
+    fn parse_accepts_integers_and_empty() {
+        assert_eq!(Parallelism::parse("4"), Parallelism::new(4));
+        assert_eq!(Parallelism::parse(" 2 "), Parallelism::new(2));
+        assert_eq!(Parallelism::parse("0"), Parallelism::auto());
+        assert_eq!(Parallelism::parse(""), Parallelism::auto());
+        assert_eq!(Parallelism::parse("  "), Parallelism::auto());
+    }
+
+    #[test]
+    #[should_panic(expected = "accepted values")]
+    fn parse_rejects_garbage_loudly() {
+        let _ = Parallelism::parse("four");
     }
 
     #[test]

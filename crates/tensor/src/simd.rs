@@ -96,14 +96,14 @@ impl SimdBackend {
     }
 
     /// Resolves the `RTE_SIMD` environment variable: `scalar` and `avx2`
-    /// force an arm, anything else (including unset) means
-    /// [`SimdBackend::detect`].
+    /// force an arm; `auto`, empty or unset mean [`SimdBackend::detect`].
     ///
     /// # Panics
     ///
-    /// Panics when `RTE_SIMD=avx2` is forced on a CPU without AVX2+FMA —
-    /// an explicit request that cannot be honored must not silently
-    /// degrade, because the caller asked for a specific arm's wall-clock.
+    /// Panics when `RTE_SIMD=avx2` is forced on a CPU without AVX2+FMA,
+    /// and on any unrecognized value — an explicit request that cannot
+    /// be honored must not silently degrade to a different arm, because
+    /// the caller asked for a specific arm's wall-clock.
     pub fn from_env() -> SimdBackend {
         match std::env::var("RTE_SIMD") {
             Ok(v) => Self::parse(&v),
@@ -118,6 +118,7 @@ impl SimdBackend {
     /// See [`SimdBackend::from_env`].
     pub fn parse(value: &str) -> SimdBackend {
         match value.trim().to_ascii_lowercase().as_str() {
+            "" | "auto" => SimdBackend::detect(),
             "scalar" => SimdBackend::Scalar,
             "avx2" => {
                 assert!(
@@ -126,7 +127,10 @@ impl SimdBackend {
                 );
                 SimdBackend::Avx2
             }
-            _ => SimdBackend::detect(),
+            other => panic!(
+                "RTE_SIMD={other:?} is not a valid SIMD arm; accepted values: \
+                 auto (or unset/empty), scalar, avx2"
+            ),
         }
     }
 
@@ -1544,12 +1548,17 @@ mod tests {
         assert_eq!(SimdBackend::parse(" SCALAR "), SimdBackend::Scalar);
         assert_eq!(SimdBackend::parse("auto"), SimdBackend::detect());
         assert_eq!(SimdBackend::parse(""), SimdBackend::detect());
-        assert_eq!(SimdBackend::parse("typo"), SimdBackend::detect());
         if SimdBackend::detect() == SimdBackend::Avx2 {
             assert_eq!(SimdBackend::parse("avx2"), SimdBackend::Avx2);
         }
         assert_eq!(SimdBackend::Scalar.to_string(), "scalar");
         assert_eq!(SimdBackend::Avx2.name(), "avx2");
+    }
+
+    #[test]
+    #[should_panic(expected = "accepted values")]
+    fn parse_rejects_unknown_arms_loudly() {
+        let _ = SimdBackend::parse("typo");
     }
 
     #[test]

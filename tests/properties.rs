@@ -158,3 +158,119 @@ proptest! {
         }
     }
 }
+
+/// Naive per-coordinate reference for the robust reductions: collect
+/// the K values of one coordinate, sorted ascending (all inputs here
+/// are NaN-free, so the order is total).
+fn sorted_coordinate(dicts: &[Vec<f32>], i: usize) -> Vec<f32> {
+    let mut column: Vec<f32> = dicts.iter().map(|d| d[i]).collect();
+    column.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    column
+}
+
+/// Builds `n` dicts of `len` coordinates from a flat pool of coarse
+/// grid values (step 0.5), so ties between clients are common rather
+/// than measure-zero — the interesting regime for order statistics.
+fn tied_dicts(n: usize, len: usize, pool: &[i32]) -> Vec<Vec<f32>> {
+    (0..n)
+        .map(|d| (0..len).map(|i| pool[d * len + i] as f32 * 0.5).collect())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `coordinate_median` agrees bitwise with the textbook definition
+    /// — middle element for odd K, midpoint of the two middles for even
+    /// K — including heavy ties, for 2..=7 clients.
+    #[test]
+    fn coordinate_median_matches_naive_reference(
+        n in 2usize..8,
+        pool in proptest::collection::vec(-6i32..7, 7 * 12),
+    ) {
+        use decentralized_routability::fed::params::coordinate_median;
+        let dicts = tied_dicts(n, 12, &pool);
+        let owned: Vec<StateDict> = dicts.iter().map(|d| dict_from(d)).collect();
+        let refs: Vec<&StateDict> = owned.iter().collect();
+        let median = coordinate_median(&refs).unwrap();
+        let n = dicts.len();
+        for i in 0..12 {
+            let sorted = sorted_coordinate(&dicts, i);
+            let expected = if n % 2 == 1 {
+                sorted[n / 2]
+            } else {
+                (sorted[n / 2 - 1] + sorted[n / 2]) * 0.5
+            };
+            let got = median[0].1.data()[i];
+            prop_assert!(got.to_bits() == expected.to_bits(), "coord {}: {} vs {}", i, got, expected);
+        }
+    }
+
+    /// `trimmed_mean` agrees bitwise with the naive reference: sort,
+    /// drop `⌊ratio·K⌋` from each end (clamped so one value survives),
+    /// average the rest in ascending order.
+    #[test]
+    fn trimmed_mean_matches_naive_reference(
+        n in 1usize..9,
+        pool in proptest::collection::vec(-6i32..7, 8 * 12),
+        ratio in 0.0f32..0.5,
+    ) {
+        use decentralized_routability::fed::params::trimmed_mean;
+        let dicts = tied_dicts(n, 12, &pool);
+        let owned: Vec<StateDict> = dicts.iter().map(|d| dict_from(d)).collect();
+        let refs: Vec<&StateDict> = owned.iter().collect();
+        let trimmed = trimmed_mean(&refs, ratio).unwrap();
+        let n = dicts.len();
+        let trim = ((ratio as f64 * n as f64).floor() as usize).min(n.saturating_sub(1) / 2);
+        for i in 0..12 {
+            let sorted = sorted_coordinate(&dicts, i);
+            let kept = &sorted[trim..n - trim];
+            let mut acc = 0.0f32;
+            for &v in kept {
+                acc += v;
+            }
+            let expected = acc / kept.len() as f32;
+            let got = trimmed[0].1.data()[i];
+            prop_assert!(got.to_bits() == expected.to_bits(), "coord {}: {} vs {}", i, got, expected);
+        }
+    }
+
+    /// The robustness guarantee the scenario harness leans on: when the
+    /// hostile minority poisons its updates with NaN, the median is
+    /// NaN-free as long as `2·hostile < K`, and the trimmed mean as long
+    /// as `hostile ≤ ⌊ratio·K⌋` (NaN sorts last, so it is trimmed
+    /// first). Honest values stay inside the honest envelope.
+    #[test]
+    fn robust_rules_shed_nan_minorities(
+        n_honest in 3usize..8,
+        pool in proptest::collection::vec(-6i32..7, 7 * 8),
+        hostile in 1usize..3,
+    ) {
+        use decentralized_routability::fed::params::{coordinate_median, trimmed_mean};
+        let honest = tied_dicts(n_honest, 8, &pool);
+        prop_assume!(2 * hostile < honest.len() + hostile);
+        let mut owned: Vec<StateDict> = honest.iter().map(|d| dict_from(d)).collect();
+        for _ in 0..hostile {
+            owned.push(dict_from(&[f32::NAN; 8]));
+        }
+        let refs: Vec<&StateDict> = owned.iter().collect();
+        let n = refs.len();
+
+        let median = coordinate_median(&refs).unwrap();
+        for i in 0..8 {
+            let v = median[0].1.data()[i];
+            prop_assert!(v.is_finite(), "median coord {} is {}", i, v);
+            let sorted = sorted_coordinate(&honest, i);
+            prop_assert!(v >= sorted[0] && v <= sorted[honest.len() - 1]);
+        }
+
+        // Pick the smallest ratio that trims off every hostile dict.
+        let ratio = (hostile as f32 + 0.5) / n as f32;
+        prop_assume!(ratio < 0.5);
+        let trimmed = trimmed_mean(&refs, ratio).unwrap();
+        for i in 0..8 {
+            let v = trimmed[0].1.data()[i];
+            prop_assert!(v.is_finite(), "trimmed coord {} is {}", i, v);
+        }
+    }
+}

@@ -391,7 +391,7 @@ fn emit_kernels_json(_c: &mut Criterion) {
     // Default to the workspace root (cargo runs benches from the
     // package dir) so the tracked perf trajectory lives next to the
     // README; `RTE_BENCH_JSON` overrides.
-    let path = std::env::var("RTE_BENCH_JSON").unwrap_or_else(|_| {
+    let path = rte_tensor::knobs::raw("RTE_BENCH_JSON").unwrap_or_else(|| {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json").to_string()
     });
     match std::fs::write(&path, &json) {

@@ -13,6 +13,10 @@
 //! cargo run -p rte-bench --release --bin fig1_convergence -- --rounds 20
 //! ```
 
+// Pure safe Rust; all workspace `unsafe` lives in `rte_tensor::simd`
+// (rte-lint rule L1 enforces this).
+#![forbid(unsafe_code)]
+
 pub mod reference;
 
 use rte_core::ExperimentConfig;

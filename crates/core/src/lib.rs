@@ -19,6 +19,10 @@
 //! # Ok::<(), rte_core::CoreError>(())
 //! ```
 
+// Pure safe Rust; all workspace `unsafe` lives in `rte_tensor::simd`
+// (rte-lint rule L1 enforces this).
+#![forbid(unsafe_code)]
+
 mod error;
 mod experiment;
 pub mod report;

@@ -71,6 +71,9 @@
 //! # Ok::<(), rte_eda::EdaError>(())
 //! ```
 
+// Pure safe Rust; all workspace `unsafe` lives in `rte_tensor::simd`
+// (rte-lint rule L1 enforces this).
+#![forbid(unsafe_code)]
 // Belt and braces: the workspace lint table already warns on missing
 // docs, but this crate's public surface is the streaming format other
 // tools must interoperate with, so the requirement is restated locally.

@@ -80,6 +80,9 @@
 //! [`StreamingClientSet`] (`ClientSet::streaming`) — every method, and
 //! the example above, behaves identically.
 
+// Pure safe Rust; all workspace `unsafe` lives in `rte_tensor::simd`
+// (rte-lint rule L1 enforces this).
+#![forbid(unsafe_code)]
 // Belt and braces: the workspace lint table already warns on missing
 // docs, but this crate is the public federated API surface, so the
 // requirement is restated locally.

@@ -10,7 +10,7 @@
 //! For federations with clients the server cannot trust,
 //! [`coordinate_median`] and [`trimmed_mean`] provide Byzantine-robust
 //! alternatives, and [`aggregate`] dispatches on
-//! [`Aggregation`](crate::config::Aggregation). All reductions here are
+//! [`Aggregation`]. All reductions here are
 //! **fixed-order and coordinator-only** (determinism-contract rule 6):
 //! per-coordinate values are gathered in client order and sorted with a
 //! NaN-last total order, so results are bit-identical at any thread

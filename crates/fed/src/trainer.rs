@@ -1,6 +1,6 @@
 //! Client-side local training (the per-round inner loop of Eq. 1).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rte_nn::loss::mse;
 use rte_nn::optim::{Adam, Optimizer};
@@ -74,7 +74,7 @@ impl LocalTrainer {
                 reason: "training with zero steps would report a fake 0.0 loss".into(),
             });
         }
-        let reference_map: Option<HashMap<&str, &rte_tensor::Tensor>> =
+        let reference_map: Option<BTreeMap<&str, &rte_tensor::Tensor>> =
             reference.map(|sd| sd.iter().map(|(n, t)| (n.as_str(), t)).collect());
         let mut optimizer = Adam::new(self.lr, self.weight_decay);
         let mut total_loss = 0.0f64;

@@ -1,0 +1,6 @@
+// Escape-hatch bad case: an allow comment without the mandatory
+// reason suppresses nothing and is itself reported.
+pub fn stamp() -> std::time::Instant {
+    // rte-lint: allow(L4)
+    std::time::Instant::now()
+}

@@ -1,0 +1,5 @@
+// Escape-hatch good case (b): grandfathered via lint.toml at this
+// fixture root.
+pub fn legacy_knob() -> Option<String> {
+    std::env::var("LEGACY_KNOB").ok()
+}

@@ -1,0 +1,5 @@
+// Escape-hatch good case (a): a reasoned allow comment at the site.
+pub fn stamp() -> std::time::Instant {
+    // rte-lint: allow(L4) demo timer for the fixture suite; not part of any table output
+    std::time::Instant::now()
+}

@@ -1,0 +1,4 @@
+// L1 bad case (b): `unsafe` in the allowlisted file but without an
+// immediately preceding SAFETY comment.
+
+unsafe fn load_lane() {}

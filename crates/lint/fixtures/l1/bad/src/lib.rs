@@ -1,0 +1,4 @@
+// L1 bad case (a): `unsafe` in a file outside the simd allowlist.
+pub fn first(x: &[f32]) -> f32 {
+    unsafe { *x.get_unchecked(0) }
+}

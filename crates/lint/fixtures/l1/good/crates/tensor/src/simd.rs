@@ -1,0 +1,22 @@
+// L1 good case: every site carries an immediately preceding SAFETY
+// comment (or a `# Safety` doc section) in the allowlisted file.
+
+// SAFETY: only reachable after is_x86_feature_detected confirmed AVX2.
+unsafe fn load_lane() {}
+
+/// Dispatch wrapper.
+///
+/// # Safety
+///
+/// The caller must have verified AVX2 support.
+unsafe fn dispatch_lane() {
+    // SAFETY: `dispatch_lane`'s contract requires AVX2; forwarding
+    // preserves it.
+    unsafe { load_lane() }
+}
+
+fn call() {
+    #[allow(unused)]
+    // SAFETY: the scalar fallback was feature-checked by the caller.
+    let f = || unsafe { load_lane() };
+}

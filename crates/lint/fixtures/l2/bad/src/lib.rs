@@ -1,0 +1,14 @@
+// L2 bad case: iterating an unordered hash container in library code.
+use std::collections::HashMap;
+
+pub fn sum_values(totals: &HashMap<String, f32>) -> f32 {
+    let mut sum = 0.0;
+    for v in totals.values() {
+        sum += v;
+    }
+    sum
+}
+
+pub fn drain_all(mut scratch: HashMap<u32, f32>) -> usize {
+    scratch.drain().count()
+}

@@ -1,0 +1,22 @@
+// L2 good case: keyed lookup on a hash container is fine, iteration in
+// a #[cfg(test)] module is fine, and BTreeMap iteration is ordered.
+use std::collections::{BTreeMap, HashMap};
+
+pub fn lookup(cache: &HashMap<String, f32>, key: &str) -> Option<f32> {
+    cache.get(key).copied()
+}
+
+pub fn sum_ordered(totals: &BTreeMap<String, f32>) -> f32 {
+    totals.values().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+
+    #[test]
+    fn order_free_assertion() {
+        let seen: HashSet<u32> = [1, 2, 3].into_iter().collect();
+        assert_eq!(seen.iter().count(), 3);
+    }
+}

@@ -1,0 +1,7 @@
+// L3 bad case: a raw environment read outside the knob module.
+pub fn threads() -> usize {
+    std::env::var("RTE_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}

@@ -1,0 +1,5 @@
+// L3 good case (b): bench crates may read the environment (their
+// output is measurement, not experiment bits).
+pub fn json_path() -> String {
+    std::env::var("RTE_BENCH_JSON").unwrap_or_else(|_| "BENCH.json".into())
+}

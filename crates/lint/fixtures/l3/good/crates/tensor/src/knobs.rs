@@ -1,0 +1,5 @@
+// L3 good case (a): the sanctioned knob module owns the process
+// environment.
+pub fn string(name: &str) -> Option<String> {
+    std::env::var(name).ok()
+}

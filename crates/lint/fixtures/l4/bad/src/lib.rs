@@ -1,0 +1,8 @@
+// L4 bad case: wall-clock read in library code.
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn epoch() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

@@ -1,0 +1,6 @@
+// L4 good case: timing inside the bench crate is the point.
+pub fn elapsed_ns(f: impl FnOnce()) -> u128 {
+    let start = std::time::Instant::now();
+    f();
+    start.elapsed().as_nanos()
+}

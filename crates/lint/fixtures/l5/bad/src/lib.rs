@@ -1,0 +1,4 @@
+// L5 bad case: ad-hoc thread creation outside rte_tensor::parallel.
+pub fn fire_and_forget() {
+    std::thread::spawn(|| {});
+}

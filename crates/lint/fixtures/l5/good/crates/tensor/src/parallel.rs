@@ -1,0 +1,7 @@
+// L5 good case: the parallel module is the one place threads are made.
+pub fn scoped_map(n: usize) -> Vec<usize> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n).map(|i| scope.spawn(move || i)).collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+}

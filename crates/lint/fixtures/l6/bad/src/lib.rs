@@ -1,0 +1,4 @@
+// L6 bad case: FMA contraction without an opt-out region.
+pub fn fused(a: f32, b: f32, c: f32) -> f32 {
+    a.mul_add(b, c)
+}

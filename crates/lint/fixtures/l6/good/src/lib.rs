@@ -1,0 +1,12 @@
+// L6 good case: the contraction is fenced inside an explicitly tagged
+// different-bits region.
+
+// DETERMINISM-OPT-OUT: fast-mode kernel; tables agree to 1e-5, never bitwise.
+pub fn fused_fast(a: f32, b: f32, c: f32) -> f32 {
+    a.mul_add(b, c)
+}
+// DETERMINISM-OPT-IN
+
+pub fn exact(a: f32, b: f32, c: f32) -> f32 {
+    a * b + c
+}

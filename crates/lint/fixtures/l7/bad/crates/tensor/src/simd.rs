@@ -1,0 +1,10 @@
+// L7 bad case: a dispatched kernel variant the determinism suite never
+// mentions.
+pub struct SimdBackend;
+
+pub fn frobnicate_with(backend: SimdBackend, x: &mut [f32]) {
+    let _ = backend;
+    for v in x.iter_mut() {
+        *v += 1.0;
+    }
+}

@@ -1,0 +1,3 @@
+// The suite exists but does not exercise frobnicate: L7 must fire.
+#[test]
+fn unrelated() {}

@@ -1,0 +1,9 @@
+// L7 good case: the same kernel variant, exercised by the suite.
+pub struct SimdBackend;
+
+pub fn frobnicate_with(backend: SimdBackend, x: &mut [f32]) {
+    let _ = backend;
+    for v in x.iter_mut() {
+        *v += 1.0;
+    }
+}

@@ -1,0 +1,72 @@
+//! CLI entry point for the determinism lint gate.
+//!
+//! ```text
+//! cargo run -p rte-lint -- check [--json] [--root PATH]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings, `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: rte-lint check [--json] [--root PATH]\n\
+         \n\
+         Scans every workspace .rs file and enforces the determinism\n\
+         contract lints L1-L7 (see docs/ARCHITECTURE.md, Enforcement).\n\
+         \n\
+           --json       machine-readable findings on stdout\n\
+           --root PATH  workspace root to scan (default: current directory)"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(command) = args.next() else {
+        return usage();
+    };
+    if command != "check" {
+        return usage();
+    }
+    let mut json = false;
+    let mut root = PathBuf::from(".");
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => {
+                let Some(path) = args.next() else {
+                    return usage();
+                };
+                root = PathBuf::from(path);
+            }
+            _ => return usage(),
+        }
+    }
+    let report = match rte_lint::check_root(&root) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("rte-lint: error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        print!("{}", rte_lint::render_json(&report));
+    } else {
+        for finding in &report.findings {
+            println!("{finding}");
+        }
+        eprintln!(
+            "rte-lint: {} finding(s) across {} files ({} grandfathered allowlist entries)",
+            report.findings.len(),
+            report.files_scanned,
+            report.allowlist_entries
+        );
+    }
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

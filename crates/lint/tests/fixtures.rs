@@ -1,0 +1,164 @@
+//! Fixture suite: one minimal bad + good tree per rule L1–L7, asserted
+//! through the real binary (exit code + `--json` findings) and the
+//! library API, plus the escape-hatch mechanisms (site allow comments
+//! and the `lint.toml` grandfathering file).
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use rte_lint::{check_root, Rule};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+/// Runs the compiled `rte-lint` binary against a fixture root and
+/// returns `(exit_code, stdout)`.
+fn run_binary(root: &Path, json: bool) -> (i32, String) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_rte-lint"));
+    cmd.arg("check").arg("--root").arg(root);
+    if json {
+        cmd.arg("--json");
+    }
+    let out = cmd.output().expect("spawn rte-lint");
+    (
+        out.status.code().expect("exit code"),
+        String::from_utf8(out.stdout).expect("utf8 stdout"),
+    )
+}
+
+/// Asserts the bad tree yields exactly `expected` findings of `rule`
+/// (binary exit 1, `[L#]` in the JSON) and the good tree is clean
+/// (exit 0).
+fn assert_rule(rule: Rule, expected_bad: usize) {
+    let name = rule.code().to_lowercase();
+    let bad = fixture(&format!("{name}/bad"));
+    let good = fixture(&format!("{name}/good"));
+
+    let report = check_root(&bad).expect("scan bad fixture");
+    assert_eq!(
+        report.findings.len(),
+        expected_bad,
+        "{rule} bad fixture findings: {:#?}",
+        report.findings
+    );
+    assert!(
+        report.findings.iter().all(|f| f.rule == rule),
+        "{rule} bad fixture has off-rule findings: {:#?}",
+        report.findings
+    );
+
+    let (code, json) = run_binary(&bad, true);
+    assert_eq!(code, 1, "{rule} bad fixture must exit 1");
+    assert!(
+        json.contains(&format!("\"rule\": \"{rule}\"")),
+        "{rule} missing from JSON: {json}"
+    );
+    assert!(
+        json.contains(&format!("\"count\": {expected_bad}")),
+        "{json}"
+    );
+
+    let report = check_root(&good).expect("scan good fixture");
+    assert_eq!(
+        report.findings.len(),
+        0,
+        "{rule} good fixture must be clean: {:#?}",
+        report.findings
+    );
+    let (code, _) = run_binary(&good, false);
+    assert_eq!(code, 0, "{rule} good fixture must exit 0");
+}
+
+#[test]
+fn l1_unsafe_annotation_and_allowlist() {
+    assert_rule(Rule::L1, 2);
+    // Both failure modes are distinct: one out-of-allowlist file, one
+    // missing SAFETY comment inside the allowlisted file.
+    let report = check_root(&fixture("l1/bad")).unwrap();
+    assert!(report.findings.iter().any(|f| f.file == "src/lib.rs"));
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.file == "crates/tensor/src/simd.rs"));
+}
+
+#[test]
+fn l2_hash_iteration() {
+    assert_rule(Rule::L2, 2);
+}
+
+#[test]
+fn l3_env_reads() {
+    assert_rule(Rule::L3, 1);
+}
+
+#[test]
+fn l4_wall_clock() {
+    assert_rule(Rule::L4, 3);
+}
+
+#[test]
+fn l5_thread_creation() {
+    assert_rule(Rule::L5, 1);
+}
+
+#[test]
+fn l6_fma_contraction() {
+    assert_rule(Rule::L6, 1);
+}
+
+#[test]
+fn l7_kernel_coverage_tripwire() {
+    assert_rule(Rule::L7, 1);
+    let report = check_root(&fixture("l7/bad")).unwrap();
+    assert!(
+        report.findings[0].message.contains("frobnicate_with"),
+        "{:?}",
+        report.findings[0]
+    );
+}
+
+#[test]
+fn allow_comment_requires_reason() {
+    // A reasoned site comment and a lint.toml entry both suppress; a
+    // reason-less comment suppresses nothing and is itself reported.
+    let report = check_root(&fixture("allow/good")).unwrap();
+    assert_eq!(report.findings.len(), 0, "{:#?}", report.findings);
+    assert_eq!(report.allowlist_entries, 1);
+
+    let report = check_root(&fixture("allow/bad")).unwrap();
+    assert_eq!(report.findings.len(), 1, "{:#?}", report.findings);
+    assert!(
+        report.findings[0].message.contains("mandatory"),
+        "{:?}",
+        report.findings[0]
+    );
+    let (code, _) = run_binary(&fixture("allow/bad"), false);
+    assert_eq!(code, 1);
+}
+
+#[test]
+fn human_output_format_is_file_line_rule() {
+    let (_, stdout) = run_binary(&fixture("l6/bad"), false);
+    let first = stdout.lines().next().expect("one finding line");
+    assert!(
+        first.starts_with("src/lib.rs:3: [L6] "),
+        "unexpected finding format: {first}"
+    );
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    let out = Command::new(env!("CARGO_BIN_EXE_rte-lint"))
+        .arg("frobnicate")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = Command::new(env!("CARGO_BIN_EXE_rte-lint"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -39,6 +39,10 @@
 //! # Ok::<(), rte_metrics::MetricsError>(())
 //! ```
 
+// Pure safe Rust; all workspace `unsafe` lives in `rte_tensor::simd`
+// (rte-lint rule L1 enforces this).
+#![forbid(unsafe_code)]
+
 mod average_precision;
 mod confusion;
 mod histogram;

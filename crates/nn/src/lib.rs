@@ -32,6 +32,10 @@
 //! # Ok::<(), rte_nn::NnError>(())
 //! ```
 
+// Pure safe Rust; all workspace `unsafe` lives in `rte_tensor::simd`
+// (rte-lint rule L1 enforces this).
+#![forbid(unsafe_code)]
+
 mod activation;
 mod batchnorm;
 mod conv2d;

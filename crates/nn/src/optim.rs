@@ -3,13 +3,18 @@
 //! The paper trains with Adam (lr 2e-4) plus an L2 regularization strength
 //! of 1e-5; both Adam and plain SGD (with momentum) are provided. Optimizer
 //! state is keyed by parameter path so it survives parameter re-loading
-//! during federated rounds.
+//! during federated rounds. The state maps are `BTreeMap`, not `HashMap`:
+//! updates are applied in `visit_params` order regardless, but any code
+//! that ever *iterates* the state (serialization, federated state sync,
+//! debugging dumps) must see the same lexicographic order on every run
+//! and platform — `rte-lint` rule L2 enforces the discipline
+//! workspace-wide.
 //!
 //! The per-parameter update sweeps are fused kernels on the
 //! process-global [`rte_tensor::simd`] arm — every arithmetic op is
 //! IEEE-exact, so the update is bit-identical on every arm.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rte_tensor::simd;
 use rte_tensor::Tensor;
@@ -36,7 +41,7 @@ pub struct Sgd {
     lr: f32,
     momentum: f32,
     weight_decay: f32,
-    velocity: HashMap<String, Tensor>,
+    velocity: BTreeMap<String, Tensor>,
 }
 
 impl Sgd {
@@ -52,7 +57,7 @@ impl Sgd {
             lr,
             momentum,
             weight_decay,
-            velocity: HashMap::new(),
+            velocity: BTreeMap::new(),
         }
     }
 }
@@ -128,8 +133,8 @@ pub struct Adam {
     eps: f32,
     weight_decay: f32,
     t: u64,
-    first: HashMap<String, Tensor>,
-    second: HashMap<String, Tensor>,
+    first: BTreeMap<String, Tensor>,
+    second: BTreeMap<String, Tensor>,
 }
 
 impl Adam {
@@ -148,8 +153,8 @@ impl Adam {
             eps: 1e-8,
             weight_decay,
             t: 0,
-            first: HashMap::new(),
-            second: HashMap::new(),
+            first: BTreeMap::new(),
+            second: BTreeMap::new(),
         }
     }
 
@@ -294,6 +299,46 @@ mod tests {
         opt.reset_state();
         assert!(opt.first.is_empty());
         assert_eq!(opt.t, 0);
+    }
+
+    #[test]
+    fn optimizer_state_order_is_deterministic_and_bitwise_stable() {
+        // Two independent runs from identical seeds must produce
+        // bitwise-identical parameters, state keys, and moment tensors,
+        // and the state must iterate in lexicographic key order — the
+        // reason the moment maps are `BTreeMap`: anything that walks
+        // them (state sync, serialization) sees one order everywhere.
+        let run = || {
+            let mut net = tiny_model(11);
+            let mut opt = Adam::new(2e-4, 1e-5);
+            let mut rng = Xoshiro256::seed_from(13);
+            let x = Tensor::from_fn(&[2, 1, 5, 5], |_| rng.normal());
+            let t = x.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+            for _ in 0..5 {
+                train_step(&mut net, &mut opt, &x, &t);
+            }
+            let mut params: Vec<(String, Vec<u32>)> = Vec::new();
+            net.visit_params("", &mut |name, p| {
+                params.push((name, p.value.data().iter().map(|v| v.to_bits()).collect()));
+            });
+            let keys: Vec<String> = opt.first.keys().cloned().collect();
+            let moments: Vec<Vec<u32>> = opt
+                .first
+                .values()
+                .chain(opt.second.values())
+                .map(|t| t.data().iter().map(|v| v.to_bits()).collect())
+                .collect();
+            (params, keys, moments)
+        };
+        let (p1, k1, m1) = run();
+        let (p2, k2, m2) = run();
+        assert_eq!(p1, p2, "parameters must be bitwise identical across runs");
+        assert_eq!(k2, k1);
+        assert_eq!(m1, m2, "moment state must be bitwise identical across runs");
+        let mut sorted = k1.clone();
+        sorted.sort();
+        assert_eq!(k1, sorted, "state iteration must be lexicographic");
+        assert!(!k1.is_empty());
     }
 
     #[test]

@@ -32,6 +32,7 @@
 
 pub mod conv;
 pub mod init;
+pub mod knobs;
 pub mod linalg;
 pub mod parallel;
 pub mod rng;

@@ -88,9 +88,9 @@ impl Parallelism {
     /// silently fall back to a different thread count — the same policy
     /// [`crate::simd::SimdBackend::from_env`] applies to `RTE_SIMD`.
     pub fn from_env() -> Self {
-        match std::env::var("RTE_THREADS") {
-            Ok(v) => Self::parse(&v),
-            Err(_) => Parallelism::auto(),
+        match crate::knobs::raw("RTE_THREADS") {
+            Some(v) => Self::parse(&v),
+            None => Parallelism::auto(),
         }
     }
 

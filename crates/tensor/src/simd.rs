@@ -105,9 +105,9 @@ impl SimdBackend {
     /// be honored must not silently degrade to a different arm, because
     /// the caller asked for a specific arm's wall-clock.
     pub fn from_env() -> SimdBackend {
-        match std::env::var("RTE_SIMD") {
-            Ok(v) => Self::parse(&v),
-            Err(_) => SimdBackend::detect(),
+        match crate::knobs::raw("RTE_SIMD") {
+            Some(v) => Self::parse(&v),
+            None => SimdBackend::detect(),
         }
     }
 
@@ -1075,6 +1075,15 @@ mod avx2 {
     /// zero-seeded tile followed by `out += tile` would re-associate the
     /// chain and split the arms bitwise. Padded rows/columns accumulate
     /// on zeros and are discarded at the store.
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX2 (the [`dispatch!`] invariant, upheld by
+    /// [`gemm`]), and the panel/tile geometry must be the one `gemm`
+    /// computes: `a_panel`/`b_panel` hold `pc` packed `MR`/`NR`-wide
+    /// rows and `out` is the full `…×n` output with `i0 + iw <= m`,
+    /// `j0 + jw <= n` — every 8-lane load/store below stays in bounds
+    /// under exactly those inequalities.
     #[target_feature(enable = "avx2")]
     unsafe fn micro_kernel(
         a_panel: &[f32],
@@ -1135,6 +1144,13 @@ mod avx2 {
     /// its `k` products in strictly ascending order (one uninterrupted
     /// chain — no k-tiling here), so this path is bit-identical to the
     /// packed path and the scalar arm.
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX2 (the [`dispatch!`] invariant, upheld by
+    /// [`gemm`]), and the slices must match the stated geometry (`a` is
+    /// `m×k` or `k×m` per `trans_a`, `b` is `k×n`, `out` is `m×n`) —
+    /// the loop bounds keep every 8/16-lane load/store inside them.
     #[target_feature(enable = "avx2")]
     unsafe fn gemm_direct(
         a: &[f32],
@@ -1216,6 +1232,11 @@ mod avx2 {
 
     /// Spills an 8-lane accumulator register to the lane array the
     /// scalar tail/reduction code operates on.
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX2 (the [`dispatch!`] invariant); the
+    /// store itself targets a local array of exactly [`LANES`] floats.
     #[target_feature(enable = "avx2")]
     unsafe fn spill(acc: __m256) -> [f32; LANES] {
         let mut lanes = [0.0f32; LANES];
@@ -1223,6 +1244,16 @@ mod avx2 {
         lanes
     }
 
+    /// `out += A @ Bᵀ` (`A` is `m×k`, `B` is `n×k`, both row-major):
+    /// batched 8-lane dot products, four B rows per A-row load, with
+    /// the shared scalar tail folded into the lane array before the
+    /// fixed-order [`reduce8`] — bit-identical to the scalar arm.
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX2 (the [`dispatch!`] invariant) and the
+    /// slices must match the stated `m`/`k`/`n` geometry, which keeps
+    /// every 8-lane load inside its row slice.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn matmul_nt_acc(
         a: &[f32],
@@ -1269,6 +1300,12 @@ mod avx2 {
     }
 
     /// Single 8-lane dot product (vector body + shared scalar tail).
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX2 (the [`dispatch!`] invariant) and `b`
+    /// must be at least as long as `a` (the vector body reads both at
+    /// the same offsets, bounded by `a.len()`).
     #[target_feature(enable = "avx2")]
     unsafe fn dot_lanes(a: &[f32], b: &[f32]) -> f32 {
         let kb = a.len() / LANES * LANES;
@@ -1285,6 +1322,13 @@ mod avx2 {
         reduce8(&lanes)
     }
 
+    /// Lane-ordered sum: 8-lane strided partials, scalar tail folded
+    /// into the lanes, then the fixed-order [`reduce8`] tree.
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX2 (the [`dispatch!`] invariant); all
+    /// loads are bounded by `x.len()`.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn sum(x: &[f32]) -> f32 {
         let kb = x.len() / LANES * LANES;
@@ -1299,6 +1343,14 @@ mod avx2 {
         reduce8(&lanes)
     }
 
+    /// `y += alpha * x`, elementwise (no cross-lane reduction, so
+    /// vectorization is trivially bit-neutral).
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX2 (the [`dispatch!`] invariant) and `y`
+    /// must be at least as long as `x` (loads/stores are bounded by
+    /// `x.len()`).
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
         let full = x.len() / LANES * LANES;
@@ -1318,6 +1370,12 @@ mod avx2 {
         }
     }
 
+    /// `x *= alpha`, elementwise.
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX2 (the [`dispatch!`] invariant); all
+    /// loads/stores are bounded by `x.len()`.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn scale(alpha: f32, x: &mut [f32]) {
         let full = x.len() / LANES * LANES;
@@ -1333,6 +1391,15 @@ mod avx2 {
         }
     }
 
+    /// SGD update `value -= lr * (grad + wd * value)`, elementwise,
+    /// op-for-op the scalar [`sgd_lane`] (weight decay folded first,
+    /// separate mul/add — never contracted).
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX2 (the [`dispatch!`] invariant) and
+    /// `grad` must be at least as long as `value` (loads/stores are
+    /// bounded by `value.len()`).
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn sgd_step(value: &mut [f32], grad: &[f32], lr: f32, wd: f32) {
         let full = value.len() / LANES * LANES;
@@ -1357,6 +1424,15 @@ mod avx2 {
         }
     }
 
+    /// Adam update, elementwise, op-for-op the scalar [`adam_lane`]
+    /// (same moment/bias-correction expression tree, separate mul/add —
+    /// never contracted).
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX2 (the [`dispatch!`] invariant) and
+    /// `m`/`v`/`grad` must each be at least as long as `value`
+    /// (loads/stores are bounded by `value.len()`).
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn adam_step(
         value: &mut [f32],
@@ -1405,6 +1481,13 @@ mod avx2 {
         }
     }
 
+    /// In-place ReLU via a compare-and-mask (`max` would lose the
+    /// scalar arm's `-0.0`/NaN semantics).
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX2 (the [`dispatch!`] invariant); all
+    /// loads/stores are bounded by `x.len()`.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn relu(x: &mut [f32]) {
         let full = x.len() / LANES * LANES;
@@ -1421,6 +1504,14 @@ mod avx2 {
         }
     }
 
+    /// ReLU backward: zeroes `dy` lanes where the forward input was
+    /// not strictly positive, via the same compare-and-mask as [`relu`].
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX2 (the [`dispatch!`] invariant) and `dy`
+    /// must be at least as long as `x` (loads/stores are bounded by
+    /// `x.len()`).
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn relu_backward(dy: &mut [f32], x: &[f32]) {
         let full = x.len() / LANES * LANES;
@@ -1441,6 +1532,11 @@ mod avx2 {
     /// 8-wide transcription of [`exp_lane`] — op for op, including the
     /// clamp semantics (`vminps`/`vmaxps`) and the magic-number round —
     /// with NaN lanes of the input blended back at the end.
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX2 (the [`dispatch!`] invariant); the
+    /// body is pure register arithmetic, no memory access.
     #[target_feature(enable = "avx2")]
     unsafe fn exp_ps(x: __m256) -> __m256 {
         let xc = _mm256_max_ps(
@@ -1475,6 +1571,13 @@ mod avx2 {
         _mm256_blendv_ps(result, x, nan_mask)
     }
 
+    /// In-place sigmoid `1 / (1 + exp(-x))` over [`exp_ps`], matching
+    /// the scalar [`sigmoid_lane`] op for op.
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX2 (the [`dispatch!`] invariant); all
+    /// loads/stores are bounded by `x.len()`.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn sigmoid(x: &mut [f32]) {
         let full = x.len() / LANES * LANES;
@@ -1495,6 +1598,14 @@ mod avx2 {
         }
     }
 
+    /// Sigmoid backward `dy *= y * (1 - y)` from the forward output,
+    /// elementwise, matching the scalar [`sigmoid_backward_lane`].
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX2 (the [`dispatch!`] invariant) and `dy`
+    /// must be at least as long as `y` (loads/stores are bounded by
+    /// `y.len()`).
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn sigmoid_backward(dy: &mut [f32], y: &[f32]) {
         let full = y.len() / LANES * LANES;

@@ -13,6 +13,9 @@
 //! the real crate via `[workspace.dependencies]` when the registry is
 //! reachable; the benches compile unchanged.
 
+// The vendored stand-in is pure safe Rust (unlike the upstream crate).
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;

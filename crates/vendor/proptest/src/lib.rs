@@ -20,6 +20,9 @@
 //! for the real one in `[workspace.dependencies]` if the registry becomes
 //! reachable; the tests compile unchanged.
 
+// The vendored stand-in is pure safe Rust (unlike the upstream crate).
+#![forbid(unsafe_code)]
+
 use std::ops::Range;
 
 /// Runner configuration. Only `cases` is honored.

@@ -20,6 +20,10 @@
 //! assert!(flnet.param_count() > 0);
 //! ```
 
+// The umbrella crate is pure safe Rust; all `unsafe` in the workspace
+// lives in `rte_tensor::simd` (rte-lint rule L1 enforces this).
+#![forbid(unsafe_code)]
+
 pub use rte_core as core;
 pub use rte_eda as eda;
 pub use rte_fed as fed;

@@ -20,6 +20,7 @@
 pub mod reference;
 
 use rte_core::ExperimentConfig;
+use rte_eda::corpus::UniverseConfig;
 use rte_fed::MethodOutcome;
 
 /// Command-line options shared by the harness binaries.
@@ -47,6 +48,18 @@ pub struct BenchArgs {
     pub corpus_dir: Option<std::path::PathBuf>,
     /// Samples per streamed chunk (only meaningful with `--corpus-dir`).
     pub stream_chunk: Option<usize>,
+    /// Serve shards through the memory-mapped zero-copy backend (only
+    /// meaningful with `--corpus-dir`). Results are bit-identical.
+    pub mmap: bool,
+    /// Compact shard files with the delta+bitpack chunk codec before
+    /// training (only meaningful with `--corpus-dir`; incompatible with
+    /// `--mmap`). Results are bit-identical.
+    pub compress_shards: bool,
+    /// Train a synthesized client universe of this size instead of the
+    /// Table 2 fleet.
+    pub clients: Option<usize>,
+    /// Design pool size for `--clients` (default `4 × clients`).
+    pub designs: Option<usize>,
 }
 
 impl BenchArgs {
@@ -66,6 +79,10 @@ impl BenchArgs {
             threads: None,
             corpus_dir: None,
             stream_chunk: None,
+            mmap: false,
+            compress_shards: false,
+            clients: None,
+            designs: None,
         };
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
@@ -100,7 +117,32 @@ impl BenchArgs {
                     }
                     out.stream_chunk = Some(chunk);
                 }
+                "--mmap" => out.mmap = true,
+                "--compress-shards" => out.compress_shards = true,
+                "--clients" => {
+                    let v = it.next().ok_or("--clients needs a value")?;
+                    let n: usize = v.parse().map_err(|_| format!("bad client count {v}"))?;
+                    if n == 0 {
+                        return Err("--clients must be positive".into());
+                    }
+                    out.clients = Some(n);
+                }
+                "--designs" => {
+                    let v = it.next().ok_or("--designs needs a value")?;
+                    out.designs = Some(v.parse().map_err(|_| format!("bad design count {v}"))?);
+                }
                 other => return Err(format!("unknown flag {other}")),
+            }
+        }
+        if out.mmap && out.compress_shards {
+            return Err("--mmap cannot read compressed shards; drop one of the flags".into());
+        }
+        if out.designs.is_some() && out.clients.is_none() {
+            return Err("--designs only makes sense together with --clients".into());
+        }
+        if let (Some(c), Some(d)) = (out.clients, out.designs) {
+            if d < 2 * c {
+                return Err(format!("--designs {d} is too small: need at least 2 × {c}"));
             }
         }
         Ok(out)
@@ -114,7 +156,8 @@ impl BenchArgs {
                 eprintln!("error: {e}");
                 eprintln!(
                     "usage: [--paper-scale] [--quick] [--seed N] [--rounds N] [--data-scale F] \
-                     [--threads N] [--corpus-dir PATH] [--stream-chunk N]"
+                     [--threads N] [--corpus-dir PATH] [--stream-chunk N] [--mmap] \
+                     [--compress-shards] [--clients N] [--designs D]"
                 );
                 std::process::exit(2);
             }
@@ -156,6 +199,16 @@ impl BenchArgs {
         }
         if let Some(chunk) = self.stream_chunk {
             config = config.with_stream_chunk(chunk);
+        }
+        if self.mmap {
+            config = config.with_shard_backend(rte_core::ShardBackend::Mmap);
+        }
+        if self.compress_shards {
+            config = config.with_compressed_shards();
+        }
+        if let Some(clients) = self.clients {
+            let designs = self.designs.unwrap_or(4 * clients);
+            config = config.with_population(UniverseConfig::new(clients, designs));
         }
         config
     }
@@ -352,6 +405,41 @@ mod tests {
         assert!(args(&["--stream-chunk"]).is_err());
         assert!(args(&["--stream-chunk", "0"]).is_err());
         assert!(args(&["--stream-chunk", "x"]).is_err());
+    }
+
+    #[test]
+    fn corpus_scale_flags_plumb_into_config() {
+        let a = args(&["--quick", "--mmap", "--clients", "100", "--designs", "400"]).unwrap();
+        assert!(a.mmap);
+        assert_eq!(a.clients, Some(100));
+        assert_eq!(a.designs, Some(400));
+        let c = a.experiment_config();
+        assert_eq!(c.shard_backend, rte_core::ShardBackend::Mmap);
+        let universe = c.population.expect("population set");
+        assert_eq!((universe.clients, universe.designs), (100, 400));
+        // --designs defaults to 4 × clients.
+        let c = args(&["--quick", "--clients", "10"])
+            .unwrap()
+            .experiment_config();
+        assert_eq!(c.population.expect("population").designs, 40);
+        // Compression plumbs through; default keeps raw shards.
+        let c = args(&["--quick", "--compress-shards"])
+            .unwrap()
+            .experiment_config();
+        assert!(c.compress_shards);
+        assert!(
+            !args(&["--quick"])
+                .unwrap()
+                .experiment_config()
+                .compress_shards
+        );
+        // Contradictory or malformed combinations are rejected loudly.
+        assert!(args(&["--mmap", "--compress-shards"]).is_err());
+        assert!(args(&["--designs", "40"]).is_err());
+        assert!(args(&["--clients", "0"]).is_err());
+        assert!(args(&["--clients", "10", "--designs", "5"]).is_err());
+        assert!(args(&["--clients"]).is_err());
+        assert!(args(&["--clients", "x"]).is_err());
     }
 
     #[test]

@@ -3,13 +3,20 @@
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use rte_eda::corpus::{generate_corpus_with, Corpus, CorpusConfig};
+use rte_eda::corpus::{
+    generate_corpus_for_specs_with, universe_specs, ClientSpec, Corpus, CorpusConfig,
+    UniverseConfig, PAPER_CLIENTS,
+};
 use rte_eda::features::FEATURE_CHANNELS;
-use rte_eda::shard::{CorpusReader, CorpusWriter, ShardReader, DEFAULT_CHUNK, SHARD_EXTENSION};
+use rte_eda::mmap::MmapShardReader;
+use rte_eda::shard::{
+    compact_dir, CorpusReader, CorpusWriter, ShardReader, DEFAULT_CHUNK, DEFAULT_COMPRESS_CHUNK,
+    SHARD_EXTENSION,
+};
 use rte_fed::stream::RecordSource;
 use rte_fed::{
-    methods, Client, ClientSet, FedConfig, FedError, Method, MethodOutcome, ModelFactory,
-    Parallelism, StreamingClientSet,
+    methods, Client, ClientSet, FedConfig, FedError, MappedClientSet, Method, MethodOutcome,
+    ModelFactory, Parallelism, StreamingClientSet,
 };
 use rte_nn::models::{build_model, ModelKind, ModelScale};
 use rte_tensor::rng::Xoshiro256;
@@ -37,6 +44,21 @@ pub struct ExperimentConfig {
     /// peak memory is proportional to this, never to the corpus size. A
     /// pure memory/wall-clock knob — results do not change.
     pub stream_chunk: usize,
+    /// Which reader serves shard files when `corpus_dir` is set. A pure
+    /// wall-clock knob — every backend yields bit-identical outcomes
+    /// (`tests/streaming_determinism.rs`).
+    pub shard_backend: ShardBackend,
+    /// When `true` (and `corpus_dir` is set), shard files are compacted
+    /// in place with the delta+bitpack chunk codec before clients open
+    /// them. The codec round-trips bitwise, so this is a pure disk-size
+    /// knob; incompatible with [`ShardBackend::Mmap`], which needs raw
+    /// fixed-size records.
+    pub compress_shards: bool,
+    /// When set, the experiment trains a synthesized client universe of
+    /// this shape (`--clients N --designs D`) instead of the Table 2
+    /// fleet. Use [`ExperimentConfig::with_population`] so the cluster
+    /// assignment is regenerated to match the population size.
+    pub population: Option<UniverseConfig>,
     /// Federated training hyper-parameters (§5.1).
     pub fed: FedConfig,
     /// Model capacity (paper filter counts vs CPU-scaled).
@@ -53,6 +75,9 @@ impl ExperimentConfig {
             corpus_parallelism: Parallelism::from_env(),
             corpus_dir: None,
             stream_chunk: DEFAULT_CHUNK,
+            shard_backend: ShardBackend::Read,
+            compress_shards: false,
+            population: None,
             fed: FedConfig::paper(),
             model_scale: ModelScale::Paper,
             methods: Method::ALL.to_vec(),
@@ -67,6 +92,9 @@ impl ExperimentConfig {
             corpus_parallelism: Parallelism::from_env(),
             corpus_dir: None,
             stream_chunk: DEFAULT_CHUNK,
+            shard_backend: ShardBackend::Read,
+            compress_shards: false,
+            population: None,
             fed: FedConfig::scaled(),
             model_scale: ModelScale::Scaled,
             methods: Method::ALL.to_vec(),
@@ -108,6 +136,60 @@ impl ExperimentConfig {
         self
     }
 
+    /// Selects the shard reader backend (only meaningful together with
+    /// [`ExperimentConfig::with_corpus_dir`]). A pure wall-clock knob —
+    /// outcomes are bit-identical across backends.
+    #[must_use]
+    pub fn with_shard_backend(mut self, backend: ShardBackend) -> Self {
+        self.shard_backend = backend;
+        self
+    }
+
+    /// Compacts shard files with the chunk codec before clients open
+    /// them (only meaningful together with
+    /// [`ExperimentConfig::with_corpus_dir`]). The codec round-trips
+    /// bitwise, so outcomes do not change — only bytes on disk do.
+    #[must_use]
+    pub fn with_compressed_shards(mut self) -> Self {
+        self.compress_shards = true;
+        self
+    }
+
+    /// Switches the experiment to a synthesized client universe
+    /// (`--clients N --designs D`) and regenerates the cluster
+    /// assignment to cover the population: clusters keep their count
+    /// (capped at the client count) and clients are assigned round-robin
+    /// (`client i → cluster i mod clusters`), which is a partition for
+    /// any population size.
+    #[must_use]
+    pub fn with_population(mut self, universe: UniverseConfig) -> Self {
+        let clusters = self.fed.clusters.clamp(1, universe.clients.max(1));
+        self.fed.clusters = clusters;
+        self.fed.assigned_clusters = (0..clusters)
+            .map(|j| {
+                (0..universe.clients)
+                    .filter(|i| i % clusters == j)
+                    .collect()
+            })
+            .collect();
+        self.population = Some(universe);
+        self
+    }
+
+    /// The client specs this config trains: the synthesized universe
+    /// when [`ExperimentConfig::population`] is set, otherwise the
+    /// paper's Table 2 fleet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Eda`] for an invalid universe shape.
+    pub fn client_specs(&self) -> Result<Vec<ClientSpec>, CoreError> {
+        match &self.population {
+            Some(universe) => Ok(universe_specs(&self.corpus, universe)?),
+            None => Ok(PAPER_CLIENTS.to_vec()),
+        }
+    }
+
     /// Minimal settings for tests.
     pub fn tiny() -> Self {
         let mut fed = FedConfig::tiny();
@@ -120,11 +202,29 @@ impl ExperimentConfig {
             corpus_parallelism: Parallelism::from_env(),
             corpus_dir: None,
             stream_chunk: DEFAULT_CHUNK,
+            shard_backend: ShardBackend::Read,
+            compress_shards: false,
+            population: None,
             fed,
             model_scale: ModelScale::Scaled,
             methods: vec![Method::LocalOnly, Method::FedProx],
         }
     }
+}
+
+/// Which reader serves shard files to out-of-core clients. Both
+/// backends run the same open-time validation and deliver the same
+/// bytes; they differ only in *how* records reach the trainer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardBackend {
+    /// `seek`+`read` through a double-buffered chunk cache (the
+    /// default; works for raw and compressed shards).
+    #[default]
+    Read,
+    /// Memory-mapped zero-copy reads with lazy per-chunk CRC (raw
+    /// shards only — compressed shards have no fixed-size records to
+    /// map).
+    Mmap,
 }
 
 /// Result of one table (one model kind × all requested methods).
@@ -213,6 +313,64 @@ pub fn shard_client_set(reader: ShardReader, chunk: usize) -> Result<ClientSet, 
     )?))
 }
 
+/// [`RecordSource`] over a memory-mapped shard — the zero-copy sibling
+/// of [`ShardSource`]: records decode straight from the mapped pages
+/// (lazy per-chunk CRC on first touch), no seek, no scratch buffer.
+struct MmapShardSource {
+    reader: MmapShardReader,
+}
+
+impl RecordSource for MmapShardSource {
+    fn len(&self) -> usize {
+        self.reader.len()
+    }
+
+    fn geometry(&self) -> (usize, usize, usize) {
+        self.reader.geometry()
+    }
+
+    fn read_into(
+        &self,
+        range: std::ops::Range<usize>,
+        features: &mut Vec<f32>,
+        labels: &mut Vec<f32>,
+    ) -> Result<(), FedError> {
+        self.reader
+            .read_batch_into(range, features, labels)
+            .map_err(|e| FedError::Stream {
+                reason: e.to_string(),
+            })
+    }
+
+    fn descriptor(&self) -> String {
+        self.reader.path().display().to_string()
+    }
+}
+
+/// Wraps one memory-mapped shard as a mapped (cache-less) client split.
+pub fn mmap_shard_client_set(reader: MmapShardReader) -> ClientSet {
+    let source: Arc<dyn RecordSource> = Arc::new(MmapShardSource { reader });
+    ClientSet::mapped(MappedClientSet::new(source))
+}
+
+/// Builds one client split on the configured [`ShardBackend`].
+fn backend_client_set(
+    reader: ShardReader,
+    config: &ExperimentConfig,
+) -> Result<ClientSet, CoreError> {
+    match config.shard_backend {
+        ShardBackend::Read => shard_client_set(reader, config.stream_chunk),
+        ShardBackend::Mmap => {
+            let path = reader.path().to_path_buf();
+            drop(reader); // the mapping replaces the descriptor
+            Ok(mmap_shard_client_set(MmapShardReader::open_with_chunk(
+                path,
+                config.stream_chunk,
+            )?))
+        }
+    }
+}
+
 /// True when `dir` exists and holds at least one shard file.
 fn has_shards(dir: &Path) -> bool {
     std::fs::read_dir(dir)
@@ -244,11 +402,24 @@ pub fn build_streaming_clients(config: &ExperimentConfig) -> Result<Vec<Client>,
         .ok_or_else(|| CoreError::InvalidConfig {
             reason: "build_streaming_clients requires corpus_dir".into(),
         })?;
+    if config.compress_shards && config.shard_backend == ShardBackend::Mmap {
+        return Err(CoreError::InvalidConfig {
+            reason: "compressed shards have no fixed-size records to map; \
+                     use the read backend or drop compression"
+                .into(),
+        });
+    }
+    let specs = config.client_specs()?;
     if !has_shards(dir) {
         CorpusWriter::new(dir)
             .with_chunk(config.stream_chunk)
             .with_parallelism(config.corpus_parallelism)
-            .write(&config.corpus)?;
+            .write_specs(&specs, &config.corpus)?;
+    }
+    if config.compress_shards {
+        // Idempotent: already-compressed shards are skipped, so a reused
+        // directory compacts at most once.
+        compact_dir(dir, DEFAULT_COMPRESS_CHUNK)?;
     }
     // Shard files are present (writes are temp-name + rename, so these
     // are sealed shards, not generation debris) — if they still fail to
@@ -278,18 +449,15 @@ pub fn build_streaming_clients(config: &ExperimentConfig) -> Result<Vec<Client>,
             ),
         });
     }
-    // The streaming path always materializes the full Table 2 fleet; a
+    // The streaming path always materializes the configured fleet; a
     // coherent-but-partial directory (e.g. files deleted by hand) must
     // not silently run the experiment on a subset of clients.
-    let expected: Vec<usize> = rte_eda::corpus::PAPER_CLIENTS
-        .iter()
-        .map(|s| s.index)
-        .collect();
+    let expected: Vec<usize> = specs.iter().map(|s| s.index).collect();
     let found: Vec<usize> = reader.clients().iter().map(|c| c.client_index).collect();
     if found != expected {
         return Err(CoreError::InvalidConfig {
             reason: format!(
-                "corpus dir {} holds clients {found:?} but the Table 2 corpus needs \
+                "corpus dir {} holds clients {found:?} but this experiment needs \
                  {expected:?}; delete the directory to regenerate",
                 dir.display()
             ),
@@ -301,8 +469,8 @@ pub fn build_streaming_clients(config: &ExperimentConfig) -> Result<Vec<Client>,
         .map(|shards| {
             Ok(Client::new(
                 shards.client_index,
-                shard_client_set(shards.train, config.stream_chunk)?,
-                shard_client_set(shards.test, config.stream_chunk)?,
+                backend_client_set(shards.train, config)?,
+                backend_client_set(shards.test, config)?,
             ))
         })
         .collect()
@@ -319,7 +487,11 @@ pub fn build_experiment_clients(config: &ExperimentConfig) -> Result<Vec<Client>
     if config.corpus_dir.is_some() {
         build_streaming_clients(config)
     } else {
-        let corpus = generate_corpus_with(&config.corpus, config.corpus_parallelism)?;
+        let corpus = generate_corpus_for_specs_with(
+            &config.client_specs()?,
+            &config.corpus,
+            config.corpus_parallelism,
+        )?;
         build_clients(&corpus)
     }
 }
@@ -463,6 +635,93 @@ mod tests {
             );
         }
         assert_eq!(streamed_again.len(), streamed.len());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mmap_clients_mirror_read_clients() {
+        let dir = scratch_dir("mmap");
+        let _ = std::fs::remove_dir_all(&dir);
+        let read_config = ExperimentConfig::tiny()
+            .with_corpus_dir(&dir)
+            .with_stream_chunk(3);
+        let mmap_config = read_config.clone().with_shard_backend(ShardBackend::Mmap);
+        let read_clients = build_experiment_clients(&read_config).unwrap();
+        let mapped_clients = build_experiment_clients(&mmap_config).unwrap();
+        assert_eq!(read_clients.len(), mapped_clients.len());
+        for (r, m) in read_clients.iter().zip(&mapped_clients) {
+            assert_eq!(r.id, m.id);
+            assert_eq!(r.weight(), m.weight());
+            assert!(m.train.as_mapped().is_some());
+            // Same bytes behind both backends.
+            assert_eq!(
+                r.test.minibatch_range(0..r.test.len()),
+                m.test.minibatch_range(0..m.test.len())
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compressed_shards_serve_identical_clients() {
+        let dir = scratch_dir("compress");
+        let _ = std::fs::remove_dir_all(&dir);
+        let raw_config = ExperimentConfig::tiny()
+            .with_corpus_dir(&dir)
+            .with_stream_chunk(3);
+        let raw = build_experiment_clients(&raw_config).unwrap();
+        let packed_config = raw_config.clone().with_compressed_shards();
+        let packed = build_experiment_clients(&packed_config).unwrap();
+        for (r, p) in raw.iter().zip(&packed) {
+            assert_eq!(
+                r.test.minibatch_range(0..r.test.len()),
+                p.test.minibatch_range(0..p.test.len())
+            );
+        }
+        // A second compressed build reuses the compacted directory.
+        let again = build_experiment_clients(&packed_config).unwrap();
+        assert_eq!(again.len(), packed.len());
+        // Mmap cannot serve compressed shards: typed error, not a panic.
+        let err =
+            build_experiment_clients(&packed_config.clone().with_shard_backend(ShardBackend::Mmap))
+                .unwrap_err();
+        assert!(err.to_string().contains("compress"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn population_replaces_the_table2_fleet() {
+        let config = ExperimentConfig::tiny().with_population(UniverseConfig::new(5, 12));
+        // Cluster assignment was regenerated to partition the universe.
+        config.fed.validate_assignment(5).unwrap();
+        let specs = config.client_specs().unwrap();
+        assert_eq!(specs.len(), 5);
+        assert_eq!(
+            specs.iter().map(|s| s.index).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4, 5]
+        );
+        let clients = build_experiment_clients(&config).unwrap();
+        assert_eq!(clients.len(), 5);
+        assert!(clients.iter().all(|c| c.weight() >= 1));
+    }
+
+    #[test]
+    fn population_streams_through_shards_identically() {
+        let dir = scratch_dir("universe");
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = ExperimentConfig::tiny().with_population(UniverseConfig::new(3, 7));
+        let in_memory = build_experiment_clients(&config).unwrap();
+        let streamed =
+            build_experiment_clients(&config.clone().with_corpus_dir(&dir).with_stream_chunk(2))
+                .unwrap();
+        assert_eq!(in_memory.len(), streamed.len());
+        for (m, s) in in_memory.iter().zip(&streamed) {
+            assert_eq!(m.id, s.id);
+            assert_eq!(
+                m.test.minibatch_range(0..m.test.len()),
+                s.test.minibatch_range(0..s.test.len())
+            );
+        }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

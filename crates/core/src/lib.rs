@@ -20,7 +20,7 @@
 //! ```
 
 // Pure safe Rust; all workspace `unsafe` lives in `rte_tensor::simd`
-// (rte-lint rule L1 enforces this).
+// and `rte_eda::mmap` (rte-lint rule L1 enforces this).
 #![forbid(unsafe_code)]
 
 mod error;
@@ -29,6 +29,7 @@ pub mod report;
 
 pub use error::CoreError;
 pub use experiment::{
-    build_clients, build_experiment_clients, build_streaming_clients, model_factory,
-    run_method_on_clients, run_table, shard_client_set, ExperimentConfig, TableResult,
+    build_clients, build_experiment_clients, build_streaming_clients, mmap_shard_client_set,
+    model_factory, run_method_on_clients, run_table, shard_client_set, ExperimentConfig,
+    ShardBackend, TableResult,
 };

@@ -26,7 +26,7 @@ use rte_tensor::rng::Xoshiro256;
 use crate::dataset::{generate_sample, Dataset, Sample};
 use crate::netlist::{generate_netlist, Netlist};
 use crate::placement::{GridDims, PlacementConfig};
-use crate::{EdaError, Family};
+use crate::{EdaError, Family, FamilyMix};
 
 /// One row of the paper's Table 2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -478,6 +478,161 @@ pub fn generate_corpus_with(config: &CorpusConfig, par: Parallelism) -> Result<C
     })
 }
 
+/// Generates a corpus for an explicit client list (e.g. a synthesized
+/// universe from [`universe_specs`]) with an explicit thread budget.
+/// Output is byte-identical for every budget, exactly like
+/// [`generate_corpus_with`].
+///
+/// # Errors
+///
+/// [`EdaError::InvalidConfig`] for an empty spec list; otherwise the
+/// same conditions as [`generate_corpus`].
+pub fn generate_corpus_for_specs_with(
+    specs: &[ClientSpec],
+    config: &CorpusConfig,
+    par: Parallelism,
+) -> Result<Corpus, EdaError> {
+    if specs.is_empty() {
+        return Err(EdaError::InvalidConfig {
+            reason: "corpus generation needs at least one client spec".into(),
+        });
+    }
+    let clients = generate_clients_sharded(specs, config, par)?;
+    Ok(Corpus {
+        clients,
+        grid: config.grid,
+    })
+}
+
+/// Settings of a synthesized client universe (the `--clients N
+/// --designs D` scaling mode): how many clients to invent, how many
+/// designs the population shares, and the family mix heterogeneity is
+/// drawn from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniverseConfig {
+    /// Number of clients to synthesize (1-based indices `1..=clients`).
+    pub clients: usize,
+    /// Total designs across the population (train + test, all clients).
+    /// Every client owns at least one train and one test design, so this
+    /// must be at least `2 × clients`.
+    pub designs: usize,
+    /// Family sampling weights — the source of inter-client
+    /// heterogeneity and label skew.
+    pub mix: FamilyMix,
+}
+
+impl UniverseConfig {
+    /// A universe with the paper's family proportions.
+    pub fn new(clients: usize, designs: usize) -> Self {
+        UniverseConfig {
+            clients,
+            designs,
+            mix: FamilyMix::paper(),
+        }
+    }
+}
+
+/// Salt separating the universe-synthesis RNG stream from every
+/// generation stream (clients derive `seed → client → split → design`;
+/// this must never collide with a client index).
+const UNIVERSE_SALT: u64 = 0x5EED_u64 << 32;
+
+/// Synthesizes `universe.clients` client specs from the seeded
+/// heterogeneity model: per-client families drawn from the mix,
+/// design counts skewed by per-client weight draws (largest-remainder
+/// allocation of the shared design pool), ~70/30 train/test splits, and
+/// per-client placement intensities echoing Table 2's spread.
+///
+/// The result is a pure function of `(config.seed, universe)` — every
+/// draw comes from one salted stream consumed in fixed client order —
+/// so the same universe can be regenerated for provenance checks, and
+/// corpora built from it inherit the full determinism contract.
+///
+/// # Errors
+///
+/// [`EdaError::InvalidConfig`] for zero clients, fewer than
+/// `2 × clients` designs, or an unusable mix.
+pub fn universe_specs(
+    config: &CorpusConfig,
+    universe: &UniverseConfig,
+) -> Result<Vec<ClientSpec>, EdaError> {
+    if universe.clients == 0 {
+        return Err(EdaError::InvalidConfig {
+            reason: "universe needs at least one client".into(),
+        });
+    }
+    if universe.designs < 2 * universe.clients {
+        return Err(EdaError::InvalidConfig {
+            reason: format!(
+                "universe of {} clients needs at least {} designs (1 train + 1 test \
+                 each), got {}",
+                universe.clients,
+                2 * universe.clients,
+                universe.designs
+            ),
+        });
+    }
+    if !universe.mix.is_valid() {
+        return Err(EdaError::InvalidConfig {
+            reason: "family mix weights must be finite, non-negative and not all zero".into(),
+        });
+    }
+    let mut stream = Xoshiro256::seed_from(config.seed).derive(UNIVERSE_SALT);
+    // Per-client draws, in fixed client order: family, design-count
+    // weight, placement intensity. One loop = one derivation point.
+    let mut families = Vec::with_capacity(universe.clients);
+    let mut weights = Vec::with_capacity(universe.clients);
+    let mut intensities = Vec::with_capacity(universe.clients);
+    for _ in 0..universe.clients {
+        families.push(universe.mix.sample(stream.uniform_f64()));
+        // Design-count skew: a 3× spread between the lightest and
+        // heaviest clients, echoing Table 2 (3 designs vs 13).
+        weights.push(0.5 + stream.uniform_f64());
+        // Placements per design, echoing Table 2's ~20 (ISPD'15) to
+        // ~115 (ITC'99/ISCAS'89) per-design placement intensities.
+        intensities.push(20 + stream.range_usize(0, 96));
+    }
+    // Largest-remainder allocation of the design pool over the weight
+    // draws, with a floor of 2 designs per client.
+    let floor_total = 2 * universe.clients;
+    let spare = universe.designs - floor_total;
+    let weight_sum: f64 = weights.iter().sum();
+    let quotas: Vec<f64> = weights
+        .iter()
+        .map(|w| spare as f64 * w / weight_sum)
+        .collect();
+    let mut extra: Vec<usize> = quotas.iter().map(|q| q.floor() as usize).collect();
+    let assigned: usize = extra.iter().sum();
+    // Hand the leftovers to the largest fractional parts; ties resolve
+    // to the lower client index (sort_by on the residual only is stable).
+    let mut order: Vec<usize> = (0..universe.clients).collect();
+    order.sort_by(|&a, &b| {
+        let ra = quotas[a] - quotas[a].floor();
+        let rb = quotas[b] - quotas[b].floor();
+        rb.partial_cmp(&ra).expect("finite residuals")
+    });
+    for &i in order.iter().take(spare - assigned) {
+        extra[i] += 1;
+    }
+    let specs = (0..universe.clients)
+        .map(|i| {
+            let designs = 2 + extra[i];
+            // ~30% of designs test, at least one on each side.
+            let test_designs = ((designs as f64 * 0.3).round() as usize).clamp(1, designs - 1);
+            let train_designs = designs - test_designs;
+            ClientSpec {
+                index: i + 1,
+                family: families[i],
+                train_designs,
+                test_designs,
+                train_placements: train_designs * intensities[i],
+                test_placements: test_designs * intensities[i].div_ceil(2),
+            }
+        })
+        .collect();
+    Ok(specs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -586,6 +741,65 @@ mod tests {
             let sharded = generate_client_with(spec, &config, Parallelism::new(threads)).unwrap();
             assert_eq!(serial, sharded, "{threads} threads");
         }
+    }
+
+    #[test]
+    fn universe_specs_are_deterministic_and_well_formed() {
+        let config = CorpusConfig::tiny();
+        let universe = UniverseConfig::new(100, 400);
+        let specs = universe_specs(&config, &universe).unwrap();
+        assert_eq!(specs.len(), 100);
+        assert_eq!(specs, universe_specs(&config, &universe).unwrap());
+        let total: usize = specs.iter().map(|s| s.train_designs + s.test_designs).sum();
+        assert_eq!(total, 400, "design pool fully allocated");
+        for (i, s) in specs.iter().enumerate() {
+            assert_eq!(s.index, i + 1);
+            assert!(s.train_designs >= 1 && s.test_designs >= 1);
+            assert!(s.train_placements >= s.train_designs);
+            assert!(s.test_placements >= s.test_designs);
+        }
+        // Heterogeneity actually materializes: multiple families, spread
+        // design counts.
+        let families: HashSet<Family> = specs.iter().map(|s| s.family).collect();
+        assert!(families.len() >= 3, "{families:?}");
+        let counts: Vec<usize> = specs.iter().map(|s| s.train_designs).collect();
+        assert!(counts.iter().max() > counts.iter().min());
+        // A different seed synthesizes a different universe.
+        let mut other = config;
+        other.seed ^= 1;
+        assert_ne!(specs, universe_specs(&other, &universe).unwrap());
+    }
+
+    #[test]
+    fn universe_specs_validate_inputs() {
+        let config = CorpusConfig::tiny();
+        assert!(universe_specs(&config, &UniverseConfig::new(0, 10)).is_err());
+        assert!(universe_specs(&config, &UniverseConfig::new(6, 11)).is_err());
+        let mut bad = UniverseConfig::new(2, 8);
+        bad.mix = FamilyMix { weights: [0.0; 4] };
+        assert!(universe_specs(&config, &bad).is_err());
+        // The minimal universe (2 designs each) is fine.
+        let specs = universe_specs(&config, &UniverseConfig::new(6, 12)).unwrap();
+        assert!(specs
+            .iter()
+            .all(|s| s.train_designs == 1 && s.test_designs == 1));
+    }
+
+    #[test]
+    fn universe_corpus_generates_end_to_end() {
+        let config = CorpusConfig::tiny();
+        let universe = UniverseConfig::new(5, 12);
+        let specs = universe_specs(&config, &universe).unwrap();
+        let corpus =
+            generate_corpus_for_specs_with(&specs, &config, Parallelism::serial()).unwrap();
+        assert_eq!(corpus.clients.len(), 5);
+        for (c, spec) in corpus.clients.iter().zip(&specs) {
+            assert_eq!(c.spec, *spec);
+            // tiny scale: one placement per design.
+            assert_eq!(c.train.len(), spec.train_designs);
+            assert_eq!(c.test.len(), spec.test_designs);
+        }
+        assert!(generate_corpus_for_specs_with(&[], &config, Parallelism::serial()).is_err());
     }
 
     #[test]

@@ -176,9 +176,87 @@ pub struct FamilyProfile {
     pub pin_weight: f64,
 }
 
+/// Sampling weights over the four benchmark families — the heterogeneity
+/// model behind the synthesized client universe (`--clients N`).
+///
+/// A client universe draws each client's family from one mix; because
+/// family profiles differ in feature *and* label statistics (capacity,
+/// thresholds, direction affinity, label noise), the mix is what induces
+/// both feature heterogeneity and label skew across the population.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FamilyMix {
+    /// Relative weight per family, in [`Family::ALL`] order. Need not be
+    /// normalized; every weight must be finite and non-negative, with a
+    /// positive sum.
+    pub weights: [f64; 4],
+}
+
+impl FamilyMix {
+    /// The Table 2 population mix: 3 ITC'99 clients, 3 ISCAS'89,
+    /// 2 IWLS'05, 1 ISPD'15.
+    pub fn paper() -> Self {
+        FamilyMix {
+            weights: [3.0, 3.0, 2.0, 1.0],
+        }
+    }
+
+    /// Every family equally likely.
+    pub fn uniform() -> Self {
+        FamilyMix { weights: [1.0; 4] }
+    }
+
+    /// True when the weights form a usable distribution.
+    pub fn is_valid(&self) -> bool {
+        self.weights.iter().all(|w| w.is_finite() && *w >= 0.0)
+            && self.weights.iter().sum::<f64>() > 0.0
+    }
+
+    /// Maps a uniform draw `u ∈ [0, 1)` to a family by walking the
+    /// cumulative weights in [`Family::ALL`] order — one fixed mapping,
+    /// so a given RNG stream always yields the same family sequence.
+    pub fn sample(&self, u: f64) -> Family {
+        let total: f64 = self.weights.iter().sum();
+        let mut acc = 0.0;
+        for (family, w) in Family::ALL.iter().zip(self.weights) {
+            acc += w / total;
+            if u < acc {
+                return *family;
+            }
+        }
+        // u == 1.0 - ε rounding: the last family with any weight.
+        *Family::ALL
+            .iter()
+            .zip(self.weights)
+            .filter(|(_, w)| *w > 0.0)
+            .map(|(f, _)| f)
+            .next_back()
+            .expect("is_valid checked by callers")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn family_mix_samples_cover_the_support() {
+        let mix = FamilyMix::paper();
+        assert!(mix.is_valid());
+        assert_eq!(mix.sample(0.0), Family::Itc99);
+        assert_eq!(mix.sample(0.99), Family::Ispd15);
+        // Zero-weight families are never drawn.
+        let skewed = FamilyMix {
+            weights: [0.0, 1.0, 0.0, 0.0],
+        };
+        for u in [0.0, 0.5, 0.999] {
+            assert_eq!(skewed.sample(u), Family::Iscas89);
+        }
+        assert!(!FamilyMix { weights: [0.0; 4] }.is_valid());
+        assert!(!FamilyMix {
+            weights: [1.0, -1.0, 1.0, 1.0]
+        }
+        .is_valid());
+    }
 
     #[test]
     fn profiles_are_distinct() {

@@ -1,0 +1,403 @@
+//! Memory-mapped shard reads: validate the header once at open, CRC
+//! data lazily on first touch, copy nothing until the tensors are built.
+//!
+//! [`MmapShardReader`] is the third data backend (after in-memory
+//! tensors and the `read`-based [`crate::shard::ShardReader`]): the
+//! whole shard file is mapped read-only into the address space, so a
+//! record read is a pointer offset into the page cache instead of a
+//! `seek` + `read` + memcpy into a scratch buffer. Two properties keep
+//! it inside the determinism and hostile-bytes contracts:
+//!
+//! - **One hardened validation path.** Open-time checks (magic,
+//!   version, the header-length cap, header CRC, geometry limits,
+//!   overflow-checked record accounting) are the *same* functions the
+//!   read-based reader uses, so a crafted file is rejected identically
+//!   by both backends.
+//! - **Lazy per-chunk CRC.** Record CRCs are verified on the first
+//!   touch of each `crc_chunk`-record chunk and remembered in a
+//!   `OnceLock`-style atomic bitmap: a bit is set only *after* its
+//!   chunk verified clean, concurrent first touches at worst verify
+//!   twice (idempotent), and subsequent reads skip straight to the
+//!   mapped bytes. A full pass verifies every byte exactly once —
+//!   matching the read path's guarantees at a fraction of the work.
+//!
+//! Reads return bit-identical f32 planes to [`ShardReader`] — the
+//! bytes come from the same file — so the mmap backend is a pure
+//! wall-clock knob under determinism-contract rule 4.
+//!
+//! Compressed (version-2) shards have variable-size frames and cannot
+//! be served zero-copy; [`MmapShardReader::open`] rejects them with a
+//! typed error directing callers at the read backend.
+//!
+//! # Safety
+//!
+//! The workspace denies `unsafe_code`; this module carries a scoped
+//! allow because POSIX `mmap` is inherently a raw-pointer API, and it
+//! is the **only** non-SIMD module on the rte-lint L1 allowlist. The
+//! invariant that makes every `unsafe` here sound: **a [`Mapping`] is
+//! only constructed from a non-`MAP_FAILED` pointer returned by
+//! `mmap(len, PROT_READ, MAP_PRIVATE)` over a successfully opened
+//! read-only file of exactly `len > 0` bytes, the pointer stays valid
+//! until the paired `munmap` in `Drop`, and the mapping is never
+//! written through.** Shard files are treated as immutable once sealed
+//! (the same assumption the read path makes between its size check and
+//! its reads); truncating a mapped shard externally is outside the
+//! contract.
+#![allow(unsafe_code)]
+
+use std::fs::File;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::dataset::Sample;
+use crate::shard::{
+    check_record_crc, decode_record_planes, parse_prelude, validate_header, ShardMeta,
+    DEFAULT_CHUNK, PRELUDE_LEN,
+};
+use crate::{EdaError, ShardError};
+use rte_tensor::Tensor;
+
+/// Hand-declared POSIX bindings (the workspace builds without external
+/// crates, so there is no `libc` to lean on).
+#[cfg(unix)]
+mod sys {
+    use std::os::raw::{c_int, c_void};
+
+    /// `PROT_READ`: pages may be read.
+    pub const PROT_READ: c_int = 1;
+    /// `MAP_PRIVATE`: a private copy-on-write view (we never write).
+    pub const MAP_PRIVATE: c_int = 2;
+    /// The error return of `mmap`.
+    pub const MAP_FAILED: *mut c_void = !0usize as *mut c_void;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+}
+
+/// An owned read-only file mapping; unmapped on drop.
+#[derive(Debug)]
+struct Mapping {
+    ptr: *const u8,
+    len: usize,
+}
+
+// SAFETY: the mapping is read-only (PROT_READ) for its whole lifetime,
+// so shared references to its bytes from any thread are sound; the
+// pointer is not tied to any thread-local state.
+unsafe impl Send for Mapping {}
+// SAFETY: as above — concurrent reads of immutable mapped pages race
+// with nothing.
+unsafe impl Sync for Mapping {}
+
+impl Mapping {
+    #[cfg(unix)]
+    fn map(file: &File, len: usize, path: &Path) -> Result<Mapping, ShardError> {
+        use std::os::unix::io::AsRawFd;
+        // SAFETY: `file` is an open descriptor for the whole call (the
+        // borrow pins it), `len` is the file's real non-zero length,
+        // and PROT_READ/MAP_PRIVATE request a read-only private view —
+        // the call cannot alias Rust-managed memory; a failure returns
+        // MAP_FAILED, which is checked before the pointer is kept.
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr == sys::MAP_FAILED {
+            return Err(ShardError::Io {
+                path: path.display().to_string(),
+                message: format!("mmap of {len} bytes failed"),
+            });
+        }
+        Ok(Mapping {
+            ptr: ptr as *const u8,
+            len,
+        })
+    }
+
+    #[cfg(not(unix))]
+    fn map(_file: &File, _len: usize, path: &Path) -> Result<Mapping, ShardError> {
+        Err(ShardError::Io {
+            path: path.display().to_string(),
+            message: "memory-mapped shard reads are not supported on this platform; \
+                      use the read-based backend"
+                .into(),
+        })
+    }
+
+    fn bytes(&self) -> &[u8] {
+        // SAFETY: `ptr` came from a successful mmap of exactly `len`
+        // bytes (see `map`), stays mapped until Drop, and the pages are
+        // never written through this mapping — so a shared byte slice
+        // of length `len` is valid for the lifetime of `self`.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+impl Drop for Mapping {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        // SAFETY: `ptr`/`len` are exactly the successful mmap's return
+        // and length, unmapped exactly once (Drop runs once, the field
+        // is never rebound).
+        unsafe {
+            sys::munmap(self.ptr as *mut _, self.len);
+        }
+    }
+}
+
+/// Memory-mapped random-access reader over one sealed raw shard file.
+///
+/// Open-time validation is identical to [`crate::shard::ShardReader`];
+/// per-record CRCs are verified lazily, once per chunk, on first touch
+/// (see the module docs). Reads take `&self` and are lock-free, so one
+/// reader can feed any number of worker threads.
+#[derive(Debug)]
+pub struct MmapShardReader {
+    map: Mapping,
+    path: PathBuf,
+    meta: ShardMeta,
+    n_samples: usize,
+    data_offset: usize,
+    record_len: usize,
+    crc_chunk: usize,
+    /// One bit per `crc_chunk`-record chunk; set once the chunk's
+    /// record CRCs verified clean.
+    verified: Vec<AtomicU64>,
+}
+
+impl MmapShardReader {
+    /// Opens and validates a shard file with the default CRC chunk size
+    /// ([`DEFAULT_CHUNK`] records).
+    ///
+    /// # Errors
+    ///
+    /// Every [`crate::shard::ShardReader::open`] error, identically;
+    /// additionally [`EdaError::InvalidConfig`] for compressed shards
+    /// (no fixed-size records to map) and [`ShardError::Io`] if the
+    /// platform cannot map files.
+    pub fn open(path: impl Into<PathBuf>) -> Result<Self, EdaError> {
+        Self::open_with_chunk(path, DEFAULT_CHUNK)
+    }
+
+    /// [`MmapShardReader::open`] with an explicit lazy-CRC chunk size
+    /// (records verified per first touch).
+    ///
+    /// # Errors
+    ///
+    /// As [`MmapShardReader::open`], plus [`EdaError::InvalidConfig`]
+    /// for a zero chunk.
+    pub fn open_with_chunk(path: impl Into<PathBuf>, crc_chunk: usize) -> Result<Self, EdaError> {
+        let path = path.into();
+        let path_str = path.display().to_string();
+        if crc_chunk == 0 {
+            return Err(EdaError::InvalidConfig {
+                reason: "lazy-CRC chunk size must be positive".into(),
+            });
+        }
+        let file = File::open(&path).map_err(|e| ShardError::Io {
+            path: path_str.clone(),
+            message: e.to_string(),
+        })?;
+        let file_len = file
+            .metadata()
+            .map_err(|e| ShardError::Io {
+                path: path_str.clone(),
+                message: e.to_string(),
+            })?
+            .len();
+        if file_len < PRELUDE_LEN as u64 {
+            return Err(ShardError::Truncated {
+                path: path_str,
+                context: "file prelude".into(),
+            }
+            .into());
+        }
+        let map = Mapping::map(&file, file_len as usize, &path)?;
+        drop(file); // The mapping outlives the descriptor.
+        let bytes = map.bytes();
+        let prelude: &[u8; PRELUDE_LEN] = bytes[..PRELUDE_LEN].try_into().expect("length checked");
+        let (version, header_len, header_crc) = parse_prelude(prelude, file_len, &path_str)?;
+        let body = &bytes[PRELUDE_LEN..PRELUDE_LEN + header_len as usize];
+        let header = validate_header(version, body, header_crc, file_len, &path_str)?;
+        if header.compression.is_some() {
+            return Err(EdaError::InvalidConfig {
+                reason: format!(
+                    "{path_str} is a compressed shard; the mmap backend needs raw \
+                     fixed-size records — use the read-based backend"
+                ),
+            });
+        }
+        let n_samples = header.n_samples as usize;
+        let n_chunks = n_samples.div_ceil(crc_chunk);
+        let verified = (0..n_chunks.div_ceil(64))
+            .map(|_| AtomicU64::new(0))
+            .collect();
+        Ok(MmapShardReader {
+            map,
+            path,
+            meta: header.meta,
+            n_samples,
+            data_offset: header.data_offset as usize,
+            record_len: header.record_len as usize,
+            crc_chunk,
+            verified,
+        })
+    }
+
+    /// The provenance header.
+    pub fn meta(&self) -> &ShardMeta {
+        &self.meta
+    }
+
+    /// The shard file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of sample records (always ≥ 1 after a successful open).
+    pub fn len(&self) -> usize {
+        self.n_samples
+    }
+
+    /// Always false: zero-sample shards fail to open.
+    pub fn is_empty(&self) -> bool {
+        self.n_samples == 0
+    }
+
+    /// `(channels, height, width)` of every sample.
+    pub fn geometry(&self) -> (usize, usize, usize) {
+        (
+            self.meta.channels,
+            self.meta.grid.height,
+            self.meta.grid.width,
+        )
+    }
+
+    /// Records covered by one lazy-CRC chunk.
+    pub fn crc_chunk(&self) -> usize {
+        self.crc_chunk
+    }
+
+    /// How many lazy-CRC chunks have been verified so far — the
+    /// observability hook the laziness tests pin.
+    pub fn verified_chunks(&self) -> usize {
+        self.verified
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
+            .sum()
+    }
+
+    /// Zero-copy view of record `index`'s raw bytes in the mapping.
+    fn record_bytes(&self, index: usize) -> &[u8] {
+        let start = self.data_offset + index * self.record_len;
+        &self.map.bytes()[start..start + self.record_len]
+    }
+
+    /// Verifies (once) the CRCs of every chunk overlapping `range`.
+    fn ensure_verified(&self, range: &std::ops::Range<usize>) -> Result<(), EdaError> {
+        let path_str = self.path.display().to_string();
+        for chunk_i in range.start / self.crc_chunk..=(range.end - 1) / self.crc_chunk {
+            let word = &self.verified[chunk_i / 64];
+            let bit = 1u64 << (chunk_i % 64);
+            if word.load(Ordering::Acquire) & bit != 0 {
+                continue;
+            }
+            let lo = chunk_i * self.crc_chunk;
+            let hi = (lo + self.crc_chunk).min(self.n_samples);
+            for index in lo..hi {
+                check_record_crc(self.record_bytes(index), index, &path_str)?;
+            }
+            // Set only after the whole chunk verified clean; a racing
+            // first touch verifies redundantly, never skips.
+            word.fetch_or(bit, Ordering::AcqRel);
+        }
+        Ok(())
+    }
+
+    fn check_range(&self, range: &std::ops::Range<usize>) -> Result<(), EdaError> {
+        if range.start >= range.end || range.end > self.n_samples {
+            return Err(EdaError::InvalidConfig {
+                reason: format!(
+                    "record range {range:?} invalid for shard of {} samples",
+                    self.n_samples
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Reads records `range`, appending their feature and label planes
+    /// (flat row-major f32s, record-major) to the output vectors —
+    /// decoded straight from the mapped pages, bit-identical to
+    /// [`crate::shard::ShardReader::read_batch_into`].
+    ///
+    /// # Errors
+    ///
+    /// [`EdaError::InvalidConfig`] for an empty or out-of-bounds range,
+    /// [`ShardError::CrcMismatch`] / [`ShardError::Corrupt`] for
+    /// damaged records.
+    pub fn read_batch_into(
+        &self,
+        range: std::ops::Range<usize>,
+        features: &mut Vec<f32>,
+        labels: &mut Vec<f32>,
+    ) -> Result<(), EdaError> {
+        self.check_range(&range)?;
+        self.ensure_verified(&range)?;
+        let path_str = self.path.display().to_string();
+        for index in range {
+            decode_record_planes(
+                self.record_bytes(index),
+                &self.meta,
+                index,
+                &path_str,
+                features,
+                labels,
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Reads one record as a full [`Sample`] (design name resolved
+    /// through the header table).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MmapShardReader::read_batch_into`].
+    pub fn read_sample(&self, index: usize) -> Result<Sample, EdaError> {
+        let (c, h, w) = self.geometry();
+        let mut features = Vec::with_capacity(c * h * w);
+        let mut labels = Vec::with_capacity(h * w);
+        self.check_range(&(index..index + 1))?;
+        self.ensure_verified(&(index..index + 1))?;
+        let path_str = self.path.display().to_string();
+        let design_idx = decode_record_planes(
+            self.record_bytes(index),
+            &self.meta,
+            index,
+            &path_str,
+            &mut features,
+            &mut labels,
+        )?;
+        Ok(Sample {
+            features: Tensor::from_vec(features, &[c, h, w])?,
+            label: Tensor::from_vec(labels, &[1, h, w])?,
+            design: self.meta.designs[design_idx].clone(),
+        })
+    }
+}

@@ -46,9 +46,33 @@
 //! is fixed at create time). A shard that was never finished therefore
 //! fails to open with a typed error instead of yielding partial data.
 //!
+//! # Shard file layout (version 2, compressed)
+//!
+//! Version 2 replaces the raw record region with compressed frames; the
+//! header body gains a codec tag (u8) and a records-per-frame count
+//! (u32), and a CRC'd chunk directory maps frames to file offsets:
+//!
+//! ```text
+//! prelude (version = 2) · header body (v1 fields + codec + chunk)
+//! chunk directory: n_frames x comp_len u64, then dir_crc u32
+//! frames: each = delta+bitpacked payload, then frame_crc u32
+//! ```
+//!
+//! Frames hold `chunk` records each (the last may be shorter); the
+//! codec ([`compress_shard`]) is exact, so decompressed record bytes —
+//! per-record CRCs included — are bit-identical to the raw layout.
+//! [`ShardWriter`] always emits version 1; version 2 is produced by
+//! [`compress_shard`] / [`compact_dir`] and read transparently by
+//! [`ShardReader`].
+//!
 //! Every failure mode is a typed [`ShardError`] — truncation, wrong
 //! magic, unknown version, CRC mismatch, zero samples — never a panic;
-//! `crates/eda/tests/shard_format.rs` pins each one.
+//! `crates/eda/tests/shard_format.rs` pins each one. Hostile inputs are
+//! the design center: every length field a reader consumes is bounded
+//! by a documented validation limit ([`MAX_HEADER_LEN`],
+//! [`MAX_GRID_DIM`], [`MAX_CHANNELS`], [`MAX_DESIGNS`],
+//! [`MAX_COMPRESS_CHUNK`]) or by the real on-disk file length *before*
+//! it is used to allocate or do arithmetic.
 
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
@@ -67,8 +91,16 @@ use crate::{EdaError, Family, ShardError};
 /// First eight bytes of every shard file.
 pub const SHARD_MAGIC: [u8; 8] = *b"RTESHRD\0";
 
-/// The shard format version this build reads and writes.
+/// The raw (uncompressed, fixed-size-record) shard format version.
+/// [`ShardWriter`] always writes this version; readers accept it and
+/// [`SHARD_VERSION_COMPRESSED`].
 pub const SHARD_VERSION: u32 = 1;
+
+/// The compressed shard format version: the same header fields plus a
+/// codec tag and frame size, a CRC'd chunk directory, and delta+bitpacked
+/// record frames instead of raw fixed-size records. Produced by
+/// [`compress_shard`] / [`compact_dir`], never by [`ShardWriter`].
+pub const SHARD_VERSION_COMPRESSED: u32 = 2;
 
 /// File extension of shard files (`client03.train.rtes`).
 pub const SHARD_EXTENSION: &str = "rtes";
@@ -78,7 +110,42 @@ pub const SHARD_EXTENSION: &str = "rtes";
 /// enough to amortize the fork/join of one parallel map.
 pub const DEFAULT_CHUNK: usize = 64;
 
-const PRELUDE_LEN: usize = 20;
+/// Default records per compressed frame: large enough for the bitpacker
+/// to amortize its group headers, small enough that decompressing one
+/// frame to serve a minibatch stays cheap.
+pub const DEFAULT_COMPRESS_CHUNK: usize = 256;
+
+// -----------------------------------------------------------------
+// Validation limits — the "never trust a length field" contract.
+//
+// Every size a reader takes from the file is checked against one of
+// these documented caps (or against the real on-disk file length)
+// *before* it is used to allocate, multiply, or divide, so a hostile
+// or damaged shard yields a typed `ShardError` instead of a wrapped
+// size check, a multi-GB allocation, or a panic. The caps are listed
+// in the "validation limits" table of docs/ARCHITECTURE.md.
+// -----------------------------------------------------------------
+
+/// Upper bound on the header body length claimed by the prelude. The
+/// header is ~50 fixed bytes plus the design-name table, so even a
+/// maximal table ([`MAX_DESIGNS`] short names) fits comfortably; the
+/// prelude field is read *before* the header CRC can be checked, so it
+/// must be capped before the header buffer is allocated.
+pub const MAX_HEADER_LEN: u32 = 1 << 20;
+
+/// Upper bound on either gcell grid dimension (the paper uses 16×16).
+pub const MAX_GRID_DIM: usize = 1024;
+
+/// Upper bound on feature channels per sample.
+pub const MAX_CHANNELS: usize = 64;
+
+/// Upper bound on design-table entries per shard.
+pub const MAX_DESIGNS: usize = 65_536;
+
+/// Upper bound on records per compressed frame.
+pub const MAX_COMPRESS_CHUNK: usize = 1 << 20;
+
+pub(crate) const PRELUDE_LEN: usize = 20;
 
 // ---------------------------------------------------------------------
 // CRC-32 (IEEE 802.3, the zlib polynomial), table-driven, no deps.
@@ -247,7 +314,9 @@ pub struct ShardMeta {
 
 impl ShardMeta {
     /// Bytes of one sample record (design index + features + label +
-    /// record CRC).
+    /// record CRC). Cannot overflow for any metadata a reader accepts:
+    /// [`ShardMeta::decode_body`] bounds the geometry by
+    /// [`MAX_GRID_DIM`] / [`MAX_CHANNELS`] first.
     pub fn record_len(&self) -> usize {
         let cells = self.grid.width * self.grid.height;
         4 + (self.channels * cells + cells) * 4 + 4
@@ -283,7 +352,20 @@ impl ShardMeta {
         body
     }
 
-    fn decode_body(bytes: &[u8], path: &str) -> Result<(ShardMeta, u64), ShardError> {
+    /// The version-2 header body: the version-1 fields followed by the
+    /// codec tag and the records-per-frame count.
+    fn encode_body_compressed(&self, n_samples: u64, compression: CompressionInfo) -> Vec<u8> {
+        let mut body = self.encode_body(n_samples);
+        body.push(CODEC_DELTA_BITPACK);
+        put_u32(&mut body, compression.chunk_records as u32);
+        body
+    }
+
+    fn decode_body(
+        bytes: &[u8],
+        path: &str,
+        version: u32,
+    ) -> Result<(ShardMeta, u64, Option<CompressionInfo>), ShardError> {
         let mut c = Cursor {
             bytes,
             pos: 0,
@@ -313,6 +395,29 @@ impl ShardMeta {
                 reason: format!("degenerate geometry {channels}x{height}x{width}"),
             });
         }
+        if width > MAX_GRID_DIM || height > MAX_GRID_DIM || channels > MAX_CHANNELS {
+            return Err(ShardError::Corrupt {
+                path: path.to_owned(),
+                reason: format!(
+                    "geometry {channels}x{height}x{width} exceeds the validation limits \
+                     ({MAX_CHANNELS} channels, {MAX_GRID_DIM}x{MAX_GRID_DIM} grid)"
+                ),
+            });
+        }
+        if n_designs == 0 {
+            return Err(ShardError::Corrupt {
+                path: path.to_owned(),
+                reason: "empty design table".into(),
+            });
+        }
+        if n_designs > MAX_DESIGNS {
+            return Err(ShardError::Corrupt {
+                path: path.to_owned(),
+                reason: format!(
+                    "design table of {n_designs} entries exceeds the {MAX_DESIGNS} limit"
+                ),
+            });
+        }
         let mut designs = Vec::with_capacity(n_designs.min(4096));
         for i in 0..n_designs {
             let len = c.u16("design name length")? as usize;
@@ -323,6 +428,27 @@ impl ShardMeta {
             })?;
             designs.push(name.to_owned());
         }
+        let compression = if version == SHARD_VERSION_COMPRESSED {
+            let codec = c.u8("header codec")?;
+            if codec != CODEC_DELTA_BITPACK {
+                return Err(ShardError::Corrupt {
+                    path: path.to_owned(),
+                    reason: format!("unknown compression codec {codec}"),
+                });
+            }
+            let chunk_records = c.u32("header frame size")? as usize;
+            if chunk_records == 0 || chunk_records > MAX_COMPRESS_CHUNK {
+                return Err(ShardError::Corrupt {
+                    path: path.to_owned(),
+                    reason: format!(
+                        "frame size of {chunk_records} records outside 1..={MAX_COMPRESS_CHUNK}"
+                    ),
+                });
+            }
+            Some(CompressionInfo { chunk_records })
+        } else {
+            None
+        };
         if c.pos != bytes.len() {
             return Err(ShardError::Corrupt {
                 path: path.to_owned(),
@@ -341,19 +467,213 @@ impl ShardMeta {
                 designs,
             },
             n_samples,
+            compression,
         ))
     }
 }
 
-fn encode_file_header(meta: &ShardMeta, n_samples: u64) -> Vec<u8> {
-    let body = meta.encode_body(n_samples);
+/// Compression parameters carried by a version-2 shard header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompressionInfo {
+    /// Records per compressed frame (the final frame may be shorter).
+    pub chunk_records: usize,
+}
+
+/// The only codec tag defined so far: XOR-delta over little-endian u32
+/// words, bitpacked in 32-word groups. Exact by construction — the
+/// decoder reproduces the raw record bytes bit for bit.
+const CODEC_DELTA_BITPACK: u8 = 1;
+
+fn prelude_and_body(version: u32, body: Vec<u8>) -> Vec<u8> {
     let mut out = Vec::with_capacity(PRELUDE_LEN + body.len());
     out.extend_from_slice(&SHARD_MAGIC);
-    put_u32(&mut out, SHARD_VERSION);
+    put_u32(&mut out, version);
     put_u32(&mut out, body.len() as u32);
     put_u32(&mut out, crc32(&body));
     out.extend_from_slice(&body);
     out
+}
+
+fn encode_file_header(meta: &ShardMeta, n_samples: u64) -> Vec<u8> {
+    prelude_and_body(SHARD_VERSION, meta.encode_body(n_samples))
+}
+
+// ---------------------------------------------------------------------
+// Shared open-time validation — one hardened path for the read-based
+// and the memory-mapped readers.
+// ---------------------------------------------------------------------
+
+/// Everything a reader learns from a validated prelude + header body.
+#[derive(Debug)]
+pub(crate) struct ValidatedHeader {
+    pub(crate) meta: ShardMeta,
+    pub(crate) n_samples: u64,
+    /// Bytes per raw record (derived from validated geometry, so the
+    /// arithmetic cannot have wrapped).
+    pub(crate) record_len: u64,
+    /// First byte after the header body: raw records (v1) or the chunk
+    /// directory (v2).
+    pub(crate) data_offset: u64,
+    pub(crate) compression: Option<CompressionInfo>,
+}
+
+/// Validates the fixed 20-byte prelude: magic, supported version, and —
+/// *before anything is allocated from it* — the header-length cap and
+/// its fit inside the real file. Returns `(version, header_len,
+/// header_crc)`.
+pub(crate) fn parse_prelude(
+    prelude: &[u8; PRELUDE_LEN],
+    file_len: u64,
+    path_str: &str,
+) -> Result<(u32, u32, u32), ShardError> {
+    if prelude[..8] != SHARD_MAGIC {
+        return Err(ShardError::WrongMagic {
+            path: path_str.to_owned(),
+        });
+    }
+    let version = u32::from_le_bytes(prelude[8..12].try_into().expect("4 bytes"));
+    if version != SHARD_VERSION && version != SHARD_VERSION_COMPRESSED {
+        return Err(ShardError::UnsupportedVersion {
+            path: path_str.to_owned(),
+            found: version,
+        });
+    }
+    let header_len = u32::from_le_bytes(prelude[12..16].try_into().expect("4 bytes"));
+    let header_crc = u32::from_le_bytes(prelude[16..20].try_into().expect("4 bytes"));
+    // The cap comes first: this field is attacker-controlled until the
+    // header CRC is checked, and the CRC cannot be checked without
+    // first allocating a buffer of this very size.
+    if header_len > MAX_HEADER_LEN {
+        return Err(ShardError::Corrupt {
+            path: path_str.to_owned(),
+            reason: format!("header length {header_len} exceeds the {MAX_HEADER_LEN}-byte limit"),
+        });
+    }
+    if file_len < PRELUDE_LEN as u64 + u64::from(header_len) {
+        return Err(ShardError::Truncated {
+            path: path_str.to_owned(),
+            context: "header body".into(),
+        });
+    }
+    Ok((version, header_len, header_crc))
+}
+
+/// Validates a header body (CRC, decoded fields, geometry limits) and —
+/// for raw shards — the advertised sample count against the real file
+/// length, with overflow-checked arithmetic throughout.
+pub(crate) fn validate_header(
+    version: u32,
+    body: &[u8],
+    header_crc: u32,
+    file_len: u64,
+    path_str: &str,
+) -> Result<ValidatedHeader, ShardError> {
+    if crc32(body) != header_crc {
+        return Err(ShardError::CrcMismatch {
+            path: path_str.to_owned(),
+            what: "header".into(),
+        });
+    }
+    let (meta, n_samples, compression) = ShardMeta::decode_body(body, path_str, version)?;
+    if n_samples == 0 {
+        return Err(ShardError::EmptyShard {
+            path: path_str.to_owned(),
+        });
+    }
+    let record_len = meta.record_len() as u64;
+    let data_offset = PRELUDE_LEN as u64 + body.len() as u64;
+    if compression.is_none() {
+        // Raw layout: the records span the rest of the file exactly.
+        // A huge claimed count must not wrap the multiply into passing
+        // the size check.
+        let expected = n_samples
+            .checked_mul(record_len)
+            .and_then(|bytes| data_offset.checked_add(bytes))
+            .ok_or_else(|| ShardError::Corrupt {
+                path: path_str.to_owned(),
+                reason: format!(
+                    "sample count {n_samples} x record length {record_len} overflows the \
+                     file-size check"
+                ),
+            })?;
+        if file_len < expected {
+            return Err(ShardError::Truncated {
+                path: path_str.to_owned(),
+                context: format!(
+                    "sample records ({} of {n_samples} present)",
+                    (file_len.saturating_sub(data_offset)) / record_len
+                ),
+            });
+        }
+        if file_len > expected {
+            return Err(ShardError::Corrupt {
+                path: path_str.to_owned(),
+                reason: format!(
+                    "{} trailing bytes after the last record",
+                    file_len - expected
+                ),
+            });
+        }
+    }
+    Ok(ValidatedHeader {
+        meta,
+        n_samples,
+        record_len,
+        data_offset,
+        compression,
+    })
+}
+
+/// Verifies one raw record's trailing CRC-32.
+pub(crate) fn check_record_crc(raw: &[u8], index: usize, path_str: &str) -> Result<(), ShardError> {
+    let body_len = raw.len() - 4;
+    let stored = u32::from_le_bytes(raw[body_len..].try_into().expect("4 bytes"));
+    if crc32(&raw[..body_len]) != stored {
+        return Err(ShardError::CrcMismatch {
+            path: path_str.to_owned(),
+            what: format!("record {index}"),
+        });
+    }
+    Ok(())
+}
+
+/// Decodes one raw record's planes (CRC already checked by the caller):
+/// bounds-checks the design reference, appends the f32 feature and label
+/// planes, and returns the design index.
+pub(crate) fn decode_record_planes(
+    raw: &[u8],
+    meta: &ShardMeta,
+    index: usize,
+    path_str: &str,
+    features: &mut Vec<f32>,
+    labels: &mut Vec<f32>,
+) -> Result<usize, ShardError> {
+    let design_idx = u32::from_le_bytes(raw[..4].try_into().expect("4 bytes")) as usize;
+    if design_idx >= meta.designs.len() {
+        return Err(ShardError::Corrupt {
+            path: path_str.to_owned(),
+            reason: format!(
+                "record {index} references design {design_idx} of {}",
+                meta.designs.len()
+            ),
+        });
+    }
+    let cells = meta.grid.width * meta.grid.height;
+    let f_len = meta.channels * cells;
+    let mut off = 4;
+    for _ in 0..f_len {
+        features.push(f32::from_bits(u32::from_le_bytes(
+            raw[off..off + 4].try_into().expect("4 bytes"),
+        )));
+        off += 4;
+    }
+    for _ in 0..cells {
+        labels.push(f32::from_bits(u32::from_le_bytes(
+            raw[off..off + 4].try_into().expect("4 bytes"),
+        )));
+        off += 4;
+    }
+    Ok(design_idx)
 }
 
 // ---------------------------------------------------------------------
@@ -395,6 +715,22 @@ impl ShardWriter {
         if meta.grid.width == 0 || meta.grid.height == 0 || meta.channels == 0 {
             return Err(EdaError::InvalidConfig {
                 reason: "shard with zero-sized sample geometry".into(),
+            });
+        }
+        if meta.grid.width > MAX_GRID_DIM
+            || meta.grid.height > MAX_GRID_DIM
+            || meta.channels > MAX_CHANNELS
+            || meta.designs.len() > MAX_DESIGNS
+        {
+            return Err(EdaError::InvalidConfig {
+                reason: format!(
+                    "shard geometry {}x{}x{} / {} designs exceeds the format's validation \
+                     limits (readers would reject it)",
+                    meta.channels,
+                    meta.grid.height,
+                    meta.grid.width,
+                    meta.designs.len()
+                ),
             });
         }
         if let Some(name) = meta.designs.iter().find(|n| n.len() > u16::MAX as usize) {
@@ -528,6 +864,10 @@ pub struct ShardReader {
     n_samples: usize,
     data_offset: u64,
     record_len: usize,
+    compression: Option<CompressionInfo>,
+    /// Per-frame `(file offset, compressed payload length)` for
+    /// compressed shards; empty for raw shards.
+    frames: Vec<(u64, usize)>,
 }
 
 impl ShardReader {
@@ -555,70 +895,36 @@ impl ShardReader {
         }
         file.read_exact(&mut prelude)
             .map_err(|e| io_err(&path, &e))?;
-        if prelude[..8] != SHARD_MAGIC {
-            return Err(ShardError::WrongMagic { path: path_str }.into());
-        }
-        let version = u32::from_le_bytes(prelude[8..12].try_into().expect("4 bytes"));
-        if version != SHARD_VERSION {
-            return Err(ShardError::UnsupportedVersion {
-                path: path_str,
-                found: version,
-            }
-            .into());
-        }
-        let header_len = u32::from_le_bytes(prelude[12..16].try_into().expect("4 bytes")) as u64;
-        let header_crc = u32::from_le_bytes(prelude[16..20].try_into().expect("4 bytes"));
-        if file_len < PRELUDE_LEN as u64 + header_len {
-            return Err(ShardError::Truncated {
-                path: path_str,
-                context: "header body".into(),
-            }
-            .into());
-        }
+        let (version, header_len, header_crc) = parse_prelude(&prelude, file_len, &path_str)?;
+        // Allocation is safe here: `parse_prelude` capped `header_len`.
         let mut body = vec![0u8; header_len as usize];
         file.read_exact(&mut body).map_err(|e| io_err(&path, &e))?;
-        if crc32(&body) != header_crc {
-            return Err(ShardError::CrcMismatch {
-                path: path_str,
-                what: "header".into(),
-            }
-            .into());
-        }
-        let (meta, n_samples) = ShardMeta::decode_body(&body, &path_str)?;
-        if n_samples == 0 {
-            return Err(ShardError::EmptyShard { path: path_str }.into());
-        }
-        let record_len = meta.record_len() as u64;
-        let data_offset = PRELUDE_LEN as u64 + header_len;
-        let expected = data_offset + n_samples * record_len;
-        if file_len < expected {
-            return Err(ShardError::Truncated {
-                path: path_str,
-                context: format!(
-                    "sample records ({} of {n_samples} present)",
-                    (file_len.saturating_sub(data_offset)) / record_len
-                ),
-            }
-            .into());
-        }
-        if file_len > expected {
-            return Err(ShardError::Corrupt {
-                path: path_str,
-                reason: format!(
-                    "{} trailing bytes after the last record",
-                    file_len - expected
-                ),
-            }
-            .into());
-        }
+        let header = validate_header(version, &body, header_crc, file_len, &path_str)?;
+        let frames = match header.compression {
+            None => Vec::new(),
+            Some(info) => read_frame_directory(&mut file, &header, info, file_len, &path_str)?,
+        };
         Ok(ShardReader {
             file: Mutex::new(file),
             path,
-            meta,
-            n_samples: n_samples as usize,
-            data_offset,
-            record_len: record_len as usize,
+            meta: header.meta,
+            n_samples: header.n_samples as usize,
+            data_offset: header.data_offset,
+            record_len: header.record_len as usize,
+            compression: header.compression,
+            frames,
         })
+    }
+
+    /// True when the shard stores delta+bitpacked frames (version 2)
+    /// instead of raw fixed-size records.
+    pub fn is_compressed(&self) -> bool {
+        self.compression.is_some()
+    }
+
+    /// The compression parameters, for compressed shards.
+    pub fn compression(&self) -> Option<CompressionInfo> {
+        self.compression
     }
 
     /// The provenance header.
@@ -650,22 +956,68 @@ impl ShardReader {
         )
     }
 
-    /// Reads the raw bytes of records `range` (one seek + one read under
-    /// the file lock, so concurrent readers interleave cleanly).
+    /// Reads the raw bytes of records `range`. Raw shards: one seek +
+    /// one read under the file lock, so concurrent readers interleave
+    /// cleanly. Compressed shards: decompresses the frames the range
+    /// spans and concatenates the covered record bytes (bit-identical
+    /// to the raw layout by codec construction).
     fn read_raw(&self, range: std::ops::Range<usize>) -> Result<Vec<u8>, EdaError> {
-        let mut buf = vec![0u8; (range.end - range.start) * self.record_len];
-        let mut file = self.file.lock().expect("shard file lock poisoned");
-        file.seek(SeekFrom::Start(
-            self.data_offset + (range.start * self.record_len) as u64,
-        ))
-        .map_err(|e| io_err(&self.path, &e))?;
-        file.read_exact(&mut buf).map_err(|e| {
-            EdaError::Shard(ShardError::Truncated {
-                path: self.path.display().to_string(),
-                context: format!("records {}..{}: {e}", range.start, range.end),
-            })
-        })?;
-        Ok(buf)
+        let Some(info) = self.compression else {
+            let mut buf = vec![0u8; (range.end - range.start) * self.record_len];
+            let mut file = self.file.lock().expect("shard file lock poisoned");
+            file.seek(SeekFrom::Start(
+                self.data_offset + (range.start * self.record_len) as u64,
+            ))
+            .map_err(|e| io_err(&self.path, &e))?;
+            file.read_exact(&mut buf).map_err(|e| {
+                EdaError::Shard(ShardError::Truncated {
+                    path: self.path.display().to_string(),
+                    context: format!("records {}..{}: {e}", range.start, range.end),
+                })
+            })?;
+            return Ok(buf);
+        };
+        let chunk = info.chunk_records;
+        let mut out = Vec::with_capacity((range.end - range.start) * self.record_len);
+        for frame_i in range.start / chunk..=(range.end - 1) / chunk {
+            let frame_start = frame_i * chunk;
+            let frame_records = chunk.min(self.n_samples - frame_start);
+            let raw = self.read_frame(frame_i, frame_records)?;
+            let lo = range.start.max(frame_start) - frame_start;
+            let hi = range.end.min(frame_start + frame_records) - frame_start;
+            out.extend_from_slice(&raw[lo * self.record_len..hi * self.record_len]);
+        }
+        Ok(out)
+    }
+
+    /// Reads and decompresses one frame of a compressed shard, verifying
+    /// the frame CRC before the codec touches the payload.
+    fn read_frame(&self, frame_i: usize, frame_records: usize) -> Result<Vec<u8>, EdaError> {
+        let path_str = self.path.display().to_string();
+        let (offset, comp_len) = self.frames[frame_i];
+        let mut buf = vec![0u8; comp_len + 4];
+        {
+            let mut file = self.file.lock().expect("shard file lock poisoned");
+            file.seek(SeekFrom::Start(offset))
+                .map_err(|e| io_err(&self.path, &e))?;
+            file.read_exact(&mut buf).map_err(|e| {
+                EdaError::Shard(ShardError::Truncated {
+                    path: path_str.clone(),
+                    context: format!("compressed frame {frame_i}: {e}"),
+                })
+            })?;
+        }
+        let (payload, crc_bytes) = buf.split_at(comp_len);
+        let stored = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+        if crc32(payload) != stored {
+            return Err(ShardError::CrcMismatch {
+                path: path_str,
+                what: format!("compressed frame {frame_i}"),
+            }
+            .into());
+        }
+        let raw = pack::decompress(payload, frame_records * self.record_len, &path_str)?;
+        Ok(raw)
     }
 
     fn check_range(&self, range: &std::ops::Range<usize>) -> Result<(), EdaError> {
@@ -689,42 +1041,11 @@ impl ShardReader {
         features: &mut Vec<f32>,
         labels: &mut Vec<f32>,
     ) -> Result<usize, EdaError> {
-        let body_len = self.record_len - 4;
-        let stored = u32::from_le_bytes(raw[body_len..].try_into().expect("4 bytes"));
-        if crc32(&raw[..body_len]) != stored {
-            return Err(ShardError::CrcMismatch {
-                path: self.path.display().to_string(),
-                what: format!("record {index}"),
-            }
-            .into());
-        }
-        let design_idx = u32::from_le_bytes(raw[..4].try_into().expect("4 bytes")) as usize;
-        if design_idx >= self.meta.designs.len() {
-            return Err(ShardError::Corrupt {
-                path: self.path.display().to_string(),
-                reason: format!(
-                    "record {index} references design {design_idx} of {}",
-                    self.meta.designs.len()
-                ),
-            }
-            .into());
-        }
-        let cells = self.meta.grid.width * self.meta.grid.height;
-        let f_len = self.meta.channels * cells;
-        let mut off = 4;
-        for _ in 0..f_len {
-            features.push(f32::from_bits(u32::from_le_bytes(
-                raw[off..off + 4].try_into().expect("4 bytes"),
-            )));
-            off += 4;
-        }
-        for _ in 0..cells {
-            labels.push(f32::from_bits(u32::from_le_bytes(
-                raw[off..off + 4].try_into().expect("4 bytes"),
-            )));
-            off += 4;
-        }
-        Ok(design_idx)
+        let path_str = self.path.display().to_string();
+        check_record_crc(raw, index, &path_str)?;
+        Ok(decode_record_planes(
+            raw, &self.meta, index, &path_str, features, labels,
+        )?)
     }
 
     /// Reads records `range`, appending their feature and label planes
@@ -784,6 +1105,373 @@ impl ShardReader {
         let mut samples = self.read_range(index..index + 1)?;
         Ok(samples.pop().expect("one-record range"))
     }
+}
+
+/// Reads and validates a compressed shard's chunk directory, returning
+/// per-frame `(offset, compressed payload length)` pairs. Every size is
+/// bounded by the real file length before it is allocated or summed.
+fn read_frame_directory(
+    file: &mut File,
+    header: &ValidatedHeader,
+    info: CompressionInfo,
+    file_len: u64,
+    path_str: &str,
+) -> Result<Vec<(u64, usize)>, EdaError> {
+    let corrupt = |reason: String| ShardError::Corrupt {
+        path: path_str.to_owned(),
+        reason,
+    };
+    let n_frames = header.n_samples.div_ceil(info.chunk_records as u64);
+    let dir_len = n_frames
+        .checked_mul(8)
+        .and_then(|b| b.checked_add(4))
+        .ok_or_else(|| corrupt("chunk directory size overflows".into()))?;
+    let dir_end = header
+        .data_offset
+        .checked_add(dir_len)
+        .ok_or_else(|| corrupt("chunk directory offset overflows".into()))?;
+    if dir_end > file_len {
+        return Err(ShardError::Truncated {
+            path: path_str.to_owned(),
+            context: "chunk directory".into(),
+        }
+        .into());
+    }
+    // Allocation is safe: `dir_len` fits inside the real file.
+    let mut dir = vec![0u8; dir_len as usize];
+    file.seek(SeekFrom::Start(header.data_offset))
+        .map_err(|e| corrupt(format!("chunk directory seek: {e}")))?;
+    file.read_exact(&mut dir)
+        .map_err(|e| corrupt(format!("chunk directory read: {e}")))?;
+    let (lens, crc_bytes) = dir.split_at(dir.len() - 4);
+    let stored = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+    if crc32(lens) != stored {
+        return Err(ShardError::CrcMismatch {
+            path: path_str.to_owned(),
+            what: "chunk directory".into(),
+        }
+        .into());
+    }
+    let mut frames = Vec::with_capacity(n_frames as usize);
+    let mut offset = dir_end;
+    for (i, entry) in lens.chunks_exact(8).enumerate() {
+        let comp_len = u64::from_le_bytes(entry.try_into().expect("8 bytes"));
+        let end = comp_len
+            .checked_add(4)
+            .and_then(|f| offset.checked_add(f))
+            .ok_or_else(|| corrupt(format!("frame {i} length overflows")))?;
+        if end > file_len {
+            return Err(ShardError::Truncated {
+                path: path_str.to_owned(),
+                context: format!("compressed frame {i}"),
+            }
+            .into());
+        }
+        frames.push((offset, comp_len as usize));
+        offset = end;
+    }
+    if offset != file_len {
+        return Err(corrupt(format!(
+            "{} trailing bytes after the last frame",
+            file_len - offset
+        ))
+        .into());
+    }
+    Ok(frames)
+}
+
+// ---------------------------------------------------------------------
+// The delta+bitpack codec (shard format version 2).
+// ---------------------------------------------------------------------
+
+/// XOR-delta + bitpack codec over little-endian u32 words.
+///
+/// Record bytes are a stream of u32 words (design index, f32 bit
+/// patterns, CRCs — `record_len` is always a multiple of four). Each
+/// word is XORed with its predecessor, then deltas are packed in groups
+/// of 32 at the group's maximum significant width. Neighbouring feature
+/// cells share sign/exponent/high-mantissa bits, so deltas are narrow;
+/// all-zero runs (macro planes, cold label tiles) pack to a single
+/// header byte per group. The transform is exact: decoding reproduces
+/// the input bit for bit, which is what lets compressed shards keep the
+/// byte-identity contract.
+mod pack {
+    use super::ShardError;
+
+    const GROUP: usize = 32;
+
+    fn put_u32(buf: &mut Vec<u8>, v: u32) {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Compresses raw record bytes (length must be a multiple of 4).
+    pub(super) fn compress(raw: &[u8]) -> Vec<u8> {
+        debug_assert_eq!(raw.len() % 4, 0, "records are whole u32 words");
+        let n_words = raw.len() / 4;
+        let mut out = Vec::with_capacity(8 + raw.len() / 2);
+        put_u32(&mut out, n_words as u32);
+        let mut prev = 0u32;
+        let mut deltas = [0u32; GROUP];
+        let mut words = raw
+            .chunks_exact(4)
+            .map(|w| u32::from_le_bytes(w.try_into().expect("4 bytes")));
+        let mut remaining = n_words;
+        while remaining > 0 {
+            let g = remaining.min(GROUP);
+            let mut width = 0u32;
+            for delta in deltas.iter_mut().take(g) {
+                let w = words.next().expect("word count verified");
+                *delta = w ^ prev;
+                prev = w;
+                width = width.max(32 - delta.leading_zeros());
+            }
+            out.push(width as u8);
+            let mut acc = 0u64;
+            let mut nbits = 0u32;
+            for &d in deltas.iter().take(g) {
+                acc |= u64::from(d) << nbits;
+                nbits += width;
+                while nbits >= 8 {
+                    out.push(acc as u8);
+                    acc >>= 8;
+                    nbits -= 8;
+                }
+            }
+            if nbits > 0 {
+                out.push(acc as u8);
+            }
+            remaining -= g;
+        }
+        out
+    }
+
+    /// Decompresses a frame payload back to exactly `raw_len` record
+    /// bytes. Every length field is validated; corrupt payloads yield
+    /// typed errors, never a panic or an oversized allocation.
+    pub(super) fn decompress(
+        payload: &[u8],
+        raw_len: usize,
+        path_str: &str,
+    ) -> Result<Vec<u8>, ShardError> {
+        let corrupt = |reason: String| ShardError::Corrupt {
+            path: path_str.to_owned(),
+            reason,
+        };
+        if payload.len() < 4 {
+            return Err(corrupt(
+                "compressed frame shorter than its word count".into(),
+            ));
+        }
+        let n_words = u32::from_le_bytes(payload[..4].try_into().expect("4 bytes")) as usize;
+        if n_words * 4 != raw_len {
+            return Err(corrupt(format!(
+                "compressed frame advertises {n_words} words, expected {}",
+                raw_len / 4
+            )));
+        }
+        let mut out = Vec::with_capacity(raw_len);
+        let mut pos = 4usize;
+        let mut prev = 0u32;
+        let mut remaining = n_words;
+        while remaining > 0 {
+            let g = remaining.min(GROUP);
+            let width =
+                u32::from(*payload.get(pos).ok_or_else(|| {
+                    corrupt("compressed frame ends inside a group header".into())
+                })?);
+            pos += 1;
+            if width > 32 {
+                return Err(corrupt(format!("group width {width} exceeds 32 bits")));
+            }
+            let packed_len = (g * width as usize).div_ceil(8);
+            let packed = payload
+                .get(pos..pos + packed_len)
+                .ok_or_else(|| corrupt("compressed frame ends inside a group".into()))?;
+            pos += packed_len;
+            let mask = if width == 0 {
+                0
+            } else {
+                u64::MAX >> (64 - width)
+            };
+            let mut acc = 0u64;
+            let mut nbits = 0u32;
+            let mut bytes = packed.iter();
+            for _ in 0..g {
+                while nbits < width {
+                    acc |= u64::from(*bytes.next().expect("packed_len covers the group")) << nbits;
+                    nbits += 8;
+                }
+                let delta = (acc & mask) as u32;
+                acc >>= width;
+                nbits -= width;
+                let word = delta ^ prev;
+                prev = word;
+                out.extend_from_slice(&word.to_le_bytes());
+            }
+            remaining -= g;
+        }
+        if pos != payload.len() {
+            return Err(corrupt(format!(
+                "{} trailing bytes in a compressed frame",
+                payload.len() - pos
+            )));
+        }
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shard compression and directory compaction.
+// ---------------------------------------------------------------------
+
+/// Byte accounting from compressing one shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompressionStats {
+    /// Records in the shard.
+    pub samples: u64,
+    /// Bytes of the raw (version-1) file.
+    pub raw_bytes: u64,
+    /// Bytes of the compressed (version-2) file.
+    pub compressed_bytes: u64,
+}
+
+/// Rewrites a raw shard as a version-2 compressed shard at `dst`,
+/// streaming `chunk_records` records at a time (peak memory is one
+/// frame, not the shard). The decompressed bytes are bit-identical to
+/// the source records, so reads through the compressed shard preserve
+/// the corpus byte-identity contract.
+///
+/// # Errors
+///
+/// [`EdaError::InvalidConfig`] for a zero/oversized frame size or an
+/// already-compressed source; any [`ShardReader::open`] error for the
+/// source; [`ShardError::Io`] on write failures.
+pub fn compress_shard(
+    src: impl AsRef<Path>,
+    dst: impl AsRef<Path>,
+    chunk_records: usize,
+) -> Result<CompressionStats, EdaError> {
+    let dst = dst.as_ref();
+    if chunk_records == 0 || chunk_records > MAX_COMPRESS_CHUNK {
+        return Err(EdaError::InvalidConfig {
+            reason: format!(
+                "compression frame size {chunk_records} outside 1..={MAX_COMPRESS_CHUNK}"
+            ),
+        });
+    }
+    let reader = ShardReader::open(src.as_ref())?;
+    if reader.is_compressed() {
+        return Err(EdaError::InvalidConfig {
+            reason: format!("{} is already compressed", reader.path().display()),
+        });
+    }
+    let raw_bytes = reader.data_offset + (reader.n_samples * reader.record_len) as u64;
+    let info = CompressionInfo { chunk_records };
+    let n_samples = reader.n_samples as u64;
+    let n_frames = reader.n_samples.div_ceil(chunk_records);
+    let header = prelude_and_body(
+        SHARD_VERSION_COMPRESSED,
+        reader.meta.encode_body_compressed(n_samples, info),
+    );
+    let file = OpenOptions::new()
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(dst)
+        .map_err(|e| io_err(dst, &e))?;
+    let mut out = BufWriter::new(file);
+    out.write_all(&header).map_err(|e| io_err(dst, &e))?;
+    // Directory placeholder, patched once the frame lengths are known.
+    let dir_offset = header.len() as u64;
+    out.write_all(&vec![0u8; n_frames * 8 + 4])
+        .map_err(|e| io_err(dst, &e))?;
+    let mut frame_lens = Vec::with_capacity(n_frames);
+    for frame_i in 0..n_frames {
+        let start = frame_i * chunk_records;
+        let end = (start + chunk_records).min(reader.n_samples);
+        let raw = reader.read_raw(start..end)?;
+        let payload = pack::compress(&raw);
+        out.write_all(&payload).map_err(|e| io_err(dst, &e))?;
+        out.write_all(&crc32(&payload).to_le_bytes())
+            .map_err(|e| io_err(dst, &e))?;
+        frame_lens.push(payload.len() as u64);
+    }
+    out.flush().map_err(|e| io_err(dst, &e))?;
+    let file = out.get_mut();
+    let compressed_bytes = file.metadata().map_err(|e| io_err(dst, &e))?.len();
+    let mut dir = Vec::with_capacity(n_frames * 8 + 4);
+    for len in &frame_lens {
+        put_u64(&mut dir, *len);
+    }
+    let dir_crc = crc32(&dir);
+    put_u32(&mut dir, dir_crc);
+    file.seek(SeekFrom::Start(dir_offset))
+        .map_err(|e| io_err(dst, &e))?;
+    file.write_all(&dir).map_err(|e| io_err(dst, &e))?;
+    file.sync_all().map_err(|e| io_err(dst, &e))?;
+    Ok(CompressionStats {
+        samples: n_samples,
+        raw_bytes,
+        compressed_bytes,
+    })
+}
+
+/// Result of compacting a shard directory with [`compact_dir`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CompactionSummary {
+    /// Shards rewritten into compressed form.
+    pub compressed: usize,
+    /// Shards that were already compressed and left untouched.
+    pub skipped: usize,
+    /// Raw bytes of the shards before compaction (already-compressed
+    /// shards contribute their current size).
+    pub raw_bytes: u64,
+    /// Bytes on disk after compaction.
+    pub compressed_bytes: u64,
+}
+
+/// Compacts a corpus directory accumulated across generations: every
+/// raw `.rtes` shard is rewritten in place (via a `.tmp` + rename) as a
+/// version-2 compressed shard; already-compressed shards are skipped.
+/// [`CorpusReader::open`] reads the result exactly as before — readers
+/// are version-agnostic.
+///
+/// # Errors
+///
+/// See [`compress_shard`]; directory scan failures surface as
+/// [`ShardError::Io`].
+pub fn compact_dir(
+    dir: impl AsRef<Path>,
+    chunk_records: usize,
+) -> Result<CompactionSummary, EdaError> {
+    let dir = dir.as_ref();
+    let entries = std::fs::read_dir(dir).map_err(|e| io_err(dir, &e))?;
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some(SHARD_EXTENSION))
+        .collect();
+    paths.sort();
+    let mut summary = CompactionSummary::default();
+    for path in paths {
+        let reader = ShardReader::open(&path)?;
+        let file_len = std::fs::metadata(&path)
+            .map_err(|e| io_err(&path, &e))?
+            .len();
+        if reader.is_compressed() {
+            summary.skipped += 1;
+            summary.raw_bytes += file_len;
+            summary.compressed_bytes += file_len;
+            continue;
+        }
+        drop(reader);
+        let tmp = path.with_extension("tmp");
+        let stats = compress_shard(&path, &tmp, chunk_records)?;
+        std::fs::rename(&tmp, &path).map_err(|e| io_err(&tmp, &e))?;
+        summary.compressed += 1;
+        summary.raw_bytes += stats.raw_bytes;
+        summary.compressed_bytes += stats.compressed_bytes;
+    }
+    Ok(summary)
 }
 
 // ---------------------------------------------------------------------
@@ -1181,8 +1869,113 @@ mod tests {
             designs: vec!["alpha".into(), "beta".into()],
         };
         let body = meta.encode_body(42);
-        let (back, n) = ShardMeta::decode_body(&body, "mem").unwrap();
+        let (back, n, compression) = ShardMeta::decode_body(&body, "mem", SHARD_VERSION).unwrap();
         assert_eq!(back, meta);
         assert_eq!(n, 42);
+        assert_eq!(compression, None);
+    }
+
+    #[test]
+    fn compressed_header_round_trips() {
+        let meta = ShardMeta {
+            seed: 5,
+            client_index: 2,
+            split: Split::Train,
+            family: Family::Itc99,
+            grid: GridDims::new(4, 4),
+            channels: 2,
+            placement_scale: 1.0,
+            designs: vec!["d0".into()],
+        };
+        let info = CompressionInfo { chunk_records: 128 };
+        let body = meta.encode_body_compressed(9, info);
+        let (back, n, compression) =
+            ShardMeta::decode_body(&body, "mem", SHARD_VERSION_COMPRESSED).unwrap();
+        assert_eq!(back, meta);
+        assert_eq!(n, 9);
+        assert_eq!(compression, Some(info));
+        // The same bytes under version 1 have trailing fields → Corrupt.
+        let err = ShardMeta::decode_body(&body, "mem", SHARD_VERSION).unwrap_err();
+        assert!(matches!(err, ShardError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn decode_body_rejects_pathological_geometry() {
+        let mut meta = ShardMeta {
+            seed: 1,
+            client_index: 1,
+            split: Split::Train,
+            family: Family::Itc99,
+            grid: GridDims::new(4, 4),
+            channels: 2,
+            placement_scale: 0.0,
+            designs: vec!["d".into()],
+        };
+        meta.grid = GridDims::new(MAX_GRID_DIM + 1, 4);
+        let body = meta.encode_body(1);
+        let err = ShardMeta::decode_body(&body, "mem", SHARD_VERSION).unwrap_err();
+        assert!(matches!(err, ShardError::Corrupt { .. }), "{err}");
+
+        meta.grid = GridDims::new(4, 4);
+        meta.channels = MAX_CHANNELS + 1;
+        let body = meta.encode_body(1);
+        let err = ShardMeta::decode_body(&body, "mem", SHARD_VERSION).unwrap_err();
+        assert!(matches!(err, ShardError::Corrupt { .. }), "{err}");
+
+        meta.channels = 2;
+        meta.designs.clear();
+        let body = meta.encode_body(1);
+        let err = ShardMeta::decode_body(&body, "mem", SHARD_VERSION).unwrap_err();
+        assert!(matches!(err, ShardError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn pack_codec_round_trips_exactly() {
+        // Word patterns exercising all widths: zeros, small deltas, full
+        // 32-bit noise, and a partial final group.
+        let mut raw = Vec::new();
+        for i in 0..133u32 {
+            let word = match i % 4 {
+                0 => 0u32,
+                1 => i,
+                2 => 0xDEAD_BEEF ^ i.rotate_left(13),
+                _ => 1.0f32.to_bits() + i,
+            };
+            raw.extend_from_slice(&word.to_le_bytes());
+        }
+        let payload = pack::compress(&raw);
+        let back = pack::decompress(&payload, raw.len(), "mem").unwrap();
+        assert_eq!(back, raw);
+        // Runs of equal words compress far below raw size.
+        let flat: Vec<u8> = std::iter::repeat(0.5f32.to_bits().to_le_bytes())
+            .take(512)
+            .flatten()
+            .collect();
+        let packed = pack::compress(&flat);
+        assert!(
+            packed.len() * 10 < flat.len(),
+            "{} vs {}",
+            packed.len(),
+            flat.len()
+        );
+        assert_eq!(pack::decompress(&packed, flat.len(), "mem").unwrap(), flat);
+    }
+
+    #[test]
+    fn pack_codec_rejects_hostile_payloads() {
+        let raw: Vec<u8> = (0..64u8).collect();
+        let good = pack::compress(&raw);
+        // Wrong advertised length.
+        assert!(pack::decompress(&good, raw.len() + 4, "mem").is_err());
+        // Truncated payload.
+        assert!(pack::decompress(&good[..good.len() - 1], raw.len(), "mem").is_err());
+        // Oversized group width.
+        let mut bad = good.clone();
+        bad[4] = 33;
+        assert!(pack::decompress(&bad, raw.len(), "mem").is_err());
+        // Trailing garbage.
+        let mut bad = good;
+        bad.push(0);
+        assert!(pack::decompress(&bad, raw.len(), "mem").is_err());
     }
 }

@@ -11,8 +11,11 @@ use proptest::prelude::*;
 
 use rte_eda::corpus::Split;
 use rte_eda::dataset::Sample;
+use rte_eda::mmap::MmapShardReader;
 use rte_eda::placement::GridDims;
-use rte_eda::shard::{CorpusReader, ShardMeta, ShardReader, ShardWriter};
+use rte_eda::shard::{
+    compact_dir, compress_shard, CorpusReader, ShardMeta, ShardReader, ShardWriter,
+};
 use rte_eda::{EdaError, Family, ShardError};
 use rte_tensor::rng::Xoshiro256;
 use rte_tensor::Tensor;
@@ -73,6 +76,44 @@ fn shard_err(result: Result<ShardReader, EdaError>) -> ShardError {
         Err(other) => panic!("expected a ShardError, got {other}"),
         Ok(_) => panic!("expected an error, file opened"),
     }
+}
+
+fn mmap_err(result: Result<MmapShardReader, EdaError>) -> ShardError {
+    match result {
+        Err(EdaError::Shard(e)) => e,
+        Err(other) => panic!("expected a ShardError, got {other}"),
+        Ok(_) => panic!("expected an error, file opened"),
+    }
+}
+
+/// CRC-32 (IEEE), bit-by-bit — the tests forge header CRCs so hostile
+/// *field values* (not CRC damage) reach the validation logic.
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+        }
+    }
+    !crc
+}
+
+/// Mutates the header body through `f`, then re-forges the prelude's
+/// header CRC so the crafted field values pass the integrity check.
+fn patch_header(bytes: &mut [u8], f: impl FnOnce(&mut [u8])) {
+    let header_len = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+    f(&mut bytes[20..20 + header_len]);
+    let crc = crc32(&bytes[20..20 + header_len]);
+    bytes[16..20].copy_from_slice(&crc.to_le_bytes());
+}
+
+fn tensor_bits(t: &Tensor) -> Vec<u32> {
+    t.data().iter().map(|v| v.to_bits()).collect()
 }
 
 #[test]
@@ -368,6 +409,330 @@ proptest! {
             let got_bits: Vec<u32> = got.label.data().iter().map(|v| v.to_bits()).collect();
             let want_bits: Vec<u32> = want.label.data().iter().map(|v| v.to_bits()).collect();
             prop_assert_eq!(got_bits, want_bits);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Hostile-header regressions: crafted field values behind a valid CRC.
+// ---------------------------------------------------------------------
+
+/// A forged sample count of 2^63 wraps `n_samples * record_len` to 0 in
+/// unchecked u64 arithmetic — which would make the crafted header *pass*
+/// the file-size check. Both readers must surface a typed `Corrupt`.
+#[test]
+fn huge_sample_count_cannot_wrap_the_size_check() {
+    let dir = scratch_dir();
+    let path = valid_shard(&dir, 3);
+    let mut bytes = std::fs::read(&path).unwrap();
+    // n_samples lives at header-body offset 34 (after seed, client,
+    // split, family, grid dims, channels, placement scale).
+    patch_header(&mut bytes, |body| {
+        body[34..42].copy_from_slice(&(1u64 << 63).to_le_bytes());
+    });
+    std::fs::write(&path, &bytes).unwrap();
+    let err = shard_err(ShardReader::open(&path));
+    assert!(
+        matches!(&err, ShardError::Corrupt { reason, .. } if reason.contains("overflows")),
+        "{err}"
+    );
+    let err = mmap_err(MmapShardReader::open(&path));
+    assert!(
+        matches!(&err, ShardError::Corrupt { reason, .. } if reason.contains("overflows")),
+        "{err}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A prelude claiming a 4 GiB header must be rejected by the documented
+/// cap *before* any buffer of that size is allocated — the length field
+/// is attacker-controlled until the header CRC is checked, and the CRC
+/// cannot be checked without first trusting the length.
+#[test]
+fn four_gib_header_claim_is_rejected_before_allocation() {
+    let dir = scratch_dir();
+    let path = valid_shard(&dir, 1);
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
+    std::fs::write(&path, &bytes).unwrap();
+    for err in [
+        shard_err(ShardReader::open(&path)),
+        mmap_err(MmapShardReader::open(&path)),
+    ] {
+        assert!(
+            matches!(&err, ShardError::Corrupt { reason, .. }
+                if reason.contains("header length") && reason.contains("limit")),
+            "{err}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Pathological geometry behind a valid CRC (a 2000-cell grid axis,
+/// over the documented limit) is rejected before any record-length
+/// arithmetic or division can see it.
+#[test]
+fn oversized_grid_claim_is_rejected() {
+    let dir = scratch_dir();
+    let path = valid_shard(&dir, 1);
+    let mut bytes = std::fs::read(&path).unwrap();
+    patch_header(&mut bytes, |body| {
+        body[18..22].copy_from_slice(&2000u32.to_le_bytes()); // grid width
+    });
+    std::fs::write(&path, &bytes).unwrap();
+    for err in [
+        shard_err(ShardReader::open(&path)),
+        mmap_err(MmapShardReader::open(&path)),
+    ] {
+        assert!(
+            matches!(&err, ShardError::Corrupt { reason, .. }
+                if reason.contains("validation limits")),
+            "{err}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+// ---------------------------------------------------------------------
+// Compression (version-2 shards).
+// ---------------------------------------------------------------------
+
+/// compress → open → read returns exactly the bits of the raw shard,
+/// with frames that do not align with the sample count.
+#[test]
+fn compressed_shard_round_trips_bitwise() {
+    let dir = scratch_dir();
+    let path = valid_shard(&dir, 7);
+    let cpath = dir.join("client03.train.c.rtes");
+    let stats = compress_shard(&path, &cpath, 3).unwrap();
+    assert_eq!(stats.samples, 7);
+    assert!(stats.compressed_bytes > 0);
+
+    let raw = ShardReader::open(&path).unwrap();
+    let comp = ShardReader::open(&cpath).unwrap();
+    assert!(comp.is_compressed());
+    assert_eq!(comp.len(), 7);
+    assert_eq!(comp.meta(), raw.meta());
+    let want = raw.read_range(0..7).unwrap();
+    let got = comp.read_range(0..7).unwrap();
+    for (g, w) in got.iter().zip(&want) {
+        assert_eq!(tensor_bits(&g.features), tensor_bits(&w.features));
+        assert_eq!(tensor_bits(&g.label), tensor_bits(&w.label));
+        assert_eq!(g.design, w.design);
+    }
+    // Single reads land mid-frame and across frame boundaries.
+    for i in [0, 2, 3, 5, 6] {
+        assert_eq!(comp.read_sample(i).unwrap(), want[i]);
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// compact_dir rewrites raw shards in place, skips already-compressed
+/// ones on a second pass, and the directory keeps opening cleanly.
+#[test]
+fn compact_dir_is_idempotent_and_readable() {
+    let dir = scratch_dir();
+    valid_shard(&dir, 4);
+    let mut m = meta(&["t0"]);
+    m.split = Split::Test;
+    let mut writer = ShardWriter::create(dir.join("client03.test.rtes"), m).unwrap();
+    writer.append(&sample("t0", 9)).unwrap();
+    writer.finish().unwrap();
+    let before: Vec<Sample> = {
+        let reader = CorpusReader::open(&dir).unwrap();
+        let c = &reader.clients()[0];
+        (0..c.train.len())
+            .map(|i| c.train.read_sample(i).unwrap())
+            .collect()
+    };
+
+    let summary = compact_dir(&dir, 2).unwrap();
+    assert_eq!((summary.compressed, summary.skipped), (2, 0));
+    assert!(summary.raw_bytes > 0);
+    let again = compact_dir(&dir, 2).unwrap();
+    assert_eq!((again.compressed, again.skipped), (0, 2));
+
+    let reader = CorpusReader::open(&dir).unwrap();
+    let c = &reader.clients()[0];
+    assert!(c.train.is_compressed());
+    for (i, want) in before.iter().enumerate() {
+        assert_eq!(&c.train.read_sample(i).unwrap(), want);
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+// ---------------------------------------------------------------------
+// Memory-mapped reader.
+// ---------------------------------------------------------------------
+
+/// The mmap reader returns bit-identical planes to the read-based
+/// reader, and its per-chunk CRC bitmap verifies lazily: chunks are
+/// checked on first touch only.
+#[test]
+fn mmap_reader_is_bitwise_identical_and_lazy() {
+    let dir = scratch_dir();
+    let path = valid_shard(&dir, 5);
+    let read = ShardReader::open(&path).unwrap();
+    let mapped = MmapShardReader::open_with_chunk(&path, 2).unwrap();
+    assert_eq!(mapped.len(), 5);
+    assert_eq!(mapped.geometry(), read.geometry());
+    assert_eq!(mapped.meta(), read.meta());
+    assert_eq!(mapped.verified_chunks(), 0, "open must not touch data");
+
+    let mut mf = Vec::new();
+    let mut ml = Vec::new();
+    mapped.read_batch_into(0..1, &mut mf, &mut ml).unwrap();
+    assert_eq!(mapped.verified_chunks(), 1, "first touch verifies chunk 0");
+    mapped
+        .read_batch_into(0..1, &mut Vec::new(), &mut Vec::new())
+        .unwrap();
+    assert_eq!(mapped.verified_chunks(), 1, "re-reads skip verification");
+
+    mf.clear();
+    ml.clear();
+    mapped.read_batch_into(0..5, &mut mf, &mut ml).unwrap();
+    assert_eq!(
+        mapped.verified_chunks(),
+        3,
+        "5 records / chunk 2 = 3 chunks"
+    );
+    let want = read.read_range(0..5).unwrap();
+    let want_f: Vec<u32> = want.iter().flat_map(|s| tensor_bits(&s.features)).collect();
+    let want_l: Vec<u32> = want.iter().flat_map(|s| tensor_bits(&s.label)).collect();
+    assert_eq!(mf.iter().map(|v| v.to_bits()).collect::<Vec<_>>(), want_f);
+    assert_eq!(ml.iter().map(|v| v.to_bits()).collect::<Vec<_>>(), want_l);
+    for i in 0..5 {
+        assert_eq!(mapped.read_sample(i).unwrap(), want[i]);
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Compressed shards have no fixed-size records to map; the mmap
+/// backend must refuse them with a typed configuration error.
+#[test]
+fn mmap_rejects_compressed_shards() {
+    let dir = scratch_dir();
+    let path = valid_shard(&dir, 3);
+    let cpath = dir.join("c.rtes");
+    compress_shard(&path, &cpath, 2).unwrap();
+    let err = MmapShardReader::open(&cpath).unwrap_err();
+    assert!(
+        matches!(&err, EdaError::InvalidConfig { reason } if reason.contains("compressed")),
+        "{err}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A flipped record byte is caught by the lazy CRC on first touch of
+/// that record's chunk, and only that chunk.
+#[test]
+fn mmap_detects_record_corruption_per_chunk() {
+    let dir = scratch_dir();
+    let path = valid_shard(&dir, 3);
+    let bytes = std::fs::read(&path).unwrap();
+    let header_len = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+    let data_offset = 20 + header_len;
+    let record_len = (bytes.len() - data_offset) / 3;
+    let mut corrupt = bytes.clone();
+    corrupt[data_offset + record_len + 10] ^= 0x01;
+    std::fs::write(&path, &corrupt).unwrap();
+    let mapped = MmapShardReader::open_with_chunk(&path, 1).unwrap();
+    let (mut f, mut l) = (Vec::new(), Vec::new());
+    assert!(mapped.read_batch_into(0..1, &mut f, &mut l).is_ok());
+    assert!(mapped.read_batch_into(2..3, &mut f, &mut l).is_ok());
+    let err = mapped.read_batch_into(1..2, &mut f, &mut l).unwrap_err();
+    assert!(
+        matches!(
+            &err,
+            EdaError::Shard(ShardError::CrcMismatch { what, .. }) if what == "record 1"
+        ),
+        "{err}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+// ---------------------------------------------------------------------
+// Hostile-bytes property tests: flip any byte of a valid file.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Mutating any single byte of a valid raw shard must yield, from
+    /// BOTH readers, either a typed error or bitwise-original data —
+    /// never a panic, never garbage. (The allocation cap is pinned
+    /// separately by `four_gib_header_claim_is_rejected_before_allocation`.)
+    #[test]
+    fn hostile_byte_flips_are_typed_errors_or_clean_reads(
+        index in 0usize..1_000_000,
+        xor_m1 in 0u8..255,
+    ) {
+        let dir = scratch_dir();
+        let path = valid_shard(&dir, 4);
+        let clean = std::fs::read(&path).unwrap();
+        let want: Vec<Sample> = {
+            let reader = ShardReader::open(&path).unwrap();
+            (0..4).map(|i| reader.read_sample(i).unwrap()).collect()
+        };
+        let mut bytes = clean.clone();
+        let at = index % bytes.len();
+        bytes[at] ^= xor_m1.wrapping_add(1);
+        std::fs::write(&path, &bytes).unwrap();
+
+        // Read-based path: open may fail (typed); reads may fail
+        // (typed); whatever succeeds must be bit-identical.
+        if let Ok(reader) = ShardReader::open(&path) {
+            for (i, w) in want.iter().enumerate() {
+                if let Ok(got) = reader.read_sample(i) {
+                    prop_assert_eq!(tensor_bits(&got.features), tensor_bits(&w.features));
+                    prop_assert_eq!(tensor_bits(&got.label), tensor_bits(&w.label));
+                }
+            }
+        }
+        // Mmap path: same contract, same validation core.
+        if let Ok(mapped) = MmapShardReader::open_with_chunk(&path, 2) {
+            let (mut f, mut l) = (Vec::new(), Vec::new());
+            if mapped.read_batch_into(0..4, &mut f, &mut l).is_ok() {
+                let want_f: Vec<u32> =
+                    want.iter().flat_map(|s| tensor_bits(&s.features)).collect();
+                prop_assert_eq!(
+                    f.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    want_f
+                );
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The same contract holds for compressed (version-2) shards: any
+    /// single-byte flip in the header, chunk directory or frame payloads
+    /// is a typed error or a bitwise-clean read.
+    #[test]
+    fn hostile_byte_flips_on_compressed_shards(
+        index in 0usize..1_000_000,
+        xor_m1 in 0u8..255,
+    ) {
+        let dir = scratch_dir();
+        let raw = valid_shard(&dir, 4);
+        let path = dir.join("c.rtes");
+        compress_shard(&raw, &path, 3).unwrap();
+        let want: Vec<Sample> = {
+            let reader = ShardReader::open(&raw).unwrap();
+            (0..4).map(|i| reader.read_sample(i).unwrap()).collect()
+        };
+        let clean = std::fs::read(&path).unwrap();
+        let mut bytes = clean.clone();
+        let at = index % bytes.len();
+        bytes[at] ^= xor_m1.wrapping_add(1);
+        std::fs::write(&path, &bytes).unwrap();
+        if let Ok(reader) = ShardReader::open(&path) {
+            for (i, w) in want.iter().enumerate() {
+                if let Ok(got) = reader.read_sample(i) {
+                    prop_assert_eq!(tensor_bits(&got.features), tensor_bits(&w.features));
+                    prop_assert_eq!(tensor_bits(&got.label), tensor_bits(&w.label));
+                }
+            }
         }
         std::fs::remove_dir_all(&dir).unwrap();
     }

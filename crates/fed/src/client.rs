@@ -1,20 +1,25 @@
 //! Client-side data containers.
 //!
-//! A [`ClientSet`] is one private data split. It has two backends behind
-//! one API: the default **in-memory** backend (pre-batched NCHW tensors,
-//! exactly as before the streaming subsystem existed) and the
+//! A [`ClientSet`] is one private data split. It has three backends
+//! behind one API: the default **in-memory** backend (pre-batched NCHW
+//! tensors, exactly as before the streaming subsystem existed), the
 //! **streaming** backend ([`crate::stream::StreamingClientSet`]), which
 //! feeds the same minibatches from bounded-memory chunk reads so corpora
-//! larger than RAM can train and evaluate. Minibatch *index selection*
-//! lives here, in one place, for both backends — which is what makes the
-//! streamed path bit-identical to the in-memory one.
+//! larger than RAM can train and evaluate, and the **mapped** backend
+//! ([`crate::stream::MappedClientSet`]), which serves batches straight
+//! from a zero-copy record source (memory-mapped shards) with no
+//! userspace chunk cache at all. Minibatch *index selection* lives here,
+//! in one place, for every backend — which is what makes the streamed
+//! and mapped paths bit-identical to the in-memory one.
 
 use std::sync::Arc;
 
 use rte_tensor::rng::Xoshiro256;
 use rte_tensor::Tensor;
 
-use crate::stream::{ConcatSource, RecordSource, StreamingClientSet, TensorSource};
+use crate::stream::{
+    ConcatSource, MappedClientSet, RecordSource, StreamingClientSet, TensorSource,
+};
 use crate::FedError;
 
 /// Storage backend of a [`ClientSet`].
@@ -31,6 +36,9 @@ enum Backend {
     },
     /// Bounded-memory chunk streaming from a [`RecordSource`].
     Streaming(StreamingClientSet),
+    /// Direct zero-copy reads from a mapped [`RecordSource`] (no
+    /// userspace cache — the OS page cache is the buffer).
+    Mapped(MappedClientSet),
 }
 
 /// One data split held privately by a client: features `(N, C, H, W)` and
@@ -83,12 +91,29 @@ impl ClientSet {
         }
     }
 
+    /// Wraps a memory-mapped split (the zero-copy backend). Batches
+    /// drawn from it are bit-identical to the other two backends over
+    /// the same records.
+    pub fn mapped(set: MappedClientSet) -> Self {
+        ClientSet {
+            backend: Backend::Mapped(set),
+        }
+    }
+
     /// The streaming backend, when this set uses one (the benches and
     /// determinism tests read its bounded-memory counters).
     pub fn as_streaming(&self) -> Option<&StreamingClientSet> {
         match &self.backend {
             Backend::Streaming(s) => Some(s),
-            Backend::InMemory { .. } => None,
+            Backend::InMemory { .. } | Backend::Mapped(_) => None,
+        }
+    }
+
+    /// The mapped backend, when this set uses one.
+    pub fn as_mapped(&self) -> Option<&MappedClientSet> {
+        match &self.backend {
+            Backend::Mapped(m) => Some(m),
+            Backend::InMemory { .. } | Backend::Streaming(_) => None,
         }
     }
 
@@ -97,6 +122,7 @@ impl ClientSet {
         match &self.backend {
             Backend::InMemory { features, .. } => features.dim(0),
             Backend::Streaming(s) => s.len(),
+            Backend::Mapped(m) => m.len(),
         }
     }
 
@@ -112,23 +138,24 @@ impl ClientSet {
                 (features.dim(1), features.dim(2), features.dim(3))
             }
             Backend::Streaming(s) => s.geometry(),
+            Backend::Mapped(m) => m.geometry(),
         }
     }
 
-    /// The full feature tensor — `None` for streaming splits, whose
-    /// whole point is never materializing it.
+    /// The full feature tensor — `None` for streaming and mapped
+    /// splits, whose whole point is never materializing it.
     pub fn features(&self) -> Option<&Tensor> {
         match &self.backend {
             Backend::InMemory { features, .. } => Some(features.as_ref()),
-            Backend::Streaming(_) => None,
+            Backend::Streaming(_) | Backend::Mapped(_) => None,
         }
     }
 
-    /// The full label tensor — `None` for streaming splits.
+    /// The full label tensor — `None` for streaming and mapped splits.
     pub fn labels(&self) -> Option<&Tensor> {
         match &self.backend {
             Backend::InMemory { labels, .. } => Some(labels.as_ref()),
-            Backend::Streaming(_) => None,
+            Backend::Streaming(_) | Backend::Mapped(_) => None,
         }
     }
 
@@ -164,6 +191,7 @@ impl ClientSet {
                 Ok((x, y))
             }
             Backend::Streaming(s) => s.gather(indices),
+            Backend::Mapped(m) => m.gather(indices),
         }
     }
 
@@ -214,6 +242,7 @@ impl ClientSet {
                 Ok((x, y))
             }
             Backend::Streaming(s) => s.range_batch(range),
+            Backend::Mapped(m) => m.range_batch(range),
         }
     }
 
@@ -271,9 +300,11 @@ impl ClientSet {
 
     /// Concatenates several splits into one (used by centralized
     /// training). All-in-memory inputs pool eagerly into one tensor
-    /// pair; if any input streams, the result streams too (a
-    /// [`ConcatSource`] over the parts), so pooling never forces the
-    /// corpus into memory.
+    /// pair; otherwise the result stays out-of-core (a [`ConcatSource`]
+    /// over the parts), so pooling never forces the corpus into memory —
+    /// all-mapped inputs stay mapped, and any streamed part makes the
+    /// result stream (its chunk cache still bounds the read-based
+    /// parts).
     ///
     /// # Errors
     ///
@@ -291,7 +322,10 @@ impl ClientSet {
                 });
             }
         }
-        if sets.iter().all(|s| s.as_streaming().is_none()) {
+        if sets
+            .iter()
+            .all(|s| matches!(s.backend, Backend::InMemory { .. }))
+        {
             let total: usize = sets.iter().map(|s| s.len()).sum();
             let mut x = Vec::with_capacity(total * c * h * w);
             let mut y = Vec::with_capacity(total * h * w);
@@ -306,11 +340,11 @@ impl ClientSet {
                 Tensor::from_vec(y, &[total, 1, h, w])?,
             );
         }
-        // Mixed or fully streaming: splice the sources logically. The
+        // Mixed or fully out-of-core: splice the sources logically. The
         // chunk size carries over from the largest streamed part (a pure
         // wall-clock/memory knob — any value yields the same bytes).
         let mut sources: Vec<Arc<dyn RecordSource>> = Vec::with_capacity(sets.len());
-        let mut chunk = 1usize;
+        let mut chunk = 0usize;
         for s in sets {
             match &s.backend {
                 Backend::InMemory { features, labels } => {
@@ -325,12 +359,19 @@ impl ClientSet {
                     chunk = chunk.max(stream.chunk_len());
                     sources.push(Arc::clone(stream.source()));
                 }
+                Backend::Mapped(mapped) => {
+                    sources.push(Arc::clone(mapped.source()));
+                }
             }
         }
-        let concat = ConcatSource::new(sources)?;
+        let concat: Arc<dyn RecordSource> = Arc::new(ConcatSource::new(sources)?);
+        if chunk == 0 {
+            // No streamed part: mapped (plus any in-memory) sources are
+            // all direct-read, so the result keeps the cache-less path.
+            return Ok(ClientSet::mapped(MappedClientSet::new(concat)));
+        }
         Ok(ClientSet::streaming(StreamingClientSet::new(
-            Arc::new(concat),
-            chunk,
+            concat, chunk,
         )?))
     }
 }
@@ -472,6 +513,54 @@ mod tests {
         );
         assert!(stream.features().is_none());
         assert!(memory.features().is_some());
+    }
+
+    /// The same split, behind the cache-less mapped backend.
+    fn mapped(n: usize, fill: f32) -> ClientSet {
+        let source = TensorSource::new(
+            Tensor::full(&[n, 2, 4, 4], fill),
+            Tensor::zeros(&[n, 1, 4, 4]),
+        )
+        .unwrap();
+        ClientSet::mapped(MappedClientSet::new(Arc::new(source)))
+    }
+
+    #[test]
+    fn mapped_backend_serves_identical_minibatches() {
+        let features = Tensor::from_fn(&[6, 2, 4, 4], |i| (i % 97) as f32 * 0.25);
+        let labels = Tensor::from_fn(&[6, 1, 4, 4], |i| (i % 3 == 0) as u8 as f32);
+        let memory = ClientSet::new(features.clone(), labels.clone()).unwrap();
+        let mapped = ClientSet::mapped(MappedClientSet::new(Arc::new(
+            TensorSource::new(features, labels).unwrap(),
+        )));
+        assert_eq!(memory.len(), mapped.len());
+        assert_eq!(memory.geometry(), mapped.geometry());
+        assert_eq!(memory.minibatch(&[4, 1, 1]), mapped.minibatch(&[4, 1, 1]));
+        assert_eq!(memory.minibatch_range(1..5), mapped.minibatch_range(1..5));
+        let mut rng_a = Xoshiro256::seed_from(9);
+        let mut rng_b = Xoshiro256::seed_from(9);
+        assert_eq!(
+            memory.sample_minibatch(3, &mut rng_a),
+            mapped.sample_minibatch(3, &mut rng_b)
+        );
+        assert!(mapped.features().is_none());
+        assert!(mapped.as_mapped().is_some());
+        assert!(mapped.as_streaming().is_none());
+    }
+
+    #[test]
+    fn concat_of_mapped_parts_stays_mapped() {
+        let a = mapped(2, 1.0);
+        let b = mapped(3, 2.0);
+        let all = ClientSet::concat(&[&a, &b]).unwrap();
+        assert_eq!(all.len(), 5);
+        assert!(all.as_mapped().is_some(), "all-mapped concat stays mapped");
+        let eager = ClientSet::concat(&[&set(2, 1.0), &set(3, 2.0)]).unwrap();
+        assert_eq!(all.minibatch_range(0..5), eager.minibatch_range(0..5));
+        // A streamed part pulls the result onto the chunk-cached path.
+        let c = streamed(2, 3.0, 2);
+        let with_stream = ClientSet::concat(&[&a, &c]).unwrap();
+        assert!(with_stream.as_streaming().is_some());
     }
 
     #[test]

@@ -106,7 +106,7 @@ pub use eval::{evaluate_auc, evaluate_report, EvalReport, Evaluator};
 pub use methods::{MethodOutcome, RoundRecord};
 pub use rte_tensor::parallel::Parallelism;
 pub use scenario::{run_scenario, Attack, ScenarioConfig, ScenarioOutcome};
-pub use stream::{RecordSource, StreamingClientSet};
+pub use stream::{MappedClientSet, RecordSource, StreamingClientSet};
 pub use trainer::LocalTrainer;
 
 use rte_nn::Layer;

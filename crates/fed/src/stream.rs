@@ -544,6 +544,136 @@ impl StreamingClientSet {
     }
 }
 
+/// A client split served directly from a memory-mapped (or otherwise
+/// zero-copy) [`RecordSource`] — the third [`crate::ClientSet`] backend.
+///
+/// Unlike [`StreamingClientSet`], there is **no chunk cache**: the OS
+/// page cache already plays that role for a mapped file, so every batch
+/// reads straight through [`RecordSource::read_into`] into the output
+/// tensors and nothing stays resident in userspace. Minibatch *index
+/// selection* still happens in [`crate::ClientSet`] (the single
+/// derivation point), and the records carry the same f32 bit patterns
+/// as the other two backends — so the mapped path is bit-identical to
+/// in-memory and read-based streaming at any thread count.
+pub struct MappedClientSet {
+    source: Arc<dyn RecordSource>,
+}
+
+impl std::fmt::Debug for MappedClientSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MappedClientSet")
+            .field("source", &self.source.descriptor())
+            .field("len", &self.source.len())
+            .finish()
+    }
+}
+
+impl Clone for MappedClientSet {
+    fn clone(&self) -> Self {
+        MappedClientSet {
+            source: Arc::clone(&self.source),
+        }
+    }
+}
+
+impl PartialEq for MappedClientSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.source.len() == other.source.len()
+            && self.source.geometry() == other.source.geometry()
+            && self.source.descriptor() == other.source.descriptor()
+    }
+}
+
+impl MappedClientSet {
+    /// Wraps `source`.
+    pub fn new(source: Arc<dyn RecordSource>) -> Self {
+        MappedClientSet { source }
+    }
+
+    /// Number of samples in the split.
+    pub fn len(&self) -> usize {
+        self.source.len()
+    }
+
+    /// True when the split holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(channels, height, width)` of every sample.
+    pub fn geometry(&self) -> (usize, usize, usize) {
+        self.source.geometry()
+    }
+
+    /// The shared record source.
+    pub fn source(&self) -> &Arc<dyn RecordSource> {
+        &self.source
+    }
+
+    /// Copies the contiguous samples `range` into a minibatch — one
+    /// direct read, no userspace buffering.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FedError::InvalidConfig`] for an empty or out-of-bounds
+    /// range and [`FedError::Stream`] for storage failures.
+    pub fn range_batch(&self, range: Range<usize>) -> Result<(Tensor, Tensor), FedError> {
+        if range.start >= range.end || range.end > self.len() {
+            return Err(FedError::InvalidConfig {
+                reason: format!(
+                    "minibatch range {range:?} invalid for {} samples",
+                    self.len()
+                ),
+            });
+        }
+        let (c, h, w) = self.geometry();
+        let n = range.len();
+        let mut features = Vec::with_capacity(n * c * h * w);
+        let mut labels = Vec::with_capacity(n * h * w);
+        self.source.read_into(range, &mut features, &mut labels)?;
+        let x = Tensor::from_vec(features, &[n, c, h, w])?;
+        let y = Tensor::from_vec(labels, &[n, 1, h, w])?;
+        Ok((x, y))
+    }
+
+    /// Copies the samples at `indices` into a minibatch, coalescing
+    /// consecutive ascending runs into single reads exactly like
+    /// [`StreamingClientSet::gather`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FedError::InvalidConfig`] for out-of-bounds indices and
+    /// [`FedError::Stream`] for storage failures.
+    pub fn gather(&self, indices: &[usize]) -> Result<(Tensor, Tensor), FedError> {
+        let (c, h, w) = self.geometry();
+        let n = indices.len();
+        if let Some(&bad) = indices.iter().find(|&&si| si >= self.len()) {
+            return Err(FedError::InvalidConfig {
+                reason: format!(
+                    "minibatch index {bad} out of bounds ({} samples)",
+                    self.len()
+                ),
+            });
+        }
+        let mut features = Vec::with_capacity(n * c * h * w);
+        let mut labels = Vec::with_capacity(n * h * w);
+        let mut i = 0usize;
+        while i < n {
+            let start = indices[i];
+            let mut j = i + 1;
+            while j < n && indices[j] == start + (j - i) {
+                j += 1;
+            }
+            self.source
+                .read_into(start..start + (j - i), &mut features, &mut labels)?;
+            i = j;
+        }
+        let x = Tensor::from_vec(features, &[n, c, h, w])?;
+        let y = Tensor::from_vec(labels, &[n, 1, h, w])?;
+        Ok((x, y))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -705,6 +835,26 @@ mod tests {
         let b = make(2.0);
         assert_ne!(a, b, "content must distinguish same-shape sources");
         assert_eq!(a, make(1.0), "same content compares equal");
+    }
+
+    #[test]
+    fn mapped_set_matches_streaming_set_bitwise() {
+        let source: Arc<dyn RecordSource> = Arc::new(CountingSource::new(9));
+        let mapped = MappedClientSet::new(Arc::clone(&source));
+        let streamed = StreamingClientSet::new(source, 2).unwrap();
+        assert_eq!(mapped.len(), 9);
+        assert_eq!(mapped.geometry(), streamed.geometry());
+        assert_eq!(
+            mapped.range_batch(2..7).unwrap(),
+            streamed.range_batch(2..7).unwrap()
+        );
+        assert_eq!(
+            mapped.gather(&[5, 1, 2, 3]).unwrap(),
+            streamed.gather(&[5, 1, 2, 3]).unwrap()
+        );
+        assert!(mapped.range_batch(7..7).is_err());
+        assert!(mapped.gather(&[9]).is_err());
+        assert_eq!(mapped, mapped.clone());
     }
 
     #[test]

@@ -16,7 +16,9 @@
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use decentralized_routability::core::{build_clients, build_experiment_clients, ExperimentConfig};
+use decentralized_routability::core::{
+    build_clients, build_experiment_clients, ExperimentConfig, ShardBackend,
+};
 use decentralized_routability::eda::corpus::{generate_corpus, CorpusConfig};
 use decentralized_routability::eda::shard::CorpusWriter;
 use decentralized_routability::fed::{
@@ -260,6 +262,108 @@ fn streamed_evaluation_is_bitwise_identical_to_in_memory() {
                 2 * chunk
             );
         }
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The memory-mapped backend serves the same bits as the read backend
+/// and the in-memory generator at every `RTE_THREADS × chunk` cell:
+/// raw batches bitwise, and the parallel evaluator's full `EvalReport`s
+/// at 1 and 4 threads.
+#[test]
+fn mmap_backend_is_bitwise_identical_at_every_cell() {
+    let dir = scratch_dir("mmap");
+    for chunk in [1usize, 6] {
+        let mut config = ExperimentConfig::tiny()
+            .with_corpus_dir(&dir)
+            .with_stream_chunk(chunk);
+        config.corpus = corpus_config();
+        let (in_memory, streamed) = both_client_sets(&config);
+        let mapped =
+            build_experiment_clients(&config.clone().with_shard_backend(ShardBackend::Mmap))
+                .unwrap();
+        for ((m, s), p) in in_memory.iter().zip(&streamed).zip(&mapped) {
+            assert!(p.train.as_mapped().is_some(), "mapped backend selected");
+            let want = m.test.minibatch_range(0..m.test.len());
+            assert_eq!(want, p.test.minibatch_range(0..p.test.len()));
+            assert_eq!(
+                s.test.minibatch_range(0..s.test.len()),
+                p.test.minibatch_range(0..p.test.len())
+            );
+        }
+        let factory = decentralized_routability::core::model_factory(
+            decentralized_routability::nn::models::ModelKind::FlNet,
+            config.model_scale,
+        );
+        let global = state_dict(factory(11).as_mut());
+        for threads in [1usize, 4] {
+            let evaluator = Evaluator::new(Parallelism::new(threads), 3);
+            let a = evaluator
+                .eval_global(&factory, 11, &in_memory, &global)
+                .unwrap();
+            let b = evaluator
+                .eval_global(&factory, 11, &mapped, &global)
+                .unwrap();
+            assert_reports_bitwise_equal(
+                &a,
+                &b,
+                &format!("mmap evaluator threads={threads} chunk={chunk}"),
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Full federated training on memory-mapped clients is bit-identical to
+/// the in-memory path, at 1 and 4 threads.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "runs 4 real federated experiments; release only"
+)]
+fn mmap_training_is_bitwise_identical_to_in_memory() {
+    let dir = scratch_dir("mmap-train");
+    let mut config = ExperimentConfig::tiny()
+        .with_corpus_dir(&dir)
+        .with_stream_chunk(3)
+        .with_shard_backend(ShardBackend::Mmap);
+    config.corpus = corpus_config();
+    config.fed.eval_every = 1;
+    let (in_memory, mapped) = both_client_sets(&config);
+    for threads in [1usize, 4] {
+        let mut fed = config.fed.clone();
+        fed.parallelism = Parallelism::new(threads);
+        let factory = decentralized_routability::core::model_factory(
+            decentralized_routability::nn::models::ModelKind::FlNet,
+            config.model_scale,
+        );
+        let a = methods::run_method(Method::FedProx, &in_memory, &factory, &fed).unwrap();
+        let b = methods::run_method(Method::FedProx, &mapped, &factory, &fed).unwrap();
+        assert_outcomes_bitwise_equal(&a, &b, &format!("mmap fedprox threads={threads}"));
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Chunk-codec-compressed shards stream the same bits as the raw files
+/// and the in-memory generator (the on-disk encoding is invisible to
+/// training).
+#[test]
+fn compressed_shards_stream_bitwise_identical_samples() {
+    let dir = scratch_dir("packed");
+    let mut config = ExperimentConfig::tiny()
+        .with_corpus_dir(&dir)
+        .with_stream_chunk(4);
+    config.corpus = corpus_config();
+    let (in_memory, raw) = both_client_sets(&config);
+    let packed = build_experiment_clients(&config.clone().with_compressed_shards()).unwrap();
+    for ((m, r), p) in in_memory.iter().zip(&raw).zip(&packed) {
+        assert_eq!(m.id, p.id);
+        let want = m.test.minibatch_range(0..m.test.len());
+        assert_eq!(want, p.test.minibatch_range(0..p.test.len()));
+        assert_eq!(
+            r.train.minibatch_range(0..r.train.len()),
+            p.train.minibatch_range(0..p.train.len())
+        );
     }
     std::fs::remove_dir_all(&dir).unwrap();
 }

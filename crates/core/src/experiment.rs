@@ -549,6 +549,32 @@ pub fn run_table(kind: ModelKind, config: &ExperimentConfig) -> Result<TableResu
     })
 }
 
+/// The experiment configuration the `rte-coordinator` and `rte-client`
+/// binaries (and the release-gated multi-process test) share. Every
+/// process rebuilds the identical fleet from `(clients, seed, quick)`
+/// alone — that is the whole trick behind running one federated round
+/// across process boundaries bit-identically: data never crosses the
+/// wire, only parameters do, because each side regenerates its private
+/// split from the public config.
+///
+/// Mirrors the `rte-bench` `--quick --seed N --clients K` semantics so
+/// a coordinator table can be compared byte-for-byte against the
+/// in-process bench path.
+pub fn transport_config(clients: usize, seed: u64, quick: bool) -> ExperimentConfig {
+    let mut config = ExperimentConfig::scaled();
+    if quick {
+        config.corpus.placement_scale = 0.0; // one placement per design
+        config.fed.rounds = 2;
+        config.fed.local_steps = 4;
+        config.fed.finetune_steps = 8;
+    }
+    config.corpus.seed = seed;
+    config.fed.seed = seed ^ 0xFED5;
+    config = config.with_population(UniverseConfig::new(clients, 4 * clients));
+    config.methods = vec![Method::FedProx];
+    config
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

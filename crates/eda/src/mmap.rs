@@ -21,7 +21,8 @@
 //!   mapped bytes. A full pass verifies every byte exactly once —
 //!   matching the read path's guarantees at a fraction of the work.
 //!
-//! Reads return bit-identical f32 planes to [`ShardReader`] — the
+//! Reads return bit-identical f32 planes to
+//! [`ShardReader`](crate::shard::ShardReader) — the
 //! bytes come from the same file — so the mmap backend is a pure
 //! wall-clock knob under determinism-contract rule 4.
 //!
@@ -34,7 +35,7 @@
 //! The workspace denies `unsafe_code`; this module carries a scoped
 //! allow because POSIX `mmap` is inherently a raw-pointer API, and it
 //! is the **only** non-SIMD module on the rte-lint L1 allowlist. The
-//! invariant that makes every `unsafe` here sound: **a [`Mapping`] is
+//! invariant that makes every `unsafe` here sound: **a `Mapping` is
 //! only constructed from a non-`MAP_FAILED` pointer returned by
 //! `mmap(len, PROT_READ, MAP_PRIVATE)` over a successfully opened
 //! read-only file of exactly `len > 0` bytes, the pointer stays valid

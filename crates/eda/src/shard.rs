@@ -315,7 +315,7 @@ pub struct ShardMeta {
 impl ShardMeta {
     /// Bytes of one sample record (design index + features + label +
     /// record CRC). Cannot overflow for any metadata a reader accepts:
-    /// [`ShardMeta::decode_body`] bounds the geometry by
+    /// `ShardMeta::decode_body` bounds the geometry by
     /// [`MAX_GRID_DIM`] / [`MAX_CHANNELS`] first.
     pub fn record_len(&self) -> usize {
         let cells = self.grid.width * self.grid.height;

@@ -32,6 +32,21 @@ pub enum FedError {
         /// Human-readable reason (carries the storage layer's message).
         reason: String,
     },
+    /// A wire-layer operation failed: frame damage, a closed peer, or a
+    /// protocol violation (unexpected kind, wrong round, bad client id).
+    /// Carries the transport layer's typed message.
+    Transport {
+        /// Human-readable reason (the `NetError`'s rendering).
+        reason: String,
+    },
+    /// Secure aggregation could not complete exactly: the received
+    /// update set differs from the participant set the pairwise masks
+    /// were generated over, so the masks do not cancel. Surfaced as a
+    /// typed error instead of a silently-wrong aggregate.
+    SecureAggregation {
+        /// What went wrong (which clients are missing or unexpected).
+        reason: String,
+    },
     /// One client's deployed model produced degenerate test scores
     /// (typically NaN logits after training blew up under attack). The
     /// federation as a whole is fine — tolerant callers render this as a
@@ -55,6 +70,10 @@ impl fmt::Display for FedError {
                 write!(f, "aggregation mismatch: {reason}")
             }
             FedError::Stream { reason } => write!(f, "streaming error: {reason}"),
+            FedError::Transport { reason } => write!(f, "transport error: {reason}"),
+            FedError::SecureAggregation { reason } => {
+                write!(f, "secure aggregation failed: {reason}")
+            }
             FedError::ClientDiverged { client, reason } => {
                 write!(f, "client {client} diverged: {reason}")
             }

@@ -1,0 +1,591 @@
+//! Federated rounds as an exchange of serialized deltas over a
+//! [`Transport`].
+//!
+//! This is the seam the paper's deployment story needs: the same
+//! FedProx round loop that `methods::fedprox` runs in-process, split
+//! into a coordinator half ([`run_rounds_over`]) and a client half
+//! ([`ClientSession`]) that only talk through [`crate::wire::Message`]s.
+//! The split is engineered to be *bit-identical* to the in-process
+//! path:
+//!
+//! - both sides derive their RNG streams from the same
+//!   `methods::fleet_rng(seed)` root, and a client's training stream is
+//!   `round_client_rng(root, round, me)` — exactly what the in-process
+//!   round loop's workers draw,
+//! - the coordinator deploys to, and collects from, participants in the
+//!   same fixed order `Harness::participants` yields, so aggregation
+//!   sees updates in the identical order,
+//! - state dicts cross the wire in the lossless `rte_nn::serialize`
+//!   format (f32 bits verbatim).
+//!
+//! `tests/transport_determinism.rs` pins the equivalence across the
+//! in-process harness, the channel backend, and the UDS backend.
+//!
+//! With a [`SecureConfig`], clients send pairwise-masked quantized
+//! updates instead of raw parameters ([`crate::secure`]), and the
+//! coordinator can only recover the *sum* — never an individual update.
+
+use rte_net::{ChannelTransport, Frame, NetError, Transport};
+use rte_nn::{load_state_dict, state_dict, StateDict};
+use rte_tensor::rng::Xoshiro256;
+
+use crate::methods::{
+    fleet_rng, mean_loss, round_client_rng, ClientUpdate, Harness, MethodOutcome, RoundRecord,
+};
+use crate::params::aggregate;
+use crate::secure::{aggregate_masked, mask_update, MaskedUpdate, SecureConfig};
+use crate::wire::{net_err, recv_message, send_message, Message};
+use crate::{Client, FedConfig, FedError, LocalTrainer, Method, ModelFactory};
+
+/// The coordinator's frame sender id (clients are `1 + fleet index`).
+pub const COORDINATOR: u32 = 0;
+
+/// Byte/frame counters a [`LocalLink`] accumulates — the measured
+/// communication cost of a federated run over the wire codec.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// Frames the coordinator sent to this client.
+    pub frames_sent: u64,
+    /// Frames the coordinator received from this client.
+    pub frames_received: u64,
+    /// Encoded bytes sent (deploys).
+    pub bytes_sent: u64,
+    /// Encoded bytes received (updates).
+    pub bytes_received: u64,
+}
+
+/// One client's half of a federated session: rebuilds the fleet-shared
+/// RNG streams from the public config and answers deploys with trained
+/// updates. Works over any [`Transport`] via [`ClientSession::serve`],
+/// or pumped synchronously by a [`LocalLink`].
+pub struct ClientSession<'a> {
+    clients: &'a [Client],
+    me: usize,
+    factory: &'a ModelFactory,
+    config: &'a FedConfig,
+    trainer: LocalTrainer,
+    root_rng: Xoshiro256,
+    secure: Option<SecureConfig>,
+    seq: u64,
+}
+
+impl<'a> ClientSession<'a> {
+    /// Builds the session for fleet position `me`.
+    ///
+    /// `clients` is the full fleet, deterministically rebuilt on both
+    /// sides from the shared experiment config — the session only ever
+    /// touches `clients[me]`'s private data, but needs the fleet shape
+    /// for its weight and id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FedError::InvalidConfig`] for an out-of-range `me` or
+    /// an invalid config.
+    pub fn new(
+        clients: &'a [Client],
+        me: usize,
+        factory: &'a ModelFactory,
+        config: &'a FedConfig,
+        secure: Option<SecureConfig>,
+    ) -> Result<Self, FedError> {
+        if me >= clients.len() {
+            return Err(FedError::InvalidConfig {
+                reason: format!(
+                    "client index {me} out of range for {} clients",
+                    clients.len()
+                ),
+            });
+        }
+        config.validate_core()?;
+        let trainer =
+            LocalTrainer::new(config.lr, config.weight_decay, config.mu, config.batch_size);
+        Ok(ClientSession {
+            clients,
+            me,
+            factory,
+            config,
+            trainer,
+            root_rng: fleet_rng(config.seed),
+            secure,
+            seq: 0,
+        })
+    }
+
+    /// This session's frame sender id.
+    pub fn sender_id(&self) -> u32 {
+        self.me as u32 + 1
+    }
+
+    /// The client's aggregation weight (its training sample count).
+    pub fn weight(&self) -> u64 {
+        self.clients[self.me].weight() as u64
+    }
+
+    /// Trains one deployed slot: exactly the computation the in-process
+    /// round loop's worker performs for `(round, me)` — fresh model from
+    /// the shared factory, deployed start state, the per-`(round, client)`
+    /// RNG stream, proximal reference = start, then the scenario's
+    /// Byzantine corruption if one is configured.
+    ///
+    /// # Errors
+    ///
+    /// Returns any training failure.
+    pub fn train_slot(
+        &mut self,
+        round: u64,
+        steps: usize,
+        start: &StateDict,
+    ) -> Result<(StateDict, f32), FedError> {
+        let mut model = (self.factory)(self.config.seed);
+        load_state_dict(model.as_mut(), start)?;
+        let mut rng = round_client_rng(&self.root_rng, round as usize, self.me);
+        let loss = self.trainer.train(
+            model.as_mut(),
+            &self.clients[self.me].train,
+            Some(start),
+            steps,
+            &mut rng,
+        )?;
+        let mut out = state_dict(model.as_mut());
+        if let Some(scenario) = &self.config.scenario {
+            if let Some(corrupted) =
+                scenario.corrupt_update(round as usize, self.me, start, &out)?
+            {
+                out = corrupted;
+            }
+        }
+        Ok((out, loss))
+    }
+
+    /// Handles one incoming message, returning the reply to send (or
+    /// `None` after a shutdown).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FedError::Transport`] for messages a client must never
+    /// receive, or any training failure.
+    pub fn handle(&mut self, message: Message) -> Result<Option<Message>, FedError> {
+        match message {
+            Message::Deploy {
+                round,
+                steps,
+                participants,
+                state,
+            } => {
+                let (out, loss) = self.train_slot(round, steps as usize, &state)?;
+                let reply = if let Some(cfg) = self.secure {
+                    let masked = mask_update(
+                        &out,
+                        self.weight() as f64,
+                        self.me as u32,
+                        &participants,
+                        round,
+                        &cfg,
+                    );
+                    Message::SecureUpdate {
+                        round,
+                        client: self.me as u32,
+                        loss,
+                        masked,
+                    }
+                } else {
+                    Message::Update {
+                        round,
+                        client: self.me as u32,
+                        loss,
+                        state: out,
+                    }
+                };
+                Ok(Some(reply))
+            }
+            Message::Shutdown => Ok(None),
+            other => Err(FedError::Transport {
+                reason: format!(
+                    "client expected deploy or shutdown, got kind {}",
+                    other.kind()
+                ),
+            }),
+        }
+    }
+
+    /// Sends the opening [`Message::Hello`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FedError::Transport`] on wire failures.
+    pub fn hello<T: Transport>(&mut self, transport: &mut T) -> Result<(), FedError> {
+        let msg = Message::Hello {
+            client: self.me as u32,
+            weight: self.weight(),
+        };
+        let seq = self.next_seq();
+        send_message(transport, msg, self.sender_id(), seq)
+    }
+
+    /// Serves deploys over `transport` until a shutdown arrives or the
+    /// peer hangs up (both are clean exits — a coordinator crash should
+    /// not strand client processes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FedError::Transport`] for wire damage or protocol
+    /// violations, or any training failure.
+    pub fn serve<T: Transport>(&mut self, transport: &mut T) -> Result<(), FedError> {
+        loop {
+            let frame = match transport.recv() {
+                Ok(frame) => frame,
+                Err(NetError::Closed) => return Ok(()),
+                Err(e) => return Err(net_err(e)),
+            };
+            let message = Message::from_frame(&frame)?;
+            match self.handle(message)? {
+                Some(reply) => {
+                    let seq = self.next_seq();
+                    send_message(transport, reply, self.sender_id(), seq)?;
+                }
+                None => return Ok(()),
+            }
+        }
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        let seq = self.seq;
+        self.seq += 1;
+        seq
+    }
+}
+
+/// An in-process link: the coordinator's [`Transport`] endpoint with the
+/// client's [`ClientSession`] attached behind the channel backend.
+///
+/// Frames still round-trip through the full encoder/decoder — the wire
+/// format is on the path — but the client runs synchronously on the
+/// coordinator's thread when the coordinator sends, so no threads are
+/// involved and the backend stays inside determinism rules 1-7.
+pub struct LocalLink<'a> {
+    near: ChannelTransport,
+    far: ChannelTransport,
+    session: ClientSession<'a>,
+    /// Accumulated traffic counters for this link.
+    pub stats: WireStats,
+}
+
+impl<'a> LocalLink<'a> {
+    /// Wraps `session` behind a fresh channel pair.
+    pub fn new(session: ClientSession<'a>) -> Self {
+        let (near, far) = ChannelTransport::pair();
+        LocalLink {
+            near,
+            far,
+            session,
+            stats: WireStats::default(),
+        }
+    }
+
+    /// Drains every frame the coordinator queued, letting the session
+    /// answer each one.
+    fn pump(&mut self) -> Result<(), NetError> {
+        while let Some(frame) = self.far.try_recv()? {
+            let message = Message::from_frame(&frame).map_err(fed_err_to_net)?;
+            match self.session.handle(message).map_err(fed_err_to_net)? {
+                Some(reply) => {
+                    let seq = self.session.next_seq();
+                    let sender = self.session.sender_id();
+                    let reply_frame = reply.into_frame(sender, seq).map_err(fed_err_to_net)?;
+                    self.stats.frames_received += 1;
+                    self.stats.bytes_received += reply_frame.encoded_len() as u64;
+                    self.far.send(&reply_frame)?;
+                }
+                None => break,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A client-side failure surfaced through the coordinator's transport.
+fn fed_err_to_net(e: FedError) -> NetError {
+    NetError::Protocol {
+        reason: e.to_string(),
+    }
+}
+
+impl Transport for LocalLink<'_> {
+    fn send(&mut self, frame: &Frame) -> Result<(), NetError> {
+        self.stats.frames_sent += 1;
+        self.stats.bytes_sent += frame.encoded_len() as u64;
+        self.near.send(frame)?;
+        self.pump()
+    }
+
+    fn recv(&mut self) -> Result<Frame, NetError> {
+        self.near.recv()
+    }
+}
+
+/// Validates an update's envelope against what the coordinator expects.
+fn check_envelope(
+    round: usize,
+    expected: usize,
+    got_round: u64,
+    got_client: u32,
+) -> Result<(), FedError> {
+    if got_round != round as u64 || got_client != expected as u32 {
+        return Err(FedError::Transport {
+            reason: format!(
+                "expected round {round} update from client {expected}, \
+                 got round {got_round} from client {got_client}"
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Runs the FedProx round loop with every client behind a transport
+/// link: `links[k]` speaks to fleet client `k`. Deploys go to, and
+/// updates are collected from, participants in `Harness::participants`
+/// order, so the outcome is bit-identical to [`crate::methods::run_method`]
+/// on the same inputs (pinned by `tests/transport_determinism.rs`).
+///
+/// With `secure`, clients return pairwise-masked quantized updates and
+/// the aggregate is the exact masked weighted mean ([`crate::secure`]);
+/// this path is privacy-preserving but quantized, so it is *not*
+/// bit-identical to the plain path (it is bit-identical to the plain
+/// *quantized* path, which the secure-aggregation property tests pin).
+///
+/// # Errors
+///
+/// - [`FedError::InvalidConfig`] for a non-FedProx method, a link/fleet
+///   size mismatch, or secure mode with a non-weighted-mean rule.
+/// - [`FedError::Transport`] for wire damage or protocol violations.
+/// - [`FedError::SecureAggregation`] when masked updates cannot cancel.
+pub fn run_rounds_over<T: Transport>(
+    method: Method,
+    clients: &[Client],
+    factory: &ModelFactory,
+    config: &FedConfig,
+    links: &mut [T],
+    secure: Option<SecureConfig>,
+) -> Result<MethodOutcome, FedError> {
+    if method != Method::FedProx {
+        return Err(FedError::InvalidConfig {
+            reason: format!("only the FedProx family runs over a transport, not {method}"),
+        });
+    }
+    if links.len() != clients.len() {
+        return Err(FedError::InvalidConfig {
+            reason: format!("{} links for {} clients", links.len(), clients.len()),
+        });
+    }
+    if secure.is_some() && config.aggregation != crate::Aggregation::WeightedMean {
+        return Err(FedError::InvalidConfig {
+            reason: "secure aggregation supports only the weighted mean \
+                     (robust rules need individual updates)"
+                .into(),
+        });
+    }
+
+    let mut harness = Harness::new(clients, factory, config)?;
+    let mut global = harness.initial_state();
+    let mut history = Vec::new();
+    let mut seq = 0u64;
+    for round in 1..=config.rounds {
+        let participants = harness.participants(round);
+        let part_ids: Vec<u32> = participants.iter().map(|&k| k as u32).collect();
+        for &k in &participants {
+            send_message(
+                &mut links[k],
+                Message::Deploy {
+                    round: round as u64,
+                    steps: config.local_steps as u64,
+                    participants: part_ids.clone(),
+                    state: global.clone(),
+                },
+                COORDINATOR,
+                seq,
+            )?;
+            seq += 1;
+        }
+        if let Some(cfg) = secure {
+            let mut masked: Vec<MaskedUpdate> = Vec::with_capacity(participants.len());
+            let mut losses: Vec<f32> = Vec::with_capacity(participants.len());
+            for &k in &participants {
+                let (_, message) = recv_message(&mut links[k])?;
+                match message {
+                    Message::SecureUpdate {
+                        round: r,
+                        client,
+                        loss,
+                        masked: m,
+                    } => {
+                        check_envelope(round, k, r, client)?;
+                        masked.push(m);
+                        losses.push(loss);
+                    }
+                    other => {
+                        return Err(FedError::Transport {
+                            reason: format!("expected secure update, got kind {}", other.kind()),
+                        })
+                    }
+                }
+            }
+            let weight_sum: f64 = participants
+                .iter()
+                .map(|&k| clients[k].weight() as f64)
+                .sum();
+            global = aggregate_masked(&masked, &part_ids, weight_sum, &cfg)?;
+            if harness.should_record(round) {
+                let reports = harness.eval_global(&global)?;
+                let loss = losses.iter().map(|&l| l as f64).sum::<f64>() / losses.len() as f64;
+                history.push(RoundRecord::new(round, reports, loss));
+            }
+        } else {
+            let mut updates: Vec<ClientUpdate> = Vec::with_capacity(participants.len());
+            for &k in &participants {
+                let (_, message) = recv_message(&mut links[k])?;
+                match message {
+                    Message::Update {
+                        round: r,
+                        client,
+                        loss,
+                        state,
+                    } => {
+                        check_envelope(round, k, r, client)?;
+                        updates.push(ClientUpdate {
+                            client: k,
+                            state,
+                            loss,
+                        });
+                    }
+                    other => {
+                        return Err(FedError::Transport {
+                            reason: format!("expected plain update, got kind {}", other.kind()),
+                        })
+                    }
+                }
+            }
+            let refs: Vec<(&StateDict, f64)> = updates
+                .iter()
+                .map(|u| (&u.state, clients[u.client].weight() as f64))
+                .collect();
+            global = aggregate(&refs, config.aggregation)?;
+            if harness.should_record(round) {
+                let reports = harness.eval_global(&global)?;
+                history.push(RoundRecord::new(round, reports, mean_loss(&updates)));
+            }
+        }
+    }
+    for link in links.iter_mut() {
+        // A client that already hung up is fine — the run is over.
+        let _ = send_message(link, Message::Shutdown, COORDINATOR, seq);
+        seq += 1;
+    }
+    let per_client = harness.eval_global(&global)?;
+    Ok(MethodOutcome::new(Method::FedProx, per_client, history))
+}
+
+/// Builds one [`LocalLink`] per fleet client — the channel-backend
+/// convenience used by the transport determinism tests and the
+/// `--transport channel` bench path.
+///
+/// # Errors
+///
+/// Returns [`FedError::InvalidConfig`] for an invalid config.
+pub fn local_links<'a>(
+    clients: &'a [Client],
+    factory: &'a ModelFactory,
+    config: &'a FedConfig,
+    secure: Option<SecureConfig>,
+) -> Result<Vec<LocalLink<'a>>, FedError> {
+    (0..clients.len())
+        .map(|me| {
+            Ok(LocalLink::new(ClientSession::new(
+                clients, me, factory, config, secure,
+            )?))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::run_method;
+    use crate::methods::test_support::{clients, factory};
+
+    #[test]
+    fn channel_rounds_match_in_process_bitwise() {
+        let clients = clients(3);
+        let factory = factory();
+        let mut config = FedConfig::tiny();
+        config.eval_every = 1;
+        let reference = run_method(Method::FedProx, &clients, &factory, &config).unwrap();
+        let mut links = local_links(&clients, &factory, &config, None).unwrap();
+        let wired = run_rounds_over(
+            Method::FedProx,
+            &clients,
+            &factory,
+            &config,
+            &mut links,
+            None,
+        )
+        .unwrap();
+        assert_eq!(wired, reference);
+        assert!(links[0].stats.frames_sent > 0);
+        assert!(links[0].stats.bytes_received > 0);
+    }
+
+    #[test]
+    fn secure_rounds_complete_and_learn_nothing_individually() {
+        let clients = clients(3);
+        let factory = factory();
+        let config = FedConfig::tiny();
+        let secure = Some(SecureConfig::default());
+        let mut links = local_links(&clients, &factory, &config, secure).unwrap();
+        let outcome = run_rounds_over(
+            Method::FedProx,
+            &clients,
+            &factory,
+            &config,
+            &mut links,
+            secure,
+        )
+        .unwrap();
+        assert_eq!(outcome.per_client_auc.len(), 3);
+        assert!(outcome.average_auc.is_finite());
+    }
+
+    #[test]
+    fn non_fedprox_methods_are_rejected() {
+        let clients = clients(2);
+        let factory = factory();
+        let config = FedConfig::tiny();
+        let mut links = local_links(&clients, &factory, &config, None).unwrap();
+        let err = run_rounds_over(
+            Method::LocalOnly,
+            &clients,
+            &factory,
+            &config,
+            &mut links,
+            None,
+        )
+        .unwrap_err();
+        assert!(matches!(err, FedError::InvalidConfig { .. }), "{err}");
+    }
+
+    #[test]
+    fn link_count_mismatch_is_rejected() {
+        let clients = clients(2);
+        let factory = factory();
+        let config = FedConfig::tiny();
+        let mut links = local_links(&clients[..1], &factory, &config, None).unwrap();
+        assert!(run_rounds_over(
+            Method::FedProx,
+            &clients,
+            &factory,
+            &config,
+            &mut links,
+            None
+        )
+        .is_err());
+    }
+}

@@ -22,13 +22,25 @@
 //!   live in [`params`],
 //! - [`stream`] — bounded-memory data feeding: [`StreamingClientSet`]
 //!   lets every method train and evaluate a corpus that never fits in
-//!   memory, bit-identically to the in-memory path.
+//!   memory, bit-identically to the in-memory path,
+//! - [`wire`] / [`federation`] — a federated round as an exchange of
+//!   serialized parameter deltas over an `rte_net` [`rte_net::Transport`]:
+//!   typed [`wire::Message`]s on hardened frames, the client-side
+//!   [`ClientSession`], and the coordinator loop [`run_rounds_over`]
+//!   that is bit-identical to the in-process FedProx path,
+//! - [`secure`] — pairwise-masked secure aggregation with exact
+//!   fixed-point arithmetic (the coordinator recovers only the sum),
+//! - [`fedasync`] — buffered staleness-weighted asynchronous rounds on
+//!   a seeded virtual clock (determinism rule 8), with the wall-clock
+//!   opt-out.
 //!
-//! The simulation is single-process: clients are [`Client`] values holding
-//! private train/test splits (in-memory tensors or streamed chunks), and
-//! "communication" is the movement of [`rte_nn::StateDict`]s — mirroring
-//! the restriction that only model parameters, never data, leave a
-//! client.
+//! The default simulation is single-process: clients are [`Client`]
+//! values holding private train/test splits (in-memory tensors or
+//! streamed chunks), and "communication" is the movement of
+//! [`rte_nn::StateDict`]s — mirroring the restriction that only model
+//! parameters, never data, leave a client. The `rte-coordinator` /
+//! `rte-client` binaries run the same rounds across real process
+//! boundaries over Unix-domain sockets.
 //!
 //! # Example: a minimal end-to-end federated run
 //!
@@ -93,19 +105,29 @@ mod config;
 pub mod cost;
 mod error;
 pub mod eval;
+pub mod fedasync;
+pub mod federation;
 pub mod methods;
 pub mod params;
 pub mod scenario;
+pub mod secure;
 pub mod stream;
 mod trainer;
+pub mod wire;
 
 pub use client::{Client, ClientSet};
 pub use config::{Aggregation, FedConfig, Method};
 pub use error::FedError;
 pub use eval::{evaluate_auc, evaluate_report, EvalReport, Evaluator};
+pub use fedasync::{
+    render_async_history, run_fedasync, run_fedasync_wall, AsyncConfig, AsyncRoundRecord,
+    LinkExecutor, LocalExecutor, TrainExecutor,
+};
+pub use federation::{local_links, run_rounds_over, ClientSession, LocalLink, WireStats};
 pub use methods::{MethodOutcome, RoundRecord};
 pub use rte_tensor::parallel::Parallelism;
 pub use scenario::{run_scenario, Attack, ScenarioConfig, ScenarioOutcome};
+pub use secure::{aggregate_masked, mask_update, plain_update, MaskedUpdate, SecureConfig};
 pub use stream::{MappedClientSet, RecordSource, StreamingClientSet};
 pub use trainer::LocalTrainer;
 

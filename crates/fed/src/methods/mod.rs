@@ -202,7 +202,7 @@ impl<'a> Harness<'a> {
             scratch: factory(config.seed),
             evaluator: Evaluator::new(config.parallelism, EVAL_BATCH),
             factory,
-            root_rng: Xoshiro256::seed_from(config.seed ^ 0x5EED_0F0C),
+            root_rng: fleet_rng(config.seed),
         })
     }
 
@@ -399,11 +399,21 @@ impl<'a> Harness<'a> {
 }
 
 /// The one place the per-`(round, client)` minibatch stream is derived:
-/// both the serial [`Harness::round_rng`] helper and the parallel round
-/// loop's workers must draw from exactly this stream, or serial and
-/// threaded schedules would silently train on different batches.
-fn round_client_rng(root: &Xoshiro256, round: usize, client: usize) -> Xoshiro256 {
+/// the serial [`Harness::round_rng`] helper, the parallel round loop's
+/// workers, and the remote [`crate::federation::ClientSession`] must all
+/// draw from exactly this stream, or serial, threaded, and over-the-wire
+/// schedules would silently train on different batches.
+pub(crate) fn round_client_rng(root: &Xoshiro256, round: usize, client: usize) -> Xoshiro256 {
     root.derive(round as u64 + 1).derive(client as u64 + 1)
+}
+
+/// The fleet-level root RNG every coordinator and client derives its
+/// per-round streams from. One derivation point (determinism rule 3):
+/// [`Harness::new`] and the wire-side [`crate::federation`] peers both
+/// call this, which is what makes a remote round bit-identical to the
+/// in-process one.
+pub(crate) fn fleet_rng(seed: u64) -> Xoshiro256 {
+    Xoshiro256::seed_from(seed ^ 0x5EED_0F0C)
 }
 
 /// Runs one training method end to end.

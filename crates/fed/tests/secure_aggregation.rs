@@ -1,0 +1,213 @@
+//! Property tests for pairwise-masked secure aggregation: for *any*
+//! client subset, weights, parameters, and arrival order, the masked sum
+//! must equal the unmasked (quantized) weighted mean **bit for bit** —
+//! the masks are pure noise that cancels exactly in the wrapping sum —
+//! and any unresolved mask (dropped, extra, or round-confused client)
+//! must be a typed [`FedError::SecureAggregation`], never a silently
+//! noisy model.
+
+use proptest::prelude::*;
+
+use rte_fed::{aggregate_masked, mask_update, plain_update, FedError, SecureConfig};
+use rte_nn::StateDict;
+use rte_tensor::Tensor;
+
+/// Deterministic in-test shuffle (xorshift64*), so "any arrival order"
+/// is driven by one drawn seed.
+fn shuffle<T>(items: &mut [T], mut seed: u64) {
+    for k in (1..items.len()).rev() {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        items.swap(k, (seed % (k as u64 + 1)) as usize);
+    }
+}
+
+/// Builds one client's state dict from a flat data pool: a `w` tensor of
+/// `len` values and a 3-value `b`, so every client shares the structure
+/// aggregation requires.
+fn client_state(pool: &[f32], k: usize, len: usize) -> StateDict {
+    let at = k * (len + 3);
+    vec![
+        (
+            "w".to_string(),
+            Tensor::from_vec(pool[at..at + len].to_vec(), &[len]).unwrap(),
+        ),
+        (
+            "b".to_string(),
+            Tensor::from_vec(pool[at + len..at + len + 3].to_vec(), &[3]).unwrap(),
+        ),
+    ]
+}
+
+/// Distinct, non-contiguous client ids (the subset need not be 0..n).
+fn client_ids(raw: &[u32], n: usize) -> Vec<u32> {
+    (0..n).map(|k| (raw[k] % 1000) * 8 + k as u32).collect()
+}
+
+const MAX_CLIENTS: usize = 6;
+const MAX_LEN: usize = 16;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The heart of the exactness argument: masked updates, arriving in
+    /// an arbitrary permutation, aggregate to the *identical bits* the
+    /// unmasked quantized updates produce. Privacy costs nothing.
+    #[test]
+    fn masked_sum_equals_plain_sum_bitwise_for_any_subset_and_order(
+        n in 2usize..(MAX_CLIENTS + 1),
+        len in 4usize..(MAX_LEN + 1),
+        pool in collection::vec(-1.0f32..1.0, MAX_CLIENTS * (MAX_LEN + 3)),
+        raw_ids in collection::vec(any::<u32>(), MAX_CLIENTS),
+        raw_weights in collection::vec(1.0f64..8.0, MAX_CLIENTS),
+        round in any::<u64>(),
+        seed in any::<u64>(),
+        order in any::<u64>(),
+    ) {
+        let cfg = SecureConfig { seed, ..SecureConfig::default() };
+        let ids = client_ids(&raw_ids, n);
+        let weight_sum: f64 = raw_weights[..n].iter().sum();
+
+        let mut masked = Vec::new();
+        let mut plain = Vec::new();
+        for (k, &id) in ids.iter().enumerate() {
+            let state = client_state(&pool, k, len);
+            masked.push(mask_update(&state, raw_weights[k], id, &ids, round, &cfg));
+            plain.push(plain_update(&state, raw_weights[k], id, round, &cfg));
+        }
+        shuffle(&mut masked, order);
+
+        let from_masked = aggregate_masked(&masked, &ids, weight_sum, &cfg).unwrap();
+        let from_plain = aggregate_masked(&plain, &ids, weight_sum, &cfg).unwrap();
+        prop_assert_eq!(from_masked.len(), from_plain.len());
+        for ((name_m, t_m), (name_p, t_p)) in from_masked.iter().zip(from_plain.iter()) {
+            prop_assert_eq!(name_m, name_p);
+            prop_assert_eq!(t_m.shape().dims(), t_p.shape().dims());
+            for (a, b) in t_m.data().iter().zip(t_p.data().iter()) {
+                prop_assert!(
+                    a.to_bits() == b.to_bits(),
+                    "{} drifted: {} vs {}", name_m, a, b
+                );
+            }
+        }
+    }
+
+    /// Two different arrival orders of the same masked updates produce
+    /// identical bits — the coordinator's sum is order-free.
+    #[test]
+    fn aggregation_is_invariant_under_arrival_order(
+        n in 2usize..(MAX_CLIENTS + 1),
+        pool in collection::vec(-1.0f32..1.0, MAX_CLIENTS * (MAX_LEN + 3)),
+        raw_ids in collection::vec(any::<u32>(), MAX_CLIENTS),
+        raw_weights in collection::vec(1.0f64..8.0, MAX_CLIENTS),
+        order_a in any::<u64>(),
+        order_b in any::<u64>(),
+    ) {
+        let cfg = SecureConfig::default();
+        let ids = client_ids(&raw_ids, n);
+        let weight_sum: f64 = raw_weights[..n].iter().sum();
+        let updates: Vec<_> = ids
+            .iter()
+            .enumerate()
+            .map(|(k, &id)| {
+                mask_update(&client_state(&pool, k, 8), raw_weights[k], id, &ids, 3, &cfg)
+            })
+            .collect();
+
+        let mut a = updates.clone();
+        let mut b = updates;
+        shuffle(&mut a, order_a);
+        shuffle(&mut b, order_b);
+        let sum_a = aggregate_masked(&a, &ids, weight_sum, &cfg).unwrap();
+        let sum_b = aggregate_masked(&b, &ids, weight_sum, &cfg).unwrap();
+        for ((_, t_a), (_, t_b)) in sum_a.iter().zip(sum_b.iter()) {
+            for (x, y) in t_a.data().iter().zip(t_b.data().iter()) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    /// A client that contributed to everyone's masks but whose own
+    /// update never arrives leaves unresolved masks in the sum — the
+    /// coordinator must refuse with a typed error naming it, for *any*
+    /// choice of dropped client.
+    #[test]
+    fn dropped_client_is_a_typed_error(
+        n in 2usize..(MAX_CLIENTS + 1),
+        pool in collection::vec(-1.0f32..1.0, MAX_CLIENTS * (MAX_LEN + 3)),
+        raw_ids in collection::vec(any::<u32>(), MAX_CLIENTS),
+        drop_raw in any::<u64>(),
+    ) {
+        let cfg = SecureConfig::default();
+        let ids = client_ids(&raw_ids, n);
+        let dropped = (drop_raw % n as u64) as usize;
+        let updates: Vec<_> = ids
+            .iter()
+            .enumerate()
+            .filter(|&(k, _)| k != dropped)
+            .map(|(k, &id)| mask_update(&client_state(&pool, k, 6), 1.0, id, &ids, 1, &cfg))
+            .collect();
+
+        let err = aggregate_masked(&updates, &ids, n as f64, &cfg).unwrap_err();
+        match err {
+            FedError::SecureAggregation { reason } => {
+                prop_assert!(
+                    reason.contains(&format!("missing [{}]", ids[dropped])),
+                    "error must name the dropped client {}: {}", ids[dropped], reason
+                );
+            }
+            other => prop_assert!(false, "expected SecureAggregation, got {:?}", other),
+        }
+    }
+
+    /// An update from a client *outside* the mask set (its masks were
+    /// never counter-applied by anyone) is refused the same way.
+    #[test]
+    fn unexpected_client_is_a_typed_error(
+        n in 2usize..MAX_CLIENTS,
+        pool in collection::vec(-1.0f32..1.0, MAX_CLIENTS * (MAX_LEN + 3)),
+        raw_ids in collection::vec(any::<u32>(), MAX_CLIENTS),
+    ) {
+        let cfg = SecureConfig::default();
+        let all = client_ids(&raw_ids, n + 1);
+        let (ids, intruder) = (all[..n].to_vec(), all[n]);
+        let mut updates: Vec<_> = ids
+            .iter()
+            .enumerate()
+            .map(|(k, &id)| mask_update(&client_state(&pool, k, 6), 1.0, id, &ids, 1, &cfg))
+            .collect();
+        updates.push(mask_update(&client_state(&pool, n, 6), 1.0, intruder, &ids, 1, &cfg));
+
+        let err = aggregate_masked(&updates, &ids, n as f64 + 1.0, &cfg).unwrap_err();
+        prop_assert!(
+            matches!(&err, FedError::SecureAggregation { reason }
+                if reason.contains(&format!("unexpected [{intruder}]"))),
+            "expected SecureAggregation naming {}: {:?}", intruder, err
+        );
+    }
+
+    /// Updates quantized for different rounds carry different mask
+    /// streams; mixing them must be refused, not summed into garbage.
+    #[test]
+    fn mixed_rounds_are_a_typed_error(
+        pool in collection::vec(-1.0f32..1.0, MAX_CLIENTS * (MAX_LEN + 3)),
+        raw_ids in collection::vec(any::<u32>(), MAX_CLIENTS),
+        round in 0u64..1000,
+    ) {
+        let cfg = SecureConfig::default();
+        let ids = client_ids(&raw_ids, 3);
+        let mut updates: Vec<_> = ids
+            .iter()
+            .enumerate()
+            .map(|(k, &id)| mask_update(&client_state(&pool, k, 6), 1.0, id, &ids, round, &cfg))
+            .collect();
+        updates[2] = mask_update(&client_state(&pool, 2, 6), 1.0, ids[2], &ids, round + 1, &cfg);
+
+        let err = aggregate_masked(&updates, &ids, 3.0, &cfg).unwrap_err();
+        prop_assert!(
+            matches!(&err, FedError::SecureAggregation { reason } if reason.contains("round")),
+            "expected a mixed-round SecureAggregation error: {:?}", err
+        );
+    }
+}

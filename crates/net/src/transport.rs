@@ -1,0 +1,321 @@
+//! Transports: how frames move between a coordinator and its clients.
+//!
+//! A [`Transport`] is one bidirectional, ordered, reliable frame pipe.
+//! Two backends ship here:
+//!
+//! - [`ChannelTransport`] — an in-process pair over `std::sync::mpsc`,
+//!   the reference backend. Frames still round-trip through the full
+//!   encoder/decoder, so the wire format is exercised even in-process.
+//! - [`UdsTransport`] (Unix) — a Unix-domain socket stream, the
+//!   process-boundary backend the `rte-coordinator`/`rte-client`
+//!   binaries speak.
+//!
+//! [`FanIn`] merges several transports into one wall-clock arrival-order
+//! stream. It exists *only* for the documented non-deterministic
+//! wall-clock async mode (determinism contract rule 8's opt-out): it
+//! spawns one reader thread per link, which is a sanctioned exception to
+//! lint rule L5 — deterministic code never touches it.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+
+use crate::error::NetError;
+use crate::frame::Frame;
+
+/// One bidirectional, ordered, reliable frame pipe.
+pub trait Transport {
+    /// Sends one frame (blocking until it is handed to the pipe).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Closed`] when the peer hung up, or any
+    /// encoding/I/O error.
+    fn send(&mut self, frame: &Frame) -> Result<(), NetError>;
+
+    /// Receives the next frame (blocking).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Closed`] when the peer hung up, or any
+    /// decoding/I/O error.
+    fn recv(&mut self) -> Result<Frame, NetError>;
+}
+
+/// In-process transport half over `std::sync::mpsc`, carrying *encoded*
+/// frame bytes so the codec is on the path even without a socket.
+pub struct ChannelTransport {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+}
+
+impl ChannelTransport {
+    /// Creates a connected pair of transport halves.
+    pub fn pair() -> (ChannelTransport, ChannelTransport) {
+        let (a_tx, b_rx) = channel();
+        let (b_tx, a_rx) = channel();
+        (
+            ChannelTransport { tx: a_tx, rx: a_rx },
+            ChannelTransport { tx: b_tx, rx: b_rx },
+        )
+    }
+
+    /// Receives the next frame without blocking; `Ok(None)` when the
+    /// queue is currently empty (single-threaded pumps poll with this).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Closed`] when the peer hung up, or a decode
+    /// error for damaged bytes.
+    pub fn try_recv(&mut self) -> Result<Option<Frame>, NetError> {
+        match self.rx.try_recv() {
+            Ok(bytes) => Ok(Some(decode_exact(&bytes)?)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(NetError::Closed),
+        }
+    }
+}
+
+/// Decodes a buffer that must hold exactly one frame.
+fn decode_exact(bytes: &[u8]) -> Result<Frame, NetError> {
+    let (frame, used) = Frame::decode(bytes)?;
+    if used != bytes.len() {
+        return Err(NetError::Protocol {
+            reason: format!("{} trailing bytes after frame", bytes.len() - used),
+        });
+    }
+    Ok(frame)
+}
+
+impl Transport for ChannelTransport {
+    fn send(&mut self, frame: &Frame) -> Result<(), NetError> {
+        let bytes = frame.encode()?;
+        self.tx.send(bytes).map_err(|_| NetError::Closed)
+    }
+
+    fn recv(&mut self) -> Result<Frame, NetError> {
+        let bytes = self.rx.recv().map_err(|_| NetError::Closed)?;
+        decode_exact(&bytes)
+    }
+}
+
+/// Unix-domain-socket transport: the process-boundary backend.
+#[cfg(unix)]
+pub struct UdsTransport {
+    reader: BufReader<std::os::unix::net::UnixStream>,
+    writer: BufWriter<std::os::unix::net::UnixStream>,
+}
+
+#[cfg(unix)]
+impl UdsTransport {
+    /// Wraps a connected stream (cloning the descriptor for the read
+    /// half so reads and writes buffer independently).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Io`] when the descriptor cannot be cloned.
+    pub fn from_stream(stream: std::os::unix::net::UnixStream) -> Result<Self, NetError> {
+        let read_half = stream.try_clone()?;
+        Ok(UdsTransport {
+            reader: BufReader::new(read_half),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Connects to the socket at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Io`] when the connection fails.
+    pub fn connect(path: impl AsRef<std::path::Path>) -> Result<Self, NetError> {
+        Self::from_stream(std::os::unix::net::UnixStream::connect(path)?)
+    }
+
+    /// Clones the underlying socket into a second transport handle, for
+    /// the wall-clock split: the original goes into a [`FanIn`] (read
+    /// side) while the clone stays with the coordinator for sends.
+    /// Receiving on both handles concurrently would split the byte
+    /// stream between two buffers — treat the clone as write-only.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Io`] when the descriptor cannot be cloned.
+    pub fn duplicate(&self) -> Result<Self, NetError> {
+        Self::from_stream(self.writer.get_ref().try_clone()?)
+    }
+}
+
+#[cfg(unix)]
+impl Transport for UdsTransport {
+    fn send(&mut self, frame: &Frame) -> Result<(), NetError> {
+        frame.write_to(&mut self.writer)?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Frame, NetError> {
+        Frame::read_from(&mut self.reader)
+    }
+}
+
+/// Listening side of the UDS backend.
+#[cfg(unix)]
+pub struct UdsListener {
+    listener: std::os::unix::net::UnixListener,
+}
+
+#[cfg(unix)]
+impl UdsListener {
+    /// Binds a fresh socket at `path` (removing a stale file first, so a
+    /// crashed previous run cannot wedge the address).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Io`] when the bind fails.
+    pub fn bind(path: impl AsRef<std::path::Path>) -> Result<Self, NetError> {
+        let path = path.as_ref();
+        let _ = std::fs::remove_file(path);
+        Ok(UdsListener {
+            listener: std::os::unix::net::UnixListener::bind(path)?,
+        })
+    }
+
+    /// Accepts the next client connection (blocking).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Io`] when the accept fails.
+    pub fn accept(&self) -> Result<UdsTransport, NetError> {
+        let (stream, _) = self.listener.accept()?;
+        UdsTransport::from_stream(stream)
+    }
+}
+
+/// Wall-clock arrival-order fan-in over several transports.
+///
+/// **This is the non-deterministic opt-out.** Each link gets a reader
+/// thread; frames surface in true arrival order, so two runs of the
+/// same experiment can aggregate in different orders. Deterministic mode
+/// (the default everywhere) never constructs one of these — the seeded
+/// virtual clock replays a fixed order instead.
+pub struct FanIn {
+    rx: Receiver<(usize, Result<Frame, NetError>)>,
+    links: usize,
+}
+
+impl FanIn {
+    /// Consumes `links` and starts one reader thread per link. Threads
+    /// exit when their link closes or errors (the terminal result is
+    /// forwarded first).
+    pub fn new<T: Transport + Send + 'static>(links: Vec<T>) -> Self {
+        let (tx, rx) = channel();
+        let n = links.len();
+        for (index, mut link) in links.into_iter().enumerate() {
+            let tx = tx.clone();
+            // rte-lint: allow(L5) sanctioned wall-clock fan-in: one reader
+            // thread per link, used only by the documented non-deterministic
+            // async opt-out, never by deterministic mode.
+            std::thread::spawn(move || loop {
+                let item = link.recv();
+                let terminal = item.is_err();
+                if tx.send((index, item)).is_err() || terminal {
+                    break;
+                }
+            });
+        }
+        FanIn { rx, links: n }
+    }
+
+    /// Number of links this fan-in was built over.
+    pub fn links(&self) -> usize {
+        self.links
+    }
+
+    /// The next `(link index, frame)` in wall-clock arrival order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the failing link's error (with its index) or
+    /// [`NetError::Closed`] when every link has finished.
+    pub fn recv_any(&mut self) -> Result<(usize, Frame), NetError> {
+        match self.rx.recv() {
+            Ok((index, Ok(frame))) => Ok((index, frame)),
+            Ok((_, Err(e))) => Err(e),
+            Err(_) => Err(NetError::Closed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_pair_round_trips() {
+        let (mut a, mut b) = ChannelTransport::pair();
+        let frame = Frame::new(1, 0, 0, b"ping".to_vec());
+        a.send(&frame).unwrap();
+        assert_eq!(b.recv().unwrap(), frame);
+        let reply = Frame::new(2, 1, 0, b"pong".to_vec());
+        b.send(&reply).unwrap();
+        assert_eq!(a.try_recv().unwrap(), Some(reply));
+        assert_eq!(a.try_recv().unwrap(), None);
+    }
+
+    #[test]
+    fn dropped_peer_is_closed() {
+        let (mut a, b) = ChannelTransport::pair();
+        drop(b);
+        assert_eq!(
+            a.send(&Frame::new(0, 0, 0, Vec::new())).unwrap_err(),
+            NetError::Closed
+        );
+        assert_eq!(a.recv().unwrap_err(), NetError::Closed);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn uds_round_trips_across_a_socket() {
+        let dir = std::env::temp_dir().join(format!("rte-net-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("uds-roundtrip.sock");
+        let listener = UdsListener::bind(&path).unwrap();
+        let client = std::thread::spawn({
+            let path = path.clone();
+            move || {
+                let mut t = UdsTransport::connect(&path).unwrap();
+                t.send(&Frame::new(1, 5, 0, b"hello".to_vec())).unwrap();
+                t.recv().unwrap()
+            }
+        });
+        let mut server_side = listener.accept().unwrap();
+        let got = server_side.recv().unwrap();
+        assert_eq!(got.sender, 5);
+        assert_eq!(got.payload, b"hello");
+        server_side
+            .send(&Frame::new(2, 0, 0, b"welcome".to_vec()))
+            .unwrap();
+        let reply = client.join().unwrap();
+        assert_eq!(reply.payload, b"welcome");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fan_in_surfaces_every_frame() {
+        let (mut near_a, far_a) = ChannelTransport::pair();
+        let (mut near_b, far_b) = ChannelTransport::pair();
+        near_a.send(&Frame::new(1, 1, 0, b"a".to_vec())).unwrap();
+        near_b.send(&Frame::new(1, 2, 0, b"b".to_vec())).unwrap();
+        let mut fan = FanIn::new(vec![far_a, far_b]);
+        assert_eq!(fan.links(), 2);
+        let mut seen = Vec::new();
+        for _ in 0..2 {
+            let (_, frame) = fan.recv_any().unwrap();
+            seen.push(frame.sender);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, vec![1, 2]);
+        drop(near_a);
+        drop(near_b);
+        assert!(fan.recv_any().is_err());
+    }
+}

@@ -1,0 +1,170 @@
+//! Hostile-bytes property tests for the frame codec: every class of
+//! damage an attacker (or a flaky disk/socket) can inflict must surface
+//! as a *typed* [`NetError`] — never a panic, never a hang, never a
+//! silently accepted frame. Same discipline as the shard-format fuzz
+//! suite in `rte_eda`.
+
+use proptest::prelude::*;
+
+use rte_net::{crc32, Frame, NetError, FRAME_VERSION, MAX_FRAME_LEN, PRELUDE_LEN};
+
+/// Offset of `header_crc` within the prelude (the CRC covers 0..30).
+const HEADER_CRC_OFFSET: usize = 30;
+
+/// Builds an arbitrary frame from independently drawn raw components
+/// (the vendored proptest has no tuple/`prop_map` strategies, so the
+/// narrowing happens here).
+fn mk_frame(kind: u32, flags: u32, sender: u32, seq: u64, payload: &[u32]) -> Frame {
+    Frame {
+        kind: kind as u8,
+        flags: flags as u8,
+        sender,
+        seq,
+        payload: payload.iter().map(|&v| v as u8).collect(),
+    }
+}
+
+/// Re-CRCs the header after a deliberate prelude edit, so the length/
+/// version checks — not the CRC — are what the decoder must rely on.
+fn fix_header_crc(bytes: &mut [u8]) {
+    let crc = crc32(&bytes[..HEADER_CRC_OFFSET]);
+    bytes[HEADER_CRC_OFFSET..PRELUDE_LEN].copy_from_slice(&crc.to_le_bytes());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A single flipped byte anywhere in an encoded frame is always
+    /// caught, and by the layer responsible for that region: magic
+    /// damage → `BadMagic`, other prelude damage → `HeaderCrc`, payload
+    /// or trailer damage → `PayloadCrc`.
+    #[test]
+    fn any_single_byte_flip_is_rejected_with_the_right_error(
+        kind in any::<u32>(),
+        flags in any::<u32>(),
+        sender in any::<u32>(),
+        seq in any::<u64>(),
+        payload in collection::vec(any::<u32>(), 0..200),
+        at_raw in any::<u64>(),
+        mask_raw in any::<u32>(),
+    ) {
+        let frame = mk_frame(kind, flags, sender, seq, &payload);
+        let mut bytes = frame.encode().unwrap();
+        let at = (at_raw % bytes.len() as u64) as usize;
+        let mask = (mask_raw % 255 + 1) as u8; // any non-zero flip
+        bytes[at] ^= mask;
+        let err = Frame::decode(&bytes).unwrap_err();
+        if at < 8 {
+            prop_assert_eq!(err, NetError::BadMagic);
+        } else if at < PRELUDE_LEN {
+            prop_assert_eq!(err, NetError::HeaderCrc);
+        } else {
+            prop_assert_eq!(err, NetError::PayloadCrc);
+        }
+    }
+
+    /// Truncation at *every* byte boundary of an arbitrary frame is a
+    /// typed `Truncated` — the cursor never slices out of bounds.
+    #[test]
+    fn truncation_at_every_boundary_is_typed(
+        kind in any::<u32>(),
+        flags in any::<u32>(),
+        sender in any::<u32>(),
+        seq in any::<u64>(),
+        payload in collection::vec(any::<u32>(), 0..200),
+    ) {
+        let bytes = mk_frame(kind, flags, sender, seq, &payload).encode().unwrap();
+        for cut in 0..bytes.len() {
+            let err = Frame::decode(&bytes[..cut]).unwrap_err();
+            prop_assert!(
+                matches!(err, NetError::Truncated { .. }),
+                "cut at {}: {:?}", cut, err
+            );
+        }
+    }
+
+    /// A forged `payload_len` (header re-CRC'd so the checksum cannot
+    /// save us) is rejected: past the cap → `Oversize` *before any
+    /// allocation*, past the actual input → `Truncated`, and shrunk
+    /// below the real length → the bytes no longer checksum.
+    #[test]
+    fn forged_payload_len_is_rejected(
+        kind in any::<u32>(),
+        flags in any::<u32>(),
+        sender in any::<u32>(),
+        seq in any::<u64>(),
+        payload in collection::vec(any::<u32>(), 0..200),
+        forged in any::<u32>(),
+    ) {
+        let frame = mk_frame(kind, flags, sender, seq, &payload);
+        prop_assume!(forged as usize != frame.payload.len());
+        let mut bytes = frame.encode().unwrap();
+        bytes[26..30].copy_from_slice(&forged.to_le_bytes());
+        fix_header_crc(&mut bytes);
+        let err = Frame::decode(&bytes).unwrap_err();
+        if forged > MAX_FRAME_LEN {
+            prop_assert_eq!(
+                err,
+                NetError::Oversize { len: forged as u64, max: MAX_FRAME_LEN as u64 }
+            );
+        } else if forged as usize > frame.payload.len() {
+            prop_assert!(matches!(err, NetError::Truncated { .. }), "{:?}", err);
+        } else {
+            prop_assert_eq!(err, NetError::PayloadCrc);
+        }
+    }
+
+    /// A frame claiming any version other than the current one — but
+    /// otherwise pristine, correct CRCs included — is refused with the
+    /// claimed version in the error.
+    #[test]
+    fn wrong_version_is_refused_even_when_correctly_crcd(
+        kind in any::<u32>(),
+        sender in any::<u32>(),
+        seq in any::<u64>(),
+        payload in collection::vec(any::<u32>(), 0..64),
+        version in any::<u32>(),
+    ) {
+        prop_assume!(version != FRAME_VERSION);
+        let frame = mk_frame(kind, 0, sender, seq, &payload);
+        let bytes = frame.encode_with_version(version).unwrap();
+        prop_assert_eq!(
+            Frame::decode(&bytes).unwrap_err(),
+            NetError::UnsupportedVersion { got: version }
+        );
+    }
+
+    /// Arbitrary garbage never decodes (and never panics): a random
+    /// buffer passing magic + two CRCs has probability ~2^-96.
+    #[test]
+    fn random_garbage_never_decodes(bytes in collection::vec(any::<u32>(), 0..300)) {
+        let bytes: Vec<u8> = bytes.iter().map(|&v| v as u8).collect();
+        prop_assert!(Frame::decode(&bytes).is_err());
+    }
+
+    /// The streaming reader validates the prelude *before* reading a
+    /// single payload byte: a hostile peer that promises an over-cap
+    /// payload and then goes silent gets `Oversize`, not a reader
+    /// stalled waiting for 4 GiB that will never arrive.
+    #[test]
+    fn read_from_rejects_forged_prelude_before_reading_payload(
+        kind in any::<u32>(),
+        sender in any::<u32>(),
+        seq in any::<u64>(),
+        payload in collection::vec(any::<u32>(), 0..64),
+        over_raw in any::<u32>(),
+    ) {
+        let over = MAX_FRAME_LEN + 1 + over_raw % (u32::MAX - MAX_FRAME_LEN);
+        let mut bytes = mk_frame(kind, 0, sender, seq, &payload).encode().unwrap();
+        bytes[26..30].copy_from_slice(&over.to_le_bytes());
+        fix_header_crc(&mut bytes);
+        // Hand the reader the prelude alone — if validation ordering
+        // regressed, read_from would report a payload truncation (it
+        // tried to read) instead of the length-cap violation.
+        let mut reader = std::io::Cursor::new(bytes[..PRELUDE_LEN].to_vec());
+        prop_assert_eq!(
+            Frame::read_from(&mut reader).unwrap_err(),
+            NetError::Oversize { len: over as u64, max: MAX_FRAME_LEN as u64 }
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! Federated client: one party of the decentralized fleet, as its own
+//! process.
+//!
+//! The client rebuilds the *entire* experiment config from the shared
+//! `(clients, seed, quick)` triple, generates only its own private
+//! train/test split locally, connects to the coordinator's Unix-domain
+//! socket, and then answers deploy frames with locally trained
+//! parameter sets until the coordinator shuts the session down. Data
+//! never leaves the process — the paper's privacy boundary, enforced by
+//! a process boundary.
+//!
+//! Spawned by `rte-coordinator --clients-procs N`, or started by hand:
+//!
+//! ```text
+//! rte-client --socket /tmp/fed.sock --client-index 3 --clients 8 --quick --seed 42
+//! ```
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use decentralized_routability::core::{build_experiment_clients, model_factory, transport_config};
+use decentralized_routability::fed::{ClientSession, SecureConfig};
+use decentralized_routability::net::UdsTransport;
+use decentralized_routability::nn::models::ModelKind;
+
+struct Args {
+    socket: PathBuf,
+    client_index: usize,
+    clients: usize,
+    quick: bool,
+    seed: u64,
+    secure: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut socket = None;
+    let mut client_index = None;
+    let mut out = Args {
+        socket: PathBuf::new(),
+        client_index: 0,
+        clients: 4,
+        quick: false,
+        seed: 7,
+        secure: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--socket" => socket = Some(PathBuf::from(it.next().ok_or("--socket needs a path")?)),
+            "--client-index" => {
+                let v = it.next().ok_or("--client-index needs a value")?;
+                client_index = Some(v.parse().map_err(|_| format!("bad index {v}"))?);
+            }
+            "--clients" => {
+                let v = it.next().ok_or("--clients needs a value")?;
+                out.clients = v.parse().map_err(|_| format!("bad client count {v}"))?;
+            }
+            "--quick" => out.quick = true,
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                out.seed = v.parse().map_err(|_| format!("bad seed {v}"))?;
+            }
+            "--secure" => out.secure = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    out.socket = socket.ok_or("--socket is required")?;
+    out.client_index = client_index.ok_or("--client-index is required")?;
+    if out.client_index >= out.clients {
+        return Err(format!(
+            "--client-index {} out of range for {} clients",
+            out.client_index, out.clients
+        ));
+    }
+    Ok(out)
+}
+
+/// Connects with retries — the coordinator may still be binding the
+/// socket when a spawned client starts.
+fn connect_with_retry(path: &PathBuf) -> Result<UdsTransport, Box<dyn std::error::Error>> {
+    let mut last = None;
+    for _ in 0..100 {
+        match UdsTransport::connect(path) {
+            Ok(t) => return Ok(t),
+            Err(e) => {
+                last = Some(e);
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+    Err(format!("could not connect to {}: {:?}", path.display(), last).into())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = parse_args().unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        eprintln!(
+            "usage: rte-client --socket PATH --client-index K [--clients N] [--quick] \
+             [--seed N] [--secure]"
+        );
+        std::process::exit(2);
+    });
+
+    let config = transport_config(args.clients, args.seed, args.quick);
+    let fleet = build_experiment_clients(&config)?;
+    let factory = model_factory(ModelKind::FlNet, config.model_scale);
+    let secure = args.secure.then(SecureConfig::default);
+    let mut session = ClientSession::new(&fleet, args.client_index, &factory, &config.fed, secure)?;
+
+    let mut transport = connect_with_retry(&args.socket)?;
+    session.hello(&mut transport)?;
+    session.serve(&mut transport)?;
+    Ok(())
+}

@@ -1,0 +1,360 @@
+//! Federated coordinator: runs FedProx rounds against real client
+//! processes over Unix-domain sockets (or an in-process channel fleet).
+//!
+//! The coordinator never sees client data — each `rte-client` process
+//! regenerates its own private split from the shared `(clients, seed,
+//! quick)` config, and only serialized parameter sets cross the socket.
+//! In the default sync mode the printed table is byte-identical to the
+//! in-process `rte-bench` FedProx row for the same config
+//! (`tests/transport_determinism.rs` pins this). `--async virtual` runs
+//! the seeded virtual-clock buffered schedule (determinism rule 8);
+//! `--async wall` is the documented non-deterministic opt-out.
+//!
+//! ```text
+//! rte-coordinator --clients 8 --clients-procs 8 --quick --seed 42
+//! rte-coordinator --transport channel --quick --async virtual
+//! ```
+
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+
+use decentralized_routability::core::report::render_table;
+use decentralized_routability::core::{
+    build_experiment_clients, model_factory, transport_config, ExperimentConfig, TableResult,
+};
+use decentralized_routability::fed::{
+    local_links, render_async_history, run_fedasync, run_fedasync_wall, run_rounds_over,
+    AsyncConfig, Client, ClientSession, LinkExecutor, Method, ModelFactory, SecureConfig,
+};
+use decentralized_routability::net::{FanIn, UdsListener, UdsTransport};
+use decentralized_routability::nn::models::ModelKind;
+
+/// Which backend carries the frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TransportKind {
+    /// Unix-domain sockets to real client processes (the default).
+    Uds,
+    /// In-process channel links — no processes, same wire codec.
+    Channel,
+}
+
+/// Which round schedule runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AsyncMode {
+    /// Synchronous FedProx rounds.
+    Off,
+    /// Buffered async on the seeded virtual clock (deterministic).
+    Virtual,
+    /// Buffered async on real arrival order (the documented opt-out;
+    /// not reproducible).
+    Wall,
+}
+
+struct Args {
+    socket: PathBuf,
+    clients: usize,
+    clients_procs: usize,
+    quick: bool,
+    seed: u64,
+    transport: TransportKind,
+    r#async: AsyncMode,
+    secure: bool,
+    aggregations: usize,
+    buffer: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut out = Args {
+        socket: std::env::temp_dir().join(format!("rte-fed-{}.sock", std::process::id())),
+        clients: 4,
+        clients_procs: 0,
+        quick: false,
+        seed: 7,
+        transport: TransportKind::Uds,
+        r#async: AsyncMode::Off,
+        secure: false,
+        aggregations: 4,
+        buffer: 0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--socket" => out.socket = PathBuf::from(it.next().ok_or("--socket needs a path")?),
+            "--clients" => {
+                let v = it.next().ok_or("--clients needs a value")?;
+                out.clients = v.parse().map_err(|_| format!("bad client count {v}"))?;
+                if out.clients == 0 {
+                    return Err("--clients must be positive".into());
+                }
+            }
+            "--clients-procs" => {
+                let v = it.next().ok_or("--clients-procs needs a value")?;
+                out.clients_procs = v.parse().map_err(|_| format!("bad process count {v}"))?;
+            }
+            "--quick" => out.quick = true,
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                out.seed = v.parse().map_err(|_| format!("bad seed {v}"))?;
+            }
+            "--transport" => {
+                out.transport = match it.next().as_deref() {
+                    Some("uds") => TransportKind::Uds,
+                    Some("channel") => TransportKind::Channel,
+                    other => return Err(format!("--transport must be uds|channel, got {other:?}")),
+                };
+            }
+            "--async" => {
+                out.r#async = match it.next().as_deref() {
+                    Some("off") => AsyncMode::Off,
+                    Some("virtual") => AsyncMode::Virtual,
+                    Some("wall") => AsyncMode::Wall,
+                    other => {
+                        return Err(format!("--async must be off|virtual|wall, got {other:?}"))
+                    }
+                };
+            }
+            "--secure" => out.secure = true,
+            "--aggregations" => {
+                let v = it.next().ok_or("--aggregations needs a value")?;
+                out.aggregations = v.parse().map_err(|_| format!("bad aggregations {v}"))?;
+            }
+            "--buffer" => {
+                let v = it.next().ok_or("--buffer needs a value")?;
+                out.buffer = v.parse().map_err(|_| format!("bad buffer {v}"))?;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if out.buffer == 0 {
+        out.buffer = (out.clients / 2).max(1);
+    }
+    if out.secure && out.r#async != AsyncMode::Off {
+        return Err("--secure only applies to synchronous rounds".into());
+    }
+    if out.r#async == AsyncMode::Wall && out.transport != TransportKind::Uds {
+        return Err("--async wall needs --transport uds (real arrival order)".into());
+    }
+    if out.clients_procs > 0 && out.transport != TransportKind::Uds {
+        return Err("--clients-procs only applies to --transport uds".into());
+    }
+    Ok(out)
+}
+
+/// Spawns `n` `rte-client` child processes (the binary is expected next
+/// to the coordinator's own executable).
+fn spawn_clients(args: &Args, n: usize) -> Result<Vec<Child>, Box<dyn std::error::Error>> {
+    let me = std::env::current_exe()?;
+    let client_bin = me
+        .parent()
+        .ok_or("coordinator binary has no parent directory")?
+        .join("rte-client");
+    (0..n)
+        .map(|k| {
+            let mut cmd = Command::new(&client_bin);
+            cmd.arg("--socket")
+                .arg(&args.socket)
+                .arg("--client-index")
+                .arg(k.to_string())
+                .arg("--clients")
+                .arg(args.clients.to_string())
+                .arg("--seed")
+                .arg(args.seed.to_string())
+                .stdout(Stdio::null());
+            if args.quick {
+                cmd.arg("--quick");
+            }
+            if args.secure {
+                cmd.arg("--secure");
+            }
+            Ok(cmd.spawn()?)
+        })
+        .collect()
+}
+
+/// Hosts every client past `--clients-procs` as an in-process thread:
+/// the same [`ClientSession`] the `rte-client` binary wraps, speaking
+/// the same frames over the same socket — the process boundary is a
+/// deployment choice, not a protocol one (determinism rule 7). The
+/// threads share the already-built fleet instead of regenerating it;
+/// a failed session aborts the run loudly rather than leaving the
+/// coordinator accepting forever.
+fn serve_thread_clients(
+    args: &Args,
+    fleet: &Arc<Vec<Client>>,
+    factory: &Arc<ModelFactory>,
+    config: &Arc<ExperimentConfig>,
+    secure: Option<SecureConfig>,
+) {
+    for k in args.clients_procs..fleet.len() {
+        let fleet = Arc::clone(fleet);
+        let factory = Arc::clone(factory);
+        let config = Arc::clone(config);
+        let socket = args.socket.clone();
+        // rte-lint: allow(L5) thread-hosted clients: each thread is one
+        // client's serve loop, blocked on its own socket — no shared
+        // reduction, no schedule of its own; the training it performs
+        // still goes through the one rte_tensor::parallel pool.
+        std::thread::spawn(move || {
+            let serve = || -> Result<(), Box<dyn std::error::Error>> {
+                let mut session = ClientSession::new(&fleet, k, &factory, &config.fed, secure)?;
+                let mut transport = UdsTransport::connect(&socket)?;
+                session.hello(&mut transport)?;
+                session.serve(&mut transport)?;
+                Ok(())
+            };
+            if let Err(e) = serve() {
+                eprintln!("thread-hosted client {k}: {e}");
+                std::process::exit(1);
+            }
+        });
+    }
+}
+
+/// Accepts `n` connections and orders them by the fleet index each
+/// client announces in its hello frame.
+fn accept_fleet(
+    listener: &UdsListener,
+    n: usize,
+) -> Result<Vec<UdsTransport>, Box<dyn std::error::Error>> {
+    let mut slots: Vec<Option<UdsTransport>> = (0..n).map(|_| None).collect();
+    for _ in 0..n {
+        let mut link = listener.accept()?;
+        let (sender, message) = decentralized_routability::fed::wire::recv_message(&mut link)?;
+        let decentralized_routability::fed::wire::Message::Hello { client, .. } = message else {
+            return Err(format!("peer {sender} did not open with a hello").into());
+        };
+        let slot = client as usize;
+        if slot >= n || slots[slot].is_some() {
+            return Err(format!("client {client} is out of range or a duplicate").into());
+        }
+        slots[slot] = Some(link);
+    }
+    Ok(slots
+        .into_iter()
+        .map(|s| s.expect("all slots filled"))
+        .collect())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = parse_args().unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        eprintln!(
+            "usage: rte-coordinator [--socket PATH] [--clients N] [--clients-procs N] \
+             [--quick] [--seed N] [--transport uds|channel] [--async off|virtual|wall] \
+             [--secure] [--aggregations N] [--buffer N]"
+        );
+        std::process::exit(2);
+    });
+
+    let config = Arc::new(transport_config(args.clients, args.seed, args.quick));
+    let fleet = Arc::new(build_experiment_clients(&config)?);
+    let factory = Arc::new(model_factory(ModelKind::FlNet, config.model_scale));
+    let secure = args.secure.then(SecureConfig::default);
+    eprintln!(
+        "coordinator: {} clients over {:?}, async {:?}{}",
+        fleet.len(),
+        args.transport,
+        args.r#async,
+        if args.secure { ", secure" } else { "" }
+    );
+
+    let mut children = Vec::new();
+    let outcome = match args.transport {
+        TransportKind::Channel => {
+            let mut links = local_links(&fleet, &factory, &config.fed, secure)?;
+            match args.r#async {
+                AsyncMode::Off => run_rounds_over(
+                    Method::FedProx,
+                    &fleet,
+                    &factory,
+                    &config.fed,
+                    &mut links,
+                    secure,
+                )?,
+                AsyncMode::Virtual => {
+                    let async_cfg = AsyncConfig::new(args.aggregations, args.buffer);
+                    let mut exec = LinkExecutor::new(&mut links);
+                    let (outcome, records) =
+                        run_fedasync(&fleet, &factory, &config.fed, &async_cfg, &mut exec)?;
+                    println!(
+                        "{}",
+                        render_async_history("Async schedule (virtual clock)", &records)
+                    );
+                    outcome
+                }
+                AsyncMode::Wall => unreachable!("rejected at parse time"),
+            }
+        }
+        TransportKind::Uds => {
+            let listener = UdsListener::bind(&args.socket)?;
+            if args.clients_procs > 0 {
+                children = spawn_clients(&args, args.clients_procs)?;
+            }
+            serve_thread_clients(&args, &fleet, &factory, &config, secure);
+            let mut links = accept_fleet(&listener, fleet.len())?;
+            let outcome = match args.r#async {
+                AsyncMode::Off => run_rounds_over(
+                    Method::FedProx,
+                    &fleet,
+                    &factory,
+                    &config.fed,
+                    &mut links,
+                    secure,
+                )?,
+                AsyncMode::Virtual => {
+                    let async_cfg = AsyncConfig::new(args.aggregations, args.buffer);
+                    let mut exec = LinkExecutor::new(&mut links);
+                    let (outcome, records) =
+                        run_fedasync(&fleet, &factory, &config.fed, &async_cfg, &mut exec)?;
+                    println!(
+                        "{}",
+                        render_async_history("Async schedule (virtual clock)", &records)
+                    );
+                    outcome
+                }
+                AsyncMode::Wall => {
+                    let async_cfg = AsyncConfig::new(args.aggregations, args.buffer);
+                    let mut send_links = links
+                        .iter()
+                        .map(UdsTransport::duplicate)
+                        .collect::<Result<Vec<_>, _>>()?;
+                    let mut fan = FanIn::new(links);
+                    let (outcome, records) = run_fedasync_wall(
+                        &fleet,
+                        &factory,
+                        &config.fed,
+                        &async_cfg,
+                        &mut send_links,
+                        &mut fan,
+                    )?;
+                    println!(
+                        "{}",
+                        render_async_history(
+                            "Async schedule (wall clock — NOT reproducible)",
+                            &records
+                        )
+                    );
+                    outcome
+                }
+            };
+            let _ = std::fs::remove_file(&args.socket);
+            outcome
+        }
+    };
+
+    let table = TableResult {
+        model: ModelKind::FlNet,
+        n_clients: fleet.len(),
+        rows: vec![outcome],
+    };
+    println!("{}", render_table(&table));
+
+    for mut child in children {
+        let status = child.wait()?;
+        if !status.success() {
+            return Err(format!("a client process exited with {status}").into());
+        }
+    }
+    Ok(())
+}

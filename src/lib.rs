@@ -28,5 +28,6 @@ pub use rte_core as core;
 pub use rte_eda as eda;
 pub use rte_fed as fed;
 pub use rte_metrics as metrics;
+pub use rte_net as net;
 pub use rte_nn as nn;
 pub use rte_tensor as tensor;

@@ -561,12 +561,31 @@ pub fn run_table(kind: ModelKind, config: &ExperimentConfig) -> Result<TableResu
 /// a coordinator table can be compared byte-for-byte against the
 /// in-process bench path.
 pub fn transport_config(clients: usize, seed: u64, quick: bool) -> ExperimentConfig {
+    transport_config_with_rounds(clients, seed, quick, None)
+}
+
+/// [`transport_config`] with an explicit round-count override — what
+/// `rte-coordinator --rounds N` builds, so checkpoint/resume and chaos
+/// runs can be long enough to kill midway. `None` keeps the profile's
+/// default (2 rounds under `--quick`).
+///
+/// The round count feeds the checkpoint config digest: a checkpoint
+/// taken under `--rounds 6` cannot be resumed into a `--rounds 4` run.
+pub fn transport_config_with_rounds(
+    clients: usize,
+    seed: u64,
+    quick: bool,
+    rounds: Option<usize>,
+) -> ExperimentConfig {
     let mut config = ExperimentConfig::scaled();
     if quick {
         config.corpus.placement_scale = 0.0; // one placement per design
         config.fed.rounds = 2;
         config.fed.local_steps = 4;
         config.fed.finetune_steps = 8;
+    }
+    if let Some(rounds) = rounds {
+        config.fed.rounds = rounds.max(1);
     }
     config.corpus.seed = seed;
     config.fed.seed = seed ^ 0xFED5;

@@ -31,5 +31,5 @@ pub use error::CoreError;
 pub use experiment::{
     build_clients, build_experiment_clients, build_streaming_clients, mmap_shard_client_set,
     model_factory, run_method_on_clients, run_table, shard_client_set, transport_config,
-    ExperimentConfig, ShardBackend, TableResult,
+    transport_config_with_rounds, ExperimentConfig, ShardBackend, TableResult,
 };

@@ -47,6 +47,23 @@ pub enum FedError {
         /// What went wrong (which clients are missing or unexpected).
         reason: String,
     },
+    /// A resilient round ended with fewer surviving updates than the
+    /// configured quorum — the coordinator refuses to aggregate a
+    /// minority and aborts with the shortfall spelled out.
+    QuorumLost {
+        /// The round that fell short.
+        round: usize,
+        /// Updates that actually arrived.
+        got: usize,
+        /// The configured `min_quorum`.
+        need: usize,
+    },
+    /// A checkpoint file could not be written, read, or validated.
+    /// Carries the checkpoint layer's typed message ([`crate::checkpoint`]).
+    Checkpoint {
+        /// Human-readable reason (the `CheckpointError`'s rendering).
+        reason: String,
+    },
     /// One client's deployed model produced degenerate test scores
     /// (typically NaN logits after training blew up under attack). The
     /// federation as a whole is fine — tolerant callers render this as a
@@ -74,6 +91,13 @@ impl fmt::Display for FedError {
             FedError::SecureAggregation { reason } => {
                 write!(f, "secure aggregation failed: {reason}")
             }
+            FedError::QuorumLost { round, got, need } => {
+                write!(
+                    f,
+                    "round {round} lost quorum: {got} of {need} required updates arrived"
+                )
+            }
+            FedError::Checkpoint { reason } => write!(f, "checkpoint error: {reason}"),
             FedError::ClientDiverged { client, reason } => {
                 write!(f, "client {client} diverged: {reason}")
             }
@@ -135,5 +159,20 @@ mod tests {
         };
         assert_eq!(e.to_string(), "client 3 diverged: scores contain NaN");
         assert!(Error::source(&e).is_none());
+
+        let e = FedError::QuorumLost {
+            round: 4,
+            got: 1,
+            need: 3,
+        };
+        assert_eq!(
+            e.to_string(),
+            "round 4 lost quorum: 1 of 3 required updates arrived"
+        );
+
+        let e = FedError::Checkpoint {
+            reason: "bad magic".into(),
+        };
+        assert!(e.to_string().contains("checkpoint"));
     }
 }

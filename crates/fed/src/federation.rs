@@ -34,11 +34,18 @@ use crate::methods::{
 };
 use crate::params::aggregate;
 use crate::secure::{aggregate_masked, mask_update, MaskedUpdate, SecureConfig};
-use crate::wire::{net_err, recv_message, send_message, Message};
+use crate::wire::{net_err, recv_message_within, send_message, Message};
 use crate::{Client, FedConfig, FedError, LocalTrainer, Method, ModelFactory};
 
 /// The coordinator's frame sender id (clients are `1 + fleet index`).
 pub const COORDINATOR: u32 = 0;
+
+/// Upper bound on how long the plain coordinator loop waits for any
+/// single client update. Not a tuning knob — just the guarantee that a
+/// stalled or half-dead peer surfaces as a typed timeout instead of
+/// wedging the coordinator forever (the resilient loop's
+/// [`crate::FaultPolicy`] is the configurable version).
+const COLLECT_DEADLINE: std::time::Duration = std::time::Duration::from_secs(600);
 
 /// Byte/frame counters a [`LocalLink`] accumulates — the measured
 /// communication cost of a federated run over the wire codec.
@@ -231,10 +238,23 @@ impl<'a> ClientSession<'a> {
     /// Returns [`FedError::Transport`] for wire damage or protocol
     /// violations, or any training failure.
     pub fn serve<T: Transport>(&mut self, transport: &mut T) -> Result<(), FedError> {
+        self.serve_once(transport).map(|_| ())
+    }
+
+    /// Serves deploys over `transport`, distinguishing *how* the session
+    /// ended: an explicit [`Message::Shutdown`] versus the peer hanging
+    /// up. Reconnect logic needs the distinction — a shutdown is final,
+    /// a hang-up is worth dialling again.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FedError::Transport`] for wire damage or protocol
+    /// violations, or any training failure.
+    pub fn serve_once<T: Transport>(&mut self, transport: &mut T) -> Result<ServeExit, FedError> {
         loop {
             let frame = match transport.recv() {
                 Ok(frame) => frame,
-                Err(NetError::Closed) => return Ok(()),
+                Err(NetError::Closed) => return Ok(ServeExit::PeerClosed),
                 Err(e) => return Err(net_err(e)),
             };
             let message = Message::from_frame(&frame)?;
@@ -243,7 +263,64 @@ impl<'a> ClientSession<'a> {
                     let seq = self.next_seq();
                     send_message(transport, reply, self.sender_id(), seq)?;
                 }
-                None => return Ok(()),
+                None => return Ok(ServeExit::Shutdown),
+            }
+        }
+    }
+
+    /// Serves with automatic reconnect: `connect` dials a fresh
+    /// transport (attempt number passed in), the session re-handshakes
+    /// with [`ClientSession::hello`], and serving resumes. Round resync
+    /// is inherent — every deploy carries its own round number and the
+    /// session is stateless between deploys, so the next deploy after a
+    /// reconnect trains exactly the slot the coordinator re-sent.
+    ///
+    /// Reconnects (after a hang-up or a wire error) draw from `policy`:
+    /// up to `max_attempts` dials total, backing off with the
+    /// per-client-salted jitter stream. A [`ServeExit::Shutdown`] ends
+    /// the session for good.
+    ///
+    /// # Errors
+    ///
+    /// The final connect or serve error once the policy is exhausted,
+    /// or immediately for non-transport failures (training errors).
+    pub fn serve_with_reconnect<T, F>(
+        &mut self,
+        policy: &rte_net::RetryPolicy,
+        mut connect: F,
+    ) -> Result<(), FedError>
+    where
+        T: Transport,
+        F: FnMut(u32) -> Result<T, NetError>,
+    {
+        let salt = self.me as u64;
+        let attempts = policy.max_attempts.max(1);
+        let mut attempt = 0u32;
+        loop {
+            let mut transport = match connect(attempt) {
+                Ok(t) => t,
+                Err(e) => {
+                    if attempt + 1 >= attempts {
+                        return Err(net_err(e));
+                    }
+                    policy.sleep(attempt, salt);
+                    attempt += 1;
+                    continue;
+                }
+            };
+            self.hello(&mut transport)?;
+            match self.serve_once(&mut transport) {
+                Ok(ServeExit::Shutdown) => return Ok(()),
+                Ok(ServeExit::PeerClosed) | Err(FedError::Transport { .. }) => {
+                    if attempt + 1 >= attempts {
+                        // A hang-up with no budget left is the clean
+                        // exit `serve` always treated it as.
+                        return Ok(());
+                    }
+                    policy.sleep(attempt, salt);
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
             }
         }
     }
@@ -253,6 +330,15 @@ impl<'a> ClientSession<'a> {
         self.seq += 1;
         seq
     }
+}
+
+/// How a [`ClientSession::serve_once`] call ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeExit {
+    /// The coordinator sent an explicit shutdown: the run is over.
+    Shutdown,
+    /// The peer hung up without a shutdown — worth reconnecting.
+    PeerClosed,
 }
 
 /// An in-process link: the coordinator's [`Transport`] endpoint with the
@@ -320,6 +406,18 @@ impl Transport for LocalLink<'_> {
 
     fn recv(&mut self) -> Result<Frame, NetError> {
         self.near.recv()
+    }
+
+    /// A `LocalLink` client answers synchronously at send time, so a
+    /// reply is either already queued or never coming: an empty queue
+    /// *is* the timeout, reported immediately with zero wall-clock
+    /// involvement. This is what keeps chaos + retry schedules over the
+    /// channel backend fully deterministic.
+    fn recv_timeout(&mut self, _timeout: std::time::Duration) -> Result<Frame, NetError> {
+        match self.near.try_recv()? {
+            Some(frame) => Ok(frame),
+            None => Err(NetError::Timeout),
+        }
     }
 }
 
@@ -410,7 +508,7 @@ pub fn run_rounds_over<T: Transport>(
             let mut masked: Vec<MaskedUpdate> = Vec::with_capacity(participants.len());
             let mut losses: Vec<f32> = Vec::with_capacity(participants.len());
             for &k in &participants {
-                let (_, message) = recv_message(&mut links[k])?;
+                let (_, message) = recv_message_within(&mut links[k], COLLECT_DEADLINE)?;
                 match message {
                     Message::SecureUpdate {
                         round: r,
@@ -442,7 +540,7 @@ pub fn run_rounds_over<T: Transport>(
         } else {
             let mut updates: Vec<ClientUpdate> = Vec::with_capacity(participants.len());
             for &k in &participants {
-                let (_, message) = recv_message(&mut links[k])?;
+                let (_, message) = recv_message_within(&mut links[k], COLLECT_DEADLINE)?;
                 match message {
                     Message::Update {
                         round: r,

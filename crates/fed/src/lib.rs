@@ -32,7 +32,14 @@
 //!   fixed-point arithmetic (the coordinator recovers only the sum),
 //! - [`fedasync`] — buffered staleness-weighted asynchronous rounds on
 //!   a seeded virtual clock (determinism rule 8), with the wall-clock
-//!   opt-out.
+//!   opt-out,
+//! - [`resilient`] — the fault-tolerant coordinator loop: per-client
+//!   deadlines, seeded retries, and quorum-based graceful degradation
+//!   (missing clients become typed [`RoundEvent`]s, survivors reweight
+//!   deterministically) — built to pair with `rte_net`'s seeded
+//!   [`rte_net::ChaosTransport`] (determinism rule 9),
+//! - [`checkpoint`] — versioned CRC'd coordinator checkpoints written
+//!   atomically, so a killed run resumes bit-identically.
 //!
 //! The default simulation is single-process: clients are [`Client`]
 //! values holding private train/test splits (in-memory tensors or
@@ -100,6 +107,7 @@
 // requirement is restated locally.
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 mod client;
 mod config;
 pub mod cost;
@@ -109,12 +117,17 @@ pub mod fedasync;
 pub mod federation;
 pub mod methods;
 pub mod params;
+pub mod resilient;
 pub mod scenario;
 pub mod secure;
 pub mod stream;
 mod trainer;
 pub mod wire;
 
+pub use checkpoint::{
+    config_digest, latest_checkpoint, read_checkpoint, write_checkpoint, Checkpoint,
+    CheckpointError,
+};
 pub use client::{Client, ClientSet};
 pub use config::{Aggregation, FedConfig, Method};
 pub use error::FedError;
@@ -123,8 +136,13 @@ pub use fedasync::{
     render_async_history, run_fedasync, run_fedasync_wall, AsyncConfig, AsyncRoundRecord,
     LinkExecutor, LocalExecutor, TrainExecutor,
 };
-pub use federation::{local_links, run_rounds_over, ClientSession, LocalLink, WireStats};
+pub use federation::{
+    local_links, run_rounds_over, ClientSession, LocalLink, ServeExit, WireStats,
+};
 pub use methods::{MethodOutcome, RoundRecord};
+pub use resilient::{
+    run_rounds_resilient, FaultPolicy, ResilientOutcome, ResumePoint, RoundEvent, RoundHook,
+};
 pub use rte_tensor::parallel::Parallelism;
 pub use scenario::{run_scenario, Attack, ScenarioConfig, ScenarioOutcome};
 pub use secure::{aggregate_masked, mask_update, plain_update, MaskedUpdate, SecureConfig};

@@ -337,6 +337,24 @@ pub fn recv_message<T: Transport>(transport: &mut T) -> Result<(u32, Message), F
     Ok((frame.sender, message))
 }
 
+/// Receives and decodes the next message with a deadline: a peer that
+/// stays silent past `deadline` is a typed
+/// [`FedError::Transport`] timeout, never an infinite wedge. Every
+/// coordinator-side read goes through this path.
+///
+/// # Errors
+///
+/// Returns [`FedError::Transport`] for decode, transport, or deadline
+/// failures.
+pub fn recv_message_within<T: Transport>(
+    transport: &mut T,
+    deadline: std::time::Duration,
+) -> Result<(u32, Message), FedError> {
+    let frame = transport.recv_timeout(deadline).map_err(net_err)?;
+    let message = Message::from_frame(&frame)?;
+    Ok((frame.sender, message))
+}
+
 /// Maps a wire-layer error into the federated error space, preserving
 /// its typed rendering.
 pub fn net_err(e: NetError) -> FedError {

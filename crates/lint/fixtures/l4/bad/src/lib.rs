@@ -6,3 +6,21 @@ pub fn stamp() -> std::time::Instant {
 pub fn epoch() -> std::time::SystemTime {
     std::time::SystemTime::now()
 }
+
+// L4 bad case: ambient entropy — each of these seeds per-process
+// randomness that can never replay.
+pub fn hasher() -> RandomState {
+    RandomState::new()
+}
+
+pub fn ambient_seed() -> u64 {
+    thread_rng().next_u64()
+}
+
+pub fn os_rng(buf: &mut [u8]) {
+    getrandom(buf).unwrap();
+}
+
+pub fn entropy_rng() -> StdRng {
+    StdRng::from_entropy()
+}

@@ -819,6 +819,13 @@ fn check_l3(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
     }
 }
 
+/// Ambient-entropy sources: every one would seed an RNG (or hash order)
+/// from process-unique state, so a "seeded" chaos or retry schedule
+/// silently stops replaying. Flagged alongside the wall clock because
+/// both are the same defect — outputs depending on when/where the
+/// process ran instead of on the config seed.
+const ENTROPY_PATTERNS: [&str; 4] = ["RandomState", "from_entropy", "thread_rng", "getrandom"];
+
 fn check_l4(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
     if ctx.bench_crate || ctx.rel == WALL_CLOCK_MODULE {
         return;
@@ -834,6 +841,17 @@ fn check_l4(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
                 rule: Rule::L4,
                 message: "wall-clock read in library code — timing belongs in crates/bench; \
                           outputs must be bit-identical across runs"
+                    .into(),
+            });
+        }
+        if ENTROPY_PATTERNS.iter().any(|p| has_token(&line.code, p)) {
+            out.push(Finding {
+                file: ctx.rel.to_string(),
+                line: idx + 1,
+                rule: Rule::L4,
+                message: "ambient entropy source in library code — seed every stream \
+                          (chaos, retry jitter, training) from the config so runs \
+                          replay bit-for-bit (ARCHITECTURE.md rules 4 and 9)"
                     .into(),
             });
         }

@@ -97,7 +97,7 @@ fn l3_env_reads() {
 
 #[test]
 fn l4_wall_clock() {
-    assert_rule(Rule::L4, 3);
+    assert_rule(Rule::L4, 8);
 }
 
 #[test]

@@ -1,0 +1,567 @@
+//! Seeded fault injection — determinism contract rule 9.
+//!
+//! [`ChaosTransport`] wraps any [`Transport`] and misbehaves on
+//! purpose: frames are dropped, duplicated, reordered through a bounded
+//! buffer, corrupted byte-wise (the frame CRCs must catch every one as
+//! a typed error), and delayed on a [`VirtualClock`]. Every decision is
+//! drawn from a [`SplitMix64`] stream derived from
+//! `(chaos_seed, lane, direction, seq)` — disjoint from the training
+//! RNG and from each other — so a failure schedule is a pure function
+//! of the seed: same seed, same faults, bit for bit, on any machine.
+//!
+//! Corruption is injected on the *receive* side, after the wire and
+//! before the decoder: the frame is re-encoded, one deterministically
+//! chosen bit is flipped, and the damaged bytes go through the real
+//! [`Frame::decode`] path. Whatever typed error the decoder raises
+//! ([`NetError::HeaderCrc`], [`NetError::PayloadCrc`],
+//! [`NetError::BadMagic`], …) is what the caller sees — chaos never
+//! invents an error class the hostile-bytes suite hasn't already
+//! pinned. (Injecting on the send side would be a self-consistent
+//! re-encode: the CRCs would cover the damaged bytes and nothing would
+//! ever be caught.)
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use crate::clock::{SplitMix64, VirtualClock};
+use crate::error::NetError;
+use crate::frame::Frame;
+use crate::transport::Transport;
+
+/// Domain salt separating chaos decisions from every other named RNG
+/// stream in the workspace (training, scenario, clock, retry jitter).
+const CHAOS_SALT: u64 = 0x5254_4543_4841_0009; // "RTECHA" + rule 9
+
+/// Direction tag for coordinator→wire traffic (`send` calls).
+const DIR_SEND: u64 = 1;
+/// Direction tag for wire→caller traffic (`recv` calls).
+const DIR_RECV: u64 = 2;
+
+/// The fault palette: per-frame probabilities and latency bounds.
+///
+/// All probabilities are independent per `(direction, seq)` draw; the
+/// default is all-zero (a no-op wrapper that delivers every frame
+/// untouched, pinned by test).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosConfig {
+    /// Seed for every decision stream this wrapper draws.
+    pub seed: u64,
+    /// Probability a frame is silently lost.
+    pub drop_p: f64,
+    /// Probability a delivered frame is delivered twice.
+    pub dup_p: f64,
+    /// Probability a received frame is parked in the reorder buffer and
+    /// delivered after a later frame.
+    pub reorder_p: f64,
+    /// Bound on the reorder buffer — a parked frame is delayed by at
+    /// most this many delivered frames (0 disables reordering).
+    pub reorder_window: usize,
+    /// Probability a received frame has one bit flipped before decode.
+    pub corrupt_p: f64,
+    /// Minimum injected latency, in virtual-clock ticks per frame.
+    pub latency_min: u64,
+    /// Maximum injected latency, in virtual-clock ticks per frame.
+    pub latency_max: u64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 0,
+            drop_p: 0.0,
+            dup_p: 0.0,
+            reorder_p: 0.0,
+            reorder_window: 4,
+            corrupt_p: 0.0,
+            latency_min: 0,
+            latency_max: 0,
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// True when every fault probability and latency bound is zero —
+    /// the wrapper is then a transparent pass-through.
+    pub fn is_noop(&self) -> bool {
+        self.drop_p <= 0.0
+            && self.dup_p <= 0.0
+            && self.reorder_p <= 0.0
+            && self.corrupt_p <= 0.0
+            && self.latency_max == 0
+    }
+
+    /// Rejects probabilities outside `[0, 1]` and inverted latency
+    /// bounds with a typed error.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Protocol`] naming the offending field.
+    pub fn validate(&self) -> Result<(), NetError> {
+        for (name, p) in [
+            ("drop_p", self.drop_p),
+            ("dup_p", self.dup_p),
+            ("reorder_p", self.reorder_p),
+            ("corrupt_p", self.corrupt_p),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(NetError::Protocol {
+                    reason: format!("chaos {name} = {p} is outside [0, 1]"),
+                });
+            }
+        }
+        if self.latency_min > self.latency_max {
+            return Err(NetError::Protocol {
+                reason: format!(
+                    "chaos latency_min {} exceeds latency_max {}",
+                    self.latency_min, self.latency_max
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Counters for every fault the wrapper injected — the observability
+/// half of rule 9 (the `table8_chaos` bench renders these).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Frames silently lost (both directions).
+    pub drops: u64,
+    /// Frames delivered twice.
+    pub dups: u64,
+    /// Frames parked in the reorder buffer.
+    pub reorders: u64,
+    /// Frames with an injected bit flip (each surfaced a typed error).
+    pub corruptions: u64,
+    /// Total virtual-clock ticks of injected latency.
+    pub latency_ticks: u64,
+    /// Frames the caller sent (before any fault decision).
+    pub frames_sent: u64,
+    /// Frames actually delivered to the caller by `recv`.
+    pub frames_delivered: u64,
+}
+
+/// A [`Transport`] decorator that injects seeded faults (rule 9).
+///
+/// `lane` separates the streams of several wrappers sharing one seed —
+/// by convention the client index, mirroring [`crate::EventQueue`]'s
+/// lane tie-break.
+pub struct ChaosTransport<T: Transport> {
+    inner: T,
+    config: ChaosConfig,
+    lane: u64,
+    send_seq: u64,
+    recv_seq: u64,
+    /// Frames ready to hand to the caller ahead of the wire.
+    ready: VecDeque<Frame>,
+    /// The bounded reorder buffer.
+    hold: VecDeque<Frame>,
+    clock: VirtualClock,
+    stats: ChaosStats,
+}
+
+impl<T: Transport> ChaosTransport<T> {
+    /// Wraps `inner` with the fault palette in `config`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Protocol`] when the config is malformed (probability
+    /// outside `[0, 1]`, inverted latency bounds).
+    pub fn new(inner: T, config: ChaosConfig, lane: u64) -> Result<Self, NetError> {
+        config.validate()?;
+        Ok(ChaosTransport {
+            inner,
+            config,
+            lane,
+            send_seq: 0,
+            recv_seq: 0,
+            ready: VecDeque::new(),
+            hold: VecDeque::new(),
+            clock: VirtualClock::new(),
+            stats: ChaosStats::default(),
+        })
+    }
+
+    /// The fault counters so far.
+    pub fn stats(&self) -> &ChaosStats {
+        &self.stats
+    }
+
+    /// The virtual clock carrying the injected latency.
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    /// Unwraps the inner transport, discarding chaos state.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+
+    /// The decision stream for one `(direction, seq)` cell: SplitMix64
+    /// chained over `(seed ⊕ salt, lane, direction, seq)` — one
+    /// derivation point, the same stream-splitting idiom as
+    /// `fleet_rng`/`round_client_rng`, under a salt no other subsystem
+    /// uses. Disjoint from the training RNG by construction.
+    fn stream(&self, dir: u64, seq: u64) -> SplitMix64 {
+        let mut a = SplitMix64::new(self.config.seed ^ CHAOS_SALT);
+        let mut b = SplitMix64::new(a.next_u64() ^ self.lane);
+        let mut c = SplitMix64::new(b.next_u64() ^ dir);
+        SplitMix64::new(c.next_u64() ^ seq)
+    }
+
+    /// Applies the injected-latency draw for one frame.
+    fn inject_latency(&mut self, rng: &mut SplitMix64) {
+        if self.config.latency_max == 0 {
+            return;
+        }
+        let ticks = rng.next_range(self.config.latency_min, self.config.latency_max);
+        self.stats.latency_ticks += ticks;
+        let now = self.clock.now();
+        self.clock.advance_to(now + ticks);
+    }
+
+    /// Re-encodes `frame`, flips one deterministically drawn bit, and
+    /// runs the damage through the real decoder. Returns the decoder's
+    /// typed error — or, defensively, the frame itself should the flip
+    /// somehow survive validation (the CRCs cover every byte, so this
+    /// arm is unreachable in practice).
+    fn corrupt(&mut self, frame: &Frame, rng: &mut SplitMix64) -> Result<Frame, NetError> {
+        self.stats.corruptions += 1;
+        let mut bytes = frame.encode()?;
+        let byte = rng.next_range(0, bytes.len() as u64 - 1) as usize;
+        let bit = rng.next_range(0, 7) as u32;
+        bytes[byte] ^= 1u8 << bit;
+        Frame::decode(&bytes).map(|(f, _)| f)
+    }
+
+    /// The shared receive path: pull from the inner transport (with an
+    /// optional deadline), apply the recv-side palette, and hand back
+    /// the next deliverable frame.
+    fn recv_impl(&mut self, timeout: Option<Duration>) -> Result<Frame, NetError> {
+        loop {
+            if let Some(frame) = self.ready.pop_front() {
+                self.stats.frames_delivered += 1;
+                return Ok(frame);
+            }
+            let pulled = match timeout {
+                Some(t) => self.inner.recv_timeout(t),
+                None => self.inner.recv(),
+            };
+            let frame = match pulled {
+                Ok(frame) => frame,
+                Err(NetError::Closed) => {
+                    // End of stream: the reorder buffer drains in held
+                    // order before the close is surfaced.
+                    if let Some(held) = self.hold.pop_front() {
+                        self.stats.frames_delivered += 1;
+                        return Ok(held);
+                    }
+                    return Err(NetError::Closed);
+                }
+                Err(e) => return Err(e),
+            };
+            let seq = self.recv_seq;
+            self.recv_seq += 1;
+            let mut rng = self.stream(DIR_RECV, seq);
+            // Decision order is fixed and documented: drop, corrupt,
+            // reorder, duplicate, latency. Every draw happens on the
+            // per-(direction, seq) stream, so inserting a fault never
+            // perturbs a later frame's decisions.
+            if rng.bernoulli(self.config.drop_p) {
+                self.stats.drops += 1;
+                continue;
+            }
+            if rng.bernoulli(self.config.corrupt_p) {
+                match self.corrupt(&frame, &mut rng) {
+                    Ok(survivor) => {
+                        // Defensive only — CRCs make this unreachable.
+                        self.ready.push_back(survivor);
+                        continue;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            if self.config.reorder_window > 0
+                && self.hold.len() < self.config.reorder_window
+                && rng.bernoulli(self.config.reorder_p)
+            {
+                self.stats.reorders += 1;
+                self.hold.push_back(frame);
+                continue;
+            }
+            if rng.bernoulli(self.config.dup_p) {
+                self.stats.dups += 1;
+                self.ready.push_back(frame.clone());
+            }
+            self.inject_latency(&mut rng);
+            // Delivering a frame releases the oldest held frame behind
+            // it — that is what makes a "park" an actual reorder.
+            if let Some(held) = self.hold.pop_front() {
+                self.ready.push_back(held);
+            }
+            self.stats.frames_delivered += 1;
+            return Ok(frame);
+        }
+    }
+
+    /// The shared send path: apply the send-side palette, then forward.
+    fn send_impl(&mut self, frame: &Frame, timeout: Option<Duration>) -> Result<(), NetError> {
+        let seq = self.send_seq;
+        self.send_seq += 1;
+        self.stats.frames_sent += 1;
+        let mut rng = self.stream(DIR_SEND, seq);
+        if rng.bernoulli(self.config.drop_p) {
+            self.stats.drops += 1;
+            return Ok(());
+        }
+        let copies = if rng.bernoulli(self.config.dup_p) {
+            self.stats.dups += 1;
+            2
+        } else {
+            1
+        };
+        self.inject_latency(&mut rng);
+        for _ in 0..copies {
+            match timeout {
+                Some(t) => self.inner.send_timeout(frame, t)?,
+                None => self.inner.send(frame)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<T: Transport> Transport for ChaosTransport<T> {
+    fn send(&mut self, frame: &Frame) -> Result<(), NetError> {
+        self.send_impl(frame, None)
+    }
+
+    fn recv(&mut self) -> Result<Frame, NetError> {
+        self.recv_impl(None)
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Frame, NetError> {
+        self.recv_impl(Some(timeout))
+    }
+
+    fn send_timeout(&mut self, frame: &Frame, timeout: Duration) -> Result<(), NetError> {
+        self.send_impl(frame, Some(timeout))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::ChannelTransport;
+
+    fn frame(seq: u64) -> Frame {
+        Frame::new(3, 1, seq, format!("payload-{seq}").into_bytes())
+    }
+
+    /// Runs `n` frames through a chaos wrapper and returns the delivery
+    /// trace: `Ok(seq)` for delivered frames, `Err(error)` for injected
+    /// typed errors, ending when the stream closes.
+    fn run_schedule(
+        config: ChaosConfig,
+        lane: u64,
+        n: u64,
+    ) -> (Vec<Result<u64, NetError>>, ChaosStats) {
+        let (mut tx, rx) = ChannelTransport::pair();
+        for seq in 0..n {
+            tx.send(&frame(seq)).unwrap();
+        }
+        drop(tx);
+        let mut chaos = ChaosTransport::new(rx, config, lane).unwrap();
+        let mut trace = Vec::new();
+        loop {
+            match chaos.recv() {
+                Ok(f) => trace.push(Ok(f.seq)),
+                Err(NetError::Closed) => break,
+                Err(e) => trace.push(Err(e)),
+            }
+        }
+        (trace, chaos.stats().clone())
+    }
+
+    #[test]
+    fn noop_config_is_transparent() {
+        let config = ChaosConfig::default();
+        assert!(config.is_noop());
+        let (trace, stats) = run_schedule(config, 0, 10);
+        let expected: Vec<Result<u64, NetError>> = (0..10).map(Ok).collect();
+        assert_eq!(trace, expected);
+        assert_eq!(
+            stats.drops + stats.dups + stats.reorders + stats.corruptions,
+            0
+        );
+        assert_eq!(stats.frames_delivered, 10);
+    }
+
+    #[test]
+    fn same_seed_replays_bitwise() {
+        let config = ChaosConfig {
+            seed: 0xC4A05,
+            drop_p: 0.2,
+            dup_p: 0.15,
+            reorder_p: 0.25,
+            reorder_window: 3,
+            corrupt_p: 0.1,
+            latency_min: 1,
+            latency_max: 9,
+        };
+        let (trace_a, stats_a) = run_schedule(config.clone(), 2, 200);
+        let (trace_b, stats_b) = run_schedule(config.clone(), 2, 200);
+        assert_eq!(trace_a, trace_b, "same seed, same lane → same schedule");
+        assert_eq!(stats_a, stats_b);
+        // A different lane draws a disjoint stream.
+        let (trace_c, _) = run_schedule(config.clone(), 3, 200);
+        assert_ne!(trace_a, trace_c, "lanes separate decision streams");
+        // And a different seed reshuffles everything.
+        let (trace_d, _) = run_schedule(
+            ChaosConfig {
+                seed: 0xC4A06,
+                ..config
+            },
+            2,
+            200,
+        );
+        assert_ne!(trace_a, trace_d);
+    }
+
+    #[test]
+    fn every_fault_class_fires_and_is_typed() {
+        let config = ChaosConfig {
+            seed: 7,
+            drop_p: 0.2,
+            dup_p: 0.2,
+            reorder_p: 0.3,
+            reorder_window: 4,
+            corrupt_p: 0.15,
+            latency_min: 1,
+            latency_max: 5,
+        };
+        let (trace, stats) = run_schedule(config, 0, 300);
+        assert!(stats.drops > 0, "drops never fired");
+        assert!(stats.dups > 0, "dups never fired");
+        assert!(stats.reorders > 0, "reorders never fired");
+        assert!(stats.corruptions > 0, "corruptions never fired");
+        assert!(stats.latency_ticks > 0, "latency never fired");
+        // Every corruption surfaced as a typed decode error — never a
+        // panic, never a silently delivered damaged frame.
+        let errors: Vec<&NetError> = trace.iter().filter_map(|r| r.as_ref().err()).collect();
+        assert_eq!(errors.len() as u64, stats.corruptions);
+        for e in &errors {
+            assert!(
+                matches!(
+                    e,
+                    NetError::HeaderCrc
+                        | NetError::PayloadCrc
+                        | NetError::BadMagic
+                        | NetError::UnsupportedVersion { .. }
+                        | NetError::Truncated { .. }
+                        | NetError::Oversize { .. }
+                ),
+                "corruption produced a non-decode error: {e}"
+            );
+        }
+        // Conservation: every sent frame is accounted for.
+        let delivered = trace.iter().filter(|r| r.is_ok()).count() as u64;
+        assert_eq!(delivered, stats.frames_delivered);
+        assert_eq!(
+            delivered,
+            300 - stats.drops - stats.corruptions + stats.dups,
+            "delivered = sent - dropped - corrupted + duplicated"
+        );
+    }
+
+    #[test]
+    fn reorder_actually_reorders_but_stays_bounded() {
+        let config = ChaosConfig {
+            seed: 11,
+            reorder_p: 0.5,
+            reorder_window: 2,
+            ..ChaosConfig::default()
+        };
+        let (trace, stats) = run_schedule(config, 0, 100);
+        assert!(stats.reorders > 0);
+        let seqs: Vec<u64> = trace.into_iter().map(|r| r.unwrap()).collect();
+        // All 100 frames arrive (reordering never loses frames) …
+        let mut sorted = seqs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u64>>());
+        // … out of order …
+        assert_ne!(seqs, sorted);
+        // … and no frame is displaced further than the window allows
+        // (window parks + releases bound the displacement).
+        for (position, seq) in seqs.iter().enumerate() {
+            let displacement = (position as i64 - *seq as i64).unsigned_abs();
+            assert!(
+                displacement <= 2 * 2 + 1,
+                "frame {seq} displaced {displacement} positions"
+            );
+        }
+    }
+
+    #[test]
+    fn send_side_faults_fire_too() {
+        let (tx, mut rx) = ChannelTransport::pair();
+        let config = ChaosConfig {
+            seed: 5,
+            drop_p: 0.3,
+            dup_p: 0.3,
+            ..ChaosConfig::default()
+        };
+        let mut chaos = ChaosTransport::new(tx, config, 0).unwrap();
+        for seq in 0..100 {
+            chaos.send(&frame(seq)).unwrap();
+        }
+        let stats = chaos.stats().clone();
+        assert_eq!(stats.frames_sent, 100);
+        assert!(stats.drops > 0);
+        assert!(stats.dups > 0);
+        drop(chaos);
+        let mut arrived = 0u64;
+        while let Ok(Some(_)) = rx.try_recv() {
+            arrived += 1;
+        }
+        assert_eq!(arrived, 100 - stats.drops + stats.dups);
+    }
+
+    #[test]
+    fn recv_timeout_passes_through_under_chaos() {
+        let (mut tx, rx) = ChannelTransport::pair();
+        let mut chaos = ChaosTransport::new(rx, ChaosConfig::default(), 0).unwrap();
+        assert_eq!(
+            chaos.recv_timeout(Duration::from_millis(10)).unwrap_err(),
+            NetError::Timeout
+        );
+        tx.send(&frame(0)).unwrap();
+        assert_eq!(
+            chaos.recv_timeout(Duration::from_millis(10)).unwrap().seq,
+            0
+        );
+    }
+
+    #[test]
+    fn malformed_configs_are_rejected() {
+        let bad_p = ChaosConfig {
+            drop_p: 1.5,
+            ..ChaosConfig::default()
+        };
+        assert!(matches!(
+            ChaosConfig::validate(&bad_p),
+            Err(NetError::Protocol { .. })
+        ));
+        let bad_latency = ChaosConfig {
+            latency_min: 10,
+            latency_max: 5,
+            ..ChaosConfig::default()
+        };
+        assert!(matches!(
+            bad_latency.validate(),
+            Err(NetError::Protocol { .. })
+        ));
+        let (tx, _rx) = ChannelTransport::pair();
+        assert!(ChaosTransport::new(tx, bad_p, 0).is_err());
+    }
+}

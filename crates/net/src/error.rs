@@ -44,6 +44,10 @@ pub enum NetError {
     },
     /// The peer hung up: the channel or socket is closed.
     Closed,
+    /// A deadline elapsed before the operation completed. The peer may
+    /// still be alive — callers decide whether to retry, re-send, or
+    /// give the slot up (quorum degradation).
+    Timeout,
     /// The bytes were structurally valid but violated the conversation's
     /// protocol (unexpected kind, wrong round, duplicate hello).
     Protocol {
@@ -67,6 +71,7 @@ impl fmt::Display for NetError {
             }
             NetError::Io { reason } => write!(f, "transport I/O error: {reason}"),
             NetError::Closed => write!(f, "transport closed by peer"),
+            NetError::Timeout => write!(f, "deadline elapsed before the operation completed"),
             NetError::Protocol { reason } => write!(f, "protocol violation: {reason}"),
         }
     }
@@ -76,13 +81,17 @@ impl Error for NetError {}
 
 impl From<std::io::Error> for NetError {
     fn from(e: std::io::Error) -> Self {
-        if e.kind() == std::io::ErrorKind::UnexpectedEof {
-            return NetError::Truncated {
+        match e.kind() {
+            std::io::ErrorKind::UnexpectedEof => NetError::Truncated {
                 context: "stream ended mid-frame",
-            };
-        }
-        NetError::Io {
-            reason: e.to_string(),
+            },
+            // A socket read/write deadline elapsing surfaces as either
+            // kind depending on the platform; both mean "deadline", not
+            // "peer gone".
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => NetError::Timeout,
+            _ => NetError::Io {
+                reason: e.to_string(),
+            },
         }
     }
 }
@@ -102,6 +111,7 @@ mod tests {
             (NetError::Oversize { len: 10, max: 5 }, "cap"),
             (NetError::Io { reason: "x".into() }, "I/O"),
             (NetError::Closed, "closed"),
+            (NetError::Timeout, "deadline"),
             (NetError::Protocol { reason: "y".into() }, "protocol"),
         ];
         for (e, needle) in cases {
@@ -115,5 +125,13 @@ mod tests {
         assert!(matches!(NetError::from(eof), NetError::Truncated { .. }));
         let other = std::io::Error::new(std::io::ErrorKind::BrokenPipe, "pipe");
         assert!(matches!(NetError::from(other), NetError::Io { .. }));
+    }
+
+    #[test]
+    fn socket_deadline_kinds_map_to_timeout() {
+        for kind in [std::io::ErrorKind::WouldBlock, std::io::ErrorKind::TimedOut] {
+            let e = std::io::Error::new(kind, "deadline");
+            assert_eq!(NetError::from(e), NetError::Timeout);
+        }
     }
 }

@@ -12,6 +12,12 @@
 //! - [`clock`] — the seeded [`VirtualClock`] / [`EventQueue`] machinery
 //!   behind determinism contract rule 8, and the sanctioned
 //!   [`WallClock`] opt-out,
+//! - [`chaos`] — the seeded fault-injection decorator behind
+//!   determinism contract rule 9: [`ChaosTransport`] drops, duplicates,
+//!   reorders, corrupts, and delays frames from per-`(direction, seq)`
+//!   RNG streams, so a failure schedule replays bitwise,
+//! - [`retry`] — [`RetryPolicy`], seeded-jitter exponential backoff for
+//!   the callers who must survive that chaos,
 //! - [`error`] — typed [`NetError`]s for every failure mode.
 //!
 //! The crate is deliberately dependency-free (it cannot even see
@@ -24,14 +30,18 @@
 // This crate is a public API surface; restate the workspace doc lint.
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod clock;
 pub mod error;
 pub mod frame;
+pub mod retry;
 pub mod transport;
 
+pub use chaos::{ChaosConfig, ChaosStats, ChaosTransport};
 pub use clock::{EventQueue, SplitMix64, VirtualClock, WallClock};
 pub use error::NetError;
 pub use frame::{crc32, Frame, FRAME_MAGIC, FRAME_VERSION, MAX_FRAME_LEN, PRELUDE_LEN};
+pub use retry::RetryPolicy;
 pub use transport::{ChannelTransport, FanIn, Transport};
 #[cfg(unix)]
 pub use transport::{UdsListener, UdsTransport};

@@ -1,0 +1,225 @@
+//! Retry policy with seeded-jitter exponential backoff.
+//!
+//! Chaos (rule 9) makes failures replayable; this module makes the
+//! *response* to failure replayable too. A [`RetryPolicy`] decides how
+//! many attempts an operation gets and how long to wait between them —
+//! and the jitter term is drawn from a [`SplitMix64`] stream derived
+//! from `(jitter_seed, salt, attempt)`, never from the machine clock or
+//! OS entropy, so two runs of the same schedule back off identically.
+//!
+//! The *sleeping* itself is wall-clock (there is nothing deterministic
+//! about real elapsed time), but the *durations* are pure functions of
+//! the seed: a simulation or test sets `base_ms = 0` and replays the
+//! attempt schedule with zero real delay.
+
+use std::time::Duration;
+
+use crate::clock::SplitMix64;
+
+/// Domain salt separating retry jitter from every other named RNG
+/// stream in the workspace (training, chaos, scenario, clock).
+const RETRY_SALT: u64 = 0x5254_4552_5452_5931; // "RTERTRY1"
+
+/// How many attempts an operation gets and how long to wait between
+/// them: exponential backoff (`base_ms << attempt`, capped at `max_ms`)
+/// plus up to 50% seeded jitter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (so `1` means "no retries").
+    pub max_attempts: u32,
+    /// Backoff base in milliseconds; `0` disables waiting entirely
+    /// (attempts still count — this is the simulation/test mode).
+    pub base_ms: u64,
+    /// Upper bound on any single delay, jitter included.
+    pub max_ms: u64,
+    /// Seed for the jitter stream. Same seed, same salts → the same
+    /// delay schedule, bit for bit.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_ms: 50,
+            max_ms: 2_000,
+            jitter_seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that makes `max_attempts` attempts with zero delay —
+    /// for tests, benches, and in-process transports where waiting
+    /// buys nothing.
+    pub fn immediate(max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            base_ms: 0,
+            max_ms: 0,
+            jitter_seed: 0,
+        }
+    }
+
+    /// The delay before retry number `attempt` (0-based: the delay
+    /// *after* the first failure is `delay_ms(0, salt)`). `salt`
+    /// separates concurrent users of one policy (client index, by
+    /// convention) so their jitter streams are disjoint.
+    pub fn delay_ms(&self, attempt: u32, salt: u64) -> u64 {
+        if self.base_ms == 0 {
+            return 0;
+        }
+        let shift = attempt.min(20);
+        let exp = self.base_ms.saturating_mul(1u64 << shift).min(self.max_ms);
+        // Jitter in [0, exp/2], from a stream chained over
+        // (jitter_seed, salt, attempt) — one derivation point, same
+        // idiom as the chaos palette.
+        let mut a = SplitMix64::new(self.jitter_seed ^ RETRY_SALT);
+        let mut b = SplitMix64::new(a.next_u64() ^ salt);
+        let mut stream = SplitMix64::new(b.next_u64() ^ u64::from(attempt));
+        let jitter = stream.next_range(0, exp / 2);
+        exp.saturating_add(jitter)
+            .min(self.max_ms.max(self.base_ms))
+    }
+
+    /// Sleeps for `delay_ms(attempt, salt)` — a no-op when the policy
+    /// is delay-free.
+    pub fn sleep(&self, attempt: u32, salt: u64) {
+        let ms = self.delay_ms(attempt, salt);
+        if ms > 0 {
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+    }
+
+    /// Runs `op` up to `max_attempts` times, sleeping the backoff
+    /// schedule between failures, and returns the first success or the
+    /// last error. `retryable` decides which errors are worth another
+    /// attempt (a `Closed` socket is; a protocol violation is not).
+    ///
+    /// # Errors
+    ///
+    /// The final attempt's error, when every attempt fails or the first
+    /// non-retryable error is met.
+    pub fn run<T, E>(
+        &self,
+        salt: u64,
+        mut retryable: impl FnMut(&E) -> bool,
+        mut op: impl FnMut(u32) -> Result<T, E>,
+    ) -> Result<T, E> {
+        let attempts = self.max_attempts.max(1);
+        let mut attempt = 0;
+        loop {
+            match op(attempt) {
+                Ok(value) => return Ok(value),
+                Err(e) => {
+                    if attempt + 1 >= attempts || !retryable(&e) {
+                        return Err(e);
+                    }
+                    self.sleep(attempt, salt);
+                    attempt += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_are_deterministic_and_capped() {
+        let policy = RetryPolicy {
+            max_attempts: 5,
+            base_ms: 10,
+            max_ms: 100,
+            jitter_seed: 42,
+        };
+        for attempt in 0..8 {
+            for salt in 0..4 {
+                let a = policy.delay_ms(attempt, salt);
+                let b = policy.delay_ms(attempt, salt);
+                assert_eq!(a, b, "same (attempt, salt) → same delay");
+                assert!(a <= 100, "delay {a} exceeds cap");
+            }
+        }
+        // Different salts should (for this seed) diverge somewhere.
+        let trace_a: Vec<u64> = (0..5).map(|i| policy.delay_ms(i, 0)).collect();
+        let trace_b: Vec<u64> = (0..5).map(|i| policy.delay_ms(i, 1)).collect();
+        assert_ne!(trace_a, trace_b, "jitter streams are per-salt");
+    }
+
+    #[test]
+    fn delays_grow_before_the_cap() {
+        let policy = RetryPolicy {
+            max_attempts: 5,
+            base_ms: 10,
+            max_ms: 1_000_000,
+            jitter_seed: 0,
+        };
+        // The deterministic exponential part dominates: each delay is at
+        // least the raw exponential term.
+        for attempt in 0..6 {
+            assert!(policy.delay_ms(attempt, 0) >= 10 << attempt);
+        }
+    }
+
+    #[test]
+    fn immediate_policy_never_waits() {
+        let policy = RetryPolicy::immediate(4);
+        assert_eq!(policy.max_attempts, 4);
+        for attempt in 0..10 {
+            assert_eq!(policy.delay_ms(attempt, 99), 0);
+        }
+        // max_attempts is clamped to at least one attempt.
+        assert_eq!(RetryPolicy::immediate(0).max_attempts, 1);
+    }
+
+    #[test]
+    fn run_retries_then_succeeds() {
+        let policy = RetryPolicy::immediate(3);
+        let mut calls = 0;
+        let result: Result<u32, &str> = policy.run(
+            0,
+            |_| true,
+            |attempt| {
+                calls += 1;
+                if attempt < 2 {
+                    Err("flaky")
+                } else {
+                    Ok(attempt)
+                }
+            },
+        );
+        assert_eq!(result, Ok(2));
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn run_stops_on_non_retryable_and_on_exhaustion() {
+        let policy = RetryPolicy::immediate(3);
+        let mut calls = 0;
+        let result: Result<(), &str> = policy.run(
+            0,
+            |e| *e != "fatal",
+            |_| {
+                calls += 1;
+                Err("fatal")
+            },
+        );
+        assert_eq!(result, Err("fatal"));
+        assert_eq!(calls, 1, "non-retryable errors are not retried");
+
+        let mut calls = 0;
+        let result: Result<(), &str> = policy.run(
+            0,
+            |_| true,
+            |_| {
+                calls += 1;
+                Err("flaky")
+            },
+        );
+        assert_eq!(result, Err("flaky"));
+        assert_eq!(calls, 3, "exhaustion returns the last error");
+    }
+}

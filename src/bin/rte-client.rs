@@ -9,6 +9,12 @@
 //! never leaves the process — the paper's privacy boundary, enforced by
 //! a process boundary.
 //!
+//! Connection handling runs through a seeded [`RetryPolicy`]: the
+//! initial dial retries with jittered backoff (the coordinator may
+//! still be binding the socket), and a mid-run hang-up triggers a
+//! reconnect + re-hello — every deploy carries its own round number, so
+//! the session resyncs to whatever round the coordinator re-sends.
+//!
 //! Spawned by `rte-coordinator --clients-procs N`, or started by hand:
 //!
 //! ```text
@@ -16,11 +22,12 @@
 //! ```
 
 use std::path::PathBuf;
-use std::time::Duration;
 
-use decentralized_routability::core::{build_experiment_clients, model_factory, transport_config};
+use decentralized_routability::core::{
+    build_experiment_clients, model_factory, transport_config_with_rounds,
+};
 use decentralized_routability::fed::{ClientSession, SecureConfig};
-use decentralized_routability::net::UdsTransport;
+use decentralized_routability::net::{RetryPolicy, UdsTransport};
 use decentralized_routability::nn::models::ModelKind;
 
 struct Args {
@@ -29,7 +36,10 @@ struct Args {
     clients: usize,
     quick: bool,
     seed: u64,
+    rounds: Option<usize>,
     secure: bool,
+    retries: u32,
+    backoff_ms: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -41,7 +51,10 @@ fn parse_args() -> Result<Args, String> {
         clients: 4,
         quick: false,
         seed: 7,
+        rounds: None,
         secure: false,
+        retries: 100,
+        backoff_ms: 50,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -60,7 +73,23 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--seed needs a value")?;
                 out.seed = v.parse().map_err(|_| format!("bad seed {v}"))?;
             }
+            "--rounds" => {
+                let v = it.next().ok_or("--rounds needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad round count {v}"))?;
+                if n == 0 {
+                    return Err("--rounds must be positive".into());
+                }
+                out.rounds = Some(n);
+            }
             "--secure" => out.secure = true,
+            "--retries" => {
+                let v = it.next().ok_or("--retries needs a value")?;
+                out.retries = v.parse().map_err(|_| format!("bad retry count {v}"))?;
+            }
+            "--backoff-ms" => {
+                let v = it.next().ok_or("--backoff-ms needs a value")?;
+                out.backoff_ms = v.parse().map_err(|_| format!("bad backoff {v}"))?;
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -75,40 +104,30 @@ fn parse_args() -> Result<Args, String> {
     Ok(out)
 }
 
-/// Connects with retries — the coordinator may still be binding the
-/// socket when a spawned client starts.
-fn connect_with_retry(path: &PathBuf) -> Result<UdsTransport, Box<dyn std::error::Error>> {
-    let mut last = None;
-    for _ in 0..100 {
-        match UdsTransport::connect(path) {
-            Ok(t) => return Ok(t),
-            Err(e) => {
-                last = Some(e);
-                std::thread::sleep(Duration::from_millis(50));
-            }
-        }
-    }
-    Err(format!("could not connect to {}: {:?}", path.display(), last).into())
-}
-
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = parse_args().unwrap_or_else(|e| {
         eprintln!("error: {e}");
         eprintln!(
             "usage: rte-client --socket PATH --client-index K [--clients N] [--quick] \
-             [--seed N] [--secure]"
+             [--seed N] [--rounds N] [--secure] [--retries N] [--backoff-ms N]"
         );
         std::process::exit(2);
     });
 
-    let config = transport_config(args.clients, args.seed, args.quick);
+    let config = transport_config_with_rounds(args.clients, args.seed, args.quick, args.rounds);
     let fleet = build_experiment_clients(&config)?;
     let factory = model_factory(ModelKind::FlNet, config.model_scale);
     let secure = args.secure.then(SecureConfig::default);
     let mut session = ClientSession::new(&fleet, args.client_index, &factory, &config.fed, secure)?;
 
-    let mut transport = connect_with_retry(&args.socket)?;
-    session.hello(&mut transport)?;
-    session.serve(&mut transport)?;
+    // Jittered backoff salted by the client index so a spawned fleet
+    // does not dial (or re-dial) in lockstep.
+    let policy = RetryPolicy {
+        max_attempts: args.retries.max(1),
+        base_ms: args.backoff_ms,
+        max_ms: args.backoff_ms.saturating_mul(16).max(1),
+        jitter_seed: args.seed,
+    };
+    session.serve_with_reconnect(&policy, |_attempt| UdsTransport::connect(&args.socket))?;
     Ok(())
 }

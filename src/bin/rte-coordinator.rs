@@ -10,25 +10,63 @@
 //! the seeded virtual-clock buffered schedule (determinism rule 8);
 //! `--async wall` is the documented non-deterministic opt-out.
 //!
+//! Synchronous non-secure rounds run through the fault-tolerant loop
+//! ([`run_rounds_resilient`]) — faultless, it is bit-identical to the
+//! plain loop. On top of it this binary exposes:
+//!
+//! - `--chaos-*` — seeded fault injection (determinism rule 9): every
+//!   coordinator-side link is wrapped in a [`ChaosTransport`] whose
+//!   drop/duplicate/reorder/corrupt/latency decisions replay bit-for-bit
+//!   under the same `--chaos-seed`,
+//! - `--deadline-ms` / `--retries` / `--backoff-ms` / `--min-quorum` —
+//!   per-client read deadlines, seeded-jitter retry budget, and quorum
+//!   degradation (missed clients are reported on stderr, never stdout),
+//! - `--checkpoint-dir` / `--checkpoint-every` / `--resume` — versioned
+//!   CRC'd checkpoints written atomically after a round; a resumed run
+//!   prints the same table bytes as an uninterrupted one
+//!   (`tests/checkpoint_resume.rs` pins this). `--die-after N` exits
+//!   with code 17 right after round N's checkpoint — the kill half of
+//!   the kill-and-resume test.
+//!
 //! ```text
 //! rte-coordinator --clients 8 --clients-procs 8 --quick --seed 42
 //! rte-coordinator --transport channel --quick --async virtual
+//! rte-coordinator --transport channel --quick --rounds 4 \
+//!     --chaos-seed 7 --chaos-drop 0.2 --retries 4 --min-quorum 2
+//! rte-coordinator --transport channel --quick --rounds 4 \
+//!     --checkpoint-dir /tmp/ckpt --die-after 2   # then: --resume
 //! ```
 
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
 use std::sync::Arc;
+use std::time::Duration;
 
 use decentralized_routability::core::report::render_table;
 use decentralized_routability::core::{
-    build_experiment_clients, model_factory, transport_config, ExperimentConfig, TableResult,
+    build_experiment_clients, model_factory, transport_config_with_rounds, ExperimentConfig,
+    TableResult,
 };
 use decentralized_routability::fed::{
-    local_links, render_async_history, run_fedasync, run_fedasync_wall, run_rounds_over,
-    AsyncConfig, Client, ClientSession, LinkExecutor, Method, ModelFactory, SecureConfig,
+    config_digest, latest_checkpoint, local_links, read_checkpoint, render_async_history,
+    run_fedasync, run_fedasync_wall, run_rounds_over, run_rounds_resilient, write_checkpoint,
+    AsyncConfig, Checkpoint, Client, ClientSession, FaultPolicy, LinkExecutor, Method,
+    MethodOutcome, ModelFactory, ResumePoint, RoundHook, SecureConfig,
 };
-use decentralized_routability::net::{FanIn, UdsListener, UdsTransport};
+use decentralized_routability::net::{
+    ChaosConfig, ChaosTransport, FanIn, RetryPolicy, Transport, UdsListener, UdsTransport,
+};
 use decentralized_routability::nn::models::ModelKind;
+use decentralized_routability::nn::StateDict;
+
+/// Exit code of a run that stopped itself via `--die-after` (chosen to
+/// be distinguishable from success, panics, and flag errors).
+const DIE_AFTER_EXIT: i32 = 17;
+
+/// How long [`accept_fleet`] waits for the whole fleet to dial in
+/// before giving up — generous (slow CI, debug builds) but bounded, so
+/// a client that never starts cannot wedge the coordinator forever.
+const ACCEPT_DEADLINE: Duration = Duration::from_secs(120);
 
 /// Which backend carries the frames.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,11 +95,21 @@ struct Args {
     clients_procs: usize,
     quick: bool,
     seed: u64,
+    rounds: Option<usize>,
     transport: TransportKind,
     r#async: AsyncMode,
     secure: bool,
     aggregations: usize,
     buffer: usize,
+    chaos: ChaosConfig,
+    deadline_ms: u64,
+    retries: u32,
+    backoff_ms: u64,
+    min_quorum: usize,
+    checkpoint_dir: Option<PathBuf>,
+    checkpoint_every: usize,
+    resume: bool,
+    die_after: Option<usize>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -71,12 +119,23 @@ fn parse_args() -> Result<Args, String> {
         clients_procs: 0,
         quick: false,
         seed: 7,
+        rounds: None,
         transport: TransportKind::Uds,
         r#async: AsyncMode::Off,
         secure: false,
         aggregations: 4,
         buffer: 0,
+        chaos: ChaosConfig::default(),
+        deadline_ms: 5000,
+        retries: 3,
+        backoff_ms: 50,
+        min_quorum: 1,
+        checkpoint_dir: None,
+        checkpoint_every: 1,
+        resume: false,
+        die_after: None,
     };
+    let mut chaos_seed: Option<u64> = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -96,6 +155,14 @@ fn parse_args() -> Result<Args, String> {
             "--seed" => {
                 let v = it.next().ok_or("--seed needs a value")?;
                 out.seed = v.parse().map_err(|_| format!("bad seed {v}"))?;
+            }
+            "--rounds" => {
+                let v = it.next().ok_or("--rounds needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad round count {v}"))?;
+                if n == 0 {
+                    return Err("--rounds must be positive".into());
+                }
+                out.rounds = Some(n);
             }
             "--transport" => {
                 out.transport = match it.next().as_deref() {
@@ -123,12 +190,50 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--buffer needs a value")?;
                 out.buffer = v.parse().map_err(|_| format!("bad buffer {v}"))?;
             }
+            "--chaos-seed" => chaos_seed = Some(parse_num(&mut it, "--chaos-seed")?),
+            "--chaos-drop" => out.chaos.drop_p = parse_prob(&mut it, "--chaos-drop")?,
+            "--chaos-dup" => out.chaos.dup_p = parse_prob(&mut it, "--chaos-dup")?,
+            "--chaos-reorder" => out.chaos.reorder_p = parse_prob(&mut it, "--chaos-reorder")?,
+            "--chaos-corrupt" => out.chaos.corrupt_p = parse_prob(&mut it, "--chaos-corrupt")?,
+            "--chaos-window" => {
+                out.chaos.reorder_window = parse_num::<usize>(&mut it, "--chaos-window")?
+            }
+            "--chaos-latency-min" => {
+                out.chaos.latency_min = parse_num(&mut it, "--chaos-latency-min")?
+            }
+            "--chaos-latency-max" => {
+                out.chaos.latency_max = parse_num(&mut it, "--chaos-latency-max")?
+            }
+            "--deadline-ms" => out.deadline_ms = parse_num(&mut it, "--deadline-ms")?,
+            "--retries" => out.retries = parse_num(&mut it, "--retries")?,
+            "--backoff-ms" => out.backoff_ms = parse_num(&mut it, "--backoff-ms")?,
+            "--min-quorum" => out.min_quorum = parse_num(&mut it, "--min-quorum")?,
+            "--checkpoint-dir" => {
+                out.checkpoint_dir = Some(PathBuf::from(
+                    it.next().ok_or("--checkpoint-dir needs a path")?,
+                ))
+            }
+            "--checkpoint-every" => {
+                out.checkpoint_every = parse_num(&mut it, "--checkpoint-every")?;
+                if out.checkpoint_every == 0 {
+                    return Err("--checkpoint-every must be positive".into());
+                }
+            }
+            "--resume" => out.resume = true,
+            "--die-after" => out.die_after = Some(parse_num(&mut it, "--die-after")?),
             other => return Err(format!("unknown flag {other}")),
         }
     }
     if out.buffer == 0 {
         out.buffer = (out.clients / 2).max(1);
     }
+    // Chaos streams are salted so they never collide with training, but
+    // an explicit --chaos-seed lets the fault schedule vary while the
+    // learning problem stays fixed.
+    out.chaos.seed = chaos_seed.unwrap_or(out.seed);
+    out.chaos
+        .validate()
+        .map_err(|e| format!("bad chaos config: {e}"))?;
     if out.secure && out.r#async != AsyncMode::Off {
         return Err("--secure only applies to synchronous rounds".into());
     }
@@ -138,7 +243,41 @@ fn parse_args() -> Result<Args, String> {
     if out.clients_procs > 0 && out.transport != TransportKind::Uds {
         return Err("--clients-procs only applies to --transport uds".into());
     }
+    let resilient_only = out.r#async == AsyncMode::Off && !out.secure;
+    if !out.chaos.is_noop() && !resilient_only {
+        return Err("--chaos-* needs synchronous non-secure rounds (the resilient loop)".into());
+    }
+    if (out.checkpoint_dir.is_some() || out.resume || out.die_after.is_some()) && !resilient_only {
+        return Err("checkpointing needs synchronous non-secure rounds".into());
+    }
+    if out.checkpoint_dir.is_none() && (out.resume || out.die_after.is_some()) {
+        return Err("--resume / --die-after need --checkpoint-dir".into());
+    }
+    if out.min_quorum == 0 || out.min_quorum > out.clients {
+        return Err(format!(
+            "--min-quorum must be in 1..={}, got {}",
+            out.clients, out.min_quorum
+        ));
+    }
     Ok(out)
+}
+
+/// Parses the next argument as a number for flag `name`.
+fn parse_num<T: std::str::FromStr>(
+    it: &mut impl Iterator<Item = String>,
+    name: &str,
+) -> Result<T, String> {
+    let v = it.next().ok_or(format!("{name} needs a value"))?;
+    v.parse().map_err(|_| format!("bad value for {name}: {v}"))
+}
+
+/// Parses the next argument as a probability in `[0, 1]`.
+fn parse_prob(it: &mut impl Iterator<Item = String>, name: &str) -> Result<f64, String> {
+    let p: f64 = parse_num(it, name)?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(format!("{name} must be in [0, 1], got {p}"));
+    }
+    Ok(p)
 }
 
 /// Spawns `n` `rte-client` child processes (the binary is expected next
@@ -161,6 +300,9 @@ fn spawn_clients(args: &Args, n: usize) -> Result<Vec<Child>, Box<dyn std::error
                 .arg("--seed")
                 .arg(args.seed.to_string())
                 .stdout(Stdio::null());
+            if let Some(rounds) = args.rounds {
+                cmd.arg("--rounds").arg(rounds.to_string());
+            }
             if args.quick {
                 cmd.arg("--quick");
             }
@@ -212,15 +354,19 @@ fn serve_thread_clients(
 }
 
 /// Accepts `n` connections and orders them by the fleet index each
-/// client announces in its hello frame.
+/// client announces in its hello frame. Both the accept and the hello
+/// read are deadline-bounded ([`ACCEPT_DEADLINE`]): a client that never
+/// dials, or dials and then goes silent, is a typed error — not a
+/// coordinator wedged in a blocking read.
 fn accept_fleet(
     listener: &UdsListener,
     n: usize,
 ) -> Result<Vec<UdsTransport>, Box<dyn std::error::Error>> {
     let mut slots: Vec<Option<UdsTransport>> = (0..n).map(|_| None).collect();
     for _ in 0..n {
-        let mut link = listener.accept()?;
-        let (sender, message) = decentralized_routability::fed::wire::recv_message(&mut link)?;
+        let mut link = listener.accept_timeout(ACCEPT_DEADLINE)?;
+        let (sender, message) =
+            decentralized_routability::fed::wire::recv_message_within(&mut link, ACCEPT_DEADLINE)?;
         let decentralized_routability::fed::wire::Message::Hello { client, .. } = message else {
             return Err(format!("peer {sender} did not open with a hello").into());
         };
@@ -236,27 +382,166 @@ fn accept_fleet(
         .collect())
 }
 
+/// Runs the resilient loop over `links`, wrapping each in a seeded
+/// [`ChaosTransport`] (lane = fleet index) when the palette is armed.
+fn run_resilient<T: Transport>(
+    links: Vec<T>,
+    fleet: &[Client],
+    factory: &ModelFactory,
+    config: &ExperimentConfig,
+    args: &Args,
+) -> Result<MethodOutcome, Box<dyn std::error::Error>> {
+    if args.chaos.is_noop() {
+        let mut links = links;
+        return drive_resilient(&mut links, fleet, factory, config, args);
+    }
+    let mut wrapped = links
+        .into_iter()
+        .enumerate()
+        .map(|(lane, link)| ChaosTransport::new(link, args.chaos.clone(), lane as u64))
+        .collect::<Result<Vec<_>, _>>()?;
+    let outcome = drive_resilient(&mut wrapped, fleet, factory, config, args)?;
+    let mut totals = (0u64, 0u64, 0u64, 0u64, 0u64);
+    for link in &wrapped {
+        let s = link.stats();
+        totals.0 += s.frames_sent;
+        totals.1 += s.drops;
+        totals.2 += s.dups;
+        totals.3 += s.reorders;
+        totals.4 += s.corruptions;
+    }
+    eprintln!(
+        "chaos: seed {} over {} frames: {} dropped, {} duplicated, {} reordered, {} corrupted",
+        args.chaos.seed, totals.0, totals.1, totals.2, totals.3, totals.4
+    );
+    Ok(outcome)
+}
+
+/// The resilient run itself: fault policy from the flags, checkpoint
+/// hook (and the `--die-after` kill switch) when a checkpoint dir is
+/// configured, resume point from the newest valid checkpoint under
+/// `--resume`. Fault events go to stderr; stdout stays table-only.
+fn drive_resilient<T: Transport>(
+    links: &mut [T],
+    fleet: &[Client],
+    factory: &ModelFactory,
+    config: &ExperimentConfig,
+    args: &Args,
+) -> Result<MethodOutcome, Box<dyn std::error::Error>> {
+    let policy = FaultPolicy {
+        deadline: Duration::from_millis(args.deadline_ms.max(1)),
+        retry: RetryPolicy {
+            max_attempts: args.retries.max(1),
+            base_ms: args.backoff_ms,
+            max_ms: args.backoff_ms.saturating_mul(16).max(1),
+            jitter_seed: args.seed,
+        },
+        min_quorum: args.min_quorum,
+    };
+    let digest = config_digest(&config.fed, fleet);
+
+    let resume = match &args.checkpoint_dir {
+        Some(dir) if args.resume => match latest_checkpoint(dir)? {
+            Some(path) => {
+                let ckpt = read_checkpoint(&path, Some(digest))?;
+                eprintln!(
+                    "resume: round {} from {} (digest {:016x})",
+                    ckpt.round,
+                    path.display(),
+                    digest
+                );
+                Some(ResumePoint {
+                    round: ckpt.round as usize,
+                    seq: ckpt.seq,
+                    state: ckpt.state,
+                })
+            }
+            None => {
+                eprintln!("resume: no checkpoint in {}, starting fresh", dir.display());
+                None
+            }
+        },
+        _ => None,
+    };
+
+    let mut hook_storage;
+    let hook: Option<&mut RoundHook<'_>> = match &args.checkpoint_dir {
+        Some(dir) => {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("checkpoint dir {}: {e}", dir.display()))?;
+            let dir = dir.clone();
+            let every = args.checkpoint_every;
+            let die_after = args.die_after;
+            let rounds = config.fed.rounds;
+            hook_storage = move |round: usize, seq: u64, state: &StateDict| {
+                if round % every == 0 || round == rounds || Some(round) == die_after {
+                    let ckpt = Checkpoint {
+                        round: round as u64,
+                        seq,
+                        digest,
+                        state: state.clone(),
+                    };
+                    let path = write_checkpoint(&dir, &ckpt)?;
+                    eprintln!("checkpoint: round {round} -> {}", path.display());
+                }
+                if Some(round) == die_after {
+                    eprintln!("die-after: stopping after round {round} (exit {DIE_AFTER_EXIT})");
+                    std::process::exit(DIE_AFTER_EXIT);
+                }
+                Ok(())
+            };
+            Some(&mut hook_storage)
+        }
+        None => None,
+    };
+
+    let result = run_rounds_resilient(fleet, factory, &config.fed, links, &policy, resume, hook)?;
+    for event in &result.events {
+        eprintln!("fault: {event}");
+    }
+    if result.retries > 0 || !result.events.is_empty() {
+        eprintln!(
+            "resilient: {} rounds completed, {} retries, {} fault events",
+            result.completed_rounds,
+            result.retries,
+            result.events.len()
+        );
+    }
+    Ok(result.outcome)
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = parse_args().unwrap_or_else(|e| {
         eprintln!("error: {e}");
         eprintln!(
             "usage: rte-coordinator [--socket PATH] [--clients N] [--clients-procs N] \
-             [--quick] [--seed N] [--transport uds|channel] [--async off|virtual|wall] \
-             [--secure] [--aggregations N] [--buffer N]"
+             [--quick] [--seed N] [--rounds N] [--transport uds|channel] \
+             [--async off|virtual|wall] [--secure] [--aggregations N] [--buffer N] \
+             [--chaos-seed N] [--chaos-drop P] [--chaos-dup P] [--chaos-reorder P] \
+             [--chaos-corrupt P] [--chaos-window N] [--chaos-latency-min N] \
+             [--chaos-latency-max N] [--deadline-ms N] [--retries N] [--backoff-ms N] \
+             [--min-quorum N] [--checkpoint-dir PATH] [--checkpoint-every N] [--resume] \
+             [--die-after N]"
         );
         std::process::exit(2);
     });
 
-    let config = Arc::new(transport_config(args.clients, args.seed, args.quick));
+    let config = Arc::new(transport_config_with_rounds(
+        args.clients,
+        args.seed,
+        args.quick,
+        args.rounds,
+    ));
     let fleet = Arc::new(build_experiment_clients(&config)?);
     let factory = Arc::new(model_factory(ModelKind::FlNet, config.model_scale));
     let secure = args.secure.then(SecureConfig::default);
     eprintln!(
-        "coordinator: {} clients over {:?}, async {:?}{}",
+        "coordinator: {} clients over {:?}, async {:?}{}{}",
         fleet.len(),
         args.transport,
         args.r#async,
-        if args.secure { ", secure" } else { "" }
+        if args.secure { ", secure" } else { "" },
+        if args.chaos.is_noop() { "" } else { ", chaos" }
     );
 
     let mut children = Vec::new();
@@ -264,14 +549,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         TransportKind::Channel => {
             let mut links = local_links(&fleet, &factory, &config.fed, secure)?;
             match args.r#async {
-                AsyncMode::Off => run_rounds_over(
-                    Method::FedProx,
-                    &fleet,
-                    &factory,
-                    &config.fed,
-                    &mut links,
-                    secure,
-                )?,
+                AsyncMode::Off => {
+                    if args.secure {
+                        run_rounds_over(
+                            Method::FedProx,
+                            &fleet,
+                            &factory,
+                            &config.fed,
+                            &mut links,
+                            secure,
+                        )?
+                    } else {
+                        run_resilient(links, &fleet, &factory, &config, &args)?
+                    }
+                }
                 AsyncMode::Virtual => {
                     let async_cfg = AsyncConfig::new(args.aggregations, args.buffer);
                     let mut exec = LinkExecutor::new(&mut links);
@@ -294,14 +585,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             serve_thread_clients(&args, &fleet, &factory, &config, secure);
             let mut links = accept_fleet(&listener, fleet.len())?;
             let outcome = match args.r#async {
-                AsyncMode::Off => run_rounds_over(
-                    Method::FedProx,
-                    &fleet,
-                    &factory,
-                    &config.fed,
-                    &mut links,
-                    secure,
-                )?,
+                AsyncMode::Off => {
+                    if args.secure {
+                        run_rounds_over(
+                            Method::FedProx,
+                            &fleet,
+                            &factory,
+                            &config.fed,
+                            &mut links,
+                            secure,
+                        )?
+                    } else {
+                        run_resilient(links, &fleet, &factory, &config, &args)?
+                    }
+                }
                 AsyncMode::Virtual => {
                     let async_cfg = AsyncConfig::new(args.aggregations, args.buffer);
                     let mut exec = LinkExecutor::new(&mut links);
